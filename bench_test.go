@@ -1,0 +1,292 @@
+// Package repro holds the benchmark harness that regenerates the paper's
+// evaluation (§6): one benchmark per table and figure, plus ablation
+// benches for the design choices DESIGN.md calls out. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Simulated response times are reported as custom metrics
+// (sim-response-sec); cmd/aigbench prints the same numbers as the paper's
+// tables.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/datagen"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// fixture caches generated datasets and prepared grammars across
+// benchmarks.
+type fixture struct {
+	cat *relstore.Catalog
+	reg *source.Registry
+	sa  *aig.AIG // compiled + decomposed, still recursive
+	unf map[int]*aig.AIG
+}
+
+var (
+	fixturesMu sync.Mutex
+	fixtures   = map[string]*fixture{}
+)
+
+func getFixture(b *testing.B, size datagen.Size) *fixture {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if f, ok := fixtures[size.Name]; ok {
+		return f
+	}
+	cat := datagen.Generate(size, 42)
+	a := hospital.Sigma0(true)
+	sa, err := specialize.CompileConstraints(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sa, err = specialize.DecomposeQueries(sa,
+		sqlmini.CatalogSchemas{Catalog: cat}, sqlmini.CatalogStats{Catalog: cat}, sqlmini.PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &fixture{cat: cat, reg: source.RegistryFromCatalog(cat), sa: sa, unf: map[int]*aig.AIG{}}
+	fixtures[size.Name] = f
+	return f
+}
+
+func (f *fixture) unfolded(b *testing.B, depth int) *aig.AIG {
+	b.Helper()
+	fixturesMu.Lock()
+	defer fixturesMu.Unlock()
+	if u, ok := f.unf[depth]; ok {
+		return u
+	}
+	u, err := specialize.Unfold(f.sa, depth)
+	if err != nil {
+		b.Fatal(err)
+	}
+	f.unf[depth] = u
+	return u
+}
+
+// BenchmarkTable1 regenerates Table 1: dataset generation at each scale,
+// verifying the exact cardinalities.
+func BenchmarkTable1(b *testing.B) {
+	want := map[string][6]int{
+		"small":  {2500, 11371, 2224, 175, 175, 441},
+		"medium": {3300, 14887, 3762, 250, 250, 718},
+		"large":  {5000, 22496, 8996, 350, 350, 923},
+	}
+	for _, size := range datagen.Sizes {
+		b.Run(size.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cat := datagen.Generate(size, 42)
+				w := want[size.Name]
+				got := [6]int{
+					tableLen(b, cat, "DB1", "patient"),
+					tableLen(b, cat, "DB1", "visitInfo"),
+					tableLen(b, cat, "DB2", "cover"),
+					tableLen(b, cat, "DB3", "billing"),
+					tableLen(b, cat, "DB4", "treatment"),
+					tableLen(b, cat, "DB4", "procedure"),
+				}
+				if got != w {
+					b.Fatalf("Table 1 mismatch for %s: %v != %v", size.Name, got, w)
+				}
+			}
+		})
+	}
+}
+
+func tableLen(b *testing.B, cat *relstore.Catalog, db, table string) int {
+	b.Helper()
+	t, err := cat.Table(db, table)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t.Len()
+}
+
+// benchEvaluate runs one mediator evaluation and reports the simulated
+// response time (the quantity Figure 10 is built from).
+func benchEvaluate(b *testing.B, f *fixture, depth int, opts mediator.Options) float64 {
+	b.Helper()
+	unf := f.unfolded(b, depth)
+	m := mediator.New(f.reg, opts)
+	var resp float64
+	for i := 0; i < b.N; i++ {
+		res, err := m.Evaluate(unf, hospital.RootInh(unf, datagen.Date(0)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp = res.Report.ResponseTimeSec
+	}
+	b.ReportMetric(resp, "sim-response-sec")
+	return resp
+}
+
+// BenchmarkFig10 regenerates Figure 10: for each dataset size and
+// unfolding level, the ratio of the simulated evaluation time without
+// query merging to that with merging. The ratio is reported as the
+// merge-ratio metric of the "merged" sub-benchmark.
+func BenchmarkFig10(b *testing.B) {
+	sizes := []datagen.Size{datagen.Small}
+	levels := []int{2, 4, 7}
+	if !testing.Short() {
+		sizes = datagen.Sizes
+		levels = []int{2, 3, 4, 5, 6, 7}
+	}
+	for _, size := range sizes {
+		f := getFixture(b, size)
+		for _, level := range levels {
+			name := fmt.Sprintf("%s/levels=%d", size.Name, level)
+			var without float64
+			b.Run(name+"/unmerged", func(b *testing.B) {
+				opts := mediator.DefaultOptions()
+				opts.Merge = false
+				without = benchEvaluate(b, f, level, opts)
+			})
+			b.Run(name+"/merged", func(b *testing.B) {
+				with := benchEvaluate(b, f, level, mediator.DefaultOptions())
+				if without > 0 && with > 0 {
+					b.ReportMetric(without/with, "merge-ratio")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationScheduling compares Algorithm Schedule (§5.3 level
+// priorities) against the FIFO baseline.
+func BenchmarkAblationScheduling(b *testing.B) {
+	f := getFixture(b, datagen.Small)
+	for _, tc := range []struct {
+		name string
+		algo mediator.ScheduleAlgo
+	}{
+		{"level", mediator.ScheduleLevel},
+		{"fifo", mediator.ScheduleFIFO},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			opts := mediator.DefaultOptions()
+			opts.Merge = false // isolate scheduling from merge decisions
+			opts.Schedule = tc.algo
+			benchEvaluate(b, f, 4, opts)
+		})
+	}
+}
+
+// BenchmarkAblationCopyElim compares evaluation with and without copy
+// elimination (§4).
+func BenchmarkAblationCopyElim(b *testing.B) {
+	f := getFixture(b, datagen.Small)
+	for _, on := range []bool{true, false} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			opts := mediator.DefaultOptions()
+			opts.CopyElim = on
+			benchEvaluate(b, f, 4, opts)
+		})
+	}
+}
+
+// tinySize is a reduced dataset for the tuple-at-a-time (conceptual)
+// ablations, which run one query per node and would take tens of seconds
+// per iteration at Table 1 scale.
+var tinySize = datagen.Size{
+	Name: "tiny", Patient: 250, VisitInfo: 1100, Cover: 450,
+	Billing: 60, Treatment: 60, Procedure: 90,
+	Policies: 10, Dates: 30, Levels: 8,
+}
+
+// BenchmarkAblationConstraints compares generation with compiled
+// constraint guards (§3.3, incremental checking during generation)
+// against generation without constraints plus a post-hoc whole-tree
+// validation.
+func BenchmarkAblationConstraints(b *testing.B) {
+	cat := datagen.Generate(tinySize, 42)
+	env := hospital.EnvFor(cat)
+	plain := hospital.Sigma0(true)
+	guarded, err := specialize.CompileConstraints(plain)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("guards-during-generation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := guarded.Eval(env, hospital.RootInh(guarded, datagen.Date(0))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("posthoc-tree-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			doc, err := plain.Eval(env, hospital.RootInh(plain, datagen.Date(0)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range plain.Constraints {
+				if v := c.Check(doc); len(v) != 0 {
+					b.Fatal("unexpected violation")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAblationDecomposition compares tuple-at-a-time evaluation with
+// the original multi-source Q2 against the decomposed single-source
+// chain (§3.4), both in the conceptual evaluator.
+func BenchmarkAblationDecomposition(b *testing.B) {
+	cat := datagen.Generate(tinySize, 42)
+	env := hospital.EnvFor(cat)
+	multi := hospital.Sigma0(false)
+	dec, err := specialize.DecomposeQueries(multi,
+		sqlmini.CatalogSchemas{Catalog: cat}, sqlmini.CatalogStats{Catalog: cat}, sqlmini.PlanOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		a    *aig.AIG
+	}{
+		{"multi-source", multi},
+		{"decomposed-chain", dec},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.a.Eval(env, hospital.RootInh(tc.a, datagen.Date(0))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluators compares the conceptual evaluator (§3.2, one query
+// per node) against the mediator (§5, set-oriented) on wall-clock time —
+// the architectural gap the middleware exists to close.
+func BenchmarkEvaluators(b *testing.B) {
+	f := getFixture(b, datagen.Small)
+	env := hospital.EnvFor(f.cat)
+	unf := f.unfolded(b, 4)
+	b.Run("conceptual", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := unf.Eval(env, hospital.RootInh(unf, datagen.Date(0))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mediator", func(b *testing.B) {
+		benchEvaluate(b, f, 4, mediator.DefaultOptions())
+	})
+}

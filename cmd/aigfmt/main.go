@@ -1,0 +1,50 @@
+// Command aigfmt parses an AIG specification and prints it back in
+// canonical form (gofmt for the aigspec language):
+//
+//	aigfmt report.aig            # print the canonical form
+//	aigfmt -w report.aig         # rewrite the file in place
+//
+// Parsing alone catches syntax errors; formatting normalizes member
+// ordering and SQL layout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/aigrepro/aig/internal/aigspec"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite the file in place")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: aigfmt [-w] <spec.aig>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigfmt:", err)
+		os.Exit(1)
+	}
+	a, err := aigspec.Parse(string(data))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigfmt:", err)
+		os.Exit(1)
+	}
+	out, err := aigspec.Format(a)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aigfmt:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "aigfmt:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(out)
+}

@@ -1,0 +1,48 @@
+// Command aigsource serves one relational source database over TCP so
+// that the mediator can integrate truly distributed data:
+//
+//	aigsource -name DB1 -data ./data/DB1 -listen 127.0.0.1:7001
+//
+// loads every CSV of the directory (as written by aiggen) into an
+// in-memory engine and answers schema, statistics, costing and query
+// requests on the wire protocol of the remote package.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/remote"
+)
+
+func main() {
+	name := flag.String("name", "", "source (database) name, e.g. DB1")
+	data := flag.String("data", "", "directory of CSV tables")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	flag.Parse()
+
+	if *name == "" || *data == "" {
+		fmt.Fprintln(os.Stderr, "usage: aigsource -name DB1 -data ./data/DB1 [-listen host:port]")
+		os.Exit(2)
+	}
+	db, err := relstore.LoadDir(*name, *data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := remote.NewServer(db)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("source %s serving %d tables on %s\n", *name, len(db.TableNames()), addr)
+
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
+	srv.Close()
+}

@@ -1,0 +1,89 @@
+// Analysis: the static guarantees of §4. Because AIGs are a limited
+// specification language (unlike Turing-complete XQuery/XSLT), useful
+// properties are decidable: this example analyzes termination and
+// reachability for the hospital grammar σ0, a variant whose recursion is
+// cut by an unsatisfiable query, and a pathological grammar that can
+// never terminate; it also reports the CSR/QSR rule classification and
+// the copy chains that copy elimination inlines.
+//
+// Run with: go run ./examples/analysis
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/static"
+)
+
+func report(name string, a *aig.AIG) *static.Analysis {
+	an, err := static.Analyze(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  terminates on all instances:  %v\n", an.MustTerminate)
+	fmt.Printf("  terminates on some instance:  %v\n", an.MayTerminate)
+	var can, must []string
+	for e, ok := range an.CanReach {
+		if ok {
+			can = append(can, e)
+		}
+	}
+	for e, ok := range an.MustReach {
+		if ok {
+			must = append(must, e)
+		}
+	}
+	sort.Strings(can)
+	sort.Strings(must)
+	fmt.Printf("  reachable on some instance:   %v\n", can)
+	fmt.Printf("  reached on every instance:    %v\n", must)
+	if len(an.UnsatisfiableQueries) > 0 {
+		fmt.Printf("  unsatisfiable queries:        %v\n", an.UnsatisfiableQueries)
+	}
+	fmt.Println()
+	return an
+}
+
+func main() {
+	// σ0: recursive, data-driven — terminates on some but not all
+	// instances (cyclic procedure data would diverge).
+	report("hospital σ0", hospital.Sigma0(false))
+
+	// σ0 with the recursion-driving query made unsatisfiable: the cycle
+	// can never expand, so termination is guaranteed.
+	cut := hospital.Sigma0(false)
+	cut.Rules["procedure"].Inh["treatment"].Query = sqlmini.MustParse(
+		`select p.trId2 as trId, t.tname from DB4:procedure p, DB4:treatment t
+		 where p.trId1 = $v.trId and t.trId = p.trId2 and p.trId1 = 'a' and p.trId1 = 'b'`)
+	report("σ0 with recursion cut by an unsatisfiable query", cut)
+
+	// A grammar that cannot terminate even on the empty instance: the
+	// root requires itself as a child.
+	d := dtd.New("loop")
+	d.DefineSeq("loop", "loop")
+	report("loop -> (loop)", aig.New(d))
+
+	// Rule classification and copy chains (§4).
+	a := hospital.Sigma0(false)
+	classes := static.Classify(a)
+	var keys []string
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Println("rule classification (copy rules are inlined by copy elimination):")
+	for _, k := range keys {
+		fmt.Printf("  %-22s %s\n", k, classes[k])
+	}
+	fmt.Println("\ncopy chains feeding queries (origin -> ... -> consumer):")
+	for _, chain := range static.CopyChains(a) {
+		fmt.Printf("  %v\n", chain)
+	}
+}

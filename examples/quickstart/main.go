@@ -1,0 +1,97 @@
+// Quickstart: build a minimal Attribute Integration Grammar in Go,
+// evaluate it over one in-memory relational source, and print the
+// DTD-conforming XML it produces.
+//
+// The grammar publishes a product catalog:
+//
+//	catalog -> product*        one product element per catalog row
+//	product -> name, price     text leaves bound from the row
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+func main() {
+	// 1. A relational source: one database with one table.
+	db := relstore.NewDatabase("shop")
+	products := db.CreateTable("products", relstore.MustSchema("name:string", "price:int", "stocked:string"))
+	for _, row := range [][]any{
+		{"espresso machine", 450, "yes"},
+		{"grinder", 120, "yes"},
+		{"dripper", 15, "no"},
+		{"kettle", 60, "yes"},
+	} {
+		if err := products.InsertValues(row...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	cat := relstore.NewCatalog()
+	cat.Add(db)
+
+	// 2. The target DTD.
+	d := dtd.MustParse(`
+		<!ELEMENT catalog (product*)>
+		<!ELEMENT product (name, price)>
+		<!ELEMENT name (#PCDATA)>
+		<!ELEMENT price (#PCDATA)>
+	`)
+
+	// 3. The AIG: attributes plus semantic rules. The star rule's query
+	// drives one product element per qualifying row.
+	a := aig.New(d)
+	a.Inh["product"] = aig.Attr(aig.StringMember("name"), aig.ScalarMember("price", relstore.KindInt))
+	a.Inh["name"] = aig.Attr(aig.StringMember("val"))
+	a.Inh["price"] = aig.Attr(aig.ScalarMember("val", relstore.KindInt))
+
+	a.Rules["catalog"] = &aig.Rule{
+		Elem: "catalog",
+		Inh: map[string]*aig.InhRule{
+			"product": {
+				Child: "product",
+				Query: sqlmini.MustParse(`select name, price from shop:products where stocked = 'yes'`),
+			},
+		},
+	}
+	a.Rules["product"] = &aig.Rule{
+		Elem: "product",
+		Inh: map[string]*aig.InhRule{
+			"name":  {Child: "name", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("product", "name"))}},
+			"price": {Child: "price", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("product", "price"))}},
+		},
+	}
+	a.Rules["name"] = &aig.Rule{Elem: "name", TextSrc: aig.InhOf("name", "val")}
+	a.Rules["price"] = &aig.Rule{Elem: "price", TextSrc: aig.InhOf("price", "val")}
+
+	// 4. Validate statically, then evaluate.
+	if err := a.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		log.Fatal(err)
+	}
+	env := &aig.Env{
+		Schemas: sqlmini.CatalogSchemas{Catalog: cat},
+		Data:    sqlmini.CatalogData{Catalog: cat},
+		Stats:   sqlmini.CatalogStats{Catalog: cat},
+	}
+	doc, err := a.Eval(env, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 5. The output conforms to the DTD by construction.
+	if err := dtd.Conforms(d, doc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated catalog:")
+	if err := doc.WriteIndented(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/aigrepro/aig
+
+go 1.22

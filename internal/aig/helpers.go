@@ -1,0 +1,80 @@
+package aig
+
+import "github.com/aigrepro/aig/internal/relstore"
+
+// This file holds terse constructors for building AIGs programmatically;
+// the aigspec package builds the same structures from text.
+
+// InhOf references a member of an inherited attribute; pass "" for the
+// whole scalar tuple.
+func InhOf(elem, member string) SourceRef {
+	return SourceRef{Side: InhSide, Elem: elem, Member: member}
+}
+
+// SynOf references a member of a synthesized attribute.
+func SynOf(elem, member string) SourceRef {
+	return SourceRef{Side: SynSide, Elem: elem, Member: member}
+}
+
+// ScalarMember declares a scalar member.
+func ScalarMember(name string, kind relstore.Kind) MemberDecl {
+	return MemberDecl{Name: name, Kind: Scalar, ValueKind: kind}
+}
+
+// StringMember declares a string-valued scalar member, the common case.
+func StringMember(name string) MemberDecl {
+	return ScalarMember(name, relstore.KindString)
+}
+
+// SetMember declares a set member with "name:kind" field specs.
+func SetMember(name string, fields ...string) MemberDecl {
+	return MemberDecl{Name: name, Kind: Set, Fields: relstore.MustSchema(fields...)}
+}
+
+// BagMember declares a bag member with "name:kind" field specs.
+func BagMember(name string, fields ...string) MemberDecl {
+	return MemberDecl{Name: name, Kind: Bag, Fields: relstore.MustSchema(fields...)}
+}
+
+// Attr assembles an attribute declaration.
+func Attr(members ...MemberDecl) AttrDecl { return AttrDecl{Members: members} }
+
+// Copy builds a member-to-member copy assignment.
+func Copy(target string, src SourceRef) CopyAssign {
+	return CopyAssign{TargetMember: target, Src: src}
+}
+
+// CopyAll builds copy assignments for same-named scalar members from the
+// given source attribute (e.g. Inh(treatments) = Inh(patient)(date, SSN,
+// policy)).
+func CopyAll(side Side, elem string, members ...string) []CopyAssign {
+	out := make([]CopyAssign, len(members))
+	for i, m := range members {
+		out[i] = CopyAssign{TargetMember: m, Src: SourceRef{Side: side, Elem: elem, Member: m}}
+	}
+	return out
+}
+
+// Params builds a query-parameter source map from alternating name/ref
+// pairs.
+func ParamMap(pairs ...any) map[string]SourceRef {
+	out := make(map[string]SourceRef, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out[pairs[i].(string)] = pairs[i+1].(SourceRef)
+	}
+	return out
+}
+
+// Syn1 builds a synthesized rule with a single member expression.
+func Syn1(member string, expr SynExpr) *SynRule {
+	return &SynRule{Exprs: map[string]SynExpr{member: expr}}
+}
+
+// SynExprs builds a synthesized rule from alternating member/expr pairs.
+func SynExprs(pairs ...any) *SynRule {
+	r := &SynRule{Exprs: make(map[string]SynExpr, len(pairs)/2)}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		r.Exprs[pairs[i].(string)] = pairs[i+1].(SynExpr)
+	}
+	return r
+}

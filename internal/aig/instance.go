@@ -1,0 +1,73 @@
+package aig
+
+import (
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// This file exports per-instance rule evaluation for use by the mediator,
+// which computes synthesized attributes and checks guards "within
+// application code" at the mediator (§5.1) while sharing the exact rule
+// semantics of the conceptual evaluator.
+
+// InstanceScope supplies the values visible to one production instance:
+// the element's own inherited attribute, the (first) synthesized
+// attribute per child/sibling type, and all per-child synthesized
+// attributes for collect expressions.
+type InstanceScope struct {
+	Elem string
+	Inh  *AttrValue
+	Syn  map[string]*AttrValue
+	All  map[string][]*AttrValue
+}
+
+func (s InstanceScope) toScope() *scope {
+	return &scope{inhElem: s.Elem, inh: s.Inh, syn: s.Syn, all: s.All}
+}
+
+// EvalSynFor evaluates a synthesized-attribute rule for one instance.
+// Queries never occur in Syn rules, so no environment is needed.
+func (a *AIG) EvalSynFor(elem string, r *SynRule, is InstanceScope) (*AttrValue, error) {
+	return a.evalSynRule(nil, elem, r, is.toScope())
+}
+
+// EvalCopiesFor applies a copy-only inherited rule for one instance,
+// writing into target. Query rules are the mediator's own set-oriented
+// business and are rejected here.
+func (a *AIG) EvalCopiesFor(ir *InhRule, target *AttrValue, is InstanceScope) error {
+	sc := is.toScope()
+	for _, c := range ir.Copies {
+		m, ok := target.Decl.Member(c.TargetMember)
+		if !ok {
+			continue
+		}
+		if m.Kind == Scalar {
+			v, err := sc.scalar(c.Src)
+			if err != nil {
+				return err
+			}
+			if err := target.SetScalar(c.TargetMember, v); err != nil {
+				return err
+			}
+			continue
+		}
+		b, err := sc.binding(c.Src)
+		if err != nil {
+			return err
+		}
+		if err := target.SetCollection(c.TargetMember, b.Rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckGuard evaluates one guard against a synthesized attribute value.
+func CheckGuard(g Guard, syn *AttrValue) (bool, error) {
+	return evalGuard(g, syn)
+}
+
+// ResolveBinding resolves a source reference to a query binding within an
+// instance scope.
+func (is InstanceScope) ResolveBinding(src SourceRef) (sqlmini.Binding, error) {
+	return is.toScope().binding(src)
+}

@@ -1,0 +1,641 @@
+package aig
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// Validate performs the static analyses of §3.1 in one pass: structural
+// sanity of the DTD and rules, type compatibility of every semantic rule
+// (checkable in linear time), resolvability of every SQL query against
+// the source schemas, acyclicity of each production's dependency
+// relation, and well-formedness of the XML constraints. It returns all
+// problems found, joined.
+func (a *AIG) Validate(schemas sqlmini.SchemaProvider) error {
+	v := &validator{aig: a, schemas: schemas}
+	if err := a.DTD.Validate(); err != nil {
+		return err
+	}
+	for _, elem := range a.DTD.Types() {
+		v.checkElem(elem)
+	}
+	for _, c := range a.Constraints {
+		if err := c.ValidateAgainst(a.DTD); err != nil {
+			v.errs = append(v.errs, err)
+		}
+	}
+	return errors.Join(v.errs...)
+}
+
+type validator struct {
+	aig     *AIG
+	schemas sqlmini.SchemaProvider
+	errs    []error
+}
+
+func (v *validator) errorf(format string, args ...any) {
+	v.errs = append(v.errs, fmt.Errorf("aig: "+format, args...))
+}
+
+func (v *validator) checkElem(elem string) {
+	p, _ := v.aig.DTD.Production(elem)
+	r := v.aig.Rules[elem]
+	switch p.Kind {
+	case dtd.ProdText:
+		v.checkTextRule(elem, r)
+	case dtd.ProdEmpty:
+		v.checkEmptyRule(elem, r)
+	case dtd.ProdSeq:
+		v.checkSeqRule(elem, p, r)
+	case dtd.ProdStar:
+		v.checkStarRule(elem, p, r)
+	case dtd.ProdChoice:
+		v.checkChoiceRule(elem, p, r)
+	}
+	if r != nil {
+		for _, g := range r.Guards {
+			v.checkGuard(elem, g)
+		}
+	}
+}
+
+// sourceEnv describes which attributes a rule may reference: the parent's
+// inherited attribute, and the synthesized attributes of a set of child
+// element types.
+type sourceEnv struct {
+	inhElem  string
+	synElems map[string]bool
+}
+
+// memberOf resolves a source reference within the environment, returning
+// the member declaration (or the scalar-tuple pseudo member when
+// ref.Member is empty).
+func (v *validator) memberOf(where string, env sourceEnv, ref SourceRef) (MemberDecl, bool) {
+	var decl AttrDecl
+	switch ref.Side {
+	case InhSide:
+		if ref.Elem != env.inhElem {
+			v.errorf("%s: %s references Inh(%s); only Inh(%s) is in scope", where, ref, ref.Elem, env.inhElem)
+			return MemberDecl{}, false
+		}
+		decl = v.aig.Inh[ref.Elem]
+	case SynSide:
+		if !env.synElems[ref.Elem] {
+			v.errorf("%s: %s references Syn(%s), which is not in scope", where, ref, ref.Elem)
+			return MemberDecl{}, false
+		}
+		decl = v.aig.Syn[ref.Elem]
+	}
+	if ref.Member == "" {
+		// The whole scalar tuple.
+		return MemberDecl{Name: "", Kind: Scalar}, true
+	}
+	m, ok := decl.Member(ref.Member)
+	if !ok {
+		v.errorf("%s: %s: attribute %s(%s) has no member %q (declared: %s)",
+			where, ref, ref.Side, ref.Elem, ref.Member, decl)
+		return MemberDecl{}, false
+	}
+	return m, true
+}
+
+func (v *validator) checkGuard(elem string, g Guard) {
+	where := fmt.Sprintf("guard %s on %s", g, elem)
+	decl := v.aig.Syn[elem]
+	switch g.Kind {
+	case GuardUnique:
+		m, ok := decl.Member(g.Member)
+		if !ok {
+			v.errorf("%s: Syn(%s) has no member %q", where, elem, g.Member)
+			return
+		}
+		if m.Kind == Scalar {
+			v.errorf("%s: member %q is scalar; unique() needs a bag or set", where, g.Member)
+		}
+	case GuardSubset:
+		sub, okSub := decl.Member(g.Sub)
+		super, okSuper := decl.Member(g.Super)
+		if !okSub || !okSuper {
+			v.errorf("%s: Syn(%s) lacks member %q or %q", where, elem, g.Sub, g.Super)
+			return
+		}
+		if sub.Kind == Scalar || super.Kind == Scalar {
+			v.errorf("%s: subset() needs collection members", where)
+			return
+		}
+		if len(sub.Fields) != len(super.Fields) {
+			v.errorf("%s: arity mismatch: %s vs %s", where, sub.Fields, super.Fields)
+		}
+	}
+}
+
+func (v *validator) checkTextRule(elem string, r *Rule) {
+	where := fmt.Sprintf("rule for %s -> S", elem)
+	if r == nil {
+		// Default: no PCDATA source; legal only when Inh(elem) has exactly
+		// one scalar member to use implicitly — require explicit rules
+		// instead.
+		if !v.aig.Inh[elem].IsEmpty() || !v.aig.Syn[elem].IsEmpty() {
+			v.errorf("%s: missing rule for attributed text element", where)
+		}
+		return
+	}
+	env := sourceEnv{inhElem: elem}
+	if r.TextSrc != (SourceRef{}) {
+		if m, ok := v.memberOf(where, env, r.TextSrc); ok && m.Kind != Scalar {
+			v.errorf("%s: PCDATA source %s must be scalar", where, r.TextSrc)
+		}
+	}
+	v.checkSynRule(where, elem, r.Syn, env)
+	if len(r.Inh) != 0 || r.Cond != nil || len(r.Branches) != 0 {
+		v.errorf("%s: text productions take no child or branch rules", where)
+	}
+}
+
+func (v *validator) checkEmptyRule(elem string, r *Rule) {
+	if r == nil {
+		if !v.aig.Syn[elem].IsEmpty() {
+			v.errorf("rule for %s -> ε: Syn(%s) is declared but never computed", elem, elem)
+		}
+		return
+	}
+	where := fmt.Sprintf("rule for %s -> ε", elem)
+	v.checkSynRule(where, elem, r.Syn, sourceEnv{inhElem: elem})
+}
+
+func (v *validator) checkSeqRule(elem string, p dtd.Production, r *Rule) {
+	where := fmt.Sprintf("rule for %s -> %s", elem, p)
+	childSet := make(map[string]bool, len(p.Children))
+	for _, c := range p.Children {
+		childSet[c] = true
+	}
+	if r == nil {
+		// Legal only when no child needs an inherited attribute and
+		// Syn(elem) is empty.
+		for _, c := range p.Children {
+			if !v.aig.Inh[c].IsEmpty() {
+				v.errorf("%s: missing rule; child %s has a declared Inh", where, c)
+			}
+		}
+		if !v.aig.Syn[elem].IsEmpty() {
+			v.errorf("%s: missing rule; Syn(%s) is declared", where, elem)
+		}
+		return
+	}
+	for child := range r.Inh {
+		if !childSet[child] {
+			v.errorf("%s: Inh rule for %q, which is not a child", where, child)
+		}
+	}
+	for _, child := range p.Children {
+		ir := r.Inh[child]
+		if ir == nil {
+			if !v.aig.Inh[child].IsEmpty() {
+				v.errorf("%s: child %s has declared Inh but no rule", where, child)
+			}
+			continue
+		}
+		// Sources: Inh(elem) and Syn of the *other* children (§3.1 case 2).
+		env := sourceEnv{inhElem: elem, synElems: make(map[string]bool)}
+		for _, sib := range p.Children {
+			if sib != child {
+				env.synElems[sib] = true
+			}
+		}
+		v.checkInhRule(where, child, ir, env, false)
+	}
+	// Syn(elem) = g(Syn(children)); Inh(elem) is not in scope (only cases
+	// 1 and 5 allow it).
+	env := sourceEnv{synElems: childSet}
+	v.checkSynRule(where, elem, r.Syn, env)
+	if r.Cond != nil || len(r.Branches) != 0 {
+		v.errorf("%s: sequence productions take no condition query or branches", where)
+	}
+	if _, err := v.aig.SiblingOrder(elem); err != nil {
+		v.errs = append(v.errs, err)
+	}
+}
+
+func (v *validator) checkStarRule(elem string, p dtd.Production, r *Rule) {
+	where := fmt.Sprintf("rule for %s -> %s", elem, p)
+	child := p.Children[0]
+	if r == nil {
+		v.errorf("%s: star productions need a rule to generate children", where)
+		return
+	}
+	ir := r.Inh[child]
+	if ir == nil {
+		v.errorf("%s: missing Inh rule for %s", where, child)
+	} else {
+		env := sourceEnv{inhElem: elem, synElems: map[string]bool{}}
+		v.checkInhRule(where, child, ir, env, true)
+	}
+	env := sourceEnv{synElems: map[string]bool{child: true}}
+	v.checkSynRule(where, elem, r.Syn, env)
+	if r.Cond != nil || len(r.Branches) != 0 {
+		v.errorf("%s: star productions take no condition query or branches", where)
+	}
+}
+
+func (v *validator) checkChoiceRule(elem string, p dtd.Production, r *Rule) {
+	where := fmt.Sprintf("rule for %s -> %s", elem, p)
+	if r == nil {
+		v.errorf("%s: choice productions need a condition query", where)
+		return
+	}
+	if r.Cond == nil {
+		v.errorf("%s: missing condition query", where)
+	} else {
+		v.checkQueryResolves(where+" (condition)", r.Cond, r.CondParams, sourceEnv{inhElem: elem}, nil)
+	}
+	if len(r.Branches) != len(p.Children) {
+		v.errorf("%s: %d branches for %d alternatives", where, len(r.Branches), len(p.Children))
+		return
+	}
+	for i, b := range r.Branches {
+		child := p.Children[i]
+		bwhere := fmt.Sprintf("%s branch %d (%s)", where, i+1, child)
+		if b.Inh != nil {
+			if b.Inh.Child != child {
+				v.errorf("%s: branch Inh rule targets %q", bwhere, b.Inh.Child)
+			}
+			// Branch fi depends on Inh(elem) only (§3.1 case 3).
+			v.checkInhRule(bwhere, child, b.Inh, sourceEnv{inhElem: elem, synElems: map[string]bool{}}, false)
+		} else if !v.aig.Inh[child].IsEmpty() {
+			v.errorf("%s: child %s has declared Inh but no rule", bwhere, child)
+		}
+		v.checkSynRule(bwhere, elem, b.Syn, sourceEnv{synElems: map[string]bool{child: true}})
+	}
+}
+
+// checkInhRule verifies one inherited-attribute rule. star indicates the
+// owning production is B*: the rule must then be a query (or collection
+// copy) whose rows spawn children.
+func (v *validator) checkInhRule(where, child string, r *InhRule, env sourceEnv, star bool) {
+	target := v.aig.Inh[child]
+	if r.IsQuery() {
+		var outSchema relstore.Schema
+		if r.Query != nil {
+			outSchema = v.checkQueryResolves(where, r.Query, r.QueryParams, env, nil)
+		} else {
+			// Decomposed chain: each step may reference $prev, bound to
+			// the previous step's output schema.
+			var prev relstore.Schema
+			for i, q := range r.Chain {
+				extra := sqlmini.ParamSchemas{}
+				if prev != nil {
+					extra[PrevParam] = prev
+				}
+				prev = v.checkQueryResolves(fmt.Sprintf("%s (chain step %d)", where, i+1), q, r.QueryParams, env, extra)
+				if prev == nil {
+					return
+				}
+			}
+			outSchema = prev
+		}
+		if outSchema == nil {
+			return
+		}
+		copyTargets := make([]string, len(r.Copies))
+		for i, c := range r.Copies {
+			copyTargets[i] = c.TargetMember
+		}
+		if r.TargetCollection != "" {
+			m, ok := target.Member(r.TargetCollection)
+			if !ok || m.Kind == Scalar {
+				v.errorf("%s: Inh(%s) has no collection member %q", where, child, r.TargetCollection)
+				return
+			}
+			if len(m.Fields) != len(outSchema) {
+				v.errorf("%s: query returns %d columns for member %q%s", where, len(outSchema), r.TargetCollection, m.Fields)
+			}
+		} else {
+			v.checkRowBinding(where, child, target, outSchema, copyTargets)
+		}
+		v.checkCopies(where, child, target, r.Copies, env)
+		return
+	}
+	if star {
+		// A copy rule driving a star must copy exactly one collection
+		// member whose rows spawn the children.
+		if len(r.Copies) != 1 {
+			v.errorf("%s: star child %s needs a query or a single collection copy", where, child)
+			return
+		}
+		src, ok := v.memberOf(where, env, r.Copies[0].Src)
+		if !ok {
+			return
+		}
+		if src.Kind == Scalar {
+			v.errorf("%s: star child %s iterates %s, which is scalar", where, child, r.Copies[0].Src)
+			return
+		}
+		v.checkRowBinding(where, child, v.aig.Inh[child], src.Fields, nil)
+		return
+	}
+	v.checkCopies(where, child, target, r.Copies, env)
+}
+
+// checkCopies verifies a rule's copy assignments against the child's
+// declared inherited attribute.
+func (v *validator) checkCopies(where, child string, target AttrDecl, copies []CopyAssign, env sourceEnv) {
+	for _, c := range copies {
+		tm, ok := target.Member(c.TargetMember)
+		if !ok {
+			v.errorf("%s: Inh(%s) has no member %q", where, child, c.TargetMember)
+			continue
+		}
+		sm, ok := v.memberOf(where, env, c.Src)
+		if !ok {
+			continue
+		}
+		if (tm.Kind == Scalar) != (sm.Kind == Scalar) {
+			v.errorf("%s: copying %s member %s into %s member %s.%s", where, sm.Kind, c.Src, tm.Kind, child, c.TargetMember)
+			continue
+		}
+		if tm.Kind == Scalar {
+			if sm.Name != "" && sm.ValueKind != tm.ValueKind {
+				v.errorf("%s: kind mismatch copying %s (%s) into %s.%s (%s)",
+					where, c.Src, sm.ValueKind, child, c.TargetMember, tm.ValueKind)
+			}
+		} else if len(sm.Fields) != len(tm.Fields) {
+			v.errorf("%s: arity mismatch copying %s%s into %s.%s%s",
+				where, c.Src, sm.Fields, child, c.TargetMember, tm.Fields)
+		}
+	}
+}
+
+// checkRowBinding verifies that query output columns can bind the scalar
+// members of the target attribute: by name when every column names a
+// scalar member (members not covered must then be supplied by copy
+// assignments), or positionally when the arities match.
+func (v *validator) checkRowBinding(where, child string, target AttrDecl, out relstore.Schema, copyTargets []string) {
+	scalars := target.ScalarSchema()
+	byName := true
+	for _, col := range out {
+		if scalars.ColumnIndex(col.Name) < 0 {
+			byName = false
+			break
+		}
+	}
+	if byName {
+		covered := make(map[string]bool, len(out)+len(copyTargets))
+		for _, col := range out {
+			want := scalars[scalars.ColumnIndex(col.Name)].Kind
+			if col.Kind != want {
+				v.errorf("%s: column %q is %s but Inh(%s).%s is %s", where, col.Name, col.Kind, child, col.Name, want)
+			}
+			covered[col.Name] = true
+		}
+		for _, t := range copyTargets {
+			covered[t] = true
+		}
+		for _, col := range scalars {
+			if !covered[col.Name] {
+				v.errorf("%s: scalar member Inh(%s).%s is bound by neither the query nor a copy", where, child, col.Name)
+			}
+		}
+		return
+	}
+	if len(out) != len(scalars) {
+		v.errorf("%s: query returns %d columns %v for %d scalar members of Inh(%s) %v",
+			where, len(out), out.Names(), len(scalars), child, scalars.Names())
+		return
+	}
+	for i, col := range scalars {
+		if out[i].Kind != col.Kind {
+			v.errorf("%s: positional column %d is %s but Inh(%s).%s is %s", where, i, out[i].Kind, child, col.Name, col.Kind)
+		}
+	}
+}
+
+// checkQueryResolves resolves the query with parameter schemas derived
+// from its parameter sources (and the extra pre-known schemas), returning
+// the output schema (nil on error).
+func (v *validator) checkQueryResolves(where string, q *sqlmini.Query, params map[string]SourceRef, env sourceEnv, extra sqlmini.ParamSchemas) relstore.Schema {
+	paramSchemas := make(sqlmini.ParamSchemas)
+	for _, name := range q.Params() {
+		if s, ok := extra[name]; ok {
+			paramSchemas[name] = s
+			continue
+		}
+		src, ok := params[name]
+		if !ok {
+			v.errorf("%s: query parameter $%s has no source", where, name)
+			return nil
+		}
+		schema, ok := v.paramSchema(where, env, src)
+		if !ok {
+			return nil
+		}
+		paramSchemas[name] = schema
+	}
+	r, err := sqlmini.Resolve(q, v.schemas, paramSchemas)
+	if err != nil {
+		v.errorf("%s: %v", where, err)
+		return nil
+	}
+	return r.Output
+}
+
+// paramSchema computes the binding schema a source reference provides.
+func (v *validator) paramSchema(where string, env sourceEnv, src SourceRef) (relstore.Schema, bool) {
+	m, ok := v.memberOf(where, env, src)
+	if !ok {
+		return nil, false
+	}
+	if src.Member == "" {
+		var decl AttrDecl
+		if src.Side == InhSide {
+			decl = v.aig.Inh[src.Elem]
+		} else {
+			decl = v.aig.Syn[src.Elem]
+		}
+		return decl.ScalarSchema(), true
+	}
+	if m.Kind == Scalar {
+		return relstore.Schema{{Name: m.Name, Kind: m.ValueKind}}, true
+	}
+	return m.Fields, true
+}
+
+// checkSynRule verifies one synthesized-attribute rule.
+func (v *validator) checkSynRule(where, elem string, r *SynRule, env sourceEnv) {
+	decl := v.aig.Syn[elem]
+	if r == nil {
+		if !decl.IsEmpty() {
+			v.errorf("%s: Syn(%s) is declared but has no rule", where, elem)
+		}
+		return
+	}
+	for name := range r.Exprs {
+		if _, ok := decl.Member(name); !ok {
+			v.errorf("%s: Syn(%s) has no member %q", where, elem, name)
+		}
+	}
+	for _, m := range decl.Members {
+		expr, ok := r.Exprs[m.Name]
+		if !ok {
+			continue // defaults to Null / empty
+		}
+		v.checkSynExpr(where, elem, m, expr, env)
+	}
+}
+
+func (v *validator) checkSynExpr(where, elem string, target MemberDecl, expr SynExpr, env sourceEnv) {
+	switch e := expr.(type) {
+	case ScalarOf:
+		if target.Kind != Scalar {
+			v.errorf("%s: scalar expression %s for %s member Syn(%s).%s", where, e, target.Kind, elem, target.Name)
+			return
+		}
+		if m, ok := v.memberOf(where, env, e.Src); ok && m.Kind != Scalar {
+			v.errorf("%s: %s is not scalar", where, e.Src)
+		}
+	case SingletonOf:
+		if target.Kind == Scalar {
+			v.errorf("%s: singleton expression for scalar member Syn(%s).%s", where, elem, target.Name)
+			return
+		}
+		if len(e.Srcs) != len(target.Fields) {
+			v.errorf("%s: singleton arity %d for member %s%s", where, len(e.Srcs), target.Name, target.Fields)
+		}
+		for _, s := range e.Srcs {
+			if m, ok := v.memberOf(where, env, s); ok && m.Kind != Scalar {
+				v.errorf("%s: singleton component %s is not scalar", where, s)
+			}
+		}
+	case CollectionOf:
+		if target.Kind == Scalar {
+			v.errorf("%s: collection expression for scalar member Syn(%s).%s", where, elem, target.Name)
+			return
+		}
+		if m, ok := v.memberOf(where, env, e.Src); ok {
+			if m.Kind == Scalar {
+				v.errorf("%s: %s is scalar; wrap it in a singleton", where, e.Src)
+			} else if len(m.Fields) != len(target.Fields) {
+				v.errorf("%s: arity mismatch: %s%s into %s%s", where, e.Src, m.Fields, target.Name, target.Fields)
+			}
+		}
+	case UnionOf:
+		if target.Kind == Scalar {
+			v.errorf("%s: union expression for scalar member Syn(%s).%s", where, elem, target.Name)
+			return
+		}
+		for _, t := range e.Terms {
+			v.checkSynExpr(where, elem, target, t, env)
+		}
+	case CollectChildren:
+		if target.Kind == Scalar {
+			v.errorf("%s: collect expression for scalar member Syn(%s).%s", where, elem, target.Name)
+			return
+		}
+		if !env.synElems[e.Child] {
+			v.errorf("%s: collect over %s, which is not a child in scope", where, e.Child)
+			return
+		}
+		m, ok := v.aig.Syn[e.Child].Member(e.Member)
+		if !ok {
+			v.errorf("%s: Syn(%s) has no member %q", where, e.Child, e.Member)
+			return
+		}
+		if m.Kind == Scalar {
+			if len(target.Fields) != 1 {
+				v.errorf("%s: collecting scalar %s.%s into %d-ary member %s", where, e.Child, e.Member, len(target.Fields), target.Name)
+			}
+		} else if len(m.Fields) != len(target.Fields) {
+			v.errorf("%s: arity mismatch collecting %s.%s%s into %s%s", where, e.Child, e.Member, m.Fields, target.Name, target.Fields)
+		}
+	case EmptyOf:
+		if target.Kind == Scalar {
+			v.errorf("%s: empty-set expression for scalar member Syn(%s).%s", where, elem, target.Name)
+		}
+	default:
+		v.errorf("%s: unknown expression %T", where, expr)
+	}
+}
+
+// SiblingOrder returns the child element types of a sequence production in
+// a dependency-respecting evaluation order (§3.2 case 2): each child
+// appears after every sibling whose synthesized attribute its inherited
+// attribute depends on. It returns an error when the dependency relation
+// is cyclic (forbidden by Definition 3.1).
+func (a *AIG) SiblingOrder(elem string) ([]string, error) {
+	p, ok := a.DTD.Production(elem)
+	if !ok || p.Kind != dtd.ProdSeq {
+		return nil, fmt.Errorf("aig: %s is not a sequence production", elem)
+	}
+	// Distinct child types, preserving first-occurrence order.
+	var types []string
+	seen := make(map[string]bool)
+	for _, c := range p.Children {
+		if !seen[c] {
+			seen[c] = true
+			types = append(types, c)
+		}
+	}
+	r := a.Rules[elem]
+	deps := make(map[string][]string) // child -> siblings it depends on
+	if r != nil {
+		for child, ir := range r.Inh {
+			if ir == nil {
+				continue
+			}
+			add := func(src SourceRef) {
+				if src.Side == SynSide && seen[src.Elem] && src.Elem != child {
+					deps[child] = append(deps[child], src.Elem)
+				}
+			}
+			for _, c := range ir.Copies {
+				add(c.Src)
+			}
+			for _, s := range ir.QueryParams {
+				add(s)
+			}
+		}
+	}
+	// Kahn's algorithm, stable with respect to document order.
+	indeg := make(map[string]int)
+	for _, c := range types {
+		indeg[c] = 0
+	}
+	for child, ds := range deps {
+		for range ds {
+			indeg[child]++
+		}
+	}
+	var order []string
+	done := make(map[string]bool)
+	for len(order) < len(types) {
+		progressed := false
+		for _, c := range types {
+			if done[c] || indeg[c] != 0 {
+				continue
+			}
+			order = append(order, c)
+			done[c] = true
+			progressed = true
+			for child, ds := range deps {
+				for _, d := range ds {
+					if d == c {
+						indeg[child]--
+					}
+				}
+			}
+		}
+		if !progressed {
+			var cyclic []string
+			for _, c := range types {
+				if !done[c] {
+					cyclic = append(cyclic, c)
+				}
+			}
+			return nil, fmt.Errorf("aig: cyclic dependency relation in production of %s among %v", elem, cyclic)
+		}
+	}
+	return order, nil
+}

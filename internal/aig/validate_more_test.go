@@ -1,0 +1,194 @@
+package aig_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// choiceGrammar builds a minimal valid choice grammar for mutation tests.
+func choiceGrammar() (*aig.AIG, *relstore.Catalog) {
+	d := dtd.MustParse(`
+		<!ELEMENT r (a | b)>
+		<!ELEMENT a (#PCDATA)>
+		<!ELEMENT b (#PCDATA)>
+	`)
+	cat := relstore.NewCatalog()
+	db := relstore.NewDatabase("DB")
+	tbl := db.CreateTable("t", relstore.MustSchema("n:int"))
+	tbl.MustInsert(relstore.Tuple{relstore.Int(1)})
+	cat.Add(db)
+
+	g := aig.New(d)
+	g.Inh["a"] = aig.Attr(aig.StringMember("val"))
+	g.Inh["b"] = aig.Attr(aig.StringMember("val"))
+	g.Inh["r"] = aig.Attr(aig.StringMember("seed"))
+	g.Rules["a"] = &aig.Rule{Elem: "a", TextSrc: aig.InhOf("a", "val")}
+	g.Rules["b"] = &aig.Rule{Elem: "b", TextSrc: aig.InhOf("b", "val")}
+	g.Rules["r"] = &aig.Rule{
+		Elem:       "r",
+		Cond:       sqlmini.MustParse(`select n from DB:t`),
+		CondParams: nil,
+		Branches: []aig.Branch{
+			{Inh: &aig.InhRule{Child: "a", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("r", "seed"))}}},
+			{Inh: &aig.InhRule{Child: "b", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("r", "seed"))}}},
+		},
+	}
+	return g, cat
+}
+
+func TestChoiceValidationErrors(t *testing.T) {
+	check := func(name string, mutate func(*aig.AIG), wantErr string) {
+		t.Helper()
+		g, cat := choiceGrammar()
+		mutate(g)
+		err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat})
+		if err == nil {
+			t.Errorf("%s: validation passed", name)
+			return
+		}
+		if wantErr != "" && !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantErr)
+		}
+	}
+	check("missing cond", func(g *aig.AIG) { g.Rules["r"].Cond = nil }, "condition")
+	check("missing rule", func(g *aig.AIG) { delete(g.Rules, "r") }, "condition query")
+	check("branch count", func(g *aig.AIG) { g.Rules["r"].Branches = g.Rules["r"].Branches[:1] }, "branches")
+	check("branch child mismatch", func(g *aig.AIG) { g.Rules["r"].Branches[0].Inh.Child = "b" }, "targets")
+	check("branch missing inh", func(g *aig.AIG) { g.Rules["r"].Branches[0].Inh = nil }, "no rule")
+	check("branch syn ref out of scope", func(g *aig.AIG) {
+		g.Syn["r"] = aig.Attr(aig.StringMember("x"))
+		g.Rules["r"].Branches[0].Syn = aig.Syn1("x", aig.ScalarOf{Src: aig.SynOf("b", "nope")})
+		g.Rules["r"].Branches[1].Syn = aig.Syn1("x", aig.ScalarOf{Src: aig.SynOf("b", "nope")})
+	}, "")
+	check("cond on sequence", func(g *aig.AIG) {
+		g.Rules["a"].Cond = g.Rules["r"].Cond
+	}, "")
+	check("bad cond query", func(g *aig.AIG) {
+		g.Rules["r"].Cond = sqlmini.MustParse(`select n from DB:nope`)
+	}, "")
+}
+
+func TestChoiceValidGrammarPasses(t *testing.T) {
+	g, cat := choiceGrammar()
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Fatalf("valid choice grammar rejected: %v", err)
+	}
+}
+
+func TestTextRuleValidationErrors(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT a (#PCDATA)>`)
+	g := aig.New(d)
+	g.Inh["a"] = aig.Attr(aig.SetMember("s", "v:string"))
+	g.Rules["a"] = &aig.Rule{Elem: "a", TextSrc: aig.InhOf("a", "s")}
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: relstore.NewCatalog()}); err == nil ||
+		!strings.Contains(err.Error(), "scalar") {
+		t.Errorf("collection PCDATA source accepted: %v", err)
+	}
+
+	// Text production with child rules is malformed.
+	g2 := aig.New(d)
+	g2.Inh["a"] = aig.Attr(aig.StringMember("v"))
+	g2.Rules["a"] = &aig.Rule{Elem: "a", TextSrc: aig.InhOf("a", "v"),
+		Inh: map[string]*aig.InhRule{"x": {Child: "x"}}}
+	if err := g2.Validate(sqlmini.CatalogSchemas{Catalog: relstore.NewCatalog()}); err == nil {
+		t.Error("text production with child rules accepted")
+	}
+
+	// Attributed text element without a rule.
+	g3 := aig.New(d)
+	g3.Inh["a"] = aig.Attr(aig.StringMember("v"))
+	if err := g3.Validate(sqlmini.CatalogSchemas{Catalog: relstore.NewCatalog()}); err == nil {
+		t.Error("attributed text element without rule accepted")
+	}
+}
+
+func TestStarValidationErrors(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT l (e*)> <!ELEMENT e (#PCDATA)>`)
+	cat := relstore.NewCatalog()
+
+	// Star driven by a scalar copy is rejected.
+	g := aig.New(d)
+	g.Inh["l"] = aig.Attr(aig.StringMember("x"))
+	g.Inh["e"] = aig.Attr(aig.StringMember("v"))
+	g.Rules["e"] = &aig.Rule{Elem: "e", TextSrc: aig.InhOf("e", "v")}
+	g.Rules["l"] = &aig.Rule{Elem: "l", Inh: map[string]*aig.InhRule{
+		"e": {Child: "e", Copies: []aig.CopyAssign{aig.Copy("", aig.InhOf("l", "x"))}},
+	}}
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err == nil ||
+		!strings.Contains(err.Error(), "scalar") {
+		t.Errorf("scalar-driven star accepted: %v", err)
+	}
+
+	// Star with two copies is rejected.
+	g.Inh["l"] = aig.Attr(aig.SetMember("s", "v:string"))
+	g.Rules["l"].Inh["e"].Copies = []aig.CopyAssign{
+		aig.Copy("", aig.InhOf("l", "s")), aig.Copy("", aig.InhOf("l", "s")),
+	}
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err == nil {
+		t.Error("two-copy star accepted")
+	}
+
+	// Star rule missing the child's rule entirely.
+	g2 := aig.New(d)
+	g2.Inh["e"] = aig.Attr(aig.StringMember("v"))
+	g2.Rules["e"] = &aig.Rule{Elem: "e", TextSrc: aig.InhOf("e", "v")}
+	g2.Rules["l"] = &aig.Rule{Elem: "l"}
+	if err := g2.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err == nil {
+		t.Error("star without child rule accepted")
+	}
+}
+
+func TestChainValidation(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT l (e*)> <!ELEMENT e (#PCDATA)>`)
+	cat := relstore.NewCatalog()
+	db := relstore.NewDatabase("DB")
+	db.CreateTable("t", relstore.MustSchema("v:string"))
+	cat.Add(db)
+
+	g := aig.New(d)
+	g.Inh["e"] = aig.Attr(aig.StringMember("v"))
+	g.Rules["e"] = &aig.Rule{Elem: "e", TextSrc: aig.InhOf("e", "v")}
+	g.Rules["l"] = &aig.Rule{Elem: "l", Inh: map[string]*aig.InhRule{
+		"e": {Child: "e", Chain: []*sqlmini.Query{
+			sqlmini.MustParse(`select v as k from DB:t`),
+			sqlmini.MustParse(`select t.v from DB:t, $prev P where t.v = P.k`),
+		}},
+	}}
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	// Break step 2: references a column the previous step does not emit.
+	g.Rules["l"].Inh["e"].Chain[1] = sqlmini.MustParse(`select t.v from DB:t, $prev P where t.v = P.ghost`)
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err == nil {
+		t.Error("chain with broken prev reference accepted")
+	}
+}
+
+func TestSeqRuleMissingLegalAndIllegal(t *testing.T) {
+	d := dtd.MustParse(`<!ELEMENT p (x, y)> <!ELEMENT x (#PCDATA)> <!ELEMENT y (#PCDATA)>`)
+	cat := relstore.NewCatalog()
+	// No attributes anywhere: a ruleless sequence is fine.
+	g := aig.New(d)
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Errorf("attribute-free grammar rejected: %v", err)
+	}
+	// A child with declared Inh but no rule is not.
+	g.Inh["x"] = aig.Attr(aig.StringMember("v"))
+	g.Rules["x"] = &aig.Rule{Elem: "x", TextSrc: aig.InhOf("x", "v")}
+	if err := g.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err == nil {
+		t.Error("unfed child Inh accepted")
+	}
+	// Inh rule naming a non-child is rejected.
+	g2 := aig.New(d)
+	g2.Rules["p"] = &aig.Rule{Elem: "p", Inh: map[string]*aig.InhRule{
+		"z": {Child: "z"},
+	}}
+	if err := g2.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err == nil {
+		t.Error("rule for non-child accepted")
+	}
+}

@@ -1,0 +1,309 @@
+// Package aigspec parses the textual AIG specification language — the
+// machine-readable counterpart of the paper's Fig. 2. A specification
+// bundles the DTD, the semantic-attribute declarations, the semantic
+// rules with their embedded SQL, and the XML constraints:
+//
+//	dtd
+//	  <!ELEMENT report (patient*)>
+//	  <!ELEMENT SSN (#PCDATA)>
+//	  ...
+//	end
+//
+//	inh report (date)
+//	inh patient (date, SSN, pname, policy)
+//	inh bill (set trIdS(trId))
+//	syn treatments (set trIdS(trId))
+//	inh price (val:int)
+//
+//	rule report
+//	  child patient from query [v = inh(report)]:
+//	    select p.SSN, p.pname, p.policy
+//	    from DB1:patient p, DB1:visitInfo i
+//	    where p.SSN = i.SSN and i.date = $v.date;
+//	  child patient set date = inh(report).date
+//	end
+//
+//	rule patient
+//	  child SSN set val = inh(patient).SSN
+//	  child treatments copy date, SSN, policy from inh(patient)
+//	  child bill set trIdS = syn(treatments).trIdS
+//	end
+//
+//	rule treatments
+//	  child treatment from query [v = inh(treatments)]: select ... ;
+//	  syn trIdS = collect(treatment.trIdS)
+//	end
+//
+//	rule trId
+//	  text inh(trId).val
+//	  syn val = inh(trId).val
+//	end
+//
+//	rule result            # choice production: result -> cheap | pricey
+//	  cond query [v = inh(result)]: select band from DB:bands where trId = $v.trId;
+//	  branch 1 child cheap set val = inh(result).trId
+//	  branch 2 child pricey set val = inh(result).trId
+//	end
+//
+//	constraints
+//	  patient(item.trId -> item)
+//	  patient(treatment.trId [= item.trId)
+//	end
+//
+// Lines starting with '#' or '--' are comments. SQL blocks run from the
+// ':' after a query header to the next ';'.
+package aigspec
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+// Parse parses a complete AIG specification.
+func Parse(input string) (*aig.AIG, error) {
+	p := &parser{}
+	if err := p.splitSections(input); err != nil {
+		return nil, err
+	}
+	if p.dtdText == "" {
+		return nil, fmt.Errorf("aigspec: missing dtd section")
+	}
+	d, err := dtd.Parse(p.dtdText)
+	if err != nil {
+		return nil, err
+	}
+	a := aig.New(d)
+	for _, decl := range p.attrLines {
+		if err := parseAttrDecl(a, decl.text, decl.line); err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range p.ruleSections {
+		if err := parseRule(a, rs); err != nil {
+			return nil, err
+		}
+	}
+	if p.constraintText != "" {
+		cs, err := xconstraint.ParseAll(p.constraintText)
+		if err != nil {
+			return nil, err
+		}
+		a.Constraints = cs
+	}
+	return a, nil
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) *aig.AIG {
+	a, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+type attrLine struct {
+	text string
+	line int
+}
+
+type ruleSection struct {
+	elem  string
+	lines []attrLine
+}
+
+type parser struct {
+	dtdText        string
+	attrLines      []attrLine
+	ruleSections   []ruleSection
+	constraintText string
+}
+
+func errAt(line int, format string, args ...any) error {
+	return fmt.Errorf("aigspec: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// splitSections does the coarse, line-oriented pass.
+func (p *parser) splitSections(input string) error {
+	lines := strings.Split(input, "\n")
+	i := 0
+	n := len(lines)
+	strip := func(s string) string {
+		s = strings.TrimSpace(s)
+		if strings.HasPrefix(s, "#") || strings.HasPrefix(s, "--") {
+			return ""
+		}
+		return s
+	}
+	for i < n {
+		line := strip(lines[i])
+		lineNo := i + 1
+		switch {
+		case line == "":
+			i++
+		case line == "dtd":
+			i++
+			var body []string
+			for i < n && strip(lines[i]) != "end" {
+				body = append(body, lines[i])
+				i++
+			}
+			if i == n {
+				return errAt(lineNo, "unterminated dtd section")
+			}
+			i++
+			p.dtdText = strings.Join(body, "\n")
+		case line == "constraints":
+			i++
+			var body []string
+			for i < n && strip(lines[i]) != "end" {
+				body = append(body, lines[i])
+				i++
+			}
+			if i == n {
+				return errAt(lineNo, "unterminated constraints section")
+			}
+			i++
+			p.constraintText = strings.Join(body, "\n")
+		case strings.HasPrefix(line, "inh ") || strings.HasPrefix(line, "syn "):
+			p.attrLines = append(p.attrLines, attrLine{text: line, line: lineNo})
+			i++
+		case strings.HasPrefix(line, "rule "):
+			elem := strings.TrimSpace(strings.TrimPrefix(line, "rule "))
+			if elem == "" {
+				return errAt(lineNo, "rule without element type")
+			}
+			i++
+			rs := ruleSection{elem: elem}
+			// Collect rule body, joining SQL continuation lines: a clause
+			// containing "query" and ':' extends until a ';'.
+			for i < n {
+				body := strip(lines[i])
+				if body == "end" {
+					i++
+					break
+				}
+				if body == "" {
+					i++
+					continue
+				}
+				start := i + 1
+				if idx := strings.Index(body, ":"); idx >= 0 && strings.Contains(body[:idx+1], "query") {
+					// Multi-line SQL until ';'.
+					for !strings.Contains(body, ";") {
+						i++
+						if i >= n || strip(lines[i]) == "end" {
+							return errAt(start, "unterminated SQL block (missing ';')")
+						}
+						body += " " + strip(lines[i])
+					}
+				}
+				rs.lines = append(rs.lines, attrLine{text: body, line: start})
+				i++
+				if i > n {
+					return errAt(lineNo, "unterminated rule %s", elem)
+				}
+			}
+			p.ruleSections = append(p.ruleSections, rs)
+		default:
+			return errAt(lineNo, "unrecognized directive %q", line)
+		}
+	}
+	return nil
+}
+
+// parseAttrDecl parses "inh patient (date, SSN)" / "syn treatments (set
+// trIdS(trId))".
+func parseAttrDecl(a *aig.AIG, text string, line int) error {
+	side, rest, _ := strings.Cut(text, " ")
+	rest = strings.TrimSpace(rest)
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return errAt(line, "attribute declaration needs (members): %q", text)
+	}
+	elem := strings.TrimSpace(rest[:open])
+	if _, ok := a.DTD.Production(elem); !ok {
+		return errAt(line, "attribute for undeclared element %q", elem)
+	}
+	body := rest[open+1 : len(rest)-1]
+	decl, err := parseMembers(body)
+	if err != nil {
+		return errAt(line, "%v", err)
+	}
+	if side == "inh" {
+		a.Inh[elem] = decl
+	} else {
+		a.Syn[elem] = decl
+	}
+	return nil
+}
+
+// parseMembers parses "date, SSN:string, set trIdS(trId:string), bag B(v)".
+func parseMembers(body string) (aig.AttrDecl, error) {
+	var decl aig.AttrDecl
+	for _, part := range splitTop(body, ',') {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind := aig.Scalar
+		switch {
+		case strings.HasPrefix(part, "set "):
+			kind = aig.Set
+			part = strings.TrimSpace(strings.TrimPrefix(part, "set "))
+		case strings.HasPrefix(part, "bag "):
+			kind = aig.Bag
+			part = strings.TrimSpace(strings.TrimPrefix(part, "bag "))
+		}
+		if kind == aig.Scalar {
+			name, kindName, hasKind := strings.Cut(part, ":")
+			vk := relstore.KindString
+			if hasKind {
+				var err error
+				vk, err = relstore.ParseKind(kindName)
+				if err != nil {
+					return decl, err
+				}
+			}
+			decl.Members = append(decl.Members, aig.ScalarMember(strings.TrimSpace(name), vk))
+			continue
+		}
+		open := strings.IndexByte(part, '(')
+		if open < 0 || !strings.HasSuffix(part, ")") {
+			return decl, fmt.Errorf("collection member needs (fields): %q", part)
+		}
+		name := strings.TrimSpace(part[:open])
+		fields, err := relstore.ParseSchema(strings.Split(part[open+1:len(part)-1], ","))
+		if err != nil {
+			return decl, err
+		}
+		decl.Members = append(decl.Members, aig.MemberDecl{Name: name, Kind: kind, Fields: fields})
+	}
+	return decl, nil
+}
+
+// splitTop splits on sep at paren depth zero.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

@@ -1,0 +1,194 @@
+package aigspec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// TestSpecMatchesProgrammaticSigma0 is the language's acceptance test:
+// the σ0 spec text must validate and evaluate to exactly the same
+// document as the programmatically built grammar.
+func TestSpecMatchesProgrammaticSigma0(t *testing.T) {
+	a, err := Parse(hospital.SpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := hospital.TinyCatalog()
+	if err := a.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Fatalf("parsed spec invalid: %v", err)
+	}
+	if len(a.Constraints) != 2 {
+		t.Errorf("constraints = %v", a.Constraints)
+	}
+
+	env := hospital.EnvFor(cat)
+	got, err := a.Eval(env, hospital.RootInh(a, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := hospital.Sigma0(true)
+	want, err := ref.Eval(env, hospital.RootInh(ref, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("spec-built grammar produced a different document:\n%s\n%s", want, got)
+	}
+}
+
+func TestParseChoiceSpec(t *testing.T) {
+	spec := `
+dtd
+  <!ELEMENT results (result*)>
+  <!ELEMENT result (cheap | pricey)>
+  <!ELEMENT cheap (#PCDATA)>
+  <!ELEMENT pricey (#PCDATA)>
+end
+
+inh result (trId)
+inh cheap (val)
+inh pricey (val)
+
+rule results
+  child result from query []: select trId from DB:bands;
+end
+
+rule result
+  cond query [v = inh(result)]: select band from DB:bands where trId = $v.trId;
+  branch 1 child cheap set val = inh(result).trId
+  branch 2 child pricey set val = inh(result).trId
+end
+
+rule cheap
+  text inh(cheap).val
+end
+
+rule pricey
+  text inh(pricey).val
+end
+`
+	a, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := relstore.NewCatalog()
+	db := relstore.NewDatabase("DB")
+	bands := db.CreateTable("bands", relstore.MustSchema("trId:string", "band:int"))
+	bands.MustInsert(relstore.Tuple{relstore.String("t1"), relstore.Int(1)})
+	bands.MustInsert(relstore.Tuple{relstore.String("t2"), relstore.Int(2)})
+	cat.Add(db)
+	if err := a.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Fatalf("choice spec invalid: %v", err)
+	}
+	env := &aig.Env{
+		Schemas: sqlmini.CatalogSchemas{Catalog: cat},
+		Data:    sqlmini.CatalogData{Catalog: cat},
+		Stats:   sqlmini.CatalogStats{Catalog: cat},
+	}
+	doc, err := a.Eval(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Descendants("cheap")) != 1 || len(doc.Descendants("pricey")) != 1 {
+		t.Errorf("choice evaluation wrong:\n%s", doc)
+	}
+}
+
+func TestParseIterateSpec(t *testing.T) {
+	spec := `
+dtd
+  <!ELEMENT doc (list)>
+  <!ELEMENT list (entry*)>
+  <!ELEMENT entry (#PCDATA)>
+end
+
+inh doc (set items(v))
+inh list (set items(v))
+inh entry (v)
+
+rule doc
+  child list set items = inh(doc).items
+end
+
+rule list
+  child entry iterate inh(list).items
+end
+
+rule entry
+  text inh(entry).v
+end
+`
+	a, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := relstore.NewCatalog()
+	if err := a.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Fatalf("iterate spec invalid: %v", err)
+	}
+	env := &aig.Env{
+		Schemas: sqlmini.CatalogSchemas{Catalog: cat},
+		Data:    sqlmini.CatalogData{Catalog: cat},
+		Stats:   sqlmini.CatalogStats{Catalog: cat},
+	}
+	inh := aig.NewAttrValue(a.Inh["doc"])
+	if err := inh.SetCollection("items", []relstore.Tuple{{relstore.String("b")}, {relstore.String("a")}}); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := a.Eval(env, inh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := doc.Descendants("entry")
+	if len(entries) != 2 || entries[0].StringValue() != "a" || entries[1].StringValue() != "b" {
+		t.Errorf("iterate produced:\n%s", doc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []struct {
+		name string
+		spec string
+		want string
+	}{
+		{"no dtd", `inh a (x)`, "missing dtd"},
+		{"unterminated dtd", "dtd\n<!ELEMENT a (#PCDATA)>", "unterminated dtd"},
+		{"bad directive", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nwhatever", "unrecognized directive"},
+		{"attr for unknown elem", "dtd\n<!ELEMENT a (#PCDATA)>\nend\ninh b (x)", "undeclared element"},
+		{"attr missing parens", "dtd\n<!ELEMENT a (#PCDATA)>\nend\ninh a x", "needs (members)"},
+		{"rule unknown elem", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nrule b\nend", "undeclared element"},
+		{"dup rule", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nrule a\nend\nrule a\nend", "duplicate rule"},
+		{"bad clause", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nrule a\nbogus clause\nend", "unrecognized rule clause"},
+		{"bad source", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nrule a\ntext wrong\nend", "source must be"},
+		{"sql without semi", "dtd\n<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>\nend\ninh b (v)\nrule a\nchild b from query []: select v from DB:t\nend", "unterminated SQL"},
+		{"bad sql", "dtd\n<!ELEMENT a (b*)>\n<!ELEMENT b (#PCDATA)>\nend\ninh b (v)\nrule a\nchild b from query []: not sql;\nend", "sqlmini"},
+		{"bad branch", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nrule a\nbranch x child b set v = inh(a).v\nend", "bad branch number"},
+		{"bad constraint", "dtd\n<!ELEMENT a (#PCDATA)>\nend\nconstraints\nnot a constraint\nend", "xconstraint"},
+		{"bad member kind", "dtd\n<!ELEMENT a (#PCDATA)>\nend\ninh a (x:bogus)", "unknown kind"},
+		{"collection member no fields", "dtd\n<!ELEMENT a (#PCDATA)>\nend\ninh a (set s)", "needs (fields)"},
+	}
+	for _, tc := range bad {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("%s: Parse succeeded, want error containing %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on junk did not panic")
+		}
+	}()
+	MustParse("junk")
+}

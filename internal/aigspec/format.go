@@ -1,0 +1,251 @@
+package aigspec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// Format renders an AIG back into the specification language, such that
+// Parse(Format(a)) is semantically equivalent to a. It serializes
+// pre-specialization grammars; decomposed query chains (an internal
+// artifact of the specializer) are not expressible in the language and
+// make Format return an error.
+func Format(a *aig.AIG) (string, error) {
+	var b strings.Builder
+
+	b.WriteString("dtd\n")
+	for _, line := range strings.Split(strings.TrimSpace(a.DTD.String()), "\n") {
+		b.WriteString("  " + line + "\n")
+	}
+	b.WriteString("end\n\n")
+
+	types := a.DTD.Types()
+	// Root first, for readability.
+	sort.SliceStable(types, func(i, j int) bool {
+		if (types[i] == a.DTD.Root) != (types[j] == a.DTD.Root) {
+			return types[i] == a.DTD.Root
+		}
+		return types[i] < types[j]
+	})
+
+	for _, elem := range types {
+		if decl := a.Inh[elem]; !decl.IsEmpty() {
+			b.WriteString(formatDecl("inh", elem, decl))
+		}
+	}
+	for _, elem := range types {
+		if decl := a.Syn[elem]; !decl.IsEmpty() {
+			b.WriteString(formatDecl("syn", elem, decl))
+		}
+	}
+	b.WriteString("\n")
+
+	for _, elem := range types {
+		r := a.Rules[elem]
+		if r == nil {
+			continue
+		}
+		body, err := formatRule(r)
+		if err != nil {
+			return "", fmt.Errorf("aigspec: rule for %s: %v", elem, err)
+		}
+		if body == "" {
+			continue
+		}
+		fmt.Fprintf(&b, "rule %s\n%send\n\n", elem, body)
+	}
+
+	if len(a.Constraints) > 0 {
+		b.WriteString("constraints\n")
+		for _, c := range a.Constraints {
+			b.WriteString("  " + c.String() + "\n")
+		}
+		b.WriteString("end\n")
+	}
+	return b.String(), nil
+}
+
+func formatDecl(side, elem string, decl aig.AttrDecl) string {
+	parts := make([]string, len(decl.Members))
+	for i, m := range decl.Members {
+		switch m.Kind {
+		case aig.Scalar:
+			if m.ValueKind == relstore.KindString {
+				parts[i] = m.Name
+			} else {
+				parts[i] = m.Name + ":" + m.ValueKind.String()
+			}
+		default:
+			kw := "set"
+			if m.Kind == aig.Bag {
+				kw = "bag"
+			}
+			fields := make([]string, len(m.Fields))
+			for j, f := range m.Fields {
+				if f.Kind == relstore.KindString {
+					fields[j] = f.Name
+				} else {
+					fields[j] = f.String()
+				}
+			}
+			parts[i] = fmt.Sprintf("%s %s(%s)", kw, m.Name, strings.Join(fields, ", "))
+		}
+	}
+	return fmt.Sprintf("%s %s (%s)\n", side, elem, strings.Join(parts, ", "))
+}
+
+func formatSrc(s aig.SourceRef) string {
+	side := "inh"
+	if s.Side == aig.SynSide {
+		side = "syn"
+	}
+	out := fmt.Sprintf("%s(%s)", side, s.Elem)
+	if s.Member != "" {
+		out += "." + s.Member
+	}
+	return out
+}
+
+func formatParams(params map[string]aig.SourceRef) string {
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s = %s", n, formatSrc(params[n]))
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func formatInhClause(ir *aig.InhRule, star bool) (string, error) {
+	if ir == nil {
+		return "", nil
+	}
+	if len(ir.Chain) > 0 {
+		return "", fmt.Errorf("decomposed query chains are not expressible in the specification language")
+	}
+	var b strings.Builder
+	if ir.Query != nil {
+		if ir.TargetCollection != "" {
+			fmt.Fprintf(&b, "  child %s collection %s from query %s: %s;\n",
+				ir.Child, ir.TargetCollection, formatParams(ir.QueryParams), ir.Query)
+		} else {
+			fmt.Fprintf(&b, "  child %s from query %s: %s;\n",
+				ir.Child, formatParams(ir.QueryParams), ir.Query)
+		}
+	}
+	if star && ir.Query == nil && len(ir.Copies) == 1 {
+		fmt.Fprintf(&b, "  child %s iterate %s\n", ir.Child, formatSrc(ir.Copies[0].Src))
+		return b.String(), nil
+	}
+	for _, c := range ir.Copies {
+		fmt.Fprintf(&b, "  child %s set %s = %s\n", ir.Child, c.TargetMember, formatSrc(c.Src))
+	}
+	return b.String(), nil
+}
+
+func formatExpr(e aig.SynExpr) (string, error) {
+	switch e := e.(type) {
+	case aig.ScalarOf:
+		return formatSrc(e.Src), nil
+	case aig.CollectionOf:
+		return formatSrc(e.Src), nil
+	case aig.EmptyOf:
+		return "empty", nil
+	case aig.SingletonOf:
+		parts := make([]string, len(e.Srcs))
+		for i, s := range e.Srcs {
+			parts[i] = formatSrc(s)
+		}
+		return "singleton(" + strings.Join(parts, ", ") + ")", nil
+	case aig.UnionOf:
+		parts := make([]string, len(e.Terms))
+		for i, t := range e.Terms {
+			p, err := formatExpr(t)
+			if err != nil {
+				return "", err
+			}
+			parts[i] = p
+		}
+		return "union(" + strings.Join(parts, ", ") + ")", nil
+	case aig.CollectChildren:
+		return fmt.Sprintf("collect(%s.%s)", e.Child, e.Member), nil
+	default:
+		return "", fmt.Errorf("unknown expression %T", e)
+	}
+}
+
+func formatSyn(r *aig.SynRule, prefix string) (string, error) {
+	if r == nil {
+		return "", nil
+	}
+	members := make([]string, 0, len(r.Exprs))
+	for m := range r.Exprs {
+		members = append(members, m)
+	}
+	sort.Strings(members)
+	var b strings.Builder
+	for _, m := range members {
+		expr, err := formatExpr(r.Exprs[m])
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "  %ssyn %s = %s\n", prefix, m, expr)
+	}
+	return b.String(), nil
+}
+
+func formatRule(r *aig.Rule) (string, error) {
+	var b strings.Builder
+	if r.TextSrc != (aig.SourceRef{}) {
+		fmt.Fprintf(&b, "  text %s\n", formatSrc(r.TextSrc))
+	}
+	children := make([]string, 0, len(r.Inh))
+	for c := range r.Inh {
+		children = append(children, c)
+	}
+	sort.Strings(children)
+	for _, c := range children {
+		star := false
+		if ir := r.Inh[c]; ir != nil && ir.Query == nil && len(ir.Copies) == 1 && ir.Copies[0].TargetMember == "" {
+			star = true
+		}
+		clause, err := formatInhClause(r.Inh[c], star)
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(clause)
+	}
+	if r.Cond != nil {
+		fmt.Fprintf(&b, "  cond query %s: %s;\n", formatParams(r.CondParams), r.Cond)
+	}
+	for i, br := range r.Branches {
+		clause, err := formatInhClause(br.Inh, false)
+		if err != nil {
+			return "", err
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(clause, "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			fmt.Fprintf(&b, "  branch %d %s\n", i+1, strings.TrimSpace(line))
+		}
+		synClause, err := formatSyn(br.Syn, fmt.Sprintf("branch %d ", i+1))
+		if err != nil {
+			return "", err
+		}
+		b.WriteString(synClause)
+	}
+	synClause, err := formatSyn(r.Syn, "")
+	if err != nil {
+		return "", err
+	}
+	b.WriteString(synClause)
+	return b.String(), nil
+}

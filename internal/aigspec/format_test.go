@@ -1,0 +1,93 @@
+package aigspec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// TestFormatRoundTripSigma0: serializing the programmatic σ0 and parsing
+// the result yields a grammar that validates and produces the same
+// document.
+func TestFormatRoundTripSigma0(t *testing.T) {
+	orig := hospital.Sigma0(true)
+	text, err := Format(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("re-parsing formatted spec: %v\n%s", err, text)
+	}
+	cat := hospital.TinyCatalog()
+	if err := back.Validate(sqlmini.CatalogSchemas{Catalog: cat}); err != nil {
+		t.Fatalf("round-tripped grammar invalid: %v", err)
+	}
+	env := hospital.EnvFor(cat)
+	want, err := orig.Eval(env, hospital.RootInh(orig, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := back.Eval(env, hospital.RootInh(back, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("round trip changed the document:\n%s\n%s", want, got)
+	}
+	if len(back.Constraints) != 2 {
+		t.Errorf("round trip lost constraints: %v", back.Constraints)
+	}
+}
+
+// TestFormatIsIdempotent: Format(Parse(Format(a))) == Format(a).
+func TestFormatIsIdempotent(t *testing.T) {
+	orig := hospital.Sigma0(true)
+	first, err := Format(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Format(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Errorf("Format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}
+
+// TestFormatRoundTripSpecText: the shipped spec text survives
+// parse-format-parse.
+func TestFormatRoundTripSpecText(t *testing.T) {
+	a, err := Parse(hospital.SpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Format(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(text); err != nil {
+		t.Fatalf("re-parsing: %v\n%s", err, text)
+	}
+}
+
+func TestFormatRejectsChains(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	a := hospital.Sigma0(false)
+	dec, err := specialize.DecomposeQueries(a,
+		sqlmini.CatalogSchemas{Catalog: cat}, sqlmini.CatalogStats{Catalog: cat}, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Format(dec); err == nil || !strings.Contains(err.Error(), "chain") {
+		t.Errorf("chains serialized without error: %v", err)
+	}
+}

@@ -1,0 +1,345 @@
+package aigspec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// parseRule parses one rule section into a semantic rule.
+func parseRule(a *aig.AIG, rs ruleSection) error {
+	if _, ok := a.DTD.Production(rs.elem); !ok {
+		return fmt.Errorf("aigspec: rule for undeclared element %q", rs.elem)
+	}
+	if _, dup := a.Rules[rs.elem]; dup {
+		return fmt.Errorf("aigspec: duplicate rule for %q", rs.elem)
+	}
+	r := &aig.Rule{Elem: rs.elem, Inh: make(map[string]*aig.InhRule)}
+	a.Rules[rs.elem] = r
+
+	for _, l := range rs.lines {
+		if err := parseClause(a, r, l.text, l.line); err != nil {
+			return err
+		}
+	}
+	if len(r.Inh) == 0 {
+		r.Inh = nil
+	}
+	return nil
+}
+
+func parseClause(a *aig.AIG, r *aig.Rule, text string, line int) error {
+	switch {
+	case strings.HasPrefix(text, "text "):
+		src, err := parseSrc(strings.TrimSpace(strings.TrimPrefix(text, "text ")))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		r.TextSrc = src
+		return nil
+
+	case strings.HasPrefix(text, "syn "):
+		member, expr, err := parseSynClause(a, strings.TrimPrefix(text, "syn "))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		if r.Syn == nil {
+			r.Syn = &aig.SynRule{Exprs: make(map[string]aig.SynExpr)}
+		}
+		r.Syn.Exprs[member] = expr
+		return nil
+
+	case strings.HasPrefix(text, "child "):
+		return parseChildClause(a, r, nil, strings.TrimPrefix(text, "child "), line)
+
+	case strings.HasPrefix(text, "cond query"):
+		q, params, err := parseQueryClause(strings.TrimPrefix(text, "cond "))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		r.Cond = q
+		r.CondParams = params
+		return nil
+
+	case strings.HasPrefix(text, "branch "):
+		rest := strings.TrimPrefix(text, "branch ")
+		numStr, tail, found := strings.Cut(rest, " ")
+		if !found {
+			return errAt(line, "branch needs a number and a clause")
+		}
+		num, err := strconv.Atoi(numStr)
+		if err != nil || num < 1 {
+			return errAt(line, "bad branch number %q", numStr)
+		}
+		for len(r.Branches) < num {
+			r.Branches = append(r.Branches, aig.Branch{})
+		}
+		b := &r.Branches[num-1]
+		tail = strings.TrimSpace(tail)
+		switch {
+		case strings.HasPrefix(tail, "child "):
+			return parseChildClause(a, r, b, strings.TrimPrefix(tail, "child "), line)
+		case strings.HasPrefix(tail, "syn "):
+			member, expr, err := parseSynClause(a, strings.TrimPrefix(tail, "syn "))
+			if err != nil {
+				return errAt(line, "%v", err)
+			}
+			if b.Syn == nil {
+				b.Syn = &aig.SynRule{Exprs: make(map[string]aig.SynExpr)}
+			}
+			b.Syn.Exprs[member] = expr
+			return nil
+		default:
+			return errAt(line, "branch clause must be 'child' or 'syn': %q", tail)
+		}
+
+	default:
+		return errAt(line, "unrecognized rule clause %q", text)
+	}
+}
+
+// parseChildClause handles the child rule forms; branch selects a choice
+// alternative's rule instead of the shared map.
+func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, line int) error {
+	name, rest, found := strings.Cut(text, " ")
+	if !found {
+		return errAt(line, "child clause needs a form: %q", text)
+	}
+	getRule := func() *aig.InhRule {
+		if branch != nil {
+			if branch.Inh == nil {
+				branch.Inh = &aig.InhRule{Child: name}
+			}
+			return branch.Inh
+		}
+		ir := r.Inh[name]
+		if ir == nil {
+			ir = &aig.InhRule{Child: name}
+			r.Inh[name] = ir
+		}
+		return ir
+	}
+	rest = strings.TrimSpace(rest)
+	switch {
+	case strings.HasPrefix(rest, "from query"):
+		q, params, err := parseQueryClause(rest[len("from "):])
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		ir := getRule()
+		if ir.Query != nil {
+			return errAt(line, "child %s already has a query", name)
+		}
+		ir.Query = q
+		ir.QueryParams = params
+		return nil
+
+	case strings.HasPrefix(rest, "collection "):
+		// child X collection member from query [...]: SQL;
+		rest = strings.TrimPrefix(rest, "collection ")
+		member, tail, found := strings.Cut(rest, " ")
+		if !found || !strings.HasPrefix(strings.TrimSpace(tail), "from query") {
+			return errAt(line, "collection clause must be 'collection <member> from query ...'")
+		}
+		q, params, err := parseQueryClause(strings.TrimSpace(tail)[len("from "):])
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		ir := getRule()
+		ir.Query = q
+		ir.QueryParams = params
+		ir.TargetCollection = member
+		return nil
+
+	case strings.HasPrefix(rest, "set "):
+		// child X set member = src
+		assign := strings.TrimPrefix(rest, "set ")
+		member, srcText, found := strings.Cut(assign, "=")
+		if !found {
+			return errAt(line, "set clause needs '=': %q", assign)
+		}
+		src, err := parseSrc(strings.TrimSpace(srcText))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		ir := getRule()
+		ir.Copies = append(ir.Copies, aig.Copy(strings.TrimSpace(member), src))
+		return nil
+
+	case strings.HasPrefix(rest, "copy "):
+		// child X copy m1, m2 from inh(elem)
+		body := strings.TrimPrefix(rest, "copy ")
+		membersText, fromText, found := strings.Cut(body, " from ")
+		if !found {
+			return errAt(line, "copy clause needs 'from': %q", body)
+		}
+		src, err := parseSrc(strings.TrimSpace(fromText))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		if src.Member != "" {
+			return errAt(line, "copy ... from takes a whole attribute, not a member")
+		}
+		ir := getRule()
+		for _, m := range strings.Split(membersText, ",") {
+			m = strings.TrimSpace(m)
+			ir.Copies = append(ir.Copies, aig.Copy(m, aig.SourceRef{Side: src.Side, Elem: src.Elem, Member: m}))
+		}
+		return nil
+
+	case strings.HasPrefix(rest, "iterate "):
+		// child X iterate src — star production driven by a collection.
+		src, err := parseSrc(strings.TrimSpace(strings.TrimPrefix(rest, "iterate ")))
+		if err != nil {
+			return errAt(line, "%v", err)
+		}
+		ir := getRule()
+		ir.Copies = append(ir.Copies, aig.Copy("", src))
+		return nil
+
+	default:
+		return errAt(line, "unrecognized child form %q", rest)
+	}
+}
+
+// parseQueryClause parses "query [v = inh(elem), V = syn(x).m]: SQL;".
+func parseQueryClause(text string) (*sqlmini.Query, map[string]aig.SourceRef, error) {
+	if !strings.HasPrefix(text, "query") {
+		return nil, nil, fmt.Errorf("expected 'query', got %q", text)
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "query"))
+	params := make(map[string]aig.SourceRef)
+	if strings.HasPrefix(rest, "[") {
+		close := strings.IndexByte(rest, ']')
+		if close < 0 {
+			return nil, nil, fmt.Errorf("unterminated parameter list")
+		}
+		for _, binding := range splitTop(rest[1:close], ',') {
+			binding = strings.TrimSpace(binding)
+			if binding == "" {
+				continue
+			}
+			name, srcText, found := strings.Cut(binding, "=")
+			if !found {
+				return nil, nil, fmt.Errorf("parameter binding needs '=': %q", binding)
+			}
+			src, err := parseSrc(strings.TrimSpace(srcText))
+			if err != nil {
+				return nil, nil, err
+			}
+			params[strings.TrimSpace(name)] = src
+		}
+		rest = strings.TrimSpace(rest[close+1:])
+	}
+	if !strings.HasPrefix(rest, ":") {
+		return nil, nil, fmt.Errorf("query needs ':' before SQL")
+	}
+	sqlText := strings.TrimSpace(rest[1:])
+	semi := strings.IndexByte(sqlText, ';')
+	if semi < 0 {
+		return nil, nil, fmt.Errorf("SQL must end with ';'")
+	}
+	q, err := sqlmini.Parse(strings.TrimSpace(sqlText[:semi]))
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(params) == 0 {
+		params = nil
+	}
+	return q, params, nil
+}
+
+// parseSrc parses "inh(elem).member", "syn(elem).member" or "inh(elem)".
+func parseSrc(text string) (aig.SourceRef, error) {
+	var side aig.Side
+	switch {
+	case strings.HasPrefix(text, "inh("):
+		side = aig.InhSide
+	case strings.HasPrefix(text, "syn("):
+		side = aig.SynSide
+	default:
+		return aig.SourceRef{}, fmt.Errorf("source must be inh(...) or syn(...): %q", text)
+	}
+	rest := text[4:]
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return aig.SourceRef{}, fmt.Errorf("unterminated source reference %q", text)
+	}
+	elem := strings.TrimSpace(rest[:close])
+	member := ""
+	tail := strings.TrimSpace(rest[close+1:])
+	if tail != "" {
+		if !strings.HasPrefix(tail, ".") {
+			return aig.SourceRef{}, fmt.Errorf("junk after source reference: %q", text)
+		}
+		member = strings.TrimSpace(tail[1:])
+	}
+	return aig.SourceRef{Side: side, Elem: elem, Member: member}, nil
+}
+
+// parseSynClause parses "member = expr".
+func parseSynClause(a *aig.AIG, text string) (string, aig.SynExpr, error) {
+	member, exprText, found := strings.Cut(text, "=")
+	if !found {
+		return "", nil, fmt.Errorf("syn clause needs '=': %q", text)
+	}
+	expr, err := parseSynExpr(a, strings.TrimSpace(exprText))
+	if err != nil {
+		return "", nil, err
+	}
+	return strings.TrimSpace(member), expr, nil
+}
+
+// parseSynExpr parses the g-function expressions.
+func parseSynExpr(a *aig.AIG, text string) (aig.SynExpr, error) {
+	switch {
+	case text == "empty":
+		return aig.EmptyOf{}, nil
+	case strings.HasPrefix(text, "singleton(") && strings.HasSuffix(text, ")"):
+		var srcs []aig.SourceRef
+		for _, part := range splitTop(text[len("singleton("):len(text)-1], ',') {
+			src, err := parseSrc(strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, src)
+		}
+		return aig.SingletonOf{Srcs: srcs}, nil
+	case strings.HasPrefix(text, "union(") && strings.HasSuffix(text, ")"):
+		var terms []aig.SynExpr
+		for _, part := range splitTop(text[len("union("):len(text)-1], ',') {
+			term, err := parseSynExpr(a, strings.TrimSpace(part))
+			if err != nil {
+				return nil, err
+			}
+			terms = append(terms, term)
+		}
+		return aig.UnionOf{Terms: terms}, nil
+	case strings.HasPrefix(text, "collect(") && strings.HasSuffix(text, ")"):
+		body := text[len("collect(") : len(text)-1]
+		child, member, found := strings.Cut(body, ".")
+		if !found {
+			return nil, fmt.Errorf("collect needs child.member: %q", text)
+		}
+		return aig.CollectChildren{Child: strings.TrimSpace(child), Member: strings.TrimSpace(member)}, nil
+	default:
+		src, err := parseSrc(text)
+		if err != nil {
+			return nil, err
+		}
+		// Scalar or collection reference? Decide from the declaration.
+		var decl aig.AttrDecl
+		if src.Side == aig.InhSide {
+			decl = a.Inh[src.Elem]
+		} else {
+			decl = a.Syn[src.Elem]
+		}
+		if m, ok := decl.Member(src.Member); ok && m.Kind != aig.Scalar {
+			return aig.CollectionOf{Src: src}, nil
+		}
+		return aig.ScalarOf{Src: src}, nil
+	}
+}

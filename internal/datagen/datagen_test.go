@@ -1,0 +1,183 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// TestTable1Cardinalities checks that generated datasets reproduce
+// Table 1 of the paper exactly.
+func TestTable1Cardinalities(t *testing.T) {
+	want := map[string]map[string]int{
+		"small":  {"patient": 2500, "visitInfo": 11371, "cover": 2224, "billing": 175, "treatment": 175, "procedure": 441},
+		"medium": {"patient": 3300, "visitInfo": 14887, "cover": 3762, "billing": 250, "treatment": 250, "procedure": 718},
+		"large":  {"patient": 5000, "visitInfo": 22496, "cover": 8996, "billing": 350, "treatment": 350, "procedure": 923},
+	}
+	locate := map[string]string{
+		"patient": "DB1", "visitInfo": "DB1", "cover": "DB2",
+		"billing": "DB3", "treatment": "DB4", "procedure": "DB4",
+	}
+	for _, size := range Sizes {
+		cat := Generate(size, 1)
+		for table, card := range want[size.Name] {
+			tbl, err := cat.Table(locate[table], table)
+			if err != nil {
+				t.Fatalf("%s: %v", size.Name, err)
+			}
+			if tbl.Len() != card {
+				t.Errorf("%s %s: %d rows, want %d (Table 1)", size.Name, table, tbl.Len(), card)
+			}
+		}
+	}
+}
+
+// TestProcedureSelfJoinShape checks the §6 growth figures: for the Large
+// dataset the paper reports a 3-way self join of 4055 and a 4-way of
+// 6837. The generated DAG lands within 25% with the same growth factor.
+func TestProcedureSelfJoinShape(t *testing.T) {
+	cat := Generate(Large, 42)
+	proc, err := cat.Table("DB4", "procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3 := SelfJoinCard(proc, 3)
+	j4 := SelfJoinCard(proc, 4)
+	within := func(got, want int, tol float64) bool {
+		lo := float64(want) * (1 - tol)
+		hi := float64(want) * (1 + tol)
+		return float64(got) >= lo && float64(got) <= hi
+	}
+	if !within(j3, 4055, 0.25) {
+		t.Errorf("3-way self join = %d, paper reports 4055", j3)
+	}
+	if !within(j4, 6837, 0.25) {
+		t.Errorf("4-way self join = %d, paper reports 6837", j4)
+	}
+	if j4 <= j3 {
+		t.Errorf("self-join cardinality must grow with arity: j3=%d j4=%d", j3, j4)
+	}
+	// The hierarchy keeps growing through the unfolding levels used in
+	// Fig. 10 (2..7).
+	prev := j4
+	for k := 5; k <= 7; k++ {
+		jk := SelfJoinCard(proc, k)
+		if jk <= prev {
+			t.Errorf("self-join stopped growing at %d-way: %d <= %d", k, jk, prev)
+		}
+		prev = jk
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Small, 7)
+	b := Generate(Small, 7)
+	for _, db := range []string{"DB1", "DB2", "DB3", "DB4"} {
+		dba, _ := a.Database(db)
+		dbb, _ := b.Database(db)
+		for _, name := range dba.TableNames() {
+			ta, _ := dba.Table(name)
+			tb, _ := dbb.Table(name)
+			if !ta.Equal(tb) {
+				t.Errorf("%s:%s differs across runs with the same seed", db, name)
+			}
+		}
+	}
+	c := Generate(Small, 8)
+	visA, _ := a.Table("DB1", "visitInfo")
+	visC, _ := c.Table("DB1", "visitInfo")
+	if visA.Equal(visC) {
+		t.Error("different seeds produced identical visitInfo")
+	}
+}
+
+func TestProcedureIsAcyclicDAG(t *testing.T) {
+	for _, size := range Sizes {
+		cat := Generate(size, 3)
+		proc, _ := cat.Table("DB4", "procedure")
+		children := make(map[string][]string)
+		for _, row := range proc.Rows() {
+			children[row[0].AsString()] = append(children[row[0].AsString()], row[1].AsString())
+		}
+		// DFS cycle detection.
+		const (
+			white = 0
+			gray  = 1
+			black = 2
+		)
+		color := make(map[string]int)
+		var visit func(v string) bool
+		visit = func(v string) bool {
+			color[v] = gray
+			for _, c := range children[v] {
+				switch color[c] {
+				case gray:
+					return false
+				case white:
+					if !visit(c) {
+						return false
+					}
+				}
+			}
+			color[v] = black
+			return true
+		}
+		for v := range children {
+			if color[v] == white && !visit(v) {
+				t.Fatalf("%s: procedure hierarchy contains a cycle", size.Name)
+			}
+		}
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	cat := Generate(Small, 5)
+	treatment, _ := cat.Table("DB4", "treatment")
+	ids := make(map[string]bool, treatment.Len())
+	for _, row := range treatment.Rows() {
+		ids[row[0].AsString()] = true
+	}
+	check := func(tbl *relstore.Table, col int, what string) {
+		for _, row := range tbl.Rows() {
+			if !ids[row[col].AsString()] {
+				t.Fatalf("%s references unknown treatment %s", what, row[col].AsString())
+			}
+		}
+	}
+	visit, _ := cat.Table("DB1", "visitInfo")
+	check(visit, 1, "visitInfo.trId")
+	cover, _ := cat.Table("DB2", "cover")
+	check(cover, 1, "cover.trId")
+	billing, _ := cat.Table("DB3", "billing")
+	check(billing, 0, "billing.trId")
+	proc, _ := cat.Table("DB4", "procedure")
+	check(proc, 0, "procedure.trId1")
+	check(proc, 1, "procedure.trId2")
+
+	// billing covers every treatment (needed for the inclusion
+	// constraint to hold).
+	billed := make(map[string]bool, billing.Len())
+	for _, row := range billing.Rows() {
+		billed[row[0].AsString()] = true
+	}
+	for id := range ids {
+		if !billed[id] {
+			t.Fatalf("treatment %s has no billing entry", id)
+		}
+	}
+}
+
+func TestSizeByName(t *testing.T) {
+	if s, err := SizeByName("medium"); err != nil || s.Name != "medium" {
+		t.Errorf("SizeByName(medium) = %v, %v", s, err)
+	}
+	if _, err := SizeByName("gigantic"); err == nil {
+		t.Error("unknown size accepted")
+	}
+}
+
+func TestDate(t *testing.T) {
+	if Date(0) != "d001" || Date(29) != "d030" {
+		t.Errorf("Date formatting wrong: %s %s", Date(0), Date(29))
+	}
+}

@@ -1,0 +1,133 @@
+package dtd
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// Checker validates XML trees against a DTD (simplified or general). It
+// compiles each content model to an NFA once and caches the matchers, so
+// a single Checker can validate many documents.
+type Checker struct {
+	root string
+
+	mu       sync.Mutex
+	matchers map[string]*Matcher
+	models   map[string]Regex
+}
+
+// NewChecker builds a checker for a simplified DTD.
+func NewChecker(d *DTD) *Checker {
+	models := make(map[string]Regex, len(d.Prods))
+	for name, p := range d.Prods {
+		models[name] = ProductionRegex(p)
+	}
+	return &Checker{root: d.Root, models: models, matchers: make(map[string]*Matcher)}
+}
+
+// NewGeneralChecker builds a checker for a general DTD.
+func NewGeneralChecker(g *General) *Checker {
+	models := make(map[string]Regex, len(g.Content))
+	for name, r := range g.Content {
+		models[name] = r
+	}
+	return &Checker{root: g.Root, models: models, matchers: make(map[string]*Matcher)}
+}
+
+func (c *Checker) matcher(name string) (*Matcher, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m, ok := c.matchers[name]; ok {
+		return m, true
+	}
+	model, ok := c.models[name]
+	if !ok {
+		return nil, false
+	}
+	m := CompileRegex(model)
+	c.matchers[name] = m
+	return m, true
+}
+
+// Check validates the document rooted at root. It returns nil iff the
+// document conforms: the root is labeled with the DTD's root type, every
+// element's child-label sequence is in its content model's language, and
+// text nodes are leaves. The first violation is reported with its path.
+func (c *Checker) Check(root *xmltree.Node) error {
+	if !root.IsElement() {
+		return fmt.Errorf("dtd: document root is not an element")
+	}
+	if root.Label != c.root {
+		return fmt.Errorf("dtd: root element is %q, want %q", root.Label, c.root)
+	}
+	return c.checkNode(root)
+}
+
+func (c *Checker) checkNode(n *xmltree.Node) error {
+	if n.IsText() {
+		if len(n.Children) != 0 {
+			return fmt.Errorf("dtd: text node at %s has children", n.Path())
+		}
+		return nil
+	}
+	m, ok := c.matcher(n.Label)
+	if !ok {
+		return fmt.Errorf("dtd: element %q at %s is not declared", n.Label, n.Path())
+	}
+	labels := make([]string, len(n.Children))
+	for i, child := range n.Children {
+		if child.IsText() {
+			labels[i] = TextType
+		} else {
+			labels[i] = child.Label
+		}
+	}
+	if !m.Match(labels) {
+		// An element whose content model requires text may legitimately
+		// hold an empty string that serialization round trips drop; accept
+		// a childless element where a lone empty text node would conform.
+		if len(labels) != 0 || !m.Match([]string{TextType}) {
+			return fmt.Errorf("dtd: children of %s do not match %s: got %v", n.Path(), m.Model(), labels)
+		}
+	}
+	for _, child := range n.Children {
+		if err := c.checkNode(child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Conforms is a one-shot convenience: check doc against the simplified
+// DTD.
+func Conforms(d *DTD, doc *xmltree.Node) error {
+	return NewChecker(d).Check(doc)
+}
+
+// EraseEntities rewrites a tree that conforms to a simplified DTD into the
+// corresponding tree over the original general DTD by splicing out entity
+// elements (the linear-time document conversion of §2, fact (2)). The
+// input tree is not modified.
+func EraseEntities(d *DTD, doc *xmltree.Node) *xmltree.Node {
+	out := &xmltree.Node{Kind: doc.Kind, Label: doc.Label, Text: doc.Text}
+	var appendConverted func(parent *xmltree.Node, n *xmltree.Node)
+	appendConverted = func(parent *xmltree.Node, n *xmltree.Node) {
+		if n.IsElement() && d.Entities[n.Label] {
+			for _, c := range n.Children {
+				appendConverted(parent, c)
+			}
+			return
+		}
+		node := &xmltree.Node{Kind: n.Kind, Label: n.Label, Text: n.Text}
+		parent.AppendChild(node)
+		for _, c := range n.Children {
+			appendConverted(node, c)
+		}
+	}
+	for _, c := range doc.Children {
+		appendConverted(out, c)
+	}
+	return out
+}

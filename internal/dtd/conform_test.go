@@ -1,0 +1,267 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+func TestMatcherBasics(t *testing.T) {
+	cases := []struct {
+		model  Regex
+		accept [][]string
+		reject [][]string
+	}{
+		{
+			model:  RSeq{Items: []Regex{RName{"a"}, RName{"b"}}},
+			accept: [][]string{{"a", "b"}},
+			reject: [][]string{{}, {"a"}, {"b", "a"}, {"a", "b", "a"}},
+		},
+		{
+			model:  RStar{Item: RName{"a"}},
+			accept: [][]string{{}, {"a"}, {"a", "a", "a"}},
+			reject: [][]string{{"b"}, {"a", "b"}},
+		},
+		{
+			model:  RChoice{Items: []Regex{RName{"a"}, RName{"b"}}},
+			accept: [][]string{{"a"}, {"b"}},
+			reject: [][]string{{}, {"a", "b"}},
+		},
+		{
+			model:  RPlus{Item: RName{"a"}},
+			accept: [][]string{{"a"}, {"a", "a"}},
+			reject: [][]string{{}},
+		},
+		{
+			model:  ROpt{Item: RName{"a"}},
+			accept: [][]string{{}, {"a"}},
+			reject: [][]string{{"a", "a"}},
+		},
+		{
+			model:  REmpty{},
+			accept: [][]string{{}},
+			reject: [][]string{{"a"}},
+		},
+		{
+			model:  RText{},
+			accept: [][]string{{TextType}},
+			reject: [][]string{{}, {TextType, TextType}},
+		},
+		{
+			// ((a|b)*, c)
+			model: RSeq{Items: []Regex{
+				RStar{Item: RChoice{Items: []Regex{RName{"a"}, RName{"b"}}}},
+				RName{"c"},
+			}},
+			accept: [][]string{{"c"}, {"a", "c"}, {"b", "a", "b", "c"}},
+			reject: [][]string{{}, {"a"}, {"c", "a"}},
+		},
+	}
+	for _, tc := range cases {
+		m := CompileRegex(tc.model)
+		for _, labels := range tc.accept {
+			if !m.Match(labels) {
+				t.Errorf("%s rejects %v", tc.model, labels)
+			}
+		}
+		for _, labels := range tc.reject {
+			if m.Match(labels) {
+				t.Errorf("%s accepts %v", tc.model, labels)
+			}
+		}
+	}
+}
+
+func buildConformingReport() *xmltree.Node {
+	report := xmltree.NewElement("report")
+	patient := report.AppendElement("patient")
+	patient.AppendElement("SSN").AppendText("s1")
+	patient.AppendElement("pname").AppendText("alice")
+	treatments := patient.AppendElement("treatments")
+	tr := treatments.AppendElement("treatment")
+	tr.AppendElement("trId").AppendText("t1")
+	tr.AppendElement("tname").AppendText("xray")
+	tr.AppendElement("procedure")
+	bill := patient.AppendElement("bill")
+	item := bill.AppendElement("item")
+	item.AppendElement("trId").AppendText("t1")
+	item.AppendElement("price").AppendText("100")
+	return report
+}
+
+func TestConformsHospital(t *testing.T) {
+	d := hospitalDTD(t)
+	doc := buildConformingReport()
+	if err := Conforms(d, doc); err != nil {
+		t.Errorf("conforming document rejected: %v", err)
+	}
+}
+
+func TestConformanceViolations(t *testing.T) {
+	d := hospitalDTD(t)
+
+	wrongRoot := xmltree.NewElement("patient")
+	if err := Conforms(d, wrongRoot); err == nil {
+		t.Error("wrong root accepted")
+	}
+
+	doc := buildConformingReport()
+	// Remove the bill: patient sequence now incomplete.
+	patient := doc.Child("patient")
+	patient.Children = patient.Children[:3]
+	if err := Conforms(d, doc); err == nil {
+		t.Error("missing bill accepted")
+	}
+
+	doc = buildConformingReport()
+	// Swap SSN and pname: order matters.
+	p := doc.Child("patient")
+	p.Children[0], p.Children[1] = p.Children[1], p.Children[0]
+	if err := Conforms(d, doc); err == nil {
+		t.Error("reordered sequence accepted")
+	}
+
+	doc = buildConformingReport()
+	// Undeclared element.
+	doc.AppendElement("alien")
+	if err := Conforms(d, doc); err == nil {
+		t.Error("undeclared element accepted")
+	}
+
+	doc = buildConformingReport()
+	// Element content where text is required.
+	ssn := doc.Child("patient").Child("SSN")
+	ssn.Children = nil
+	ssn.AppendElement("pname").AppendText("x")
+	if err := Conforms(d, doc); err == nil {
+		t.Error("element inside PCDATA-only element accepted")
+	}
+
+	if err := Conforms(d, xmltree.NewText("just text")); err == nil {
+		t.Error("text root accepted")
+	}
+}
+
+func TestConformanceEmptyTextLeniency(t *testing.T) {
+	d := hospitalDTD(t)
+	doc := buildConformingReport()
+	// A pname with no text child (the empty string was dropped) still
+	// conforms.
+	pname := doc.Child("patient").Child("pname")
+	pname.Children = nil
+	if err := Conforms(d, doc); err != nil {
+		t.Errorf("empty text element rejected: %v", err)
+	}
+}
+
+func TestEraseEntities(t *testing.T) {
+	// General DTD with nested groups.
+	g := MustParseGeneral(`
+		<!ELEMENT doc ((a | b)+)>
+		<!ELEMENT a (#PCDATA)>
+		<!ELEMENT b (#PCDATA)>
+	`)
+	d, err := Simplify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build a document over the simplified DTD by wrapping children in
+	// whatever entities Simplify introduced: easiest to build and check
+	// by construction from the production table.
+	doc := xmltree.NewElement("doc")
+	p, _ := d.Production("doc")
+	if p.Kind != ProdSeq || len(p.Children) != 2 {
+		t.Fatalf("unexpected doc production %v", p)
+	}
+	// doc -> (choiceEntity, starEntity); choiceEntity -> a | b;
+	// starEntity -> choiceEntity*.
+	choiceName := p.Children[0]
+	starName := p.Children[1]
+	ce := doc.AppendElement(choiceName)
+	ce.AppendElement("a").AppendText("1")
+	se := doc.AppendElement(starName)
+	ce2 := se.AppendElement(choiceName)
+	ce2.AppendElement("b").AppendText("2")
+	if err := Conforms(d, doc); err != nil {
+		t.Fatalf("constructed document does not conform to simplified DTD: %v", err)
+	}
+
+	erased := EraseEntities(d, doc)
+	// After erasure the document must conform to the general DTD.
+	if err := NewGeneralChecker(g).Check(erased); err != nil {
+		t.Errorf("erased document does not conform to general DTD: %v\n%s", err, erased)
+	}
+	if len(erased.Elements()) != 2 || erased.Elements()[0].Label != "a" || erased.Elements()[1].Label != "b" {
+		t.Errorf("erased children = %v", erased)
+	}
+	// Original not mutated.
+	if doc.Elements()[0].Label != choiceName {
+		t.Error("EraseEntities mutated its input")
+	}
+}
+
+// Property: random words over {a,b} are accepted by (a|b)* and by the
+// NFA compiled from the equivalent simplified DTD productions.
+func TestMatcherStarChoiceProperty(t *testing.T) {
+	m := CompileRegex(RStar{Item: RChoice{Items: []Regex{RName{"a"}, RName{"b"}}}})
+	f := func(word []bool) bool {
+		labels := make([]string, len(word))
+		for i, w := range word {
+			if w {
+				labels[i] = "a"
+			} else {
+				labels[i] = "b"
+			}
+		}
+		return m.Match(labels)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a randomly generated tree following the simplified hospital
+// DTD productions always conforms.
+func TestRandomGeneratedTreeConforms(t *testing.T) {
+	d := hospitalDTD(t)
+	checker := NewChecker(d)
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		doc := generateConforming(r, d, d.Root, 6)
+		if err := checker.Check(doc); err != nil {
+			t.Fatalf("trial %d: generated tree rejected: %v\n%s", trial, err, doc)
+		}
+	}
+}
+
+// generateConforming builds a random tree following the DTD's productions,
+// bounding recursion by maxDepth (beyond it, stars emit zero children —
+// the hospital DTD's recursion goes through procedure -> treatment*).
+func generateConforming(r *rand.Rand, d *DTD, label string, maxDepth int) *xmltree.Node {
+	n := xmltree.NewElement(label)
+	p, _ := d.Production(label)
+	switch p.Kind {
+	case ProdText:
+		n.AppendText(strings.Repeat("x", r.Intn(4)+1))
+	case ProdEmpty:
+	case ProdSeq:
+		for _, c := range p.Children {
+			n.AppendChild(generateConforming(r, d, c, maxDepth-1))
+		}
+	case ProdChoice:
+		c := p.Children[r.Intn(len(p.Children))]
+		n.AppendChild(generateConforming(r, d, c, maxDepth-1))
+	case ProdStar:
+		count := 0
+		if maxDepth > 0 {
+			count = r.Intn(3)
+		}
+		for i := 0; i < count; i++ {
+			n.AppendChild(generateConforming(r, d, p.Children[0], maxDepth-1))
+		}
+	}
+	return n
+}

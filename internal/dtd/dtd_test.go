@@ -1,0 +1,212 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// hospitalDTDText is the DTD D of Example 1.1.
+const hospitalDTDText = `
+<!-- the insurance report DTD of Example 1.1 -->
+<!ELEMENT report (patient*)>
+<!ELEMENT patient (SSN, pname, treatments, bill)>
+<!ELEMENT treatments (treatment*)>
+<!ELEMENT treatment (trId, tname, procedure)>
+<!ELEMENT procedure (treatment*)>
+<!ELEMENT bill (item*)>
+<!ELEMENT item (trId, price)>
+<!ELEMENT SSN (#PCDATA)>
+<!ELEMENT pname (#PCDATA)>
+<!ELEMENT trId (#PCDATA)>
+<!ELEMENT tname (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+func hospitalDTD(t *testing.T) *DTD {
+	t.Helper()
+	d, err := Parse(hospitalDTDText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestParseHospitalDTD(t *testing.T) {
+	d := hospitalDTD(t)
+	if d.Root != "report" {
+		t.Errorf("root = %q, want report", d.Root)
+	}
+	if p, _ := d.Production("report"); p.Kind != ProdStar || p.Children[0] != "patient" {
+		t.Errorf("report production = %v", p)
+	}
+	if p, _ := d.Production("patient"); p.Kind != ProdSeq || len(p.Children) != 4 {
+		t.Errorf("patient production = %v", p)
+	}
+	if p, _ := d.Production("SSN"); p.Kind != ProdText {
+		t.Errorf("SSN production = %v", p)
+	}
+	if len(d.Entities) != 0 {
+		t.Errorf("simple DTD produced entities: %v", d.Entities)
+	}
+	if err := d.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecursiveTypes(t *testing.T) {
+	d := hospitalDTD(t)
+	rec := d.RecursiveTypes()
+	for _, want := range []string{"treatment", "procedure"} {
+		if !rec[want] {
+			t.Errorf("%s not detected as recursive", want)
+		}
+	}
+	for _, not := range []string{"report", "patient", "bill", "trId"} {
+		if rec[not] {
+			t.Errorf("%s wrongly detected as recursive", not)
+		}
+	}
+	if !d.IsRecursive() {
+		t.Error("hospital DTD not detected as recursive")
+	}
+
+	flat := MustParse(`<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)>`)
+	if flat.IsRecursive() {
+		t.Error("flat DTD detected as recursive")
+	}
+
+	self := MustParse(`<!ELEMENT a (a*)>`)
+	if !self.RecursiveTypes()["a"] {
+		t.Error("self-loop not detected")
+	}
+}
+
+func TestReachable(t *testing.T) {
+	d := MustParse(`<!ELEMENT a (b)> <!ELEMENT b (#PCDATA)> <!ELEMENT orphan (#PCDATA)>`)
+	r := d.Reachable()
+	if !r["a"] || !r["b"] || r["orphan"] {
+		t.Errorf("Reachable = %v", r)
+	}
+}
+
+func TestSimplifyIntroducesEntities(t *testing.T) {
+	d := MustParse(`
+		<!ELEMENT doc ((a | b)*, c?, d+)>
+		<!ELEMENT a (#PCDATA)>
+		<!ELEMENT b (#PCDATA)>
+		<!ELEMENT c (#PCDATA)>
+		<!ELEMENT d (#PCDATA)>
+	`)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entities) == 0 {
+		t.Fatal("no entities introduced for nested content model")
+	}
+	// doc must now be a pure sequence of element names.
+	p, _ := d.Production("doc")
+	if p.Kind != ProdSeq {
+		t.Errorf("doc production kind = %v", p.Kind)
+	}
+	for _, c := range p.Children {
+		if _, ok := d.Production(c); !ok {
+			t.Errorf("child %q undefined", c)
+		}
+	}
+}
+
+func TestParseGeneralErrors(t *testing.T) {
+	bad := []string{
+		`<!ELEMENT a (b)`,                   // unterminated
+		`<!ELEMENT a (b)> <!ELEMENT a (c)>`, // duplicate
+		`<!ELEMENT (b)>`,                    // missing name
+		`<!ELEMENT a ANY>`,                  // unsupported
+		`<!ELEMENT a (b,)>`,                 // trailing separator
+		`<!ELEMENT a (b|c,d)>`,              // mixed separators
+		`<!ELEMENT a b>`,                    // no group
+		`<!ELEMENT a ()>`,                   // empty group
+		`<!ELEMENT a (b) junk>`,             // trailing junk
+		`<!ELEMENT a EMPTY junk>`,           // junk after EMPTY
+		`junk`,                              // not a declaration
+		``,                                  // nothing
+		`<!-- unterminated`,                 // bad comment
+	}
+	for _, in := range bad {
+		if _, err := ParseGeneral(in); err == nil {
+			t.Errorf("ParseGeneral(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestGeneralStringRoundTrip(t *testing.T) {
+	g := MustParseGeneral(hospitalDTDText)
+	again, err := ParseGeneral(g.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", g.String(), err)
+	}
+	if g.String() != again.String() {
+		t.Errorf("round trip changed DTD:\n%s\n%s", g, again)
+	}
+}
+
+func TestDTDValidateErrors(t *testing.T) {
+	d := New("")
+	if err := d.Validate(); err == nil {
+		t.Error("rootless DTD validated")
+	}
+	d = New("a")
+	if err := d.Validate(); err == nil {
+		t.Error("undefined root validated")
+	}
+	d = New("a")
+	d.DefineSeq("a", "missing")
+	if err := d.Validate(); err == nil {
+		t.Error("dangling reference validated")
+	}
+	d = New("a")
+	d.Define("a", Production{Kind: ProdStar, Children: []string{"x", "y"}})
+	if err := d.Validate(); err == nil {
+		t.Error("two-child star validated")
+	}
+	d = New("a")
+	d.Define("a", Production{Kind: ProdText, Children: []string{"x"}})
+	if err := d.Validate(); err == nil {
+		t.Error("text production with children validated")
+	}
+	d = New("a")
+	d.Define("a", Production{Kind: ProdSeq})
+	if err := d.Validate(); err == nil {
+		t.Error("empty sequence validated")
+	}
+	d = New("a")
+	d.Define("a", Production{Kind: ProdKind(99)})
+	if err := d.Validate(); err == nil {
+		t.Error("bad kind validated")
+	}
+}
+
+func TestDTDString(t *testing.T) {
+	d := hospitalDTD(t)
+	s := d.String()
+	if !strings.HasPrefix(s, "<!ELEMENT report") {
+		t.Errorf("String() does not lead with root: %q", s[:40])
+	}
+	// Output must re-parse to an equivalent DTD.
+	again := MustParse(s)
+	if again.Root != d.Root || len(again.Prods) != len(d.Prods) {
+		t.Errorf("String round trip changed DTD")
+	}
+}
+
+func TestDTDClone(t *testing.T) {
+	d := hospitalDTD(t)
+	c := d.Clone()
+	c.DefineText("extra")
+	c.Prods["report"] = Production{Kind: ProdEmpty}
+	if _, ok := d.Production("extra"); ok {
+		t.Error("Clone shares production map")
+	}
+	if p, _ := d.Production("report"); p.Kind != ProdStar {
+		t.Error("Clone mutated original production")
+	}
+}

@@ -1,0 +1,253 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// General is a DTD whose content models are arbitrary regular expressions,
+// the result of parsing DTD text. Simplify converts it to the restricted
+// form the AIG machinery works with.
+type General struct {
+	Root    string
+	Content map[string]Regex
+	// Order preserves declaration order for deterministic output.
+	Order []string
+}
+
+// ParseGeneral parses DTD text consisting of <!ELEMENT name content>
+// declarations. The root type is the first declared element. Comments
+// (<!-- ... -->) and blank space between declarations are ignored.
+func ParseGeneral(input string) (*General, error) {
+	g := &General{Content: make(map[string]Regex)}
+	rest := input
+	for {
+		rest = strings.TrimLeftFunc(rest, unicode.IsSpace)
+		if rest == "" {
+			break
+		}
+		if strings.HasPrefix(rest, "<!--") {
+			end := strings.Index(rest, "-->")
+			if end < 0 {
+				return nil, fmt.Errorf("dtd: unterminated comment")
+			}
+			rest = rest[end+3:]
+			continue
+		}
+		if !strings.HasPrefix(rest, "<!ELEMENT") {
+			return nil, fmt.Errorf("dtd: expected <!ELEMENT, found %q", firstLine(rest))
+		}
+		end := strings.Index(rest, ">")
+		if end < 0 {
+			return nil, fmt.Errorf("dtd: unterminated declaration %q", firstLine(rest))
+		}
+		decl := rest[len("<!ELEMENT"):end]
+		rest = rest[end+1:]
+		name, content, err := parseElementDecl(decl)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := g.Content[name]; dup {
+			return nil, fmt.Errorf("dtd: element %q declared twice", name)
+		}
+		g.Content[name] = content
+		g.Order = append(g.Order, name)
+		if g.Root == "" {
+			g.Root = name
+		}
+	}
+	if g.Root == "" {
+		return nil, fmt.Errorf("dtd: no element declarations")
+	}
+	return g, nil
+}
+
+// MustParseGeneral is ParseGeneral panicking on error.
+func MustParseGeneral(input string) *General {
+	g, err := ParseGeneral(input)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 60 {
+		s = s[:60] + "..."
+	}
+	return s
+}
+
+func parseElementDecl(decl string) (string, Regex, error) {
+	p := &contentParser{input: decl}
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return "", nil, fmt.Errorf("dtd: missing element name in %q", decl)
+	}
+	p.skipSpace()
+	switch {
+	case p.consumeWord("EMPTY"):
+		p.skipSpace()
+		if !p.atEnd() {
+			return "", nil, fmt.Errorf("dtd: junk after EMPTY in %q", decl)
+		}
+		return name, REmpty{}, nil
+	case p.consumeWord("ANY"):
+		return "", nil, fmt.Errorf("dtd: ANY content is not supported (element %q)", name)
+	}
+	r, err := p.parseGroup()
+	if err != nil {
+		return "", nil, fmt.Errorf("dtd: element %q: %v", name, err)
+	}
+	p.skipSpace()
+	if !p.atEnd() {
+		return "", nil, fmt.Errorf("dtd: junk after content model of %q: %q", name, p.rest())
+	}
+	return name, r, nil
+}
+
+type contentParser struct {
+	input string
+	pos   int
+}
+
+func (p *contentParser) atEnd() bool  { return p.pos >= len(p.input) }
+func (p *contentParser) rest() string { return p.input[p.pos:] }
+func (p *contentParser) peek() byte {
+	if p.atEnd() {
+		return 0
+	}
+	return p.input[p.pos]
+}
+
+func (p *contentParser) skipSpace() {
+	for !p.atEnd() && unicode.IsSpace(rune(p.input[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *contentParser) ident() string {
+	start := p.pos
+	for !p.atEnd() {
+		c := p.input[p.pos]
+		if c == '_' || c == '-' || c == '.' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.input[start:p.pos]
+}
+
+func (p *contentParser) consumeWord(w string) bool {
+	if strings.HasPrefix(p.input[p.pos:], w) {
+		after := p.pos + len(w)
+		if after >= len(p.input) || !isNameByte(p.input[after]) {
+			p.pos = after
+			return true
+		}
+	}
+	return false
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || c == '-' || c == '.' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// parseGroup parses a parenthesized group: '(' item (sep item)* ')' with a
+// consistent separator (',' for sequence, '|' for choice), followed by an
+// optional repetition suffix.
+func (p *contentParser) parseGroup() (Regex, error) {
+	p.skipSpace()
+	if p.peek() != '(' {
+		return nil, fmt.Errorf("expected '(', found %q", p.rest())
+	}
+	p.pos++
+	var items []Regex
+	sep := byte(0)
+	for {
+		item, err := p.parseItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+		p.skipSpace()
+		switch p.peek() {
+		case ',', '|':
+			c := p.peek()
+			if sep == 0 {
+				sep = c
+			} else if sep != c {
+				return nil, fmt.Errorf("mixed ',' and '|' in one group")
+			}
+			p.pos++
+		case ')':
+			p.pos++
+			var r Regex
+			if len(items) == 1 {
+				r = items[0]
+			} else if sep == '|' {
+				r = RChoice{Items: items}
+			} else {
+				r = RSeq{Items: items}
+			}
+			return p.applySuffix(r), nil
+		case 0:
+			return nil, fmt.Errorf("unterminated group")
+		default:
+			return nil, fmt.Errorf("unexpected %q in group", p.rest())
+		}
+	}
+}
+
+func (p *contentParser) parseItem() (Regex, error) {
+	p.skipSpace()
+	switch {
+	case p.peek() == '(':
+		return p.parseGroup()
+	case strings.HasPrefix(p.rest(), TextType):
+		p.pos += len(TextType)
+		return p.applySuffix(RText{}), nil
+	default:
+		name := p.ident()
+		if name == "" {
+			return nil, fmt.Errorf("expected element name, found %q", p.rest())
+		}
+		return p.applySuffix(RName{Name: name}), nil
+	}
+}
+
+func (p *contentParser) applySuffix(r Regex) Regex {
+	switch p.peek() {
+	case '*':
+		p.pos++
+		return RStar{Item: r}
+	case '+':
+		p.pos++
+		return RPlus{Item: r}
+	case '?':
+		p.pos++
+		return ROpt{Item: r}
+	}
+	return r
+}
+
+// String renders the general DTD as declarations in declaration order.
+func (g *General) String() string {
+	var b strings.Builder
+	for _, name := range g.Order {
+		content := g.Content[name].String()
+		if _, isEmpty := g.Content[name].(REmpty); !isEmpty && !strings.HasPrefix(content, "(") {
+			content = "(" + content + ")"
+		}
+		fmt.Fprintf(&b, "<!ELEMENT %s %s>\n", name, content)
+	}
+	return b.String()
+}

@@ -1,0 +1,221 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Regex is a general content-model regular expression over element type
+// names and PCDATA, used by parsed DTDs before simplification.
+type Regex interface {
+	regexNode()
+	String() string
+}
+
+// RText matches a single PCDATA node (#PCDATA).
+type RText struct{}
+
+// REmpty matches the empty word (EMPTY content).
+type REmpty struct{}
+
+// RName matches a single element of the given type.
+type RName struct{ Name string }
+
+// RSeq matches the concatenation of its items.
+type RSeq struct{ Items []Regex }
+
+// RChoice matches any one of its items.
+type RChoice struct{ Items []Regex }
+
+// RStar matches zero or more repetitions of its item.
+type RStar struct{ Item Regex }
+
+// RPlus matches one or more repetitions of its item.
+type RPlus struct{ Item Regex }
+
+// ROpt matches zero or one occurrence of its item.
+type ROpt struct{ Item Regex }
+
+func (RText) regexNode()   {}
+func (REmpty) regexNode()  {}
+func (RName) regexNode()   {}
+func (RSeq) regexNode()    {}
+func (RChoice) regexNode() {}
+func (RStar) regexNode()   {}
+func (RPlus) regexNode()   {}
+func (ROpt) regexNode()    {}
+
+func (RText) String() string   { return "#PCDATA" }
+func (REmpty) String() string  { return "EMPTY" }
+func (r RName) String() string { return r.Name }
+
+func (r RSeq) String() string {
+	parts := make([]string, len(r.Items))
+	for i, it := range r.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+func (r RChoice) String() string {
+	parts := make([]string, len(r.Items))
+	for i, it := range r.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+func (r RStar) String() string { return r.Item.String() + "*" }
+func (r RPlus) String() string { return r.Item.String() + "+" }
+func (r ROpt) String() string  { return r.Item.String() + "?" }
+
+// nfa is a Thompson-construction automaton over content labels. Content
+// models are tiny, so an epsilon-NFA with subset simulation is plenty.
+type nfa struct {
+	// trans[s] maps a label to successor states; epsilon transitions are
+	// under the empty label.
+	trans []map[string][]int
+	start int
+	final int
+}
+
+func newNFA() *nfa { return &nfa{} }
+
+func (n *nfa) newState() int {
+	n.trans = append(n.trans, make(map[string][]int))
+	return len(n.trans) - 1
+}
+
+func (n *nfa) addEdge(from int, label string, to int) {
+	n.trans[from][label] = append(n.trans[from][label], to)
+}
+
+// compile builds the fragment for r between fresh start/final states and
+// returns them.
+func (n *nfa) compile(r Regex) (start, final int) {
+	start, final = n.newState(), n.newState()
+	switch r := r.(type) {
+	case RText:
+		n.addEdge(start, TextType, final)
+	case REmpty:
+		n.addEdge(start, "", final)
+	case RName:
+		n.addEdge(start, r.Name, final)
+	case RSeq:
+		prev := start
+		for _, item := range r.Items {
+			s, f := n.compile(item)
+			n.addEdge(prev, "", s)
+			prev = f
+		}
+		n.addEdge(prev, "", final)
+	case RChoice:
+		for _, item := range r.Items {
+			s, f := n.compile(item)
+			n.addEdge(start, "", s)
+			n.addEdge(f, "", final)
+		}
+	case RStar:
+		s, f := n.compile(r.Item)
+		n.addEdge(start, "", s)
+		n.addEdge(start, "", final)
+		n.addEdge(f, "", s)
+		n.addEdge(f, "", final)
+	case RPlus:
+		s, f := n.compile(r.Item)
+		n.addEdge(start, "", s)
+		n.addEdge(f, "", s)
+		n.addEdge(f, "", final)
+	case ROpt:
+		s, f := n.compile(r.Item)
+		n.addEdge(start, "", s)
+		n.addEdge(start, "", final)
+		n.addEdge(f, "", final)
+	default:
+		panic(fmt.Sprintf("dtd: unknown regex node %T", r))
+	}
+	return start, final
+}
+
+// Matcher matches sequences of content labels against a compiled content
+// model. Build one with CompileRegex and reuse it; matching is
+// goroutine-safe.
+type Matcher struct {
+	auto  *nfa
+	model Regex
+}
+
+// CompileRegex compiles a content model into a Matcher.
+func CompileRegex(r Regex) *Matcher {
+	a := newNFA()
+	s, f := a.compile(r)
+	a.start, a.final = s, f
+	return &Matcher{auto: a, model: r}
+}
+
+// Match reports whether the sequence of labels is in the content model's
+// language. Text nodes are represented by the TextType label.
+func (m *Matcher) Match(labels []string) bool {
+	cur := m.closure(map[int]bool{m.auto.start: true})
+	for _, label := range labels {
+		next := make(map[int]bool)
+		for s := range cur {
+			for _, t := range m.auto.trans[s][label] {
+				next[t] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = m.closure(next)
+	}
+	return cur[m.auto.final]
+}
+
+func (m *Matcher) closure(states map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(states))
+	for s := range states {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range m.auto.trans[s][""] {
+			if !states[t] {
+				states[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return states
+}
+
+// Model returns the content model this matcher was compiled from.
+func (m *Matcher) Model() Regex { return m.model }
+
+// ProductionRegex converts a simplified production into the equivalent
+// content-model regex, so conformance checking shares one matcher.
+func ProductionRegex(p Production) Regex {
+	switch p.Kind {
+	case ProdText:
+		return RText{}
+	case ProdEmpty:
+		return REmpty{}
+	case ProdStar:
+		return RStar{Item: RName{Name: p.Children[0]}}
+	case ProdSeq:
+		items := make([]Regex, len(p.Children))
+		for i, c := range p.Children {
+			items[i] = RName{Name: c}
+		}
+		return RSeq{Items: items}
+	case ProdChoice:
+		items := make([]Regex, len(p.Children))
+		for i, c := range p.Children {
+			items[i] = RName{Name: c}
+		}
+		return RChoice{Items: items}
+	default:
+		panic(fmt.Sprintf("dtd: bad production kind %d", p.Kind))
+	}
+}

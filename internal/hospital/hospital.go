@@ -1,0 +1,289 @@
+// Package hospital provides the running example of the paper (Example
+// 1.1): the insurance-report DTD, the XML constraints, the AIG σ0 of
+// Fig. 2 built over the four source databases DB1..DB4, and a small
+// hand-written dataset. The larger, parameterized datasets of Table 1
+// live in the datagen package.
+//
+// Everything downstream — the aig tests, the specializer, the mediator,
+// the examples and the benchmark harness — evaluates this grammar.
+package hospital
+
+import (
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+// DTDText is the report DTD D of Example 1.1.
+const DTDText = `
+<!ELEMENT report (patient*)>
+<!ELEMENT patient (SSN, pname, treatments, bill)>
+<!ELEMENT treatments (treatment*)>
+<!ELEMENT treatment (trId, tname, procedure)>
+<!ELEMENT procedure (treatment*)>
+<!ELEMENT bill (item*)>
+<!ELEMENT item (trId, price)>
+<!ELEMENT SSN (#PCDATA)>
+<!ELEMENT pname (#PCDATA)>
+<!ELEMENT trId (#PCDATA)>
+<!ELEMENT tname (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+// ConstraintsText is the key and inclusion constraint of Example 1.1.
+const ConstraintsText = `
+patient(item.trId -> item)
+patient(treatment.trId [= item.trId)
+`
+
+// Schema parses the report DTD.
+func Schema() *dtd.DTD { return dtd.MustParse(DTDText) }
+
+// Constraints parses the report constraints.
+func Constraints() []xconstraint.Constraint {
+	cs, err := xconstraint.ParseAll(ConstraintsText)
+	if err != nil {
+		panic(err)
+	}
+	return cs
+}
+
+// The queries Q1..Q4 of Fig. 2. Q2 is the multi-source query over DB1,
+// DB2 and DB4 that the specializer decomposes.
+const (
+	Q1 = `select distinct p.SSN, p.pname, p.policy from DB1:patient p, DB1:visitInfo i
+	      where p.SSN = i.SSN and i.date = $v.date`
+	Q2 = `select t.trId, t.tname from DB1:visitInfo i, DB2:cover c, DB4:treatment t
+	      where i.SSN = $v.SSN and i.date = $v.date and t.trId = i.trId
+	      and c.trId = i.trId and c.policy = $v.policy`
+	Q3 = `select p.trId2 as trId, t.tname from DB4:procedure p, DB4:treatment t
+	      where p.trId1 = $v.trId and t.trId = p.trId2`
+	Q4 = `select trId, price from DB3:billing where trId in $V`
+)
+
+// Sigma0 builds the AIG σ0 of Fig. 2 (without the compiled constraint
+// rules; the specializer adds those). WithConstraints controls whether
+// the XML constraints are attached.
+func Sigma0(withConstraints bool) *aig.AIG {
+	a := aig.New(Schema())
+
+	// Semantic attributes (Fig. 2 top).
+	a.Inh["report"] = aig.Attr(aig.StringMember("date"))
+	a.Inh["patient"] = aig.Attr(
+		aig.StringMember("date"), aig.StringMember("SSN"),
+		aig.StringMember("pname"), aig.StringMember("policy"))
+	a.Inh["treatments"] = aig.Attr(
+		aig.StringMember("date"), aig.StringMember("SSN"), aig.StringMember("policy"))
+	a.Syn["treatments"] = aig.Attr(aig.SetMember("trIdS", "trId:string"))
+	a.Syn["treatment"] = aig.Attr(aig.SetMember("trIdS", "trId:string"))
+	a.Syn["procedure"] = aig.Attr(aig.SetMember("trIdS", "trId:string"))
+	a.Inh["treatment"] = aig.Attr(aig.StringMember("trId"), aig.StringMember("tname"))
+	a.Inh["procedure"] = aig.Attr(aig.StringMember("trId"))
+	a.Inh["bill"] = aig.Attr(aig.SetMember("trIdS", "trId:string"))
+	a.Inh["item"] = aig.Attr(aig.StringMember("trId"), aig.ScalarMember("price", relstore.KindInt))
+	a.Inh["SSN"] = aig.Attr(aig.StringMember("val"))
+	a.Inh["pname"] = aig.Attr(aig.StringMember("val"))
+	a.Inh["trId"] = aig.Attr(aig.StringMember("val"))
+	a.Inh["tname"] = aig.Attr(aig.StringMember("val"))
+	a.Inh["price"] = aig.Attr(aig.ScalarMember("val", relstore.KindInt))
+	a.Syn["trId"] = aig.Attr(aig.StringMember("val"))
+
+	// report -> patient*
+	a.Rules["report"] = &aig.Rule{
+		Elem: "report",
+		Inh: map[string]*aig.InhRule{
+			"patient": {
+				Child:       "patient",
+				Query:       sqlmini.MustParse(Q1),
+				QueryParams: aig.ParamMap("v", aig.InhOf("report", "")),
+				Copies:      []aig.CopyAssign{aig.Copy("date", aig.InhOf("report", "date"))},
+			},
+		},
+	}
+
+	// patient -> SSN, pname, treatments, bill
+	a.Rules["patient"] = &aig.Rule{
+		Elem: "patient",
+		Inh: map[string]*aig.InhRule{
+			"SSN":   {Child: "SSN", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("patient", "SSN"))}},
+			"pname": {Child: "pname", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("patient", "pname"))}},
+			"treatments": {Child: "treatments",
+				Copies: aig.CopyAll(aig.InhSide, "patient", "date", "SSN", "policy")},
+			"bill": {Child: "bill",
+				Copies: []aig.CopyAssign{aig.Copy("trIdS", aig.SynOf("treatments", "trIdS"))}},
+		},
+	}
+
+	// treatments -> treatment*
+	a.Rules["treatments"] = &aig.Rule{
+		Elem: "treatments",
+		Inh: map[string]*aig.InhRule{
+			"treatment": {
+				Child:       "treatment",
+				Query:       sqlmini.MustParse(Q2),
+				QueryParams: aig.ParamMap("v", aig.InhOf("treatments", "")),
+			},
+		},
+		Syn: aig.Syn1("trIdS", aig.CollectChildren{Child: "treatment", Member: "trIdS"}),
+	}
+
+	// treatment -> trId, tname, procedure
+	a.Rules["treatment"] = &aig.Rule{
+		Elem: "treatment",
+		Inh: map[string]*aig.InhRule{
+			"trId":      {Child: "trId", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("treatment", "trId"))}},
+			"tname":     {Child: "tname", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("treatment", "tname"))}},
+			"procedure": {Child: "procedure", Copies: []aig.CopyAssign{aig.Copy("trId", aig.InhOf("treatment", "trId"))}},
+		},
+		Syn: aig.Syn1("trIdS", aig.UnionOf{Terms: []aig.SynExpr{
+			aig.CollectionOf{Src: aig.SynOf("procedure", "trIdS")},
+			aig.SingletonOf{Srcs: []aig.SourceRef{aig.SynOf("trId", "val")}},
+		}}),
+	}
+
+	// procedure -> treatment*
+	a.Rules["procedure"] = &aig.Rule{
+		Elem: "procedure",
+		Inh: map[string]*aig.InhRule{
+			"treatment": {
+				Child:       "treatment",
+				Query:       sqlmini.MustParse(Q3),
+				QueryParams: aig.ParamMap("v", aig.InhOf("procedure", "")),
+			},
+		},
+		Syn: aig.Syn1("trIdS", aig.CollectChildren{Child: "treatment", Member: "trIdS"}),
+	}
+
+	// trId -> S
+	a.Rules["trId"] = &aig.Rule{
+		Elem:    "trId",
+		TextSrc: aig.InhOf("trId", "val"),
+		Syn:     aig.Syn1("val", aig.ScalarOf{Src: aig.InhOf("trId", "val")}),
+	}
+
+	// bill -> item*
+	a.Rules["bill"] = &aig.Rule{
+		Elem: "bill",
+		Inh: map[string]*aig.InhRule{
+			"item": {
+				Child:       "item",
+				Query:       sqlmini.MustParse(Q4),
+				QueryParams: aig.ParamMap("V", aig.InhOf("bill", "trIdS")),
+			},
+		},
+	}
+
+	// item -> trId, price
+	a.Rules["item"] = &aig.Rule{
+		Elem: "item",
+		Inh: map[string]*aig.InhRule{
+			"trId":  {Child: "trId", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("item", "trId"))}},
+			"price": {Child: "price", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("item", "price"))}},
+		},
+	}
+
+	// Remaining text elements: SSN, pname, tname, price emit their single
+	// inherited scalar.
+	for _, elem := range []string{"SSN", "pname", "tname", "price"} {
+		a.Rules[elem] = &aig.Rule{Elem: elem, TextSrc: aig.InhOf(elem, "val")}
+	}
+
+	if withConstraints {
+		a.Constraints = Constraints()
+	}
+	return a
+}
+
+// RootInh builds the AIG's attribute — the value of Inh(report) — for the
+// given report date.
+func RootInh(a *aig.AIG, date string) *aig.AttrValue {
+	v := aig.NewAttrValue(a.Inh["report"])
+	if err := v.SetScalar("date", relstore.String(date)); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// TinyCatalog builds a small hand-written instance of DB1..DB4 exercising
+// every feature: multiple patients on multiple dates, insurance policies
+// covering different treatments, a two-level procedure hierarchy, and a
+// billing table with prices for every treatment.
+func TinyCatalog() *relstore.Catalog {
+	cat := relstore.NewCatalog()
+
+	db1 := relstore.NewDatabase("DB1")
+	patient := db1.CreateTable("patient", relstore.MustSchema("SSN:string", "pname:string", "policy:string"))
+	visit := db1.CreateTable("visitInfo", relstore.MustSchema("SSN:string", "trId:string", "date:string"))
+	for _, r := range [][]any{
+		{"s1", "alice", "gold"},
+		{"s2", "bob", "silver"},
+		{"s3", "carol", "gold"},
+	} {
+		must(patient.InsertValues(r...))
+	}
+	for _, r := range [][]any{
+		{"s1", "t1", "d1"},
+		{"s1", "t2", "d1"},
+		{"s2", "t1", "d2"},
+		{"s2", "t3", "d1"},
+		{"s3", "t3", "d1"},
+	} {
+		must(visit.InsertValues(r...))
+	}
+	cat.Add(db1)
+
+	db2 := relstore.NewDatabase("DB2")
+	cover := db2.CreateTable("cover", relstore.MustSchema("policy:string", "trId:string"))
+	for _, r := range [][]any{
+		{"gold", "t1"}, {"gold", "t2"}, {"gold", "t3"},
+		{"silver", "t1"}, {"silver", "t3"},
+	} {
+		must(cover.InsertValues(r...))
+	}
+	cat.Add(db2)
+
+	db3 := relstore.NewDatabase("DB3")
+	billing := db3.CreateTable("billing", relstore.MustSchema("trId:string", "price:int"))
+	for _, r := range [][]any{
+		{"t1", 100}, {"t2", 250}, {"t3", 70}, {"t4", 999}, {"t5", 40},
+	} {
+		must(billing.InsertValues(r...))
+	}
+	cat.Add(db3)
+
+	db4 := relstore.NewDatabase("DB4")
+	treatment := db4.CreateTable("treatment", relstore.MustSchema("trId:string", "tname:string"))
+	for _, r := range [][]any{
+		{"t1", "xray"}, {"t2", "mri"}, {"t3", "cast"}, {"t4", "surgery"}, {"t5", "scan"},
+	} {
+		must(treatment.InsertValues(r...))
+	}
+	procedure := db4.CreateTable("procedure", relstore.MustSchema("trId1:string", "trId2:string"))
+	// t2's procedure consists of t4, whose procedure consists of t5.
+	for _, r := range [][]any{
+		{"t2", "t4"}, {"t4", "t5"},
+	} {
+		must(procedure.InsertValues(r...))
+	}
+	cat.Add(db4)
+
+	return cat
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// EnvFor builds an evaluation environment over a catalog, with parameter
+// cardinality hints for the planner.
+func EnvFor(cat *relstore.Catalog) *aig.Env {
+	return &aig.Env{
+		Schemas: sqlmini.CatalogSchemas{Catalog: cat},
+		Data:    sqlmini.CatalogData{Catalog: cat},
+		Stats:   sqlmini.CatalogStats{Catalog: cat},
+	}
+}

@@ -1,0 +1,83 @@
+package hospital
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+func TestSchemaAndConstraints(t *testing.T) {
+	d := Schema()
+	if d.Root != "report" || !d.IsRecursive() {
+		t.Errorf("schema: root=%q recursive=%v", d.Root, d.IsRecursive())
+	}
+	cs := Constraints()
+	if len(cs) != 2 || cs[0].Kind != xconstraint.Key || cs[1].Kind != xconstraint.Inclusion {
+		t.Errorf("constraints = %v", cs)
+	}
+	for _, c := range cs {
+		if err := c.ValidateAgainst(d); err != nil {
+			t.Errorf("constraint %v invalid against the schema: %v", c, err)
+		}
+	}
+}
+
+func TestTinyCatalogShape(t *testing.T) {
+	cat := TinyCatalog()
+	wantTables := map[string][]string{
+		"DB1": {"patient", "visitInfo"},
+		"DB2": {"cover"},
+		"DB3": {"billing"},
+		"DB4": {"procedure", "treatment"},
+	}
+	for dbName, tables := range wantTables {
+		db, err := cat.Database(dbName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := db.TableNames()
+		if len(got) != len(tables) {
+			t.Errorf("%s tables = %v, want %v", dbName, got, tables)
+			continue
+		}
+		for i := range tables {
+			if got[i] != tables[i] {
+				t.Errorf("%s tables = %v, want %v", dbName, got, tables)
+			}
+		}
+	}
+}
+
+func TestSigma0VariantsValidate(t *testing.T) {
+	cat := TinyCatalog()
+	schemas := sqlmini.CatalogSchemas{Catalog: cat}
+	with := Sigma0(true)
+	without := Sigma0(false)
+	if err := with.Validate(schemas); err != nil {
+		t.Errorf("Sigma0(true): %v", err)
+	}
+	if err := without.Validate(schemas); err != nil {
+		t.Errorf("Sigma0(false): %v", err)
+	}
+	if len(with.Constraints) != 2 || len(without.Constraints) != 0 {
+		t.Errorf("constraint attachment wrong: %d / %d", len(with.Constraints), len(without.Constraints))
+	}
+}
+
+func TestRootInh(t *testing.T) {
+	a := Sigma0(false)
+	v := RootInh(a, "d7")
+	got, err := v.Scalar("date")
+	if err != nil || got.AsString() != "d7" {
+		t.Errorf("RootInh date = %v, %v", got, err)
+	}
+}
+
+func TestEnvForWiring(t *testing.T) {
+	cat := TinyCatalog()
+	env := EnvFor(cat)
+	if env.Schemas == nil || env.Data == nil || env.Stats == nil {
+		t.Error("EnvFor left providers nil")
+	}
+}

@@ -1,0 +1,115 @@
+package hospital
+
+// SpecText is σ0 written in the aigspec language — the text counterpart
+// of Fig. 2. Parsing it must yield a grammar equivalent to Sigma0(true);
+// the aigspec tests verify both produce identical documents.
+const SpecText = `
+# Attribute Integration Grammar σ0 (Fig. 2): the daily insurance report.
+
+dtd
+  <!ELEMENT report (patient*)>
+  <!ELEMENT patient (SSN, pname, treatments, bill)>
+  <!ELEMENT treatments (treatment*)>
+  <!ELEMENT treatment (trId, tname, procedure)>
+  <!ELEMENT procedure (treatment*)>
+  <!ELEMENT bill (item*)>
+  <!ELEMENT item (trId, price)>
+  <!ELEMENT SSN (#PCDATA)>
+  <!ELEMENT pname (#PCDATA)>
+  <!ELEMENT trId (#PCDATA)>
+  <!ELEMENT tname (#PCDATA)>
+  <!ELEMENT price (#PCDATA)>
+end
+
+inh report (date)
+inh patient (date, SSN, pname, policy)
+inh treatments (date, SSN, policy)
+syn treatments (set trIdS(trId))
+syn treatment (set trIdS(trId))
+syn procedure (set trIdS(trId))
+inh treatment (trId, tname)
+inh procedure (trId)
+inh bill (set trIdS(trId))
+inh item (trId, price:int)
+inh SSN (val)
+inh pname (val)
+inh trId (val)
+inh tname (val)
+inh price (val:int)
+syn trId (val)
+
+rule report
+  child patient from query [v = inh(report)]:
+    select distinct p.SSN, p.pname, p.policy
+    from DB1:patient p, DB1:visitInfo i
+    where p.SSN = i.SSN and i.date = $v.date;
+  child patient set date = inh(report).date
+end
+
+rule patient
+  child SSN set val = inh(patient).SSN
+  child pname set val = inh(patient).pname
+  child treatments copy date, SSN, policy from inh(patient)
+  child bill set trIdS = syn(treatments).trIdS
+end
+
+rule treatments
+  child treatment from query [v = inh(treatments)]:
+    select t.trId, t.tname
+    from DB1:visitInfo i, DB2:cover c, DB4:treatment t
+    where i.SSN = $v.SSN and i.date = $v.date and t.trId = i.trId
+    and c.trId = i.trId and c.policy = $v.policy;
+  syn trIdS = collect(treatment.trIdS)
+end
+
+rule treatment
+  child trId set val = inh(treatment).trId
+  child tname set val = inh(treatment).tname
+  child procedure set trId = inh(treatment).trId
+  syn trIdS = union(syn(procedure).trIdS, singleton(syn(trId).val))
+end
+
+rule procedure
+  child treatment from query [v = inh(procedure)]:
+    select p.trId2 as trId, t.tname
+    from DB4:procedure p, DB4:treatment t
+    where p.trId1 = $v.trId and t.trId = p.trId2;
+  syn trIdS = collect(treatment.trIdS)
+end
+
+rule trId
+  text inh(trId).val
+  syn val = inh(trId).val
+end
+
+rule bill
+  child item from query [V = inh(bill).trIdS]:
+    select trId, price from DB3:billing where trId in $V;
+end
+
+rule item
+  child trId set val = inh(item).trId
+  child price set val = inh(item).price
+end
+
+rule SSN
+  text inh(SSN).val
+end
+
+rule pname
+  text inh(pname).val
+end
+
+rule tname
+  text inh(tname).val
+end
+
+rule price
+  text inh(price).val
+end
+
+constraints
+  patient(item.trId -> item)
+  patient(treatment.trId [= item.trId)
+end
+`

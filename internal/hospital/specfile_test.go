@@ -1,0 +1,25 @@
+package hospital
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSpecFileInSync keeps examples/hospital/report.aig (the file the
+// CLI examples in README use) identical to the embedded SpecText.
+func TestSpecFileInSync(t *testing.T) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Skip("caller information unavailable")
+	}
+	path := filepath.Join(filepath.Dir(self), "..", "..", "examples", "hospital", "report.aig")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading %s: %v", path, err)
+	}
+	if string(data) != SpecText {
+		t.Errorf("%s is out of sync with hospital.SpecText", path)
+	}
+}

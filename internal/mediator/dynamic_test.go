@@ -1,0 +1,69 @@
+package mediator
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// TestDynamicSchedulingMatches verifies the §5.5 dynamic scheduler
+// produces the same document as the static schedulers, on both the
+// hospital pipeline and the contention workload.
+func TestDynamicSchedulingMatches(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	a, reg := prepared(t, cat, 4, true)
+	want := conceptualDoc(t, a, cat, "d1")
+
+	opts := DefaultOptions()
+	opts.Schedule = ScheduleDynamic
+	m := New(reg, opts)
+	res, err := m.Evaluate(a, hospital.RootInh(a, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res.Doc) {
+		t.Errorf("dynamic scheduling changed the document:\n%s\n%s", want, res.Doc)
+	}
+	if res.Report.ResponseTimeSec <= 0 {
+		t.Errorf("response time = %v", res.Report.ResponseTimeSec)
+	}
+
+	wl, wreg := contentionWorkload(t)
+	wopts := DefaultOptions()
+	wopts.Merge = false
+	wopts.Schedule = ScheduleDynamic
+	dres, err := New(wreg, wopts).Evaluate(wl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := New(wreg, Options{Net: DefaultNet(), Schedule: ScheduleLevel}).Evaluate(wl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dres.Doc.CountNodes() != sres.Doc.CountNodes() {
+		t.Errorf("dynamic vs static document sizes differ: %d vs %d",
+			dres.Doc.CountNodes(), sres.Doc.CountNodes())
+	}
+}
+
+// TestDynamicSchedulingPropagatesErrors checks that a failing query
+// unblocks every worker and surfaces the error.
+func TestDynamicSchedulingPropagatesErrors(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	a, reg := prepared(t, cat, 3, true)
+	// Break DB3 after preparation so Q4 fails at run time.
+	db3, err := cat.Database("DB3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db3.DropTable("billing")
+	db3.CreateTable("billing", relstore.MustSchema("other:string"))
+
+	opts := DefaultOptions()
+	opts.Schedule = ScheduleDynamic
+	m := New(reg, opts)
+	if _, err := m.Evaluate(a, hospital.RootInh(a, "d1")); err == nil {
+		t.Fatal("broken source did not surface an error")
+	}
+}

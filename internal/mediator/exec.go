@@ -1,0 +1,399 @@
+package mediator
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// Mediator evaluates specialized AIGs against a registry of data sources.
+type Mediator struct {
+	reg  *source.Registry
+	opts Options
+}
+
+// New creates a mediator over the given sources.
+func New(reg *source.Registry, opts Options) *Mediator {
+	return &Mediator{reg: reg, opts: opts}
+}
+
+// exec is the runtime state of one evaluation.
+type exec struct {
+	g        *graph
+	rootInh  *aig.AttrValue
+	mu       sync.Mutex
+	firstErr error
+	// wake, set under mu by the dynamic scheduler, is called after every
+	// node completion to re-examine readiness.
+	wake func()
+}
+
+func (x *exec) fail(err error) {
+	x.mu.Lock()
+	if x.firstErr == nil {
+		x.firstErr = err
+	}
+	x.mu.Unlock()
+}
+
+// Evaluate runs the four phases of Fig. 5 — the AIG is assumed
+// pre-processed (constraints compiled, multi-source queries decomposed,
+// recursion unfolded): compile the dependency graph, optimize it (Merge +
+// Schedule), execute the plan with one worker per source, and tag the
+// cached tables into the document.
+func (m *Mediator) Evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, error) {
+	res, _, err := m.evaluate(a, rootInh)
+	return res, err
+}
+
+func (m *Mediator) evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, *graph, error) {
+	g, err := compile(a, m.reg, m.opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !isAcyclic(g.nodes) {
+		return nil, nil, fmt.Errorf("mediator: dependency graph is cyclic")
+	}
+
+	mergedGroups := 0
+	if m.opts.Merge {
+		mergedGroups = g.mergeQueries()
+	}
+	p := schedule(g.nodes, m.opts.Net, m.opts.Schedule)
+
+	if rootInh == nil {
+		rootInh = aig.NewAttrValue(a.Inh[a.DTD.Root])
+	}
+	x := &exec{g: g, rootInh: rootInh}
+	executed, err := x.run(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	p = executed
+
+	doc, err := g.tag()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	rep := Report{
+		ResponseTimeSec:  costOf(g.nodes, p, m.opts.Net, measuredInputs(m.opts.Net)),
+		MergedGroups:     mergedGroups,
+		NodeCount:        len(g.nodes),
+		EdgeCount:        len(g.edges),
+		PerSourceBusySec: make(map[string]float64),
+	}
+	for _, n := range g.nodes {
+		rep.PerSourceBusySec[n.source] += n.evalSec
+		if n.kind == nodeQuery && n.source != MediatorSource {
+			rep.SourceQueryCount++
+		}
+	}
+	for _, e := range g.edges {
+		if e.from.source != e.to.source {
+			rep.ShippedBytes += e.bytes
+		}
+	}
+	return &Result{Doc: doc, Report: rep}, g, nil
+}
+
+// run executes the plan — one worker goroutine per source — and returns
+// the schedule as executed (identical to p for static schedules; the
+// recorded dispatch order under dynamic scheduling).
+func (x *exec) run(p *plan) (*plan, error) {
+	if x.g.opts.Schedule == ScheduleDynamic {
+		return x.runDynamic(p)
+	}
+	var wg sync.WaitGroup
+	for _, seq := range p.order {
+		wg.Add(1)
+		go func(seq []*node) {
+			defer wg.Done()
+			for _, n := range seq {
+				x.waitDeps(n)
+				x.runNode(n)
+			}
+		}(seq)
+	}
+	wg.Wait()
+	return p, x.firstErr
+}
+
+// runDynamic dispatches per source: whenever any of a source's pending
+// nodes has all dependencies finished, the highest-priority ready node
+// runs next (§5.5's dynamic scheduling). The dispatch order is recorded
+// and returned for cost reporting.
+func (x *exec) runDynamic(p *plan) (*plan, error) {
+	level := levels(x.g.nodes, x.g.opts.Net)
+	cond := sync.NewCond(&x.mu)
+	x.wake = func() {
+		cond.Broadcast()
+	}
+	executed := &plan{order: make(map[string][]*node, len(p.order))}
+	var wg sync.WaitGroup
+	for src, seq := range p.order {
+		wg.Add(1)
+		go func(src string, pending []*node) {
+			defer wg.Done()
+			remaining := append([]*node(nil), pending...)
+			for len(remaining) > 0 {
+				x.mu.Lock()
+				var pick *node
+				pickAt := -1
+				for {
+					if x.firstErr != nil {
+						break
+					}
+					for i, n := range remaining {
+						ready := true
+						for _, e := range n.in {
+							if !e.from.finished {
+								ready = false
+								break
+							}
+						}
+						if ready && (pick == nil || level[n] > level[pick]) {
+							pick, pickAt = n, i
+						}
+					}
+					if pick != nil {
+						break
+					}
+					cond.Wait()
+				}
+				failed := x.firstErr != nil
+				x.mu.Unlock()
+				if failed {
+					// Drain: mark everything finished so waiters unblock.
+					for _, n := range remaining {
+						x.mu.Lock()
+						n.finished = true
+						x.mu.Unlock()
+						close(n.done)
+						cond.Broadcast()
+					}
+					return
+				}
+				remaining = append(remaining[:pickAt], remaining[pickAt+1:]...)
+				x.runNode(pick)
+				x.mu.Lock()
+				executed.order[src] = append(executed.order[src], pick)
+				x.mu.Unlock()
+				cond.Broadcast()
+			}
+		}(src, seq)
+	}
+	wg.Wait()
+	return executed, x.firstErr
+}
+
+func (x *exec) waitDeps(n *node) {
+	for _, e := range n.in {
+		<-e.from.done
+	}
+}
+
+// runNode executes one node whose dependencies are satisfied.
+func (x *exec) runNode(n *node) {
+	defer func() {
+		x.mu.Lock()
+		n.finished = true
+		wake := x.wake
+		x.mu.Unlock()
+		close(n.done)
+		if wake != nil {
+			wake()
+		}
+	}()
+	x.mu.Lock()
+	failed := x.firstErr != nil
+	x.mu.Unlock()
+	if failed {
+		return
+	}
+	var err error
+	switch n.kind {
+	case nodeQuery:
+		err = x.runQueryNode(n)
+	default:
+		rows := 0
+		if n.runLocal != nil {
+			rows, err = n.runLocal(x)
+		}
+		// Local work is charged on the virtual clock at the mediator's
+		// application-code rate, not wall time, for determinism.
+		n.evalSec = float64(rows) * x.g.opts.Net.MediatorRowCostSec
+	}
+	if err != nil {
+		n.err = err
+		x.fail(err)
+	}
+}
+
+// runQueryNode executes every part of a (possibly merged) query node at
+// its source, in dependency order. Merged nodes interleave absorbed local
+// tasks (the inlined key-path combination) between their query parts.
+func (x *exec) runQueryNode(n *node) error {
+	if n.items != nil {
+		for _, item := range n.items {
+			if item.local != nil {
+				rows, err := item.local(x)
+				if err != nil {
+					return err
+				}
+				n.evalSec += float64(rows) * x.g.opts.Net.MediatorRowCostSec
+				continue
+			}
+			if item.pt == nil {
+				continue // absorbed barrier: nothing to execute
+			}
+			if err := x.runPart(n, item.pt); err != nil {
+				return err
+			}
+		}
+		// Ship to each consumer only the parts it actually consumes.
+		byOrigin := make(map[*node]int)
+		for _, item := range n.items {
+			if item.pt != nil && item.pt.out != nil && item.pt.origin != nil {
+				byOrigin[item.pt.origin] += item.pt.out.ByteSize()
+			}
+		}
+		for _, e := range n.out {
+			if e.bytes != 0 {
+				continue
+			}
+			if len(e.producers) == 0 {
+				e.bytes = n.outBytes
+				continue
+			}
+			for _, p := range e.producers {
+				e.bytes += byOrigin[p]
+			}
+		}
+		return nil
+	}
+	for _, pt := range n.parts {
+		if err := x.runPart(n, pt); err != nil {
+			return err
+		}
+	}
+	for _, e := range n.out {
+		if e.bytes == 0 {
+			e.bytes = n.outBytes
+		}
+	}
+	return nil
+}
+
+// runPart executes one query part at the node's source.
+func (x *exec) runPart(n *node, pt *part) error {
+	params, paramBytes, err := x.bindParams(pt)
+	if err != nil {
+		return fmt.Errorf("mediator: %s: %v", pt.name, err)
+	}
+	x.recordInputBytes(n, paramBytes)
+
+	opts := x.g.opts.PlanOpts
+	opts.ParamCards = make(map[string]int, len(params))
+	for name, b := range params {
+		opts.ParamCards[name] = len(b.Rows) + 1
+	}
+
+	var out *relstore.Table
+	var dur time.Duration
+	if n.source == MediatorSource {
+		start := time.Now()
+		out, err = sqlmini.Run(pt.name, pt.rw.query, x.g.reg, x.g.reg, x.g.reg, params, opts)
+		dur = time.Since(start)
+	} else {
+		src, gerr := x.g.reg.Get(n.source)
+		if gerr != nil {
+			return gerr
+		}
+		out, dur, err = src.Exec(pt.name, pt.rw.query, params, opts)
+	}
+	if err != nil {
+		return fmt.Errorf("mediator: %s: %v", pt.name, err)
+	}
+	pt.out = out
+	n.evalSec += dur.Seconds()
+	n.outBytes += out.ByteSize()
+	return nil
+}
+
+// recordInputBytes attributes the parameter-table volume (shipped
+// Mediator -> source as temporary tables) to the incoming edges from
+// mediator-local producers, split evenly among them.
+func (x *exec) recordInputBytes(n *node, paramBytes int) {
+	if paramBytes == 0 {
+		return
+	}
+	var locals []*edge
+	for _, e := range n.in {
+		if e.from.source == MediatorSource {
+			locals = append(locals, e)
+		}
+	}
+	if len(locals) == 0 {
+		return
+	}
+	share := paramBytes / len(locals)
+	for _, e := range locals {
+		e.bytes += share
+	}
+}
+
+// bindParams builds the runtime bindings of one part's parameter tables
+// from the store (and chain predecessors), returning the total volume of
+// the store-derived tables for communication accounting.
+func (x *exec) bindParams(pt *part) (sqlmini.Params, int, error) {
+	g := x.g
+	params := make(sqlmini.Params, len(pt.rw.specs))
+	for _, spec := range pt.rw.specs {
+		switch spec.kind {
+		case paramPrev:
+			if pt.prev == nil || pt.prev.out == nil {
+				return nil, 0, fmt.Errorf("chain step has no predecessor output")
+			}
+			params[spec.name] = sqlmini.TableBinding(pt.prev.out)
+		case paramParentIDs:
+			var rows []relstore.Tuple
+			for _, inst := range g.parentInstances(pt.parentCtx, pt.branch) {
+				rows = append(rows, relstore.Tuple{relstore.Int(int64(inst.id))})
+			}
+			params[spec.name] = sqlmini.Binding{Schema: spec.schema, Rows: rows}
+		case paramScalars, paramCollection:
+			var rows []relstore.Tuple
+			for _, inst := range g.parentInstances(pt.parentCtx, pt.branch) {
+				scope, err := g.instanceScope(pt.parentCtx, inst)
+				if err != nil {
+					return nil, 0, err
+				}
+				b, err := scope.ResolveBinding(spec.src)
+				if err != nil {
+					return nil, 0, err
+				}
+				idVal := relstore.Int(int64(inst.id))
+				for _, r := range b.Rows {
+					rows = append(rows, append(relstore.Tuple{idVal}, r...))
+				}
+			}
+			params[spec.name] = sqlmini.Binding{Schema: spec.schema, Rows: rows}
+		}
+	}
+	total := 0
+	for name, b := range params {
+		if name == aig.PrevParam {
+			continue
+		}
+		for _, r := range b.Rows {
+			total += r.ByteSize()
+		}
+	}
+	return params, total, nil
+}

@@ -1,0 +1,87 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/aig"
+)
+
+// Explain compiles the AIG into its query dependency graph, applies the
+// configured optimizations, and renders the resulting plan as text — the
+// counterpart of a relational EXPLAIN for AIG evaluation. Nothing is
+// executed; costs shown are the compile-time estimates the optimizer used
+// (§5.2).
+func (m *Mediator) Explain(a *aig.AIG) (string, error) {
+	g, err := compile(a, m.reg, m.opts)
+	if err != nil {
+		return "", err
+	}
+	merged := 0
+	if m.opts.Merge {
+		merged = g.mergeQueries()
+	}
+	p := schedule(g.nodes, m.opts.Net, m.opts.Schedule)
+	est := costOf(g.nodes, p, m.opts.Net, estimatedInputs(m.opts.Net))
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "dependency graph: %d nodes, %d edges", len(g.nodes), len(g.edges))
+	if m.opts.Merge {
+		fmt.Fprintf(&b, " (%d merged groups)", merged)
+	}
+	fmt.Fprintf(&b, "\nestimated response time: %.3fs\n", est)
+
+	sources := make([]string, 0, len(p.order))
+	for s := range p.order {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
+	for _, src := range sources {
+		var queries []*node
+		localCost := 0.0
+		for _, n := range p.order[src] {
+			if n.kind == nodeQuery {
+				queries = append(queries, n)
+			} else {
+				localCost += n.estCost
+			}
+		}
+		if src == MediatorSource {
+			fmt.Fprintf(&b, "\n%s: %d local tasks (est %.3fs application time)\n",
+				src, len(p.order[src])-len(queries), localCost)
+		} else {
+			fmt.Fprintf(&b, "\n%s: %d queries in schedule order\n", src, len(queries))
+		}
+		for i, n := range queries {
+			fmt.Fprintf(&b, "  %2d. %s (est %.3fs, ~%s out)\n", i+1, n.name, n.estCost, byteCount(n.estOutBytes))
+			for _, item := range n.items {
+				if item.pt != nil {
+					fmt.Fprintf(&b, "        part: %s\n", item.pt.rw.query)
+				}
+			}
+			for _, pt := range n.parts {
+				if n.items == nil {
+					fmt.Fprintf(&b, "        %s\n", pt.rw.query)
+				}
+			}
+			for _, e := range n.in {
+				if e.from.kind == nodeQuery || e.estBytes > 0 {
+					fmt.Fprintf(&b, "        <- %s (~%s shipped)\n", e.from.name, byteCount(e.estBytes))
+				}
+			}
+		}
+	}
+	return b.String(), nil
+}
+
+func byteCount(bytes float64) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%.1fMB", bytes/(1<<20))
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%.1fKB", bytes/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", bytes)
+	}
+}

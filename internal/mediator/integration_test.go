@@ -1,0 +1,69 @@
+package mediator
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/datagen"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// TestSmallDatasetIntegration runs the full pipeline — constraint
+// compilation, decomposition, unfolding, merge + schedule, set-oriented
+// execution, tagging — over the Table 1 "small" dataset, and checks the
+// Figure 10 trend: query merging reduces the simulated response time, and
+// merging's benefit grows with the unfolding level.
+func TestSmallDatasetIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test over the small Table 1 dataset")
+	}
+	cat := datagen.Generate(datagen.Small, 42)
+	a := hospital.Sigma0(true)
+	sa, err := specialize.CompileConstraints(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err = specialize.DecomposeQueries(sa, sqlmini.CatalogSchemas{Catalog: cat}, sqlmini.CatalogStats{Catalog: cat}, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := source.RegistryFromCatalog(cat)
+
+	ratios := make([]float64, 0, 2)
+	for _, depth := range []int{2, 4} {
+		unf, err := specialize.Unfold(sa, depth)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var times [2]float64
+		var docNodes [2]int
+		for i, merge := range []bool{false, true} {
+			opts := DefaultOptions()
+			opts.Merge = merge
+			m := New(reg, opts)
+			res, err := m.Evaluate(unf, hospital.RootInh(unf, datagen.Date(0)))
+			if err != nil {
+				t.Fatalf("depth %d merge %v: %v", depth, merge, err)
+			}
+			times[i] = res.Report.ResponseTimeSec
+			docNodes[i] = res.Doc.CountNodes()
+			if merge && res.Report.MergedGroups == 0 {
+				t.Errorf("depth %d: no merges found", depth)
+			}
+		}
+		if docNodes[0] != docNodes[1] {
+			t.Errorf("depth %d: merging changed the document size: %d vs %d", depth, docNodes[0], docNodes[1])
+		}
+		ratios = append(ratios, times[0]/times[1])
+	}
+	for i, r := range ratios {
+		if r < 0.95 {
+			t.Errorf("merging made evaluation slower at depth index %d: ratio %.3f", i, r)
+		}
+	}
+	if ratios[1] < ratios[0]-0.05 {
+		t.Errorf("merging benefit should grow with unfolding level: %.3f then %.3f", ratios[0], ratios[1])
+	}
+}

@@ -1,0 +1,240 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// ParentCol is the path-encoding column threaded through every
+// set-oriented query: the id of the parent element instance each output
+// tuple belongs to (§5.1 — "the output relation of each query contains
+// information that can uniquely identify the position of a node in the
+// XML tree").
+const ParentCol = "__parent"
+
+// paramKind classifies how a rewritten query consumes a parameter table.
+type paramKind int
+
+const (
+	// paramScalars: the parent instances' scalar inherited tuple, one row
+	// per parent, keyed by ParentCol (the paper's Tpatient).
+	paramScalars paramKind = iota
+	// paramCollection: a per-parent collection member flattened to
+	// (ParentCol, fields...) rows.
+	paramCollection
+	// paramParentIDs: just the parent ids, cross-joined when the query
+	// does not otherwise reference the parent.
+	paramParentIDs
+	// paramPrev: the output of the previous chain step (already carries
+	// ParentCol).
+	paramPrev
+)
+
+// paramSpec describes one parameter table of a rewritten query.
+type paramSpec struct {
+	name   string // parameter name in the rewritten query
+	kind   paramKind
+	src    aig.SourceRef   // attribute source for scalars/collections
+	schema relstore.Schema // binding schema including ParentCol
+}
+
+// rewritten is a set-oriented query plus its parameter-table specs.
+type rewritten struct {
+	query *sqlmini.Query
+	specs []paramSpec
+}
+
+// rewriteSetOriented converts a per-tuple rule query into its
+// set-oriented form: scalar parameter fields become equi-joins against a
+// parameter table of all parent instances, IN-parameters become
+// equi-joins against flattened collection tables, and the output gains
+// the ParentCol path column. prevSchema is non-nil for chain steps whose
+// $prev parameter carries the previous step's (already rewritten) output.
+//
+// attrSchema resolves a source reference to the schema its binding would
+// have in per-tuple mode (without ParentCol).
+func rewriteSetOriented(q *sqlmini.Query, params map[string]aig.SourceRef,
+	attrSchema func(aig.SourceRef) (relstore.Schema, error), prevSchema relstore.Schema) (*rewritten, error) {
+
+	out := q.Clone()
+	for _, item := range out.Select {
+		if item.OutputName() == ParentCol {
+			return nil, fmt.Errorf("mediator: query already outputs %s: %s", ParentCol, q)
+		}
+	}
+
+	used := make(map[string]bool)
+	for _, t := range out.From {
+		if t.IsParam() {
+			used[t.Param] = true
+		}
+	}
+
+	// Classify parameter usages in predicates.
+	scalarParams := make(map[string]bool)
+	inParams := make(map[string]bool)
+	for _, p := range out.Where {
+		switch p.Kind {
+		case sqlmini.PredColParam:
+			scalarParams[p.Param] = true
+		case sqlmini.PredColInParam:
+			inParams[p.Param] = true
+		}
+	}
+	for name := range scalarParams {
+		if inParams[name] {
+			return nil, fmt.Errorf("mediator: parameter $%s used both as scalar and as set in %s", name, q)
+		}
+	}
+
+	taken := make(map[string]bool)
+	for _, t := range out.From {
+		taken[t.BindName()] = true
+	}
+	nextAlias := 0
+	fresh := func() string {
+		for {
+			a := fmt.Sprintf("__p%d", nextAlias)
+			nextAlias++
+			if !taken[a] {
+				taken[a] = true
+				return a
+			}
+		}
+	}
+
+	var rw rewritten
+	alias := make(map[string]string) // param name -> table alias
+	var anchors []string             // aliases carrying ParentCol
+
+	// Parameter-table columns are renamed with a reserved prefix so they
+	// can never make the query's own unqualified column references
+	// ambiguous (Q4's "trId" vs the trIdS collection's "trId").
+	addParamTable := func(name string, kind paramKind, src aig.SourceRef, fields relstore.Schema) {
+		a := fresh()
+		alias[name] = a
+		anchors = append(anchors, a)
+		schema := relstore.Schema{{Name: ParentCol, Kind: relstore.KindInt}}
+		for _, f := range fields {
+			schema = append(schema, relstore.Column{Name: paramField(f.Name), Kind: f.Kind})
+		}
+		out.From = append(out.From, sqlmini.TableRef{Param: name, Alias: a})
+		rw.specs = append(rw.specs, paramSpec{name: name, kind: kind, src: src, schema: schema})
+	}
+
+	names := make([]string, 0, len(scalarParams)+len(inParams))
+	for n := range scalarParams {
+		names = append(names, n)
+	}
+	for n := range inParams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		src, ok := params[name]
+		if !ok {
+			return nil, fmt.Errorf("mediator: parameter $%s has no source in %s", name, q)
+		}
+		fields, err := attrSchema(src)
+		if err != nil {
+			return nil, err
+		}
+		if inParams[name] {
+			if len(fields) != 1 {
+				return nil, fmt.Errorf("mediator: IN parameter $%s must have one column, has %d", name, len(fields))
+			}
+			addParamTable(name, paramCollection, src, fields)
+		} else {
+			addParamTable(name, paramScalars, src, fields)
+		}
+	}
+
+	// Rewrite parameter predicates into joins.
+	for i, p := range out.Where {
+		switch p.Kind {
+		case sqlmini.PredColParam:
+			out.Where[i] = sqlmini.Pred{
+				Kind:  sqlmini.PredColCol,
+				Op:    p.Op,
+				Left:  p.Left,
+				Right: sqlmini.ColRef{Table: alias[p.Param], Column: paramField(p.ParamField)},
+			}
+		case sqlmini.PredColInParam:
+			src := params[p.Param]
+			fields, err := attrSchema(src)
+			if err != nil {
+				return nil, err
+			}
+			out.Where[i] = sqlmini.Pred{
+				Kind:  sqlmini.PredColCol,
+				Op:    sqlmini.OpEq,
+				Left:  p.Left,
+				Right: sqlmini.ColRef{Table: alias[p.Param], Column: paramField(fields[0].Name)},
+			}
+		}
+	}
+
+	// Chain steps: the $prev table already carries ParentCol and anchors
+	// the output when present.
+	if prevSchema != nil {
+		prevAlias := ""
+		for _, t := range out.From {
+			if t.IsParam() && t.Param == aig.PrevParam {
+				prevAlias = t.BindName()
+			}
+		}
+		if prevAlias == "" {
+			return nil, fmt.Errorf("mediator: chain step does not reference $%s: %s", aig.PrevParam, q)
+		}
+		rw.specs = append(rw.specs, paramSpec{name: aig.PrevParam, kind: paramPrev, schema: prevSchema})
+		anchors = append(anchors, prevAlias)
+	}
+
+	// No parent reference at all: cross-join the parent-id table so every
+	// parent instance receives the full result.
+	if len(anchors) == 0 {
+		a := fresh()
+		schema := relstore.Schema{{Name: ParentCol, Kind: relstore.KindInt}}
+		out.From = append(out.From, sqlmini.TableRef{Param: "__parents", Alias: a})
+		rw.specs = append(rw.specs, paramSpec{name: "__parents", kind: paramParentIDs, schema: schema})
+		anchors = append(anchors, a)
+	}
+
+	// All anchors must agree on the parent (they describe the same parent
+	// instance).
+	for _, a := range anchors[1:] {
+		out.Where = append(out.Where, sqlmini.Pred{
+			Kind:  sqlmini.PredColCol,
+			Op:    sqlmini.OpEq,
+			Left:  sqlmini.ColRef{Table: a, Column: ParentCol},
+			Right: sqlmini.ColRef{Table: anchors[0], Column: ParentCol},
+		})
+	}
+
+	// Output the path column first.
+	out.Select = append([]sqlmini.SelectItem{{
+		Expr: sqlmini.ColRef{Table: anchors[0], Column: ParentCol},
+		As:   ParentCol,
+	}}, out.Select...)
+
+	rw.query = out
+	return &rw, nil
+}
+
+// paramField is the reserved name of an attribute field inside a
+// parameter table.
+func paramField(name string) string { return "__f_" + name }
+
+// paramSchemasOf builds the sqlmini.ParamSchemas of a rewritten query for
+// resolution and cost estimation.
+func (rw *rewritten) paramSchemas() sqlmini.ParamSchemas {
+	out := make(sqlmini.ParamSchemas, len(rw.specs))
+	for _, s := range rw.specs {
+		out[s.name] = s.schema
+	}
+	return out
+}

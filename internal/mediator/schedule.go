@@ -1,0 +1,120 @@
+package mediator
+
+import (
+	"sort"
+)
+
+// plan is an execution plan P: one ordered query sequence per source
+// (including the mediator's local-task sequence).
+type plan struct {
+	order map[string][]*node
+}
+
+// schedule computes an execution plan for the given nodes. ScheduleLevel
+// is Algorithm Schedule of §5.3: each node's priority ℓevel(Q) is its
+// estimated evaluation cost plus the maximum downstream path cost
+// (including communication), and every source executes its nodes in
+// decreasing priority. ScheduleFIFO orders by construction index, the
+// ablation baseline.
+func schedule(nodes []*node, net NetModel, algo ScheduleAlgo) *plan {
+	p := &plan{order: make(map[string][]*node)}
+	for _, n := range nodes {
+		p.order[n.source] = append(p.order[n.source], n)
+	}
+	switch algo {
+	case ScheduleFIFO:
+		// No prioritization: graph-discovery order, but kept consistent
+		// with the dependency partial order (a schedule that contradicts
+		// it would deadlock the source workers).
+		pos := make(map[*node]int, len(nodes))
+		for i, n := range topoOrder(nodes) {
+			pos[n] = i
+		}
+		for _, ns := range p.order {
+			sort.SliceStable(ns, func(i, j int) bool { return pos[ns[i]] < pos[ns[j]] })
+		}
+	default:
+		level := levels(nodes, net)
+		for _, ns := range p.order {
+			sort.SliceStable(ns, func(i, j int) bool {
+				li, lj := level[ns[i]], level[ns[j]]
+				if li != lj {
+					return li > lj
+				}
+				return ns[i].idx < ns[j].idx
+			})
+		}
+	}
+	return p
+}
+
+// levels computes ℓevel(Q) for every node in reverse topological order
+// (steps 1-6 of Fig. 8).
+func levels(nodes []*node, net NetModel) map[*node]float64 {
+	order := topoOrder(nodes)
+	level := make(map[*node]float64, len(nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		l := 0.0
+		for _, e := range n.out {
+			t := net.TransCost(n.source, e.to.source, int(e.estBytes)) + level[e.to]
+			if t > l {
+				l = t
+			}
+		}
+		// Force a strictly positive cost so priorities strictly decrease
+		// along edges, keeping per-source schedules consistent with the
+		// dependency partial order.
+		c := n.estCost
+		if c <= 0 {
+			c = 1e-9
+		}
+		level[n] = l + c
+	}
+	return level
+}
+
+// topoOrder returns the nodes in a topological order of the dependency
+// edges (Kahn's algorithm, stable by construction index).
+func topoOrder(nodes []*node) []*node {
+	indeg := make(map[*node]int, len(nodes))
+	inSet := make(map[*node]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	for _, n := range nodes {
+		for _, e := range n.in {
+			if inSet[e.from] {
+				indeg[n]++
+			}
+		}
+	}
+	ready := make([]*node, 0, len(nodes))
+	for _, n := range nodes {
+		if indeg[n] == 0 {
+			ready = append(ready, n)
+		}
+	}
+	var out []*node
+	for len(ready) > 0 {
+		sort.SliceStable(ready, func(i, j int) bool { return ready[i].idx < ready[j].idx })
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		for _, e := range n.out {
+			if !inSet[e.to] {
+				continue
+			}
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				ready = append(ready, e.to)
+			}
+		}
+	}
+	return out
+}
+
+// isAcyclic reports whether the node set's dependency edges form a DAG.
+func isAcyclic(nodes []*node) bool {
+	return len(topoOrder(nodes)) == len(nodes)
+}

@@ -1,0 +1,156 @@
+package mediator
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// contentionWorkload builds a grammar designed to expose scheduling
+// quality: several independent "cheap" star subtrees all querying DB1,
+// plus one critical chain of nested stars alternating DB1/DB2 whose
+// downstream path dominates the response time. FIFO (construction order)
+// queues the cheap DB1 queries ahead of the chain's DB1 steps; Algorithm
+// Schedule (§5.3) prioritizes the chain by its path cost.
+func contentionWorkload(t testing.TB) (*aig.AIG, *source.Registry) {
+	t.Helper()
+	const cheapCount = 6
+	const chainDepth = 4
+
+	dtdText := "<!ELEMENT root ("
+	for i := 0; i < cheapCount; i++ {
+		dtdText += fmt.Sprintf("cheap%d, ", i)
+	}
+	dtdText += "chain1)>\n"
+	for i := 0; i < cheapCount; i++ {
+		dtdText += fmt.Sprintf("<!ELEMENT cheap%d (leaf*)>\n", i)
+	}
+	for i := 1; i <= chainDepth; i++ {
+		next := fmt.Sprintf("(chain%d*)", i+1)
+		if i == chainDepth {
+			next = "(leaf*)"
+		}
+		dtdText += fmt.Sprintf("<!ELEMENT chain%d %s>\n", i, next)
+	}
+	dtdText += "<!ELEMENT leaf (#PCDATA)>\n"
+	d, err := dtd.Parse(dtdText)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cat := relstore.NewCatalog()
+	db1 := relstore.NewDatabase("DB1")
+	db2 := relstore.NewDatabase("DB2")
+	// Cheap tables: moderate scans on DB1.
+	cheapTbl := db1.CreateTable("cheap", relstore.MustSchema("v:string"))
+	for i := 0; i < 400; i++ {
+		cheapTbl.MustInsert(relstore.Tuple{relstore.String(fmt.Sprintf("c%04d", i))})
+	}
+	// Chain tables: parent-linked rows, alternating sources.
+	for i := 1; i <= chainDepth; i++ {
+		db := db1
+		if i%2 == 0 {
+			db = db2
+		}
+		tbl := db.CreateTable(fmt.Sprintf("link%d", i), relstore.MustSchema("id:string", "parent:string"))
+		for j := 0; j < 60; j++ {
+			parent := "root"
+			if i > 1 {
+				parent = fmt.Sprintf("n%d_%04d", i-1, j)
+			}
+			tbl.MustInsert(relstore.Tuple{relstore.String(fmt.Sprintf("n%d_%04d", i, j)), relstore.String(parent)})
+		}
+	}
+	cat.Add(db1)
+	cat.Add(db2)
+
+	a := aig.New(d)
+	a.Inh["leaf"] = aig.Attr(aig.StringMember("v"))
+	a.Rules["leaf"] = &aig.Rule{Elem: "leaf", TextSrc: aig.InhOf("leaf", "v")}
+	rootRule := &aig.Rule{Elem: "root", Inh: map[string]*aig.InhRule{}}
+	a.Rules["root"] = rootRule
+	for i := 0; i < cheapCount; i++ {
+		name := fmt.Sprintf("cheap%d", i)
+		a.Inh[name] = aig.Attr()
+		a.Rules[name] = &aig.Rule{
+			Elem: name,
+			Inh: map[string]*aig.InhRule{
+				"leaf": {Child: "leaf", Query: sqlmini.MustParse(`select v from DB1:cheap`)},
+			},
+		}
+	}
+	for i := 1; i <= chainDepth; i++ {
+		name := fmt.Sprintf("chain%d", i)
+		a.Inh[name] = aig.Attr(aig.StringMember("id"))
+	}
+	for i := 1; i <= chainDepth; i++ {
+		name := fmt.Sprintf("chain%d", i)
+		child := fmt.Sprintf("chain%d", i+1)
+		srcDB := "DB1"
+		if i%2 == 0 {
+			srcDB = "DB2"
+		}
+		q := sqlmini.MustParse(fmt.Sprintf(
+			`select id from %s:link%d where parent = $v.id`, srcDB, i))
+		if i == chainDepth {
+			child = "leaf"
+			q = sqlmini.MustParse(fmt.Sprintf(
+				`select id as v from %s:link%d where parent = $v.id`, srcDB, i))
+		}
+		a.Rules[name] = &aig.Rule{
+			Elem: name,
+			Inh: map[string]*aig.InhRule{
+				child: {Child: child, Query: q,
+					QueryParams: aig.ParamMap("v", aig.InhOf(name, ""))},
+			},
+		}
+	}
+	// chain1 spawns from root with id "root"... root has no scalar; give
+	// chain1 a fixed entry: query selecting roots from link0? Simpler:
+	// root copies a constant via the first link table: chain1's inh is
+	// seeded by a query for parent = 'root' over link1 on DB1.
+	rootRule.Inh["chain1"] = &aig.InhRule{
+		Child: "chain1",
+		Query: sqlmini.MustParse(`select parent as id from DB1:link1 where parent = 'root'`),
+	}
+	// chain_{depth+1} unused as element (leaf took its place); drop decl.
+
+	reg := source.RegistryFromCatalog(cat)
+	if err := a.Validate(reg); err != nil {
+		t.Fatalf("workload invalid: %v", err)
+	}
+	return a, reg
+}
+
+// TestLevelSchedulingBeatsFIFO checks that Algorithm Schedule's
+// path-cost priorities shorten the response time on a workload with
+// per-source contention between critical and non-critical queries.
+func TestLevelSchedulingBeatsFIFO(t *testing.T) {
+	a, reg := contentionWorkload(t)
+	resp := make(map[ScheduleAlgo]float64)
+	var docs [2]int
+	for i, algo := range []ScheduleAlgo{ScheduleLevel, ScheduleFIFO} {
+		opts := DefaultOptions()
+		opts.Merge = false // isolate scheduling
+		opts.Schedule = algo
+		m := New(reg, opts)
+		res, err := m.Evaluate(a, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp[algo] = res.Report.ResponseTimeSec
+		docs[i] = res.Doc.CountNodes()
+	}
+	if docs[0] != docs[1] {
+		t.Fatalf("schedules produced different documents: %d vs %d nodes", docs[0], docs[1])
+	}
+	if resp[ScheduleLevel] >= resp[ScheduleFIFO] {
+		t.Errorf("level scheduling (%.3fs) not better than FIFO (%.3fs) on the contention workload",
+			resp[ScheduleLevel], resp[ScheduleFIFO])
+	}
+}

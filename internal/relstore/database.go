@@ -1,0 +1,141 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Database is a named collection of tables — one of the paper's relational
+// sources (DB1..DB4). Table names are unique within a database.
+type Database struct {
+	name string
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database with the given name.
+func NewDatabase(name string) *Database {
+	return &Database{name: name, tables: make(map[string]*Table)}
+}
+
+// Name returns the database's name.
+func (db *Database) Name() string { return db.name }
+
+// AddTable registers a table. It replaces any existing table with the same
+// name, which is how the mediator installs temporary parameter tables.
+func (db *Database) AddTable(t *Table) {
+	db.mu.Lock()
+	db.tables[t.Name()] = t
+	db.mu.Unlock()
+}
+
+// CreateTable creates, registers and returns an empty table.
+func (db *Database) CreateTable(name string, schema Schema) *Table {
+	t := NewTable(name, schema)
+	db.AddTable(t)
+	return t
+}
+
+// DropTable removes the named table if present.
+func (db *Database) DropTable(name string) {
+	db.mu.Lock()
+	delete(db.tables, name)
+	db.mu.Unlock()
+}
+
+// Table returns the named table, or an error naming the database if it is
+// absent.
+func (db *Database) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	t, ok := db.tables[name]
+	db.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q in database %q", name, db.name)
+	}
+	return t, nil
+}
+
+// HasTable reports whether the named table exists.
+func (db *Database) HasTable(name string) bool {
+	db.mu.RLock()
+	_, ok := db.tables[name]
+	db.mu.RUnlock()
+	return ok
+}
+
+// TableNames returns the table names in sorted order, for deterministic
+// iteration.
+func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	db.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Clone returns a deep copy of the database.
+func (db *Database) Clone() *Database {
+	out := NewDatabase(db.name)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for n, t := range db.tables {
+		out.tables[n] = t.Clone()
+	}
+	return out
+}
+
+// Catalog maps database names to databases. The AIG evaluators resolve
+// source-qualified table references like "DB1:patient" against a catalog.
+type Catalog struct {
+	mu  sync.RWMutex
+	dbs map[string]*Database
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{dbs: make(map[string]*Database)}
+}
+
+// Add registers a database, replacing any previous one with the same name.
+func (c *Catalog) Add(db *Database) {
+	c.mu.Lock()
+	c.dbs[db.Name()] = db
+	c.mu.Unlock()
+}
+
+// Database returns the named database, or an error if absent.
+func (c *Catalog) Database(name string) (*Database, error) {
+	c.mu.RLock()
+	db, ok := c.dbs[name]
+	c.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("relstore: no database %q in catalog", name)
+	}
+	return db, nil
+}
+
+// Table resolves a source-qualified table reference.
+func (c *Catalog) Table(dbName, tableName string) (*Table, error) {
+	db, err := c.Database(dbName)
+	if err != nil {
+		return nil, err
+	}
+	return db.Table(tableName)
+}
+
+// DatabaseNames returns the registered database names in sorted order.
+func (c *Catalog) DatabaseNames() []string {
+	c.mu.RLock()
+	names := make([]string, 0, len(c.dbs))
+	for n := range c.dbs {
+		names = append(names, n)
+	}
+	c.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,246 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Table is an in-memory relation: a schema plus an ordered multiset of
+// tuples. Hash indexes are built lazily per column set and invalidated on
+// mutation. Tables are safe for concurrent readers; writers must be
+// externally serialized with respect to readers (the mediator ships
+// immutable result tables, so this matches usage).
+type Table struct {
+	name   string
+	schema Schema
+	rows   []Tuple
+
+	mu      sync.Mutex
+	indexes map[string]*hashIndex
+}
+
+type hashIndex struct {
+	cols    []int
+	buckets map[string][]int // tuple key -> row positions
+}
+
+// NewTable creates an empty table with the given name and schema.
+func NewTable(name string, schema Schema) *Table {
+	return &Table{name: name, schema: schema}
+}
+
+// Name returns the table's name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table's schema. Callers must not mutate it.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Len returns the number of tuples (the relation's cardinality).
+func (t *Table) Len() int { return len(t.rows) }
+
+// Row returns the i-th tuple. Callers must not mutate it.
+func (t *Table) Row(i int) Tuple { return t.rows[i] }
+
+// Rows returns the underlying tuple slice. Callers must not mutate it;
+// use Insert to add rows.
+func (t *Table) Rows() []Tuple { return t.rows }
+
+// Insert appends a tuple after validating it against the schema.
+func (t *Table) Insert(row Tuple) error {
+	if err := t.schema.Validate(row); err != nil {
+		return fmt.Errorf("table %q: %v", t.name, err)
+	}
+	t.mu.Lock()
+	t.rows = append(t.rows, row)
+	t.indexes = nil // invalidate
+	t.mu.Unlock()
+	return nil
+}
+
+// MustInsert is Insert panicking on error, for tests and generators whose
+// tuples are constructed from the schema itself.
+func (t *Table) MustInsert(row Tuple) {
+	if err := t.Insert(row); err != nil {
+		panic(err)
+	}
+}
+
+// InsertValues builds a tuple by parsing each argument according to the
+// schema column kinds and inserts it. Arguments may be int64, int, string
+// or Value.
+func (t *Table) InsertValues(vals ...any) error {
+	if len(vals) != len(t.schema) {
+		return fmt.Errorf("table %q: %d values for %d columns", t.name, len(vals), len(t.schema))
+	}
+	row := make(Tuple, len(vals))
+	for i, raw := range vals {
+		switch v := raw.(type) {
+		case Value:
+			row[i] = v
+		case int:
+			row[i] = Int(int64(v))
+		case int64:
+			row[i] = Int(v)
+		case string:
+			if t.schema[i].Kind == KindInt {
+				parsed, err := ParseValue(KindInt, v)
+				if err != nil {
+					return err
+				}
+				row[i] = parsed
+			} else {
+				row[i] = String(v)
+			}
+		case nil:
+			row[i] = Null
+		default:
+			return fmt.Errorf("table %q: unsupported value %T", t.name, raw)
+		}
+	}
+	return t.Insert(row)
+}
+
+// Lookup returns the positions of all rows whose projection onto cols
+// equals key. It builds (and caches) a hash index on cols on first use.
+func (t *Table) Lookup(cols []int, key Tuple) []int {
+	idx := t.index(cols)
+	return idx.buckets[key.Key()]
+}
+
+// LookupKey is Lookup with a precomputed Tuple.Key, avoiding the
+// projection allocation in join inner loops.
+func (t *Table) LookupKey(cols []int, key string) []int {
+	idx := t.index(cols)
+	return idx.buckets[key]
+}
+
+func (t *Table) index(cols []int) *hashIndex {
+	sig := indexSignature(cols)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.indexes == nil {
+		t.indexes = make(map[string]*hashIndex)
+	}
+	if idx, ok := t.indexes[sig]; ok {
+		return idx
+	}
+	idx := &hashIndex{cols: cols, buckets: make(map[string][]int)}
+	for i, row := range t.rows {
+		k := row.KeyOn(cols)
+		idx.buckets[k] = append(idx.buckets[k], i)
+	}
+	t.indexes[sig] = idx
+	return idx
+}
+
+func indexSignature(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// DistinctCount returns the number of distinct values in the given column,
+// used by selectivity estimation.
+func (t *Table) DistinctCount(col int) int {
+	seen := make(map[string]struct{}, len(t.rows))
+	for _, row := range t.rows {
+		seen[row[col].Key()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// ByteSize returns the approximate total wire size of the table's rows.
+func (t *Table) ByteSize() int {
+	n := 0
+	for _, row := range t.rows {
+		n += row.ByteSize()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the table (indexes are not copied).
+func (t *Table) Clone() *Table {
+	out := NewTable(t.name, t.schema)
+	out.rows = make([]Tuple, len(t.rows))
+	for i, row := range t.rows {
+		out.rows[i] = row.Clone()
+	}
+	return out
+}
+
+// Sort orders the table's rows lexicographically by the given columns
+// (all columns when cols is nil). Sorting is stable. The tagger relies on
+// this to group rows by their path-encoding prefix.
+func (t *Table) Sort(cols []int) {
+	t.mu.Lock()
+	t.indexes = nil
+	t.mu.Unlock()
+	sort.SliceStable(t.rows, func(i, j int) bool {
+		a, b := t.rows[i], t.rows[j]
+		if cols == nil {
+			return a.Compare(b) < 0
+		}
+		for _, c := range cols {
+			if cmp := a[c].Compare(b[c]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// Distinct removes duplicate rows in place, keeping first occurrences.
+func (t *Table) Distinct() {
+	seen := make(map[string]struct{}, len(t.rows))
+	out := t.rows[:0]
+	for _, row := range t.rows {
+		k := row.Key()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, row)
+	}
+	t.mu.Lock()
+	t.rows = out
+	t.indexes = nil
+	t.mu.Unlock()
+}
+
+// Equal reports whether two tables have equal schemas and equal rows as
+// multisets (order-insensitive).
+func (t *Table) Equal(u *Table) bool {
+	if !t.schema.Equal(u.schema) || len(t.rows) != len(u.rows) {
+		return false
+	}
+	counts := make(map[string]int, len(t.rows))
+	for _, row := range t.rows {
+		counts[row.Key()]++
+	}
+	for _, row := range u.rows {
+		counts[row.Key()]--
+		if counts[row.Key()] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the table with its schema and up to 20 rows, for
+// debugging and error messages.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s%s [%d rows]", t.name, t.schema, len(t.rows))
+	for i, row := range t.rows {
+		if i == 20 {
+			b.WriteString("\n  ...")
+			break
+		}
+		b.WriteString("\n  " + row.String())
+	}
+	return b.String()
+}

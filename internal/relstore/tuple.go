@@ -1,0 +1,112 @@
+package relstore
+
+import "strings"
+
+// Tuple is a single row of a relation: an ordered list of values.
+type Tuple []Value
+
+// Clone returns a copy of the tuple that shares no storage with the
+// original.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Equal reports whether two tuples have the same length and pairwise-equal
+// values.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(u[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by their values. Shorter tuples
+// that are prefixes of longer ones sort first.
+func (t Tuple) Compare(u Tuple) int {
+	n := len(t)
+	if len(u) < n {
+		n = len(u)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(u[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(u):
+		return -1
+	case len(t) > len(u):
+		return 1
+	}
+	return 0
+}
+
+// Project returns the tuple restricted to the values at the given
+// positions.
+func (t Tuple) Project(idx []int) Tuple {
+	out := make(Tuple, len(idx))
+	for i, j := range idx {
+		out[i] = t[j]
+	}
+	return out
+}
+
+// Concat returns the concatenation of two tuples as a new tuple.
+func (t Tuple) Concat(u Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(u))
+	out = append(out, t...)
+	out = append(out, u...)
+	return out
+}
+
+// Key returns a string that uniquely encodes the tuple's values, usable as
+// a Go map key for hash joins, duplicate elimination and index lookups.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte(0x1f) // unit separator: cannot appear in Value.Key output ambiguity
+		}
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// KeyOn returns the Key of the projection of the tuple onto the given
+// column positions without materializing the projection.
+func (t Tuple) KeyOn(idx []int) string {
+	var b strings.Builder
+	for i, j := range idx {
+		if i > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(t[j].Key())
+	}
+	return b.String()
+}
+
+// ByteSize returns the approximate wire size of the tuple in bytes, used by
+// the communication cost model.
+func (t Tuple) ByteSize() int {
+	n := 0
+	for _, v := range t {
+		n += v.ByteSize()
+	}
+	return n
+}
+
+// String renders the tuple as "(v1, v2, ...)" for debugging.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

@@ -1,0 +1,204 @@
+package relstore
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{KindNull: "null", KindInt: "int", KindString: "string", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Kind
+		ok   bool
+	}{
+		{"int", KindInt, true},
+		{"INTEGER", KindInt, true},
+		{" string ", KindString, true},
+		{"varchar", KindString, true},
+		{"text", KindString, true},
+		{"null", KindNull, true},
+		{"bogus", KindNull, false},
+	} {
+		got, err := ParseKind(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseKind(%q) error = %v, want ok=%v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseKind(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if v := Int(42); v.Kind() != KindInt || v.AsInt() != 42 || v.IsNull() {
+		t.Errorf("Int(42) misbehaves: %v", v)
+	}
+	if v := String("x"); v.Kind() != KindString || v.AsString() != "x" {
+		t.Errorf("String(x) misbehaves: %v", v)
+	}
+	if !Null.IsNull() {
+		t.Error("Null.IsNull() = false")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("AsInt on string value did not panic")
+		}
+	}()
+	String("x").AsInt()
+}
+
+func TestValueText(t *testing.T) {
+	for _, tc := range []struct {
+		v    Value
+		want string
+	}{
+		{Int(-7), "-7"},
+		{String("hello"), "hello"},
+		{Null, ""},
+	} {
+		if got := tc.v.Text(); got != tc.want {
+			t.Errorf("%v.Text() = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	for _, v := range []Value{Int(0), Int(-123), Int(99999), String(""), String("a,b"), Null} {
+		got, err := ParseValue(v.Kind(), v.Text())
+		if err != nil {
+			t.Fatalf("ParseValue(%v, %q): %v", v.Kind(), v.Text(), err)
+		}
+		// Empty int text parses to Null; that's the only lossy case and only
+		// for Null itself.
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %q -> %v", v, v.Text(), got)
+		}
+	}
+	if _, err := ParseValue(KindInt, "not-a-number"); err == nil {
+		t.Error("ParseValue(int, junk) succeeded")
+	}
+}
+
+func TestValueEqualAndCompare(t *testing.T) {
+	if !Int(1).Equal(Int(1)) || Int(1).Equal(Int(2)) {
+		t.Error("Int equality broken")
+	}
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Error("String equality broken")
+	}
+	if Int(1).Equal(String("1")) {
+		t.Error("cross-kind values compare equal")
+	}
+	if !Null.Equal(Null) {
+		t.Error("Null != Null")
+	}
+	ordered := []Value{Null, Int(-5), Int(0), Int(7), String(""), String("a"), String("b")}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueKeyInjective(t *testing.T) {
+	vals := []Value{Null, Int(1), Int(-1), String("1"), String("i1"), String(""), String("n")}
+	seen := make(map[string]Value)
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup && !prev.Equal(v) {
+			t.Errorf("Key collision: %v and %v both map to %q", prev, v, k)
+		}
+		seen[k] = v
+	}
+}
+
+// randomValue produces an arbitrary Value for property tests.
+func randomValue(r *rand.Rand) Value {
+	switch r.Intn(3) {
+	case 0:
+		return Int(r.Int63n(1000) - 500)
+	case 1:
+		letters := "abcdefgh"
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return String(string(b))
+	default:
+		return Null
+	}
+}
+
+type quickValue struct{ V Value }
+
+func (quickValue) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(quickValue{V: randomValue(r)})
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestValueCompareProperties(t *testing.T) {
+	f := func(a, b quickValue) bool {
+		c1, c2 := a.V.Compare(b.V), b.V.Compare(a.V)
+		if c1 != -c2 {
+			return false
+		}
+		if (c1 == 0) != a.V.Equal(b.V) {
+			return false
+		}
+		return a.V.Equal(b.V) == (a.V.Key() == b.V.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: text round trip preserves equality for non-null values.
+func TestValueTextRoundTripProperty(t *testing.T) {
+	f := func(a quickValue) bool {
+		if a.V.IsNull() {
+			return true
+		}
+		got, err := ParseValue(a.V.Kind(), a.V.Text())
+		return err == nil && got.Equal(a.V)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueByteSize(t *testing.T) {
+	if Int(5).ByteSize() != 8 {
+		t.Errorf("Int.ByteSize() = %d, want 8", Int(5).ByteSize())
+	}
+	if got := String("abc").ByteSize(); got != 7 {
+		t.Errorf("String(abc).ByteSize() = %d, want 7", got)
+	}
+	if Null.ByteSize() != 1 {
+		t.Error("Null.ByteSize() != 1")
+	}
+}

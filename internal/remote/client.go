@@ -1,0 +1,171 @@
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// Client is a source.Source backed by a remote Server. Requests are
+// serialized over a single persistent connection (the engine executes one
+// query at a time per client, matching the per-source schedules of §5.3).
+type Client struct {
+	name string
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a remote source. name is the source's database name as
+// used in source-qualified table references.
+func Dial(name, addr string) (*Client, error) {
+	registerGob()
+	c := &Client{name: name, addr: addr}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	// Verify liveness.
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqPing}, &resp); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("remote: dialing source %s at %s: %v", c.name, c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Close drops the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn != nil {
+		err := c.conn.Close()
+		c.conn = nil
+		return err
+	}
+	return nil
+}
+
+func (c *Client) roundTrip(req *request, resp *response) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		if err := c.connect(); err != nil {
+			return err
+		}
+	}
+	if err := c.enc.Encode(req); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return fmt.Errorf("remote: sending to %s: %v", c.name, err)
+	}
+	if err := c.dec.Decode(resp); err != nil {
+		c.conn.Close()
+		c.conn = nil
+		return fmt.Errorf("remote: receiving from %s: %v", c.name, err)
+	}
+	if resp.Err != "" {
+		return fmt.Errorf("remote: source %s: %s", c.name, resp.Err)
+	}
+	return nil
+}
+
+// Name implements source.Source.
+func (c *Client) Name() string { return c.name }
+
+// TableSchema implements source.Source.
+func (c *Client) TableSchema(table string) (relstore.Schema, error) {
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqSchema, Table: table}, &resp); err != nil {
+		return nil, err
+	}
+	return relstore.ParseSchema(resp.SchemaSpec)
+}
+
+// TableCard implements source.Source.
+func (c *Client) TableCard(table string) (int, error) {
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqCard, Table: table}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Card, nil
+}
+
+// ColumnDistinct implements source.Source.
+func (c *Client) ColumnDistinct(table, column string) (int, error) {
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqDistinct, Table: table, Column: column}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Card, nil
+}
+
+// Estimate implements source.Source (the costing API of §5.2).
+func (c *Client) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (source.Estimate, error) {
+	req := &request{
+		Kind:         reqEstimate,
+		SQL:          q.String(),
+		ParamSchemas: make(map[string][]string, len(params)),
+		ParamCards:   opts.ParamCards,
+		DefaultCard:  opts.DefaultParamCard,
+	}
+	for name, schema := range params {
+		spec := make([]string, len(schema))
+		for i, col := range schema {
+			spec[i] = col.String()
+		}
+		req.ParamSchemas[name] = spec
+	}
+	var resp response
+	if err := c.roundTrip(req, &resp); err != nil {
+		return source.Estimate{}, err
+	}
+	return source.Estimate{Cost: resp.EstCost, Rows: resp.EstRows, Bytes: resp.EstBytes}, nil
+}
+
+// Exec implements source.Source: the query ships as SQL text with its
+// parameter tables; the result table and the engine-measured evaluation
+// time ship back.
+func (c *Client) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
+	req := &request{
+		Kind:        reqExec,
+		SQL:         q.String(),
+		ResultName:  name,
+		Params:      make(map[string]wireTable, len(params)),
+		ParamCards:  opts.ParamCards,
+		DefaultCard: opts.DefaultParamCard,
+	}
+	for pname, b := range params {
+		req.Params[pname] = tableToWire(b.Schema, b.Rows)
+	}
+	var resp response
+	if err := c.roundTrip(req, &resp); err != nil {
+		return nil, 0, err
+	}
+	out, err := tableFromWire(name, resp.Result)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, time.Duration(resp.EvalNanos), nil
+}
+
+var _ source.Source = (*Client)(nil)

@@ -1,0 +1,115 @@
+package remote
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+func TestClientSurvivesServerRestart(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	db, err := cat.Database("DB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial("DB1", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if _, err := client.TableCard("patient"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the server: the in-flight connection dies; requests fail.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.TableCard("patient"); err == nil {
+		t.Fatal("request against a dead server succeeded")
+	}
+	// Restart on the same address; the client reconnects transparently.
+	srv2 := NewServer(db)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	n, err := client.TableCard("patient")
+	if err != nil || n != 3 {
+		t.Fatalf("after restart: %d, %v", n, err)
+	}
+}
+
+func TestClientConcurrentRequests(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	db, err := cat.Database("DB3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial("DB3", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	q := sqlmini.MustParse(`select trId, price from DB3:billing where price > 0`)
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, _, err := client.Exec("out", q, nil, sqlmini.PlanOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if out.Len() != 5 {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsBadSQL(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	db, _ := cat.Database("DB1")
+	srv := NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial("DB1", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	// Estimation with an unknown parameter errors cleanly, and the
+	// connection keeps working afterwards.
+	q := sqlmini.MustParse(`select SSN from DB1:patient where SSN = $v.ghost`)
+	if _, err := client.Estimate(q, sqlmini.ParamSchemas{"v": nil}, sqlmini.PlanOptions{}); err == nil {
+		t.Error("bad parameter estimate succeeded")
+	}
+	if _, err := client.TableCard("patient"); err != nil {
+		t.Errorf("connection unusable after server-side error: %v", err)
+	}
+}

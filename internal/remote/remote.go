@@ -1,0 +1,227 @@
+// Package remote exposes a relstore database as an AIG data source over
+// TCP, and provides the client that makes a remote engine usable wherever
+// a source.Source is expected. The wire protocol is a simple
+// length-delimited gob stream: each request carries a SQL string plus
+// parameter tables, each response a result table and the measured
+// engine-side evaluation time. This lets the mediator run against truly
+// distributed sources (cmd/aigsource serves a dataset directory), while
+// the experiments default to in-process sources with simulated
+// communication, as the paper's own evaluation did.
+package remote
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// reqKind discriminates request types.
+type reqKind uint8
+
+// The request kinds.
+const (
+	reqPing reqKind = iota
+	reqSchema
+	reqCard
+	reqDistinct
+	reqEstimate
+	reqExec
+)
+
+// wireValue is the gob-encodable form of a relstore.Value.
+type wireValue struct {
+	Kind uint8
+	I    int64
+	S    string
+}
+
+func toWire(v relstore.Value) wireValue {
+	switch v.Kind() {
+	case relstore.KindInt:
+		return wireValue{Kind: uint8(relstore.KindInt), I: v.AsInt()}
+	case relstore.KindString:
+		return wireValue{Kind: uint8(relstore.KindString), S: v.AsString()}
+	default:
+		return wireValue{Kind: uint8(relstore.KindNull)}
+	}
+}
+
+func fromWire(w wireValue) relstore.Value {
+	switch relstore.Kind(w.Kind) {
+	case relstore.KindInt:
+		return relstore.Int(w.I)
+	case relstore.KindString:
+		return relstore.String(w.S)
+	default:
+		return relstore.Null
+	}
+}
+
+// wireTable is the gob-encodable form of a table or binding.
+type wireTable struct {
+	Schema []string // "name:kind" specs
+	Rows   [][]wireValue
+}
+
+func tableToWire(schema relstore.Schema, rows []relstore.Tuple) wireTable {
+	w := wireTable{Schema: make([]string, len(schema)), Rows: make([][]wireValue, len(rows))}
+	for i, c := range schema {
+		w.Schema[i] = c.String()
+	}
+	for i, row := range rows {
+		wr := make([]wireValue, len(row))
+		for j, v := range row {
+			wr[j] = toWire(v)
+		}
+		w.Rows[i] = wr
+	}
+	return w
+}
+
+func tableFromWire(name string, w wireTable) (*relstore.Table, error) {
+	schema, err := relstore.ParseSchema(w.Schema)
+	if err != nil {
+		return nil, err
+	}
+	t := relstore.NewTable(name, schema)
+	for _, wr := range w.Rows {
+		row := make(relstore.Tuple, len(wr))
+		for j, wv := range wr {
+			row[j] = fromWire(wv)
+		}
+		if err := t.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func bindingFromWire(w wireTable) (sqlmini.Binding, error) {
+	schema, err := relstore.ParseSchema(w.Schema)
+	if err != nil {
+		return sqlmini.Binding{}, err
+	}
+	rows := make([]relstore.Tuple, len(w.Rows))
+	for i, wr := range w.Rows {
+		row := make(relstore.Tuple, len(wr))
+		for j, wv := range wr {
+			row[j] = fromWire(wv)
+		}
+		rows[i] = row
+	}
+	return sqlmini.Binding{Schema: schema, Rows: rows}, nil
+}
+
+// request is one client->server message.
+type request struct {
+	Kind   reqKind
+	Table  string
+	Column string
+
+	SQL          string
+	Params       map[string]wireTable
+	ParamSchemas map[string][]string
+	ParamCards   map[string]int
+	DefaultCard  int
+	ResultName   string
+}
+
+// response is one server->client message.
+type response struct {
+	Err string
+
+	SchemaSpec []string
+	Card       int
+
+	EstCost  float64
+	EstRows  float64
+	EstBytes float64
+
+	Result    wireTable
+	EvalNanos int64
+}
+
+func (r *response) setError(err error) {
+	if err != nil {
+		r.Err = err.Error()
+	}
+}
+
+func registerGob() {
+	gob.Register(wireValue{})
+	gob.Register(wireTable{})
+}
+
+// handle executes one request against a local source.
+func handle(local *source.Local, req *request) *response {
+	resp := &response{}
+	switch req.Kind {
+	case reqPing:
+	case reqSchema:
+		schema, err := local.TableSchema(req.Table)
+		if err != nil {
+			resp.setError(err)
+			return resp
+		}
+		for _, c := range schema {
+			resp.SchemaSpec = append(resp.SchemaSpec, c.String())
+		}
+	case reqCard:
+		n, err := local.TableCard(req.Table)
+		resp.Card = n
+		resp.setError(err)
+	case reqDistinct:
+		n, err := local.ColumnDistinct(req.Table, req.Column)
+		resp.Card = n
+		resp.setError(err)
+	case reqEstimate:
+		q, err := sqlmini.Parse(req.SQL)
+		if err != nil {
+			resp.setError(err)
+			return resp
+		}
+		params := make(sqlmini.ParamSchemas, len(req.ParamSchemas))
+		for name, spec := range req.ParamSchemas {
+			s, err := relstore.ParseSchema(spec)
+			if err != nil {
+				resp.setError(err)
+				return resp
+			}
+			params[name] = s
+		}
+		est, err := local.Estimate(q, params, sqlmini.PlanOptions{ParamCards: req.ParamCards, DefaultParamCard: req.DefaultCard})
+		if err != nil {
+			resp.setError(err)
+			return resp
+		}
+		resp.EstCost, resp.EstRows, resp.EstBytes = est.Cost, est.Rows, est.Bytes
+	case reqExec:
+		q, err := sqlmini.Parse(req.SQL)
+		if err != nil {
+			resp.setError(err)
+			return resp
+		}
+		params := make(sqlmini.Params, len(req.Params))
+		for name, wt := range req.Params {
+			b, err := bindingFromWire(wt)
+			if err != nil {
+				resp.setError(err)
+				return resp
+			}
+			params[name] = b
+		}
+		out, dur, err := local.Exec(req.ResultName, q, params, sqlmini.PlanOptions{ParamCards: req.ParamCards, DefaultParamCard: req.DefaultCard})
+		if err != nil {
+			resp.setError(err)
+			return resp
+		}
+		resp.Result = tableToWire(out.Schema(), out.Rows())
+		resp.EvalNanos = dur.Nanoseconds()
+	default:
+		resp.Err = fmt.Sprintf("remote: unknown request kind %d", req.Kind)
+	}
+	return resp
+}

@@ -1,0 +1,163 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// serveCatalog starts one TCP server per database of the catalog and
+// returns a registry of remote clients.
+func serveCatalog(t *testing.T, cat *relstore.Catalog) *source.Registry {
+	t.Helper()
+	reg := source.NewRegistry()
+	for _, name := range cat.DatabaseNames() {
+		db, err := cat.Database(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServer(db)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		client, err := Dial(name, addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+		reg.Add(client)
+	}
+	return reg
+}
+
+func TestClientBasics(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	reg := serveCatalog(t, cat)
+
+	src, err := reg.Get("DB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	schema, err := src.TableSchema("patient")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !schema.Equal(relstore.MustSchema("SSN:string", "pname:string", "policy:string")) {
+		t.Errorf("remote schema = %v", schema)
+	}
+	if n, err := src.TableCard("patient"); err != nil || n != 3 {
+		t.Errorf("TableCard = %d, %v", n, err)
+	}
+	if n, err := src.ColumnDistinct("patient", "policy"); err != nil || n != 2 {
+		t.Errorf("ColumnDistinct = %d, %v", n, err)
+	}
+	if _, err := src.TableSchema("nope"); err == nil || !strings.Contains(err.Error(), "no table") {
+		t.Errorf("missing table error = %v", err)
+	}
+}
+
+func TestClientExecMatchesLocal(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	reg := serveCatalog(t, cat)
+	src, err := reg.Get("DB3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqlmini.MustParse(`select trId, price from DB3:billing where trId in $V`)
+	params := sqlmini.Params{"V": {
+		Schema: relstore.MustSchema("trId:string"),
+		Rows:   []relstore.Tuple{{relstore.String("t1")}, {relstore.String("t3")}},
+	}}
+	got, dur, err := src.Exec("out", q, params, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dur <= 0 {
+		t.Error("no evaluation time measured")
+	}
+	db, _ := cat.Database("DB3")
+	want, _, err := source.NewLocal(db).Exec("out", q, params, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Errorf("remote result differs:\n%v\n%v", want, got)
+	}
+}
+
+func TestClientEstimate(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	reg := serveCatalog(t, cat)
+	src, err := reg.Get("DB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sqlmini.MustParse(`select SSN from DB1:visitInfo where date = $v.date`)
+	est, err := src.Estimate(q, sqlmini.ParamSchemas{"v": relstore.MustSchema("date:string")}, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Rows <= 0 || est.Cost <= 0 {
+		t.Errorf("estimate = %+v", est)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	reg := serveCatalog(t, cat)
+	src, err := reg.Get("DB1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query against a foreign source must be rejected server-side.
+	q := sqlmini.MustParse(`select trId from DB3:billing`)
+	if _, _, err := src.Exec("out", q, nil, sqlmini.PlanOptions{}); err == nil {
+		t.Error("foreign-source query accepted")
+	}
+	// Dial failure.
+	if _, err := Dial("DBX", "127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+// TestMediatorOverTCP runs the full hospital pipeline against four real
+// TCP sources and checks the document matches the in-process evaluation.
+func TestMediatorOverTCP(t *testing.T) {
+	cat := hospital.TinyCatalog()
+	a := hospital.Sigma0(true)
+	sa, err := specialize.CompileConstraints(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err = specialize.DecomposeQueries(sa, sqlmini.CatalogSchemas{Catalog: cat}, sqlmini.CatalogStats{Catalog: cat}, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err = specialize.Unfold(sa, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := sa.Eval(hospital.EnvFor(cat), hospital.RootInh(sa, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := serveCatalog(t, cat)
+	m := mediator.New(reg, mediator.DefaultOptions())
+	res, err := m.Evaluate(sa, hospital.RootInh(sa, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(res.Doc) {
+		t.Errorf("TCP-backed mediator produced a different document:\n%s\n%s", want, res.Doc)
+	}
+}

@@ -1,0 +1,217 @@
+// Package source abstracts the relational data sources the mediator talks
+// to. A Source answers schema lookups, the query costing API of §5.2
+// (eval_cost and size estimates), and executes single-source queries,
+// reporting the measured execution time. Sources are either in-process
+// (Local, wrapping a relstore database) or remote (the remote package's
+// TCP client implements the same interface).
+//
+// A Registry collects the sources of one integration and adapts them to
+// the sqlmini provider interfaces so that multi-source queries can be
+// resolved, planned and decomposed against the combined view.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// Estimate is a source's answer to a costing request: the expected
+// processing time in abstract cost units, output cardinality and output
+// size in bytes (§5.2's eval_cost and size).
+type Estimate struct {
+	Cost  float64 // processing effort (tuple operations)
+	Rows  float64
+	Bytes float64
+}
+
+// Source is one relational data source.
+type Source interface {
+	// Name returns the source's name, as used in source-qualified table
+	// references ("DB1:patient").
+	Name() string
+	// TableSchema returns the schema of a stored table.
+	TableSchema(table string) (relstore.Schema, error)
+	// TableCard and ColumnDistinct expose statistics for planning.
+	TableCard(table string) (int, error)
+	ColumnDistinct(table, column string) (int, error)
+	// Estimate runs the costing API for a query that references only this
+	// source's tables (plus parameters).
+	Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error)
+	// Exec executes such a query and reports the measured wall time spent
+	// inside the source engine.
+	Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error)
+}
+
+// Local is an in-process source backed by a relstore database.
+type Local struct {
+	db  *relstore.Database
+	cat *relstore.Catalog // single-entry catalog for the adapters
+}
+
+// NewLocal wraps a database as a source.
+func NewLocal(db *relstore.Database) *Local {
+	cat := relstore.NewCatalog()
+	cat.Add(db)
+	return &Local{db: db, cat: cat}
+}
+
+// Name implements Source.
+func (l *Local) Name() string { return l.db.Name() }
+
+// TableSchema implements Source.
+func (l *Local) TableSchema(table string) (relstore.Schema, error) {
+	t, err := l.db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// TableCard implements Source.
+func (l *Local) TableCard(table string) (int, error) {
+	t, err := l.db.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Len(), nil
+}
+
+// ColumnDistinct implements Source.
+func (l *Local) ColumnDistinct(table, column string) (int, error) {
+	return sqlmini.CatalogStats{Catalog: l.cat}.ColumnDistinct(l.db.Name(), table, column)
+}
+
+func (l *Local) checkLocal(q *sqlmini.Query) error {
+	for _, s := range q.Sources() {
+		if s != l.db.Name() {
+			return fmt.Errorf("source %s: query references foreign source %s: %s", l.db.Name(), s, q)
+		}
+	}
+	return nil
+}
+
+// Estimate implements Source.
+func (l *Local) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error) {
+	if err := l.checkLocal(q); err != nil {
+		return Estimate{}, err
+	}
+	plan, err := sqlmini.PlanAndEstimate(q, sqlmini.CatalogSchemas{Catalog: l.cat}, params, sqlmini.CatalogStats{Catalog: l.cat}, opts)
+	if err != nil {
+		return Estimate{}, err
+	}
+	return Estimate{Cost: plan.EstCost, Rows: plan.EstRows, Bytes: plan.EstBytes}, nil
+}
+
+// Exec implements Source.
+func (l *Local) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
+	if err := l.checkLocal(q); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	out, err := sqlmini.Run(name, q, sqlmini.CatalogSchemas{Catalog: l.cat}, sqlmini.CatalogData{Catalog: l.cat}, sqlmini.CatalogStats{Catalog: l.cat}, params, opts)
+	return out, time.Since(start), err
+}
+
+// Registry is the mediator's view of all sources.
+type Registry struct {
+	mu      sync.RWMutex
+	sources map[string]Source
+}
+
+// NewRegistry builds a registry over the given sources.
+func NewRegistry(sources ...Source) *Registry {
+	r := &Registry{sources: make(map[string]Source, len(sources))}
+	for _, s := range sources {
+		r.sources[s.Name()] = s
+	}
+	return r
+}
+
+// RegistryFromCatalog wraps every database of a catalog as a local source.
+func RegistryFromCatalog(cat *relstore.Catalog) *Registry {
+	r := NewRegistry()
+	for _, name := range cat.DatabaseNames() {
+		db, err := cat.Database(name)
+		if err == nil {
+			r.Add(NewLocal(db))
+		}
+	}
+	return r
+}
+
+// Add registers a source, replacing any previous source of the same name.
+func (r *Registry) Add(s Source) {
+	r.mu.Lock()
+	r.sources[s.Name()] = s
+	r.mu.Unlock()
+}
+
+// Get returns the named source.
+func (r *Registry) Get(name string) (Source, error) {
+	r.mu.RLock()
+	s, ok := r.sources[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("source: no source %q registered", name)
+	}
+	return s, nil
+}
+
+// Names returns the registered source names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := make([]string, 0, len(r.sources))
+	for n := range r.sources {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// TableSchema implements sqlmini.SchemaProvider across all sources.
+func (r *Registry) TableSchema(sourceName, table string) (relstore.Schema, error) {
+	s, err := r.Get(sourceName)
+	if err != nil {
+		return nil, err
+	}
+	return s.TableSchema(table)
+}
+
+// TableCard implements sqlmini.Stats.
+func (r *Registry) TableCard(sourceName, table string) (int, error) {
+	s, err := r.Get(sourceName)
+	if err != nil {
+		return 0, err
+	}
+	return s.TableCard(table)
+}
+
+// ColumnDistinct implements sqlmini.Stats.
+func (r *Registry) ColumnDistinct(sourceName, table, column string) (int, error) {
+	s, err := r.Get(sourceName)
+	if err != nil {
+		return 0, err
+	}
+	return s.ColumnDistinct(table, column)
+}
+
+// TableData implements sqlmini.DataProvider for in-process evaluation
+// (the conceptual evaluator). Remote sources do not support direct table
+// reads; only Local sources do.
+func (r *Registry) TableData(sourceName, table string) (*relstore.Table, error) {
+	s, err := r.Get(sourceName)
+	if err != nil {
+		return nil, err
+	}
+	local, ok := s.(*Local)
+	if !ok {
+		return nil, fmt.Errorf("source: %q is not a local source; direct table access unavailable", sourceName)
+	}
+	return local.db.Table(table)
+}

@@ -1,0 +1,274 @@
+// Package specialize turns an AIG into a specialized AIG (§3.3–§3.4,
+// §4–§5.5 of the paper): XML constraints are compiled into synthesized
+// attributes and guards checked during generation; multi-source queries
+// are decomposed into chains of single-source queries (the paper's
+// internal states); copy chains are analyzed for copy elimination; and
+// recursive DTDs are unfolded to a bounded depth. The output is still an
+// aig.AIG, evaluable by both the conceptual evaluator and the mediator.
+package specialize
+
+import (
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+// CompileConstraints returns a copy of the AIG in which every XML
+// constraint has been compiled into additional synthesized-attribute
+// members, semantic rules that propagate field values up the tree, and a
+// guard at the context type (§3.3). Keys become bag members checked by
+// unique(); inclusion constraints become two set members checked by
+// subset().
+func CompileConstraints(a *aig.AIG) (*aig.AIG, error) {
+	out := a.Clone()
+	for i, c := range a.Constraints {
+		if err := c.ValidateAgainst(a.DTD); err != nil {
+			return nil, err
+		}
+		switch c.Kind {
+		case xconstraint.Key:
+			member := fmt.Sprintf("k%d", i)
+			if err := addCollector(out, member, aig.Bag, c.Target, c.TargetFields); err != nil {
+				return nil, err
+			}
+			addGuard(out, c.Context, aig.Guard{Kind: aig.GuardUnique, Member: member, Origin: c})
+		case xconstraint.Inclusion:
+			sub := fmt.Sprintf("ic%d_sub", i)
+			super := fmt.Sprintf("ic%d_sup", i)
+			if err := addCollector(out, sub, aig.Set, c.Source, c.SourceFields); err != nil {
+				return nil, err
+			}
+			if err := addCollector(out, super, aig.Set, c.Target, c.TargetFields); err != nil {
+				return nil, err
+			}
+			ensureMember(out, c.Context, sub, aig.Set, collectorFields(out, c.SourceFields))
+			ensureMember(out, c.Context, super, aig.Set, collectorFields(out, c.TargetFields))
+			addGuard(out, c.Context, aig.Guard{Kind: aig.GuardSubset, Sub: sub, Super: super, Origin: c})
+		}
+	}
+	return out, nil
+}
+
+// collectorFields returns the schema of a collector member for PCDATA
+// field types, one column per field: each column's kind is taken from the
+// field's inherited scalar when declared, defaulting to string.
+func collectorFields(a *aig.AIG, fields []string) relstore.Schema {
+	out := make(relstore.Schema, 0, len(fields))
+	for i, field := range fields {
+		kind := relstore.KindString
+		if r := a.Rules[field]; r != nil && r.TextSrc.Member != "" {
+			if m, ok := a.Inh[field].Member(r.TextSrc.Member); ok && m.Kind == aig.Scalar {
+				kind = m.ValueKind
+			}
+		} else if members := a.Inh[field].Members; len(members) == 1 && members[0].Kind == aig.Scalar {
+			kind = members[0].ValueKind
+		}
+		out = append(out, relstore.Column{Name: fmt.Sprintf("v%d", i), Kind: kind})
+	}
+	return out
+}
+
+// ensureMember adds the member to Syn(elem) if absent.
+func ensureMember(a *aig.AIG, elem, member string, kind aig.MemberKind, fields relstore.Schema) {
+	decl := a.Syn[elem]
+	if _, ok := decl.Member(member); ok {
+		return
+	}
+	decl.Members = append(decl.Members, aig.MemberDecl{Name: member, Kind: kind, Fields: fields})
+	a.Syn[elem] = decl
+}
+
+func addGuard(a *aig.AIG, elem string, g aig.Guard) {
+	r := a.Rules[elem]
+	if r == nil {
+		r = &aig.Rule{Elem: elem}
+		a.Rules[elem] = r
+	}
+	r.Guards = append(r.Guards, g)
+}
+
+// addCollector adds member (of the given collection kind) to Syn(X) for
+// every element type X that can contain a target element, with semantic
+// rules that propagate the value of the target's field subelement up the
+// tree: at the target itself the own field value is contributed as a
+// singleton; elsewhere the member unions the same member of the children
+// that can contain targets. This realizes rules (i) and (ii) of §3.3 with
+// the static simplification the paper describes (types that cannot reach
+// the target are skipped, cf. Fig. 3's Syn(patient).B = Syn(bill).B).
+func addCollector(a *aig.AIG, member string, kind aig.MemberKind, target string, fieldNames []string) error {
+	fields := collectorFields(a, fieldNames)
+
+	// Ensure each field's Syn exposes the PCDATA value for the target's
+	// own contribution.
+	valMembers := make(map[string]string, len(fieldNames))
+	for i, field := range fieldNames {
+		valMember := fmt.Sprintf("%s_v%d", member, i)
+		valMembers[field] = valMember
+		if err := ensureTextSyn(a, field, valMember, fields[i].Kind); err != nil {
+			return err
+		}
+	}
+
+	// scope = every type from which the target is reachable (including the
+	// target itself).
+	scope := reachingSet(a.DTD, target)
+
+	for x := range scope {
+		ensureMember(a, x, member, kind, fields)
+		p, _ := a.DTD.Production(x)
+		r := a.Rules[x]
+		if r == nil {
+			r = &aig.Rule{Elem: x}
+			a.Rules[x] = r
+		}
+		switch p.Kind {
+		case dtd.ProdSeq:
+			expr := seqCollector(x, p, scope, member, valMembers, target, fieldNames)
+			setSynExpr(r, member, expr)
+		case dtd.ProdStar:
+			child := p.Children[0]
+			if scope[child] {
+				setSynExpr(r, member, aig.CollectChildren{Child: child, Member: member})
+			} else {
+				setSynExpr(r, member, aig.EmptyOf{})
+			}
+		case dtd.ProdChoice:
+			if len(r.Branches) != len(p.Children) {
+				return fmt.Errorf("specialize: choice rule for %s has %d branches, want %d", x, len(r.Branches), len(p.Children))
+			}
+			for bi := range r.Branches {
+				child := p.Children[bi]
+				var expr aig.SynExpr = aig.EmptyOf{}
+				if scope[child] {
+					expr = aig.CollectionOf{Src: aig.SynOf(child, member)}
+				}
+				if x == target && len(fieldNames) == 1 && child == fieldNames[0] {
+					expr = singletonOf(fieldNames, valMembers)
+				}
+				if r.Branches[bi].Syn == nil {
+					r.Branches[bi].Syn = &aig.SynRule{Exprs: map[string]aig.SynExpr{}}
+				}
+				r.Branches[bi].Syn.Exprs[member] = expr
+			}
+		case dtd.ProdText, dtd.ProdEmpty:
+			// The target itself cannot be a text/empty type (its field is a
+			// subelement), and non-containers contribute the default empty
+			// collection.
+		}
+	}
+	return nil
+}
+
+// seqCollector builds the union expression for a sequence production.
+// When x is the target, the singleton of the (possibly composite) field
+// tuple is contributed exactly once.
+func seqCollector(x string, p dtd.Production, scope map[string]bool, member string, valMembers map[string]string, target string, fieldNames []string) aig.SynExpr {
+	isField := make(map[string]bool, len(fieldNames))
+	for _, f := range fieldNames {
+		isField[f] = true
+	}
+	var terms []aig.SynExpr
+	addedSingleton := false
+	seen := make(map[string]bool)
+	for _, child := range p.Children {
+		if seen[child] {
+			continue
+		}
+		seen[child] = true
+		if x == target && isField[child] {
+			if !addedSingleton {
+				addedSingleton = true
+				terms = append(terms, singletonOf(fieldNames, valMembers))
+			}
+			continue
+		}
+		if scope[child] {
+			terms = append(terms, aig.CollectionOf{Src: aig.SynOf(child, member)})
+		}
+	}
+	switch len(terms) {
+	case 0:
+		return aig.EmptyOf{}
+	case 1:
+		return terms[0]
+	default:
+		return aig.UnionOf{Terms: terms}
+	}
+}
+
+// singletonOf builds the singleton expression of a field tuple.
+func singletonOf(fieldNames []string, valMembers map[string]string) aig.SynExpr {
+	srcs := make([]aig.SourceRef, len(fieldNames))
+	for i, f := range fieldNames {
+		srcs[i] = aig.SynOf(f, valMembers[f])
+	}
+	return aig.SingletonOf{Srcs: srcs}
+}
+
+func setSynExpr(r *aig.Rule, member string, expr aig.SynExpr) {
+	if r.Syn == nil {
+		r.Syn = &aig.SynRule{Exprs: map[string]aig.SynExpr{}}
+	}
+	r.Syn.Exprs[member] = expr
+}
+
+// ensureTextSyn guarantees Syn(field) has a scalar member carrying the
+// element's PCDATA, defined from the text rule's source.
+func ensureTextSyn(a *aig.AIG, field, member string, kind relstore.Kind) error {
+	p, ok := a.DTD.Production(field)
+	if !ok || p.Kind != dtd.ProdText {
+		return fmt.Errorf("specialize: constraint field %q is not a text element type", field)
+	}
+	decl := a.Syn[field]
+	if _, exists := decl.Member(member); exists {
+		return nil
+	}
+	decl.Members = append(decl.Members, aig.ScalarMember(member, kind))
+	a.Syn[field] = decl
+
+	r := a.Rules[field]
+	if r == nil {
+		r = &aig.Rule{Elem: field}
+		a.Rules[field] = r
+	}
+	src := r.TextSrc
+	if src == (aig.SourceRef{}) {
+		// Default text rule: the single inherited scalar.
+		members := a.Inh[field].Members
+		if len(members) != 1 || members[0].Kind != aig.Scalar {
+			return fmt.Errorf("specialize: text element %q has no PCDATA source to expose", field)
+		}
+		src = aig.InhOf(field, members[0].Name)
+	}
+	setSynExpr(r, member, aig.ScalarOf{Src: src})
+	return nil
+}
+
+// reachingSet computes every element type from which target is reachable
+// through the DTD's type-reference graph, including target itself.
+func reachingSet(d *dtd.DTD, target string) map[string]bool {
+	// reverse edges: child -> parents
+	parents := make(map[string][]string)
+	for _, t := range d.Types() {
+		p, _ := d.Production(t)
+		for _, c := range p.Children {
+			parents[c] = append(parents[c], t)
+		}
+	}
+	out := map[string]bool{target: true}
+	stack := []string{target}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range parents[cur] {
+			if !out[p] {
+				out[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package specialize_test
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+// ledgerAIG builds a grammar with composite-field constraints (the XML
+// Schema-style extension): each (customer, day) pair keys at most one
+// order, and every shipment pair must match an order pair.
+func ledgerAIG(t *testing.T) *aig.AIG {
+	t.Helper()
+	d := dtd.MustParse(`
+		<!ELEMENT ledger (orders, shipments)>
+		<!ELEMENT orders (order*)>
+		<!ELEMENT shipments (shipment*)>
+		<!ELEMENT order (cust, day, amount)>
+		<!ELEMENT shipment (cust, day)>
+		<!ELEMENT cust (#PCDATA)>
+		<!ELEMENT day (#PCDATA)>
+		<!ELEMENT amount (#PCDATA)>
+	`)
+	a := aig.New(d)
+	a.Inh["order"] = aig.Attr(aig.StringMember("cust"), aig.StringMember("day"), aig.ScalarMember("amount", relstore.KindInt))
+	a.Inh["shipment"] = aig.Attr(aig.StringMember("cust"), aig.StringMember("day"))
+	for _, leaf := range []string{"cust", "day"} {
+		a.Inh[leaf] = aig.Attr(aig.StringMember("val"))
+		a.Rules[leaf] = &aig.Rule{Elem: leaf, TextSrc: aig.InhOf(leaf, "val")}
+	}
+	a.Inh["amount"] = aig.Attr(aig.ScalarMember("val", relstore.KindInt))
+	a.Rules["amount"] = &aig.Rule{Elem: "amount", TextSrc: aig.InhOf("amount", "val")}
+
+	a.Rules["ledger"] = &aig.Rule{Elem: "ledger"}
+	a.Rules["orders"] = &aig.Rule{
+		Elem: "orders",
+		Inh: map[string]*aig.InhRule{
+			"order": {Child: "order", Query: sqlmini.MustParse(`select cust, day, amount from DB:orders`)},
+		},
+	}
+	a.Rules["shipments"] = &aig.Rule{
+		Elem: "shipments",
+		Inh: map[string]*aig.InhRule{
+			"shipment": {Child: "shipment", Query: sqlmini.MustParse(`select cust, day from DB:shipments`)},
+		},
+	}
+	a.Rules["order"] = &aig.Rule{
+		Elem: "order",
+		Inh: map[string]*aig.InhRule{
+			"cust":   {Child: "cust", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("order", "cust"))}},
+			"day":    {Child: "day", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("order", "day"))}},
+			"amount": {Child: "amount", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("order", "amount"))}},
+		},
+	}
+	a.Rules["shipment"] = &aig.Rule{
+		Elem: "shipment",
+		Inh: map[string]*aig.InhRule{
+			"cust": {Child: "cust", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("shipment", "cust"))}},
+			"day":  {Child: "day", Copies: []aig.CopyAssign{aig.Copy("val", aig.InhOf("shipment", "day"))}},
+		},
+	}
+	cs, err := xconstraint.ParseAll(`
+		ledger(order.(cust,day) -> order)
+		ledger(shipment.(cust,day) [= order.(cust,day))
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Constraints = cs
+	return a
+}
+
+func ledgerCatalog(orders [][3]any, shipments [][2]string) *relstore.Catalog {
+	cat := relstore.NewCatalog()
+	db := relstore.NewDatabase("DB")
+	ot := db.CreateTable("orders", relstore.MustSchema("cust:string", "day:string", "amount:int"))
+	for _, o := range orders {
+		ot.MustInsert(relstore.Tuple{relstore.String(o[0].(string)), relstore.String(o[1].(string)), relstore.Int(int64(o[2].(int)))})
+	}
+	st := db.CreateTable("shipments", relstore.MustSchema("cust:string", "day:string"))
+	for _, s := range shipments {
+		st.MustInsert(relstore.Tuple{relstore.String(s[0]), relstore.String(s[1])})
+	}
+	cat.Add(db)
+	return cat
+}
+
+func TestCompositeConstraintsParseAndValidate(t *testing.T) {
+	a := ledgerAIG(t)
+	key := a.Constraints[0]
+	if len(key.TargetFields) != 2 || key.String() != "ledger(order.(cust,day) -> order)" {
+		t.Errorf("composite key = %v", key)
+	}
+	if err := key.ValidateAgainst(a.DTD); err != nil {
+		t.Error(err)
+	}
+	// Arity mismatch rejected at parse time.
+	if _, err := xconstraint.Parse("ledger(shipment.(cust,day) [= order.cust)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	// Duplicate field rejected by validation.
+	dup := xconstraint.MustParse("ledger(order.(cust,cust) -> order)")
+	if err := dup.ValidateAgainst(a.DTD); err == nil {
+		t.Error("duplicate field accepted")
+	}
+}
+
+func TestCompositeConstraintsEndToEnd(t *testing.T) {
+	a := ledgerAIG(t)
+	good := ledgerCatalog(
+		[][3]any{{"alice", "mon", 10}, {"alice", "tue", 20}, {"bob", "mon", 30}},
+		[][2]string{{"alice", "mon"}, {"bob", "mon"}},
+	)
+	if err := a.Validate(sqlmini.CatalogSchemas{Catalog: good}); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := specialize.CompileConstraints(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Validate(sqlmini.CatalogSchemas{Catalog: good}); err != nil {
+		t.Fatalf("compiled composite AIG invalid: %v", err)
+	}
+	env := hospital.EnvFor(good)
+	doc, err := sa.Eval(env, nil)
+	if err != nil {
+		t.Fatalf("satisfied composite constraints aborted: %v", err)
+	}
+	if v := xconstraint.CheckAll(a.Constraints, doc); len(v) != 0 {
+		t.Errorf("direct checker disagrees: %v", v)
+	}
+
+	// The mediator enforces the same guards and produces the same tree.
+	m := mediator.New(source.RegistryFromCatalog(good), mediator.DefaultOptions())
+	res, err := m.Evaluate(sa, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Equal(res.Doc) {
+		t.Errorf("mediator composite document differs:\n%s\n%s", doc, res.Doc)
+	}
+
+	// Key violation: same (cust, day) twice — same cust on different days
+	// stays legal.
+	dupKey := ledgerCatalog(
+		[][3]any{{"alice", "mon", 10}, {"alice", "mon", 99}},
+		nil,
+	)
+	if _, err := sa.Eval(hospital.EnvFor(dupKey), nil); err == nil {
+		t.Error("duplicate (cust,day) pair not caught")
+	}
+
+	// Inclusion violation: shipment pair without a matching order pair,
+	// even though each component value appears in some order.
+	badIC := ledgerCatalog(
+		[][3]any{{"alice", "mon", 10}, {"bob", "tue", 20}},
+		[][2]string{{"alice", "tue"}}, // cross pairing
+	)
+	if _, err := sa.Eval(hospital.EnvFor(badIC), nil); err == nil {
+		t.Error("cross-paired shipment not caught: composite IC must compare tuples, not components")
+	}
+	// The direct checker agrees.
+	plainDoc, err := a.Eval(hospital.EnvFor(badIC), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := xconstraint.CheckAll(a.Constraints, plainDoc); len(v) == 0 {
+		t.Error("direct checker missed the cross pairing")
+	}
+}

@@ -1,0 +1,224 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // single-quoted literal, value has quotes stripped
+	tokParam  // $name
+	tokComma
+	tokDot
+	tokColon
+	tokLParen
+	tokRParen
+	tokStar
+	tokEq
+	tokNe
+	tokLt
+	tokLe
+	tokGt
+	tokGe
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string literal"
+	case tokParam:
+		return "parameter"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokColon:
+		return "':'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokStar:
+		return "'*'"
+	case tokEq:
+		return "'='"
+	case tokNe:
+		return "'<>'"
+	case tokLt:
+		return "'<'"
+	case tokLe:
+		return "'<='"
+	case tokGt:
+		return "'>'"
+	case tokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in input, for error messages
+}
+
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+// lexSQL tokenizes an entire query string eagerly, returning a friendly
+// error with byte position on any illegal character.
+func lexSQL(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.input[l.pos]
+	switch {
+	case c == ',':
+		l.pos++
+		return token{tokComma, ",", start}, nil
+	case c == '.':
+		l.pos++
+		return token{tokDot, ".", start}, nil
+	case c == ':':
+		l.pos++
+		return token{tokColon, ":", start}, nil
+	case c == '(':
+		l.pos++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.pos++
+		return token{tokRParen, ")", start}, nil
+	case c == '*':
+		l.pos++
+		return token{tokStar, "*", start}, nil
+	case c == '=':
+		l.pos++
+		return token{tokEq, "=", start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.input) {
+			switch l.input[l.pos] {
+			case '>':
+				l.pos++
+				return token{tokNe, "<>", start}, nil
+			case '=':
+				l.pos++
+				return token{tokLe, "<=", start}, nil
+			}
+		}
+		return token{tokLt, "<", start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.input) && l.input[l.pos] == '=' {
+			l.pos++
+			return token{tokGe, ">=", start}, nil
+		}
+		return token{tokGt, ">", start}, nil
+	case c == '!':
+		if l.pos+1 < len(l.input) && l.input[l.pos+1] == '=' {
+			l.pos += 2
+			return token{tokNe, "<>", start}, nil
+		}
+		return token{}, fmt.Errorf("sqlmini: illegal character %q at offset %d", c, start)
+	case c == '\'':
+		return l.lexString()
+	case c == '$':
+		l.pos++
+		if l.pos >= len(l.input) || !isIdentStart(l.input[l.pos]) {
+			return token{}, fmt.Errorf("sqlmini: '$' must be followed by a parameter name at offset %d", start)
+		}
+		name := l.lexIdentText()
+		return token{tokParam, name, start}, nil
+	case c == '-' || (c >= '0' && c <= '9'):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return token{tokIdent, l.lexIdentText(), start}, nil
+	default:
+		return token{}, fmt.Errorf("sqlmini: illegal character %q at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func (l *lexer) lexIdentText() string {
+	start := l.pos
+	for l.pos < len(l.input) && isIdentCont(l.input[l.pos]) {
+		l.pos++
+	}
+	return l.input[start:l.pos]
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.input[l.pos] == '-' {
+		l.pos++
+		if l.pos >= len(l.input) || l.input[l.pos] < '0' || l.input[l.pos] > '9' {
+			return token{}, fmt.Errorf("sqlmini: '-' must start a number at offset %d", start)
+		}
+	}
+	for l.pos < len(l.input) && l.input[l.pos] >= '0' && l.input[l.pos] <= '9' {
+		l.pos++
+	}
+	return token{tokNumber, l.input[start:l.pos], start}, nil
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+				b.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{tokString, b.String(), start}, nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return token{}, fmt.Errorf("sqlmini: unterminated string literal at offset %d", start)
+}

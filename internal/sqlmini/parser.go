@@ -1,0 +1,306 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// Parse parses a query in the supported SQL fragment:
+//
+//	select p.SSN, p.pname as name
+//	from DB1:patient p, DB1:visitInfo i, $v2 T2
+//	where p.SSN = i.SSN and i.date = $v.date and i.trId in $V and x in ('a','b')
+//
+// Keywords are case-insensitive; identifiers are case-sensitive.
+func Parse(input string) (*Query, error) {
+	toks, err := lexSQL(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{input: input, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %s after end of query", p.peek().kind)
+	}
+	return q, nil
+}
+
+// MustParse is Parse panicking on error, for statically known queries in
+// tests and examples.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	input string
+	toks  []token
+	pos   int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	return fmt.Errorf("sqlmini: %s at offset %d in %q", msg, p.peek().pos, p.input)
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.peek().kind != kind {
+		return token{}, p.errorf("expected %s, found %s", kind, p.peek().kind)
+	}
+	return p.advance(), nil
+}
+
+// keyword consumes an identifier token with the given lower-case keyword
+// text, reporting whether it matched.
+func (p *parser) keyword(kw string) bool {
+	if p.peek().kind == tokIdent && strings.ToLower(p.peek().text) == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.keyword("select") {
+		return nil, p.errorf("expected 'select', found %s", p.peek().kind)
+	}
+	q := &Query{}
+	if p.keyword("distinct") {
+		q.Distinct = true
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if !p.keyword("from") {
+		return nil, p.errorf("expected 'from', found %s", p.peek().kind)
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		q.From = append(q.From, ref)
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.advance()
+	}
+	if p.keyword("where") {
+		for {
+			pred, err := p.parsePred()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, pred)
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	ref, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: ref}
+	if p.keyword("as") {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.As = name.text
+	}
+	return item, nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return ColRef{}, err
+	}
+	if isReserved(first.text) {
+		return ColRef{}, p.errorf("reserved word %q used as identifier", first.text)
+	}
+	if p.peek().kind == tokDot {
+		p.advance()
+		col, err := p.expect(tokIdent)
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Table: first.text, Column: col.text}, nil
+	}
+	return ColRef{Column: first.text}, nil
+}
+
+func isReserved(s string) bool {
+	switch strings.ToLower(s) {
+	case "select", "distinct", "from", "where", "and", "in", "as":
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	var ref TableRef
+	switch p.peek().kind {
+	case tokParam:
+		ref.Param = p.advance().text
+	case tokIdent:
+		first := p.advance().text
+		if isReserved(first) {
+			return TableRef{}, p.errorf("reserved word %q used as table name", first)
+		}
+		if p.peek().kind == tokColon {
+			p.advance()
+			table, err := p.expect(tokIdent)
+			if err != nil {
+				return TableRef{}, err
+			}
+			ref.Source = first
+			ref.Table = table.text
+		} else {
+			ref.Table = first
+		}
+	default:
+		return TableRef{}, p.errorf("expected table reference, found %s", p.peek().kind)
+	}
+	if p.peek().kind == tokIdent && !isReserved(p.peek().text) {
+		ref.Alias = p.advance().text
+	}
+	return ref, nil
+}
+
+func (p *parser) parsePred() (Pred, error) {
+	left, err := p.parseColRef()
+	if err != nil {
+		return Pred{}, err
+	}
+	if p.keyword("in") {
+		return p.parseInTail(left)
+	}
+	var op CompareOp
+	switch p.peek().kind {
+	case tokEq:
+		op = OpEq
+	case tokNe:
+		op = OpNe
+	case tokLt:
+		op = OpLt
+	case tokLe:
+		op = OpLe
+	case tokGt:
+		op = OpGt
+	case tokGe:
+		op = OpGe
+	default:
+		return Pred{}, p.errorf("expected comparison operator or 'in', found %s", p.peek().kind)
+	}
+	p.advance()
+	switch p.peek().kind {
+	case tokParam:
+		name := p.advance().text
+		if p.peek().kind != tokDot {
+			// Bare "$v" as a comparison operand: treat as IN when the
+			// operator is equality, which matches how the paper writes
+			// "trId in V"; other operators are errors.
+			if op == OpEq {
+				return Pred{Kind: PredColInParam, Left: left, Param: name}, nil
+			}
+			return Pred{}, p.errorf("parameter $%s needs a field for operator %s", name, op)
+		}
+		p.advance()
+		field, err := p.expect(tokIdent)
+		if err != nil {
+			return Pred{}, err
+		}
+		return Pred{Kind: PredColParam, Op: op, Left: left, Param: name, ParamField: field.text}, nil
+	case tokNumber, tokString:
+		v, err := p.parseLiteral()
+		if err != nil {
+			return Pred{}, err
+		}
+		return Pred{Kind: PredColConst, Op: op, Left: left, Const: v}, nil
+	case tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return Pred{}, err
+		}
+		return Pred{Kind: PredColCol, Op: op, Left: left, Right: right}, nil
+	default:
+		return Pred{}, p.errorf("expected comparison operand, found %s", p.peek().kind)
+	}
+}
+
+func (p *parser) parseInTail(left ColRef) (Pred, error) {
+	switch p.peek().kind {
+	case tokParam:
+		name := p.advance().text
+		return Pred{Kind: PredColInParam, Left: left, Param: name}, nil
+	case tokLParen:
+		p.advance()
+		var list []relstore.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return Pred{}, err
+			}
+			list = append(list, v)
+			if p.peek().kind == tokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return Pred{}, err
+		}
+		return Pred{Kind: PredColInList, Left: left, List: list}, nil
+	default:
+		return Pred{}, p.errorf("expected parameter or literal list after 'in', found %s", p.peek().kind)
+	}
+}
+
+func (p *parser) parseLiteral() (relstore.Value, error) {
+	switch p.peek().kind {
+	case tokNumber:
+		t := p.advance()
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return relstore.Null, p.errorf("bad number %q", t.text)
+		}
+		return relstore.Int(n), nil
+	case tokString:
+		return relstore.String(p.advance().text), nil
+	default:
+		return relstore.Null, p.errorf("expected literal, found %s", p.peek().kind)
+	}
+}

@@ -1,0 +1,167 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// The four queries of the AIG σ0 in Fig. 2, plus the decomposed Q2'
+	// and Q2'' of Fig. 4, must all parse.
+	queries := []string{
+		`select p.SSN, p.pname, p.policy from DB1:patient p, DB1:visitInfo i
+		 where p.SSN = i.SSN and i.date = $v.date`,
+		`select t.trId, t.tname from DB1:visitInfo i, DB2:cover c, DB4:treatment t
+		 where i.SSN = $v.SSN and i.date = $v.date and t.trId = i.trId
+		 and c.trId = i.trId and c.policy = $v.policy`,
+		`select p.trId2, t.tname from DB4:procedure p, DB4:treatment t
+		 where p.trId1 = $v.trId and t.trId = p.trId2`,
+		`select trId, price from DB3:billing where trId in $V`,
+		`select i.trId, $v2 from DB1:visitInfo i where i.SSN = $v.SSN`, // deliberately broken below
+		`select c.trId from DB2:cover c, $v1 T1 where c.trId = T1.trId and c.policy = T1.policy`,
+		`select t.trId, t.tname from DB4:treatment t, $v2 T2 where t.trId = T2.trId`,
+	}
+	for i, q := range queries {
+		if i == 4 {
+			if _, err := Parse(q); err == nil {
+				t.Errorf("query %d should fail to parse: %s", i, q)
+			}
+			continue
+		}
+		parsed, err := Parse(q)
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+			continue
+		}
+		// Round trip: String() must re-parse to the same AST.
+		again, err := Parse(parsed.String())
+		if err != nil {
+			t.Errorf("query %d: re-parsing %q: %v", i, parsed.String(), err)
+			continue
+		}
+		if parsed.String() != again.String() {
+			t.Errorf("query %d: round trip changed:\n%s\n%s", i, parsed.String(), again.String())
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	q := MustParse(`select p.SSN as ssn, pname from DB1:patient p where p.policy = 'gold' and p.SSN >= 100 and p.x <> p.y and p.z in ('a','b') and p.w in $V and p.d = $v.date`)
+	if len(q.Select) != 2 || q.Select[0].As != "ssn" || q.Select[0].OutputName() != "ssn" || q.Select[1].OutputName() != "pname" {
+		t.Errorf("select items wrong: %+v", q.Select)
+	}
+	if len(q.From) != 1 || q.From[0].Source != "DB1" || q.From[0].Table != "patient" || q.From[0].Alias != "p" || q.From[0].BindName() != "p" {
+		t.Errorf("from wrong: %+v", q.From)
+	}
+	if len(q.Where) != 6 {
+		t.Fatalf("got %d predicates, want 6", len(q.Where))
+	}
+	if q.Where[0].Kind != PredColConst || q.Where[0].Op != OpEq || q.Where[0].Const.AsString() != "gold" {
+		t.Errorf("pred 0 wrong: %+v", q.Where[0])
+	}
+	if q.Where[1].Op != OpGe || q.Where[1].Const.AsInt() != 100 {
+		t.Errorf("pred 1 wrong: %+v", q.Where[1])
+	}
+	if q.Where[2].Kind != PredColCol || q.Where[2].Op != OpNe {
+		t.Errorf("pred 2 wrong: %+v", q.Where[2])
+	}
+	if q.Where[3].Kind != PredColInList || len(q.Where[3].List) != 2 {
+		t.Errorf("pred 3 wrong: %+v", q.Where[3])
+	}
+	if q.Where[4].Kind != PredColInParam || q.Where[4].Param != "V" {
+		t.Errorf("pred 4 wrong: %+v", q.Where[4])
+	}
+	if q.Where[5].Kind != PredColParam || q.Where[5].Param != "v" || q.Where[5].ParamField != "date" {
+		t.Errorf("pred 5 wrong: %+v", q.Where[5])
+	}
+}
+
+func TestParseBareParamEqualsMeansIn(t *testing.T) {
+	// "where trId = $V" with a set parameter is treated as IN, matching the
+	// paper's "trId in V" notation.
+	q := MustParse(`select trId from DB3:billing where trId = $V`)
+	if q.Where[0].Kind != PredColInParam {
+		t.Errorf("got kind %v, want PredColInParam", q.Where[0].Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"selec a from t",
+		"select from t",
+		"select a",
+		"select a from",
+		"select a from t where",
+		"select a from t where a",
+		"select a from t where a ==",
+		"select a from t where a in",
+		"select a from t where a in (",
+		"select a from t where a in ()",
+		"select a from t where a in ('x'",
+		"select a from t where a = 'unterminated",
+		"select a from t alias1 alias2", // two aliases: trailing junk
+		"select a from t where a < $V",
+		"select select from t",
+		"select a from select",
+		"select a from t where a = $",
+		"select a from t where a = !",
+		"select a from t where a = -",
+		"select a.b.c from t",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParseBangEquals(t *testing.T) {
+	q := MustParse("select a from t where a != 3")
+	if q.Where[0].Op != OpNe {
+		t.Errorf("!= parsed as %v", q.Where[0].Op)
+	}
+}
+
+func TestQuerySourcesAndParams(t *testing.T) {
+	q := MustParse(`select t.trId from DB4:treatment t, DB2:cover c, $v1 T1
+		where t.trId = c.trId and c.policy = $p.policy and t.x in $S`)
+	if got := strings.Join(q.Sources(), ","); got != "DB2,DB4" {
+		t.Errorf("Sources = %q", got)
+	}
+	if got := strings.Join(q.Params(), ","); got != "S,p,v1" {
+		t.Errorf("Params = %q", got)
+	}
+}
+
+func TestQueryClone(t *testing.T) {
+	q := MustParse(`select a from DB1:t where a in ('x','y')`)
+	c := q.Clone()
+	c.Where[0].List[0] = relstore.String("z")
+	c.From[0].Source = "DB9"
+	if q.Where[0].List[0].AsString() != "x" || q.From[0].Source != "DB1" {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestStringQuoting(t *testing.T) {
+	q := MustParse(`select a from t where a = 'it''s'`)
+	if q.Where[0].Const.AsString() != "it's" {
+		t.Errorf("escaped quote parsed as %q", q.Where[0].Const.AsString())
+	}
+	again := MustParse(q.String())
+	if again.Where[0].Const.AsString() != "it's" {
+		t.Errorf("quote round trip gave %q", again.Where[0].Const.AsString())
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse on junk did not panic")
+		}
+	}()
+	MustParse("not sql")
+}

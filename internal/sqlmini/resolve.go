@@ -1,0 +1,218 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// SchemaProvider supplies table schemas during resolution. The relstore
+// Catalog, the source registry, and the mediator's temporary-table
+// namespace all implement it.
+type SchemaProvider interface {
+	TableSchema(source, table string) (relstore.Schema, error)
+}
+
+// CatalogSchemas adapts a relstore.Catalog into a SchemaProvider.
+type CatalogSchemas struct{ Catalog *relstore.Catalog }
+
+// TableSchema implements SchemaProvider.
+func (c CatalogSchemas) TableSchema(source, table string) (relstore.Schema, error) {
+	t, err := c.Catalog.Table(source, table)
+	if err != nil {
+		return nil, err
+	}
+	return t.Schema(), nil
+}
+
+// ParamSchemas maps parameter names to the schemas of their bindings, for
+// compile-time resolution before values exist.
+type ParamSchemas map[string]relstore.Schema
+
+// ParamSchemasOf extracts the schemas from a runtime Params map.
+func ParamSchemasOf(params Params) ParamSchemas {
+	out := make(ParamSchemas, len(params))
+	for name, b := range params {
+		out[name] = b.Schema
+	}
+	return out
+}
+
+// Resolved is a name-resolved query: every column reference is mapped to
+// an absolute position in the concatenated row layout (tables in FROM
+// order), and the output schema is known.
+type Resolved struct {
+	Query *Query
+
+	// TableSchemas holds the schema of each FROM entry in order.
+	TableSchemas []relstore.Schema
+	// Offsets[i] is the absolute column offset of table i's first column.
+	Offsets []int
+	// Output is the result schema (names from select items, kinds from the
+	// referenced columns).
+	Output relstore.Schema
+	// SelectCols[i] is the absolute column of select item i.
+	SelectCols []int
+	// Preds are the WHERE conjuncts with absolute column positions.
+	Preds []ResolvedPred
+}
+
+// ResolvedPred mirrors Pred with column references resolved to absolute
+// positions in the concatenated row.
+type ResolvedPred struct {
+	Kind       PredKind
+	Op         CompareOp
+	Left       int
+	Right      int // PredColCol
+	Const      relstore.Value
+	Param      string
+	ParamField string
+	List       []relstore.Value
+}
+
+// TableOf returns the index of the FROM table owning absolute column c.
+func (r *Resolved) TableOf(c int) int {
+	for i := len(r.Offsets) - 1; i >= 0; i-- {
+		if c >= r.Offsets[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// Width returns the total number of columns in the concatenated row.
+func (r *Resolved) Width() int {
+	n := len(r.TableSchemas)
+	if n == 0 {
+		return 0
+	}
+	return r.Offsets[n-1] + len(r.TableSchemas[n-1])
+}
+
+// Resolve resolves q against the given schemas. Every table reference must
+// be found, every column reference must be unambiguous, and comparison
+// operand kinds must be compatible.
+func Resolve(q *Query, schemas SchemaProvider, params ParamSchemas) (*Resolved, error) {
+	r := &Resolved{Query: q}
+	binds := make(map[string]int, len(q.From)) // bind name -> table index
+	offset := 0
+	for i, ref := range q.From {
+		var schema relstore.Schema
+		var err error
+		if ref.IsParam() {
+			var ok bool
+			schema, ok = params[ref.Param]
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: unknown set parameter $%s in FROM", ref.Param)
+			}
+		} else {
+			schema, err = schemas.TableSchema(ref.Source, ref.Table)
+			if err != nil {
+				return nil, err
+			}
+		}
+		name := ref.BindName()
+		if _, dup := binds[name]; dup {
+			return nil, fmt.Errorf("sqlmini: duplicate table binding %q; add an alias", name)
+		}
+		binds[name] = i
+		r.TableSchemas = append(r.TableSchemas, schema)
+		r.Offsets = append(r.Offsets, offset)
+		offset += len(schema)
+	}
+
+	resolveCol := func(c ColRef) (int, relstore.Column, error) {
+		if c.Table != "" {
+			ti, ok := binds[c.Table]
+			if !ok {
+				return 0, relstore.Column{}, fmt.Errorf("sqlmini: unknown table %q in column %s", c.Table, c)
+			}
+			ci := r.TableSchemas[ti].ColumnIndex(c.Column)
+			if ci < 0 {
+				return 0, relstore.Column{}, fmt.Errorf("sqlmini: table %q has no column %q", c.Table, c.Column)
+			}
+			return r.Offsets[ti] + ci, r.TableSchemas[ti][ci], nil
+		}
+		found := -1
+		var col relstore.Column
+		for ti, schema := range r.TableSchemas {
+			if ci := schema.ColumnIndex(c.Column); ci >= 0 {
+				if found >= 0 {
+					return 0, relstore.Column{}, fmt.Errorf("sqlmini: ambiguous column %q", c.Column)
+				}
+				found = r.Offsets[ti] + ci
+				col = schema[ci]
+			}
+		}
+		if found < 0 {
+			return 0, relstore.Column{}, fmt.Errorf("sqlmini: unknown column %q", c.Column)
+		}
+		return found, col, nil
+	}
+
+	for _, item := range q.Select {
+		abs, col, err := resolveCol(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		r.SelectCols = append(r.SelectCols, abs)
+		r.Output = append(r.Output, relstore.Column{Name: item.OutputName(), Kind: col.Kind})
+	}
+	// Output column names must be unique; renaming via AS resolves clashes.
+	seen := make(map[string]bool, len(r.Output))
+	for _, c := range r.Output {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("sqlmini: duplicate output column %q; use AS to rename", c.Name)
+		}
+		seen[c.Name] = true
+	}
+
+	for _, p := range q.Where {
+		abs, col, err := resolveCol(p.Left)
+		if err != nil {
+			return nil, err
+		}
+		rp := ResolvedPred{Kind: p.Kind, Op: p.Op, Left: abs, Const: p.Const,
+			Param: p.Param, ParamField: p.ParamField, List: p.List}
+		switch p.Kind {
+		case PredColCol:
+			rabs, rcol, err := resolveCol(p.Right)
+			if err != nil {
+				return nil, err
+			}
+			if rcol.Kind != col.Kind {
+				return nil, fmt.Errorf("sqlmini: comparing %s column %s with %s column %s",
+					col.Kind, p.Left, rcol.Kind, p.Right)
+			}
+			rp.Right = rabs
+		case PredColConst:
+			if !p.Const.IsNull() && p.Const.Kind() != col.Kind {
+				return nil, fmt.Errorf("sqlmini: comparing %s column %s with %s literal", col.Kind, p.Left, p.Const.Kind())
+			}
+		case PredColParam:
+			schema, ok := params[p.Param]
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: unknown parameter $%s", p.Param)
+			}
+			if schema.ColumnIndex(p.ParamField) < 0 {
+				return nil, fmt.Errorf("sqlmini: parameter $%s has no field %q (fields: %v)", p.Param, p.ParamField, schema.Names())
+			}
+		case PredColInParam:
+			schema, ok := params[p.Param]
+			if !ok {
+				return nil, fmt.Errorf("sqlmini: unknown parameter $%s", p.Param)
+			}
+			if len(schema) != 1 {
+				return nil, fmt.Errorf("sqlmini: IN parameter $%s must have exactly one column, has %d", p.Param, len(schema))
+			}
+		case PredColInList:
+			for _, v := range p.List {
+				if v.Kind() != col.Kind {
+					return nil, fmt.Errorf("sqlmini: IN list for %s column %s contains %s literal", col.Kind, p.Left, v.Kind())
+				}
+			}
+		}
+		r.Preds = append(r.Preds, rp)
+	}
+	return r, nil
+}

@@ -1,0 +1,181 @@
+package static
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+func TestAnalyzeSigma0(t *testing.T) {
+	a := hospital.Sigma0(false)
+	an, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ0 is recursive with satisfiable queries: it terminates on some
+	// instances (e.g. the empty one) but not on all (cyclic procedure
+	// data).
+	if an.MustTerminate {
+		t.Error("recursive σ0 reported as always terminating")
+	}
+	if !an.MayTerminate {
+		t.Error("σ0 reported as never terminating")
+	}
+	// Every element type is reachable on some instance...
+	for _, e := range []string{"patient", "treatment", "procedure", "item", "price"} {
+		if !an.CanReach[e] {
+			t.Errorf("CanReach[%s] = false", e)
+		}
+	}
+	// ...but only report must be produced on every instance (patients
+	// come from a star).
+	if !an.MustReach["report"] {
+		t.Error("MustReach[report] = false")
+	}
+	if an.MustReach["patient"] || an.MustReach["trId"] {
+		t.Error("star-derived elements reported as must-reach")
+	}
+	if len(an.UnsatisfiableQueries) != 0 {
+		t.Errorf("σ0 has unsatisfiable queries: %v", an.UnsatisfiableQueries)
+	}
+}
+
+func TestAnalyzeUnfoldedTerminates(t *testing.T) {
+	a := hospital.Sigma0(false)
+	unf, err := specialize.Unfold(a, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := Analyze(unf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.MustTerminate {
+		t.Error("non-recursive unfolded AIG reported as possibly non-terminating")
+	}
+}
+
+func TestAnalyzeUnsatisfiableCutsRecursion(t *testing.T) {
+	a := hospital.Sigma0(false)
+	// Make Q3 (the recursion-driving query) unsatisfiable: a column equal
+	// to two different constants.
+	a.Rules["procedure"].Inh["treatment"].Query = sqlmini.MustParse(
+		`select p.trId2 as trId, t.tname from DB4:procedure p, DB4:treatment t
+		 where p.trId1 = $v.trId and t.trId = p.trId2 and p.trId1 = 'x' and p.trId1 = 'y'`)
+	an, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(an.UnsatisfiableQueries) != 1 {
+		t.Fatalf("UnsatisfiableQueries = %v", an.UnsatisfiableQueries)
+	}
+	if !an.MustTerminate {
+		t.Error("recursion cut by unsatisfiable query not detected as terminating")
+	}
+	// The nested treatment levels become unreachable... the recursive
+	// cycle still lists treatment under treatments, so treatment itself
+	// stays reachable via the satisfiable Q2.
+	if !an.CanReach["treatment"] {
+		t.Error("treatment should still be reachable via treatments")
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	sat := []string{
+		`select a from DB:t where a = 'x'`,
+		`select a from DB:t where a = b and b = 'x'`,
+		`select a from DB:t where a > 'x' and a = $v.f`,
+		`select a from DB:t where a in ('x','y')`,
+		`select a from DB:t where a in $V`,
+		`select a from DB:t where a = 'x' and b = 'y'`,
+		`select a from DB:t where a <= b and b <= a`, // consistent (a = b works)
+	}
+	for _, s := range sat {
+		if !Satisfiable(sqlmini.MustParse(s)) {
+			t.Errorf("Satisfiable(%q) = false", s)
+		}
+	}
+	unsat := []string{
+		`select a from DB:t where a = 'x' and a = 'y'`,
+		`select a from DB:t where a = b and a = 'x' and b = 'y'`,
+		`select a from DB:t where a = 'x' and a <> 'x'`,
+		`select a from DB:t where a = b and a <> b`,
+		`select a from DB:t where a = 1 and a > 2`,
+		`select a from DB:t where a = b and a < b`,
+		`select a from DB:t where a in ('x') and a = 'y'`,
+	}
+	for _, s := range unsat {
+		if Satisfiable(sqlmini.MustParse(s)) {
+			t.Errorf("Satisfiable(%q) = true", s)
+		}
+	}
+}
+
+func TestMayTerminateChoice(t *testing.T) {
+	// inf -> inf is a derivation with no data-driven escape: it never
+	// halts, even on the empty instance. With a choice offering a finite
+	// branch, it halts.
+	d := dtd.New("inf")
+	d.DefineSeq("inf", "inf")
+	a := aig.New(d)
+	an, err := Analyze(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.MayTerminate {
+		t.Error("inf -> (inf) reported as terminating on the empty instance")
+	}
+
+	d2 := dtd.MustParse(`
+		<!ELEMENT a (a | leaf)>
+		<!ELEMENT leaf (#PCDATA)>
+	`)
+	a2 := aig.New(d2)
+	an2, err := Analyze(a2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an2.MayTerminate {
+		t.Error("choice with a finite branch reported as never terminating")
+	}
+	if an2.MustTerminate {
+		t.Error("recursive choice reported as always terminating")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	a := hospital.Sigma0(false)
+	classes := Classify(a)
+	if classes["patient/treatments"] != CSR {
+		t.Errorf("patient/treatments = %v, want CSR", classes["patient/treatments"])
+	}
+	if classes["treatments/treatment"] != QSR {
+		t.Errorf("treatments/treatment = %v, want QSR", classes["treatments/treatment"])
+	}
+	if classes["bill/item"] != QSR || classes["patient/bill"] != CSR {
+		t.Error("bill rules misclassified")
+	}
+	if CSR.String() != "CSR" || QSR.String() != "QSR" {
+		t.Error("RuleClass.String broken")
+	}
+}
+
+func TestCopyChains(t *testing.T) {
+	a := hospital.Sigma0(false)
+	chains := CopyChains(a)
+	// Q2's parameter Inh(treatments) is a pure copy of Inh(patient):
+	// expect the chain patient -> treatments.
+	found := false
+	for _, c := range chains {
+		if len(c) == 2 && c[0] == "patient" && c[1] == "treatments" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("copy chain patient->treatments not found: %v", chains)
+	}
+}

@@ -1,0 +1,86 @@
+package xconstraint
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// pairDoc builds <ledger> with order (cust,day) pairs and shipment pairs.
+func pairDoc(orders, shipments [][2]string) *xmltree.Node {
+	ledger := xmltree.NewElement("ledger")
+	for _, o := range orders {
+		n := ledger.AppendElement("order")
+		n.AppendElement("cust").AppendText(o[0])
+		n.AppendElement("day").AppendText(o[1])
+	}
+	for _, s := range shipments {
+		n := ledger.AppendElement("shipment")
+		n.AppendElement("cust").AppendText(s[0])
+		n.AppendElement("day").AppendText(s[1])
+	}
+	return ledger
+}
+
+func TestCompositeKeyCheck(t *testing.T) {
+	key := MustParse("ledger(order.(cust,day) -> order)")
+	ok := pairDoc([][2]string{{"a", "mon"}, {"a", "tue"}, {"b", "mon"}}, nil)
+	if v := key.Check(ok); len(v) != 0 {
+		t.Errorf("distinct pairs flagged: %v", v)
+	}
+	dup := pairDoc([][2]string{{"a", "mon"}, {"a", "mon"}}, nil)
+	if v := key.Check(dup); len(v) != 1 {
+		t.Errorf("duplicate pair not flagged: %v", v)
+	}
+	// Component collision without pair collision is legal — the classic
+	// composite-key distinction.
+	cross := pairDoc([][2]string{{"a", "mon"}, {"a", "tue"}, {"b", "mon"}}, nil)
+	if v := key.Check(cross); len(v) != 0 {
+		t.Errorf("component collision flagged: %v", v)
+	}
+}
+
+func TestCompositeInclusionCheck(t *testing.T) {
+	ic := MustParse("ledger(shipment.(cust,day) [= order.(cust,day))")
+	ok := pairDoc([][2]string{{"a", "mon"}, {"b", "tue"}}, [][2]string{{"a", "mon"}})
+	if v := ic.Check(ok); len(v) != 0 {
+		t.Errorf("matching pair flagged: %v", v)
+	}
+	// (a,tue) is not an order pair, though 'a' and 'tue' both occur.
+	bad := pairDoc([][2]string{{"a", "mon"}, {"b", "tue"}}, [][2]string{{"a", "tue"}})
+	if v := ic.Check(bad); len(v) != 1 {
+		t.Errorf("cross pairing not flagged: %v", v)
+	}
+}
+
+func TestCompositeMissingFieldSkipped(t *testing.T) {
+	key := MustParse("ledger(order.(cust,day) -> order)")
+	doc := pairDoc([][2]string{{"a", "mon"}}, nil)
+	// An order missing its day subelement contributes no key tuple.
+	broken := doc.AppendElement("order")
+	broken.AppendElement("cust").AppendText("a")
+	if v := key.Check(doc); len(v) != 0 {
+		t.Errorf("partial tuple flagged: %v", v)
+	}
+}
+
+func TestCompositeParseForms(t *testing.T) {
+	c := MustParse("ledger(order.(cust, day) -> order)")
+	if len(c.TargetFields) != 2 || c.TargetFields[1] != "day" {
+		t.Errorf("parsed fields = %v", c.TargetFields)
+	}
+	bad := []string{
+		"ledger(order.() -> order)",
+		"ledger(order.(a,b -> order)",
+		"ledger(order.(a,,b) -> order)",
+		"ledger(order.(a.b) -> order)",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded", in)
+		}
+	}
+	if MustKey("c", "a", "x", "y").String() != "c(a.(x,y) -> a)" {
+		t.Error("MustKey rendering wrong")
+	}
+}

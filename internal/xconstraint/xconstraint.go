@@ -1,0 +1,333 @@
+// Package xconstraint implements the XML integrity constraints of §2:
+// keys C(A.l -> A) and inclusion constraints C(B.lB ⊆ A.lA), defined
+// relative to a context element type C. It provides a text parser,
+// validation against a DTD, and a direct checker over XML trees that the
+// test suite uses to independently verify documents produced by AIG
+// evaluation (whose own enforcement goes through compiled guards).
+//
+// As an extension beyond the paper's simplification to single
+// subelements, constraints may use composite fields in the style of XML
+// Schema identity constraints: C(A.(l1,l2) -> A) keys A elements by the
+// pair of subelement values, and inclusions compare field tuples
+// positionally.
+package xconstraint
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// Kind discriminates constraint forms.
+type Kind uint8
+
+// The constraint forms.
+const (
+	Key Kind = iota
+	Inclusion
+)
+
+// Constraint is a single XML key or inclusion constraint.
+//
+// For a key C(A.(l...) -> A): Context=C, Target=A, TargetFields=l..., and
+// the Source fields are unused. For an inclusion C(B.(lB...) ⊆
+// A.(lA...)): Context=C, Source=B, SourceFields=lB..., Target=A,
+// TargetFields=lA... (positionally matched, equal arity).
+type Constraint struct {
+	Kind         Kind
+	Context      string
+	Source       string
+	SourceFields []string
+	Target       string
+	TargetFields []string
+}
+
+// MustKey builds a key constraint.
+func MustKey(context, target string, fields ...string) Constraint {
+	return Constraint{Kind: Key, Context: context, Target: target, TargetFields: fields}
+}
+
+// renderFields renders "Type.f" or "Type.(f1,f2)".
+func renderFields(typ string, fields []string) string {
+	if len(fields) == 1 {
+		return typ + "." + fields[0]
+	}
+	return typ + ".(" + strings.Join(fields, ",") + ")"
+}
+
+// String renders the constraint in the paper's notation (ASCII arrows).
+func (c Constraint) String() string {
+	switch c.Kind {
+	case Key:
+		return fmt.Sprintf("%s(%s -> %s)", c.Context, renderFields(c.Target, c.TargetFields), c.Target)
+	case Inclusion:
+		return fmt.Sprintf("%s(%s [= %s)", c.Context,
+			renderFields(c.Source, c.SourceFields), renderFields(c.Target, c.TargetFields))
+	default:
+		return "<bad constraint>"
+	}
+}
+
+// Parse parses one constraint. Accepted syntaxes:
+//
+//	key:       C(A.l -> A)            C(A.(l1,l2) -> A)
+//	inclusion: C(B.lb [= A.la)        C(B.(x,y) [= A.(u,v))
+//
+// "⊆" and the keyword "subset" are accepted in place of "[=".
+func Parse(input string) (Constraint, error) {
+	s := strings.TrimSpace(input)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return Constraint{}, fmt.Errorf("xconstraint: expected C(...), got %q", input)
+	}
+	ctx := strings.TrimSpace(s[:open])
+	if ctx == "" {
+		return Constraint{}, fmt.Errorf("xconstraint: missing context type in %q", input)
+	}
+	body := strings.TrimSpace(s[open+1 : len(s)-1])
+
+	var sep string
+	var kind Kind
+	switch {
+	case strings.Contains(body, "->"):
+		sep, kind = "->", Key
+	case strings.Contains(body, "⊆"):
+		sep, kind = "⊆", Inclusion
+	case strings.Contains(body, "[="):
+		sep, kind = "[=", Inclusion
+	case strings.Contains(body, " subset "):
+		sep, kind = " subset ", Inclusion
+	default:
+		return Constraint{}, fmt.Errorf("xconstraint: no '->', '[=' or 'subset' in %q", input)
+	}
+	left, right, _ := strings.Cut(body, sep)
+	left, right = strings.TrimSpace(left), strings.TrimSpace(right)
+
+	lType, lFields, ok := cutFields(left)
+	if !ok {
+		return Constraint{}, fmt.Errorf("xconstraint: left side %q must be Type.field or Type.(f1,f2)", left)
+	}
+	if kind == Key {
+		if right != lType {
+			return Constraint{}, fmt.Errorf("xconstraint: key %q must have form C(A.l -> A)", input)
+		}
+		return Constraint{Kind: Key, Context: ctx, Target: lType, TargetFields: lFields}, nil
+	}
+	rType, rFields, ok := cutFields(right)
+	if !ok {
+		return Constraint{}, fmt.Errorf("xconstraint: right side %q must be Type.field or Type.(f1,f2)", right)
+	}
+	if len(lFields) != len(rFields) {
+		return Constraint{}, fmt.Errorf("xconstraint: inclusion arity mismatch in %q: %d vs %d fields", input, len(lFields), len(rFields))
+	}
+	return Constraint{Kind: Inclusion, Context: ctx,
+		Source: lType, SourceFields: lFields, Target: rType, TargetFields: rFields}, nil
+}
+
+// cutFields parses "Type.field" or "Type.(f1, f2, ...)".
+func cutFields(s string) (typ string, fields []string, ok bool) {
+	typ, rest, found := strings.Cut(s, ".")
+	typ, rest = strings.TrimSpace(typ), strings.TrimSpace(rest)
+	if !found || typ == "" || rest == "" {
+		return "", nil, false
+	}
+	if strings.HasPrefix(rest, "(") {
+		if !strings.HasSuffix(rest, ")") {
+			return "", nil, false
+		}
+		for _, f := range strings.Split(rest[1:len(rest)-1], ",") {
+			f = strings.TrimSpace(f)
+			if f == "" || strings.ContainsAny(f, ".()") {
+				return "", nil, false
+			}
+			fields = append(fields, f)
+		}
+		if len(fields) == 0 {
+			return "", nil, false
+		}
+		return typ, fields, true
+	}
+	if strings.ContainsAny(rest, ".()") {
+		return "", nil, false
+	}
+	return typ, []string{rest}, true
+}
+
+// MustParse is Parse panicking on error.
+func MustParse(input string) Constraint {
+	c, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// ParseAll parses one constraint per non-empty, non-comment ("--"/"#")
+// line.
+func ParseAll(input string) ([]Constraint, error) {
+	var out []Constraint
+	for _, line := range strings.Split(input, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		c, err := Parse(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// ValidateAgainst checks the well-formedness conditions of §2 relative to
+// a DTD: every named type is declared, and each referenced field is a
+// string-subelement type of its parent occurring exactly once in the
+// parent's production (P(l) = S and l unique in P(A)).
+func (c Constraint) ValidateAgainst(d *dtd.DTD) error {
+	checkFields := func(parent string, fields []string) error {
+		pp, ok := d.Production(parent)
+		if !ok {
+			return fmt.Errorf("xconstraint: %s: type %q is not declared", c, parent)
+		}
+		if len(fields) == 0 {
+			return fmt.Errorf("xconstraint: %s: no fields for type %q", c, parent)
+		}
+		seen := make(map[string]bool, len(fields))
+		for _, field := range fields {
+			if seen[field] {
+				return fmt.Errorf("xconstraint: %s: field %q listed twice", c, field)
+			}
+			seen[field] = true
+			fp, ok := d.Production(field)
+			if !ok {
+				return fmt.Errorf("xconstraint: %s: field type %q is not declared", c, field)
+			}
+			if fp.Kind != dtd.ProdText {
+				return fmt.Errorf("xconstraint: %s: field %q is not a string (PCDATA) type", c, field)
+			}
+			count := 0
+			for _, child := range pp.Children {
+				if child == field {
+					count++
+				}
+			}
+			if count == 0 {
+				return fmt.Errorf("xconstraint: %s: %q is not a subelement of %q", c, field, parent)
+			}
+			if count > 1 {
+				return fmt.Errorf("xconstraint: %s: field %q occurs %d times in %q", c, field, count, parent)
+			}
+		}
+		return nil
+	}
+	if _, ok := d.Production(c.Context); !ok {
+		return fmt.Errorf("xconstraint: %s: context type %q is not declared", c, c.Context)
+	}
+	if err := checkFields(c.Target, c.TargetFields); err != nil {
+		return err
+	}
+	if c.Kind == Inclusion {
+		if len(c.SourceFields) != len(c.TargetFields) {
+			return fmt.Errorf("xconstraint: %s: arity mismatch", c)
+		}
+		return checkFields(c.Source, c.SourceFields)
+	}
+	return nil
+}
+
+// Violation describes one failed constraint instance.
+type Violation struct {
+	Constraint Constraint
+	// ContextPath locates the C element whose subtree violates the
+	// constraint.
+	ContextPath string
+	// Value is the offending field value tuple (the duplicated key value,
+	// or the source value with no matching target).
+	Value string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	switch v.Constraint.Kind {
+	case Key:
+		return fmt.Sprintf("key %s violated under %s: value %q occurs more than once",
+			v.Constraint, v.ContextPath, v.Value)
+	default:
+		return fmt.Sprintf("inclusion %s violated under %s: value %q has no match",
+			v.Constraint, v.ContextPath, v.Value)
+	}
+}
+
+// fieldTuple returns the concatenated string values of n's field
+// subelements, with a separator that cannot collide across components,
+// and whether every field subelement is present.
+func fieldTuple(n *xmltree.Node, fields []string) (string, bool) {
+	parts := make([]string, len(fields))
+	for i, f := range fields {
+		child := n.Child(f)
+		if child == nil {
+			return "", false
+		}
+		parts[i] = child.StringValue()
+	}
+	return strings.Join(parts, "\x1f"), true
+}
+
+// Check verifies the constraint on the document and returns every
+// violation (nil when the document satisfies it). Per §2, the constraint
+// applies within every subtree rooted at a C element, including nested
+// ones.
+func (c Constraint) Check(doc *xmltree.Node) []Violation {
+	var violations []Violation
+	contexts := doc.Descendants(c.Context)
+	if doc.IsElement() && doc.Label == c.Context {
+		contexts = append([]*xmltree.Node{doc}, contexts...)
+	}
+	for _, ctx := range contexts {
+		switch c.Kind {
+		case Key:
+			seen := make(map[string]bool)
+			for _, a := range ctx.Descendants(c.Target) {
+				v, ok := fieldTuple(a, c.TargetFields)
+				if !ok {
+					continue
+				}
+				if seen[v] {
+					violations = append(violations, Violation{Constraint: c, ContextPath: ctx.Path(), Value: v})
+					continue
+				}
+				seen[v] = true
+			}
+		case Inclusion:
+			have := make(map[string]bool)
+			for _, a := range ctx.Descendants(c.Target) {
+				if v, ok := fieldTuple(a, c.TargetFields); ok {
+					have[v] = true
+				}
+			}
+			for _, b := range ctx.Descendants(c.Source) {
+				v, ok := fieldTuple(b, c.SourceFields)
+				if !ok {
+					continue
+				}
+				if !have[v] {
+					violations = append(violations, Violation{Constraint: c, ContextPath: ctx.Path(), Value: v})
+				}
+			}
+		}
+	}
+	return violations
+}
+
+// CheckAll checks every constraint and returns the concatenated
+// violations.
+func CheckAll(cs []Constraint, doc *xmltree.Node) []Violation {
+	var out []Violation
+	for _, c := range cs {
+		out = append(out, c.Check(doc)...)
+	}
+	return out
+}

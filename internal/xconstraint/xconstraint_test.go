@@ -1,0 +1,322 @@
+package xconstraint
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+func TestParse(t *testing.T) {
+	key, err := Parse("patient(item.trId -> item)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key.Kind != Key || key.Context != "patient" || key.Target != "item" || len(key.TargetFields) != 1 || key.TargetFields[0] != "trId" {
+		t.Errorf("key parsed as %+v", key)
+	}
+
+	for _, in := range []string{
+		"patient(treatment.trId [= item.trId)",
+		"patient(treatment.trId ⊆ item.trId)",
+		"patient(treatment.trId subset item.trId)",
+	} {
+		ic, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if ic.Kind != Inclusion || ic.Source != "treatment" || ic.SourceFields[0] != "trId" ||
+			ic.Target != "item" || ic.TargetFields[0] != "trId" || ic.Context != "patient" {
+			t.Errorf("inclusion parsed as %+v", ic)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"patient",
+		"patient()",
+		"(a.b -> a)",
+		"patient(item -> item)",
+		"patient(item.trId -> other)", // key target mismatch
+		"patient(item.trId = item)",
+		"patient(a.b.c -> a)",
+		"patient(a.b [= c)",
+		"patient(a [= c.d)",
+	}
+	for _, in := range bad {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	cs, err := ParseAll(`
+		-- the paper's two constraints
+		patient(item.trId -> item)
+		# a comment
+		patient(treatment.trId [= item.trId)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 2 || cs[0].Kind != Key || cs[1].Kind != Inclusion {
+		t.Errorf("ParseAll = %+v", cs)
+	}
+	if _, err := ParseAll("junk line"); err == nil {
+		t.Error("junk accepted")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"patient(item.trId -> item)",
+		"patient(treatment.trId [= item.trId)",
+	} {
+		c := MustParse(in)
+		again, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("re-parsing %q: %v", c.String(), err)
+		}
+		if again.String() != c.String() {
+			t.Errorf("round trip changed %v to %v", c, again)
+		}
+	}
+}
+
+const hospitalDTDText = `
+<!ELEMENT report (patient*)>
+<!ELEMENT patient (SSN, pname, treatments, bill)>
+<!ELEMENT treatments (treatment*)>
+<!ELEMENT treatment (trId, tname, procedure)>
+<!ELEMENT procedure (treatment*)>
+<!ELEMENT bill (item*)>
+<!ELEMENT item (trId, price)>
+<!ELEMENT SSN (#PCDATA)>
+<!ELEMENT pname (#PCDATA)>
+<!ELEMENT trId (#PCDATA)>
+<!ELEMENT tname (#PCDATA)>
+<!ELEMENT price (#PCDATA)>
+`
+
+func TestValidateAgainst(t *testing.T) {
+	d := dtd.MustParse(hospitalDTDText)
+	good := []string{
+		"patient(item.trId -> item)",
+		"patient(treatment.trId [= item.trId)",
+		"report(item.trId [= treatment.trId)",
+	}
+	for _, in := range good {
+		if err := MustParse(in).ValidateAgainst(d); err != nil {
+			t.Errorf("ValidateAgainst(%q): %v", in, err)
+		}
+	}
+	bad := []string{
+		"nosuch(item.trId -> item)",         // unknown context
+		"patient(nosuch.trId -> nosuch)",    // unknown target
+		"patient(item.nosuch -> item)",      // unknown field
+		"patient(item.price -> item)",       // price is int-like but still PCDATA: actually valid
+		"patient(bill.item -> bill)",        // item is not PCDATA
+		"patient(item.SSN -> item)",         // SSN not a subelement of item
+		"patient(nosuch.trId [= item.trId)", // unknown source
+	}
+	for i, in := range bad {
+		if i == 3 {
+			// price IS a valid PCDATA subelement of item; confirm.
+			if err := MustParse(in).ValidateAgainst(d); err != nil {
+				t.Errorf("ValidateAgainst(%q) should pass: %v", in, err)
+			}
+			continue
+		}
+		if err := MustParse(in).ValidateAgainst(d); err == nil {
+			t.Errorf("ValidateAgainst(%q) succeeded, want error", in)
+		}
+	}
+	// Key field occurring twice in the parent sequence is rejected.
+	d2 := dtd.MustParse(`<!ELEMENT r (a*)> <!ELEMENT a (k, k)> <!ELEMENT k (#PCDATA)>`)
+	if err := MustParse("r(a.k -> a)").ValidateAgainst(d2); err == nil {
+		t.Error("double key field accepted")
+	}
+}
+
+// buildReport constructs a report with the given treatment/item trIds per
+// patient.
+func buildReport(patients ...[2][]string) *xmltree.Node {
+	report := xmltree.NewElement("report")
+	for i, p := range patients {
+		patient := report.AppendElement("patient")
+		patient.AppendElement("SSN").AppendText(fmt.Sprintf("s%d", i))
+		patient.AppendElement("pname").AppendText("p")
+		treatments := patient.AppendElement("treatments")
+		for _, id := range p[0] {
+			tr := treatments.AppendElement("treatment")
+			tr.AppendElement("trId").AppendText(id)
+			tr.AppendElement("tname").AppendText("n")
+			tr.AppendElement("procedure")
+		}
+		bill := patient.AppendElement("bill")
+		for _, id := range p[1] {
+			item := bill.AppendElement("item")
+			item.AppendElement("trId").AppendText(id)
+			item.AppendElement("price").AppendText("1")
+		}
+	}
+	return report
+}
+
+func TestKeyCheck(t *testing.T) {
+	key := MustParse("patient(item.trId -> item)")
+
+	ok := buildReport([2][]string{{"t1"}, {"t1", "t2"}})
+	if v := key.Check(ok); len(v) != 0 {
+		t.Errorf("satisfied key reported violations: %v", v)
+	}
+
+	dup := buildReport([2][]string{{"t1"}, {"t1", "t1"}})
+	v := key.Check(dup)
+	if len(v) != 1 || v[0].Value != "t1" {
+		t.Errorf("duplicate key: %v", v)
+	}
+	if !strings.Contains(v[0].Error(), "more than once") {
+		t.Errorf("violation message: %v", v[0].Error())
+	}
+
+	// Duplicates across different patients are fine (key is relative to
+	// patient).
+	across := buildReport([2][]string{{"t1"}, {"t1"}}, [2][]string{{"t1"}, {"t1"}})
+	if v := key.Check(across); len(v) != 0 {
+		t.Errorf("cross-context duplicates flagged: %v", v)
+	}
+}
+
+func TestInclusionCheck(t *testing.T) {
+	ic := MustParse("patient(treatment.trId [= item.trId)")
+
+	ok := buildReport([2][]string{{"t1", "t2"}, {"t1", "t2", "t3"}})
+	if v := ic.Check(ok); len(v) != 0 {
+		t.Errorf("satisfied IC reported violations: %v", v)
+	}
+
+	missing := buildReport([2][]string{{"t1", "t9"}, {"t1"}})
+	v := ic.Check(missing)
+	if len(v) != 1 || v[0].Value != "t9" {
+		t.Errorf("missing inclusion: %v", v)
+	}
+	if !strings.Contains(v[0].Error(), "no match") {
+		t.Errorf("violation message: %v", v[0].Error())
+	}
+
+	// Inclusion must hold per patient: an item in another patient does not
+	// satisfy it.
+	cross := buildReport([2][]string{{"t1"}, {}}, [2][]string{{}, {"t1"}})
+	if v := ic.Check(cross); len(v) != 1 {
+		t.Errorf("cross-context inclusion: %v", v)
+	}
+}
+
+func TestNestedContexts(t *testing.T) {
+	// Key relative to `procedure` contexts must apply to nested procedure
+	// subtrees independently.
+	d := buildReport([2][]string{{"t1"}, {"t1"}})
+	// Add a nested treatment under the first treatment's procedure with a
+	// duplicate id inside the same patient.
+	proc := d.Descendants("procedure")[0]
+	tr := proc.AppendElement("treatment")
+	tr.AppendElement("trId").AppendText("t1")
+	tr.AppendElement("tname").AppendText("n")
+	tr.AppendElement("procedure")
+
+	keyAtPatient := MustParse("patient(treatment.trId -> treatment)")
+	if v := keyAtPatient.Check(d); len(v) != 1 {
+		t.Errorf("nested duplicate under patient: %v", v)
+	}
+	keyAtProc := MustParse("procedure(treatment.trId -> treatment)")
+	if v := keyAtProc.Check(d); len(v) != 0 {
+		t.Errorf("procedure-relative key should hold: %v", v)
+	}
+}
+
+func TestCheckRootIsContext(t *testing.T) {
+	// When the document root itself is the context type it must be
+	// included.
+	key := MustParse("report(item.trId -> item)")
+	dup := buildReport([2][]string{{}, {"t1"}}, [2][]string{{}, {"t1"}})
+	if v := key.Check(dup); len(v) != 1 {
+		t.Errorf("root-context key: %v", v)
+	}
+}
+
+func TestCheckAll(t *testing.T) {
+	cs := []Constraint{
+		MustParse("patient(item.trId -> item)"),
+		MustParse("patient(treatment.trId [= item.trId)"),
+	}
+	bad := buildReport([2][]string{{"t9"}, {"t1", "t1"}})
+	v := CheckAll(cs, bad)
+	if len(v) != 2 {
+		t.Errorf("CheckAll found %d violations, want 2: %v", len(v), v)
+	}
+}
+
+// TestCheckAgainstBruteForce cross-checks the checker against an
+// independently written quadratic reference on random documents.
+func TestCheckAgainstBruteForce(t *testing.T) {
+	key := MustParse("patient(item.trId -> item)")
+	ic := MustParse("patient(treatment.trId [= item.trId)")
+	r := rand.New(rand.NewSource(42))
+	ids := []string{"a", "b", "c"}
+	randIDs := func() []string {
+		n := r.Intn(4)
+		out := make([]string, n)
+		for i := range out {
+			out[i] = ids[r.Intn(len(ids))]
+		}
+		return out
+	}
+	for trial := 0; trial < 200; trial++ {
+		var patients [][2][]string
+		for p := 0; p < r.Intn(3)+1; p++ {
+			patients = append(patients, [2][]string{randIDs(), randIDs()})
+		}
+		doc := buildReport(patients...)
+
+		// Reference key check: quadratic scan.
+		wantKeyBad := false
+		for _, p := range patients {
+			for i := range p[1] {
+				for j := i + 1; j < len(p[1]); j++ {
+					if p[1][i] == p[1][j] {
+						wantKeyBad = true
+					}
+				}
+			}
+		}
+		if got := len(key.Check(doc)) > 0; got != wantKeyBad {
+			t.Fatalf("trial %d: key checker = %v, brute force = %v\n%s", trial, got, wantKeyBad, doc)
+		}
+
+		// Reference inclusion check.
+		wantICBad := false
+		for _, p := range patients {
+			for _, tr := range p[0] {
+				found := false
+				for _, it := range p[1] {
+					if it == tr {
+						found = true
+					}
+				}
+				if !found {
+					wantICBad = true
+				}
+			}
+		}
+		if got := len(ic.Check(doc)) > 0; got != wantICBad {
+			t.Fatalf("trial %d: IC checker = %v, brute force = %v\n%s", trial, got, wantICBad, doc)
+		}
+	}
+}
