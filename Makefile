@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt ci bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+# ci is what .github/workflows/ci.yml runs.
+ci: vet build race
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_1.json

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +45,7 @@ func run() error {
 	overhead := flag.Float64("overhead", mediator.DefaultNet().QueryOverheadSec, "per-query overhead in seconds")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	date := flag.String("date", datagen.Date(0), "report date to integrate")
+	jsonPath := flag.String("json", "", "also write per-cell results as JSON to this file (e.g. BENCH_1.json)")
 	flag.Parse()
 
 	if !*table1 && !*fig10 {
@@ -55,7 +57,7 @@ func run() error {
 		}
 	}
 	if *fig10 {
-		return runFig10(*sizesFlag, *levelsFlag, *bandwidth, *overhead, *seed, *date)
+		return runFig10(*sizesFlag, *levelsFlag, *bandwidth, *overhead, *seed, *date, *jsonPath)
 	}
 	return nil
 }
@@ -81,7 +83,22 @@ func printTable1(seed int64) error {
 	return nil
 }
 
-func runFig10(sizesFlag, levelsFlag string, bandwidthMbps, overheadSec float64, seed int64, date string) error {
+// benchCell is one (size, level) measurement: the Figure 10 ratio plus
+// the merged run's real phase timings and counters, for machine-readable
+// output and regression tracking.
+type benchCell struct {
+	Size           string             `json:"size"`
+	Level          int                `json:"level"`
+	UnmergedSimSec float64            `json:"unmerged_sim_sec"`
+	MergedSimSec   float64            `json:"merged_sim_sec"`
+	Ratio          float64            `json:"ratio"`
+	WallSec        float64            `json:"wall_sec"`
+	PhaseSec       map[string]float64 `json:"phase_sec"`
+	SourceQueries  int                `json:"source_queries"`
+	MergedGroups   int                `json:"merged_groups"`
+}
+
+func runFig10(sizesFlag, levelsFlag string, bandwidthMbps, overheadSec float64, seed int64, date, jsonPath string) error {
 	var sizes []datagen.Size
 	for _, name := range strings.Split(sizesFlag, ",") {
 		s, err := datagen.SizeByName(strings.TrimSpace(name))
@@ -99,6 +116,7 @@ func runFig10(sizesFlag, levelsFlag string, bandwidthMbps, overheadSec float64, 
 		levels = append(levels, n)
 	}
 
+	var cells []benchCell
 	fmt.Printf("Figure 10: evaluation-time ratio without/with query merging (%.1f Mbps)\n", bandwidthMbps)
 	fmt.Printf("%-10s", "levels:")
 	for _, l := range levels {
@@ -118,13 +136,45 @@ func runFig10(sizesFlag, levelsFlag string, bandwidthMbps, overheadSec float64, 
 			if err != nil {
 				return err
 			}
-			ratio, err := mergeRatio(reg, unf, bandwidthMbps, overheadSec, date)
+			cell, err := runCell(reg, unf, bandwidthMbps, overheadSec, date)
 			if err != nil {
 				return err
 			}
-			fmt.Printf(" %7.2f", ratio)
+			cell.Size, cell.Level = size.Name, level
+			cells = append(cells, cell)
+			fmt.Printf(" %7.2f", cell.Ratio)
 		}
 		fmt.Println()
+	}
+
+	fmt.Println("\nper-cell phase timings of the merged run (wall seconds)")
+	fmt.Printf("%-10s %5s %8s %9s %9s %9s %9s %8s %7s\n",
+		"size", "level", "wall", "compile", "optimize", "execute", "tag", "queries", "merged")
+	for _, c := range cells {
+		fmt.Printf("%-10s %5d %8.4f %9.4f %9.4f %9.4f %9.4f %8d %7d\n",
+			c.Size, c.Level, c.WallSec, c.PhaseSec["compile"], c.PhaseSec["optimize"],
+			c.PhaseSec["execute"], c.PhaseSec["tag"], c.SourceQueries, c.MergedGroups)
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		payload := map[string]any{
+			"bandwidth_mbps":     bandwidthMbps,
+			"query_overhead_sec": overheadSec,
+			"seed":               seed,
+			"date":               date,
+			"cells":              cells,
+		}
+		if err := enc.Encode(payload); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
 }
@@ -139,9 +189,12 @@ func prepare(cat *relstore.Catalog) (*aig.AIG, error) {
 		sqlmini.CatalogSchemas{Catalog: cat}, sqlmini.CatalogStats{Catalog: cat}, sqlmini.PlanOptions{})
 }
 
-func mergeRatio(reg *source.Registry, unf *aig.AIG, bandwidthMbps, overheadSec float64, date string) (float64, error) {
-	var times [2]float64
-	for i, merge := range []bool{false, true} {
+// runCell evaluates one (size, level) cell with merging disabled and
+// enabled; the merged run additionally contributes its wall-clock phase
+// breakdown and query counters.
+func runCell(reg *source.Registry, unf *aig.AIG, bandwidthMbps, overheadSec float64, date string) (benchCell, error) {
+	var cell benchCell
+	for _, merge := range []bool{false, true} {
 		opts := mediator.DefaultOptions()
 		opts.Merge = merge
 		opts.Net.BandwidthBytesPerSec = bandwidthMbps * 125000
@@ -149,9 +202,18 @@ func mergeRatio(reg *source.Registry, unf *aig.AIG, bandwidthMbps, overheadSec f
 		m := mediator.New(reg, opts)
 		res, err := m.Evaluate(unf, hospital.RootInh(unf, date))
 		if err != nil {
-			return 0, err
+			return benchCell{}, err
 		}
-		times[i] = res.Report.ResponseTimeSec
+		if merge {
+			cell.MergedSimSec = res.Report.ResponseTimeSec
+			cell.WallSec = res.Report.WallSec
+			cell.PhaseSec = res.Report.PhaseSec
+			cell.SourceQueries = res.Report.SourceQueryCount
+			cell.MergedGroups = res.Report.MergedGroups
+		} else {
+			cell.UnmergedSimSec = res.Report.ResponseTimeSec
+		}
 	}
-	return times[0] / times[1], nil
+	cell.Ratio = cell.UnmergedSimSec / cell.MergedSimSec
+	return cell, nil
 }

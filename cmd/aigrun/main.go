@@ -14,6 +14,12 @@
 // -conceptual flag switches to the tuple-at-a-time reference evaluator of
 // §3.2. The output is checked against the DTD and the constraints before
 // it is written.
+//
+// Observability: -explain prints the optimized plan without running it;
+// -analyze runs the evaluation and prints the same plan annotated with
+// measured times, row counts and estimation errors; -trace FILE writes
+// the evaluation's span tree as JSON; -metrics dumps the process's
+// runtime counters in Prometheus text format to stderr.
 package main
 
 import (
@@ -23,11 +29,13 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/aigrepro/aig/internal/aig"
 	"github.com/aigrepro/aig/internal/aigspec"
 	"github.com/aigrepro/aig/internal/dtd"
 	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/remote"
 	"github.com/aigrepro/aig/internal/source"
@@ -62,6 +70,10 @@ func run() error {
 	maxUnfold := flag.Int("maxunfold", 64, "maximum unfolding depth (mediator)")
 	verbose := flag.Bool("v", false, "print the evaluation report")
 	explain := flag.Bool("explain", false, "print the optimized query plan instead of evaluating")
+	analyze := flag.Bool("analyze", false, "evaluate, then print the executed plan with measured times next to the estimates")
+	tracePath := flag.String("trace", "", "write a JSON trace of the evaluation's spans to this file")
+	metrics := flag.Bool("metrics", false, "dump runtime metrics (Prometheus text format) to stderr on exit")
+	srcTimeout := flag.Duration("source-timeout", 0, "connect/read/write timeout for remote sources (0 disables)")
 	flag.Parse()
 
 	if *specPath == "" {
@@ -76,7 +88,7 @@ func run() error {
 		return err
 	}
 
-	reg, err := buildRegistry(*dataDir, sources)
+	reg, err := buildRegistry(*dataDir, sources, *srcTimeout)
 	if err != nil {
 		return err
 	}
@@ -87,6 +99,39 @@ func run() error {
 	rootInh, err := buildRootInh(a, params)
 	if err != nil {
 		return err
+	}
+
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	if *metrics {
+		defer obs.Default.WritePrometheus(os.Stderr)
+	}
+
+	if *analyze {
+		sa, err := specialize.CompileConstraints(a)
+		if err != nil {
+			return err
+		}
+		sa, err = specialize.DecomposeQueries(sa, reg, reg, mediator.DefaultOptions().PlanOpts)
+		if err != nil {
+			return err
+		}
+		sa, err = specialize.Unfold(sa, *unfold)
+		if err != nil {
+			return err
+		}
+		opts := mediator.DefaultOptions()
+		opts.Merge = *merge
+		opts.CopyElim = *copyElim
+		opts.Tracer = tracer
+		plan, _, err := mediator.New(reg, opts).ExplainAnalyze(sa, rootInh)
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan)
+		return writeTrace(*tracePath, tracer)
 	}
 
 	if *explain {
@@ -136,6 +181,7 @@ func run() error {
 		opts := mediator.DefaultOptions()
 		opts.Merge = *merge
 		opts.CopyElim = *copyElim
+		opts.Tracer = tracer
 		m := mediator.New(reg, opts)
 		res, depth, err := m.EvaluateRecursive(sa, rootInh, *unfold, *maxUnfold)
 		if err != nil {
@@ -145,10 +191,16 @@ func run() error {
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "unfold depth: %d\n", depth)
 			fmt.Fprintf(os.Stderr, "simulated response time: %.3fs\n", res.Report.ResponseTimeSec)
+			fmt.Fprintf(os.Stderr, "wall time: %.3fs (compile %.3fs, optimize %.3fs, execute %.3fs, tag %.3fs)\n",
+				res.Report.WallSec, res.Report.PhaseSec["compile"], res.Report.PhaseSec["optimize"],
+				res.Report.PhaseSec["execute"], res.Report.PhaseSec["tag"])
 			fmt.Fprintf(os.Stderr, "source queries: %d (merged groups: %d)\n",
 				res.Report.SourceQueryCount, res.Report.MergedGroups)
 			fmt.Fprintf(os.Stderr, "graph: %d nodes, %d edges\n", res.Report.NodeCount, res.Report.EdgeCount)
 		}
+	}
+	if err := writeTrace(*tracePath, tracer); err != nil {
+		return err
 	}
 
 	// Independent verification before writing.
@@ -171,7 +223,22 @@ func run() error {
 	return doc.WriteIndented(w)
 }
 
-func buildRegistry(dataDir string, sources []string) (*source.Registry, error) {
+func writeTrace(path string, tracer *obs.Tracer) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func buildRegistry(dataDir string, sources []string, timeout time.Duration) (*source.Registry, error) {
 	reg := source.NewRegistry()
 	n := 0
 	if dataDir != "" {
@@ -196,7 +263,8 @@ func buildRegistry(dataDir string, sources []string) (*source.Registry, error) {
 		if !ok {
 			return nil, fmt.Errorf("-source needs NAME=ADDR, got %q", s)
 		}
-		client, err := remote.Dial(name, addr)
+		client, err := remote.DialTimeouts(name, addr,
+			remote.Timeouts{Dial: timeout, Read: timeout, Write: timeout})
 		if err != nil {
 			return nil, err
 		}

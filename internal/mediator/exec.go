@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
 	"github.com/aigrepro/aig/internal/sqlmini"
@@ -31,6 +32,10 @@ type exec struct {
 	// wake, set under mu by the dynamic scheduler, is called after every
 	// node completion to re-examine readiness.
 	wake func()
+	// tr/execSpan, when tracing, parent one span per node execution under
+	// the "execute" phase span.
+	tr       *obs.Tracer
+	execSpan *obs.Span
 }
 
 func (x *exec) fail(err error) {
@@ -52,31 +57,66 @@ func (m *Mediator) Evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, error)
 }
 
 func (m *Mediator) evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, *graph, error) {
-	g, err := compile(a, m.reg, m.opts)
+	tr := m.opts.Tracer
+	start := time.Now()
+	root := tr.StartSpan("evaluate", nil)
+	res, g, err := m.evaluatePhases(a, rootInh, tr, root)
 	if err != nil {
+		root.SetAttr("error", err.Error())
+	}
+	if res != nil {
+		res.Report.WallSec = time.Since(start).Seconds()
+		root.SetAttr("response_time_sec", res.Report.ResponseTimeSec)
+	}
+	root.End()
+	return res, g, err
+}
+
+// evaluatePhases runs the four Fig. 5 phases under the given root span,
+// recording one child span and one wall-clock timing per phase.
+func (m *Mediator) evaluatePhases(a *aig.AIG, rootInh *aig.AttrValue, tr *obs.Tracer, root *obs.Span) (*Result, *graph, error) {
+	phaseSec := make(map[string]float64, 4)
+
+	sp, t0 := tr.StartSpan("compile", root), time.Now()
+	g, err := compile(a, m.reg, m.opts)
+	phaseSec["compile"] = time.Since(t0).Seconds()
+	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
 	if !isAcyclic(g.nodes) {
+		sp.End()
 		return nil, nil, fmt.Errorf("mediator: dependency graph is cyclic")
 	}
+	sp.SetAttr("nodes", len(g.nodes)).SetAttr("edges", len(g.edges)).End()
 
+	sp, t0 = tr.StartSpan("optimize", root), time.Now()
 	mergedGroups := 0
 	if m.opts.Merge {
 		mergedGroups = g.mergeQueries()
 	}
 	p := schedule(g.nodes, m.opts.Net, m.opts.Schedule)
+	phaseSec["optimize"] = time.Since(t0).Seconds()
+	sp.SetAttr("merged_groups", mergedGroups).SetAttr("nodes", len(g.nodes)).End()
 
 	if rootInh == nil {
 		rootInh = aig.NewAttrValue(a.Inh[a.DTD.Root])
 	}
-	x := &exec{g: g, rootInh: rootInh}
+	sp, t0 = tr.StartSpan("execute", root), time.Now()
+	x := &exec{g: g, rootInh: rootInh, tr: tr, execSpan: sp}
 	executed, err := x.run(p)
+	phaseSec["execute"] = time.Since(t0).Seconds()
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	p = executed
+	g.executed = executed
 
+	sp, t0 = tr.StartSpan("tag", root), time.Now()
 	doc, err := g.tag()
+	phaseSec["tag"] = time.Since(t0).Seconds()
+	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -87,6 +127,7 @@ func (m *Mediator) evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, *graph
 		NodeCount:        len(g.nodes),
 		EdgeCount:        len(g.edges),
 		PerSourceBusySec: make(map[string]float64),
+		PhaseSec:         phaseSec,
 	}
 	for _, n := range g.nodes {
 		rep.PerSourceBusySec[n.source] += n.evalSec
@@ -200,7 +241,24 @@ func (x *exec) waitDeps(n *node) {
 
 // runNode executes one node whose dependencies are satisfied.
 func (x *exec) runNode(n *node) {
+	sp := x.tr.StartSpan("node:"+n.name, x.execSpan)
+	start := time.Now()
 	defer func() {
+		if sp != nil {
+			// Estimates next to actuals: the span is the unit of
+			// estimate-vs-actual feedback for cost-model calibration.
+			sp.SetAttr("source", n.source).
+				SetAttr("est_cost_sec", n.estCost).
+				SetAttr("est_out_bytes", n.estOutBytes).
+				SetAttr("eval_sec", n.evalSec).
+				SetAttr("wall_sec", time.Since(start).Seconds()).
+				SetAttr("out_rows", n.outRows).
+				SetAttr("out_bytes", n.outBytes)
+			if n.err != nil {
+				sp.SetAttr("error", n.err.Error())
+			}
+			sp.End()
+		}
 		x.mu.Lock()
 		n.finished = true
 		wake := x.wake
@@ -214,6 +272,7 @@ func (x *exec) runNode(n *node) {
 	failed := x.firstErr != nil
 	x.mu.Unlock()
 	if failed {
+		sp.SetAttr("skipped", true)
 		return
 	}
 	var err error
@@ -228,6 +287,7 @@ func (x *exec) runNode(n *node) {
 		// Local work is charged on the virtual clock at the mediator's
 		// application-code rate, not wall time, for determinism.
 		n.evalSec = float64(rows) * x.g.opts.Net.MediatorRowCostSec
+		n.outRows = rows
 	}
 	if err != nil {
 		n.err = err
@@ -322,6 +382,7 @@ func (x *exec) runPart(n *node, pt *part) error {
 	}
 	pt.out = out
 	n.evalSec += dur.Seconds()
+	n.outRows += out.Len()
 	n.outBytes += out.ByteSize()
 	return nil
 }

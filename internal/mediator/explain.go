@@ -23,14 +23,42 @@ func (m *Mediator) Explain(a *aig.AIG) (string, error) {
 		merged = g.mergeQueries()
 	}
 	p := schedule(g.nodes, m.opts.Net, m.opts.Schedule)
-	est := costOf(g.nodes, p, m.opts.Net, estimatedInputs(m.opts.Net))
+	return renderPlan(g, p, merged, nil), nil
+}
 
+// ExplainAnalyze is the runtime counterpart of Explain: it evaluates the
+// AIG and renders the executed plan annotated with the measured actuals —
+// engine time, result rows and bytes per query node — next to the
+// optimizer's compile-time estimates, plus the per-node estimation error.
+// The evaluation result (document and report) is returned alongside the
+// rendering so callers can still use or verify the output.
+func (m *Mediator) ExplainAnalyze(a *aig.AIG, rootInh *aig.AttrValue) (string, *Result, error) {
+	res, g, err := m.evaluate(a, rootInh)
+	if err != nil {
+		return "", nil, err
+	}
+	return renderPlan(g, g.executed, res.Report.MergedGroups, res), res, nil
+}
+
+// renderPlan is the shared renderer behind Explain (res == nil: estimates
+// only) and ExplainAnalyze (res != nil: estimates next to measured
+// actuals and the estimation error).
+func renderPlan(g *graph, p *plan, merged int, res *Result) string {
+	analyze := res != nil
 	var b strings.Builder
 	fmt.Fprintf(&b, "dependency graph: %d nodes, %d edges", len(g.nodes), len(g.edges))
-	if m.opts.Merge {
+	if g.opts.Merge {
 		fmt.Fprintf(&b, " (%d merged groups)", merged)
 	}
+	est := costOf(g.nodes, p, g.opts.Net, estimatedInputs(g.opts.Net))
 	fmt.Fprintf(&b, "\nestimated response time: %.3fs\n", est)
+	if analyze {
+		fmt.Fprintf(&b, "measured response time:  %.3fs (virtual clock, error %s)\n",
+			res.Report.ResponseTimeSec, pctError(res.Report.ResponseTimeSec, est))
+		fmt.Fprintf(&b, "wall time: %.3fs (compile %.3fs, optimize %.3fs, execute %.3fs, tag %.3fs)\n",
+			res.Report.WallSec, res.Report.PhaseSec["compile"], res.Report.PhaseSec["optimize"],
+			res.Report.PhaseSec["execute"], res.Report.PhaseSec["tag"])
+	}
 
 	sources := make([]string, 0, len(p.order))
 	for s := range p.order {
@@ -39,40 +67,102 @@ func (m *Mediator) Explain(a *aig.AIG) (string, error) {
 	sort.Strings(sources)
 	for _, src := range sources {
 		var queries []*node
-		localCost := 0.0
+		localEst, localActual := 0.0, 0.0
 		for _, n := range p.order[src] {
 			if n.kind == nodeQuery {
 				queries = append(queries, n)
 			} else {
-				localCost += n.estCost
+				localEst += n.estCost
+				localActual += n.evalSec
 			}
 		}
 		if src == MediatorSource {
-			fmt.Fprintf(&b, "\n%s: %d local tasks (est %.3fs application time)\n",
-				src, len(p.order[src])-len(queries), localCost)
+			fmt.Fprintf(&b, "\n%s: %d local tasks (est %.3fs application time", src, len(p.order[src])-len(queries), localEst)
+			if analyze {
+				fmt.Fprintf(&b, ", actual %.3fs", localActual)
+			}
+			b.WriteString(")\n")
 		} else {
-			fmt.Fprintf(&b, "\n%s: %d queries in schedule order\n", src, len(queries))
+			fmt.Fprintf(&b, "\n%s: %d queries in %s order\n", src, len(queries), orderName(analyze))
 		}
 		for i, n := range queries {
-			fmt.Fprintf(&b, "  %2d. %s (est %.3fs, ~%s out)\n", i+1, n.name, n.estCost, byteCount(n.estOutBytes))
-			for _, item := range n.items {
-				if item.pt != nil {
-					fmt.Fprintf(&b, "        part: %s\n", item.pt.rw.query)
-				}
-			}
-			for _, pt := range n.parts {
-				if n.items == nil {
-					fmt.Fprintf(&b, "        %s\n", pt.rw.query)
-				}
-			}
-			for _, e := range n.in {
-				if e.from.kind == nodeQuery || e.estBytes > 0 {
-					fmt.Fprintf(&b, "        <- %s (~%s shipped)\n", e.from.name, byteCount(e.estBytes))
-				}
-			}
+			renderNode(&b, i+1, n, analyze)
 		}
 	}
-	return b.String(), nil
+	return b.String()
+}
+
+func orderName(analyze bool) string {
+	if analyze {
+		return "execution"
+	}
+	return "schedule"
+}
+
+// renderNode prints one query node: its estimate line (and, when
+// analyzing, the actuals and estimation error), its query parts in
+// execution order, and its incoming shipments.
+func renderNode(b *strings.Builder, pos int, n *node, analyze bool) {
+	fmt.Fprintf(b, "  %2d. %s (est %.3fs, ~%s out", pos, n.name, n.estCost, byteCount(n.estOutBytes))
+	if analyze {
+		fmt.Fprintf(b, "; actual %.3fs, %d rows, %s out; bytes err %s",
+			n.evalSec, n.outRows, byteCount(float64(n.outBytes)), pctError(float64(n.outBytes), n.estOutBytes))
+	}
+	b.WriteString(")\n")
+	if n.err != nil {
+		fmt.Fprintf(b, "        ERROR: %v\n", n.err)
+	}
+	parts := queryParts(n)
+	for _, pt := range parts {
+		prefix := ""
+		if len(parts) > 1 {
+			prefix = "part: "
+		}
+		fmt.Fprintf(b, "        %s%s\n", prefix, pt.rw.query)
+		if analyze && pt.out != nil {
+			fmt.Fprintf(b, "          -> %d rows, %s (est %.0f rows, ~%s; rows err %s)\n",
+				pt.out.Len(), byteCount(float64(pt.out.ByteSize())),
+				pt.estRows, byteCount(pt.estBytes), pctError(float64(pt.out.Len()), pt.estRows))
+		}
+	}
+	for _, e := range n.in {
+		if e.from.kind != nodeQuery && e.estBytes <= 0 && e.bytes == 0 {
+			continue
+		}
+		fmt.Fprintf(b, "        <- %s (~%s shipped", e.from.name, byteCount(e.estBytes))
+		if analyze {
+			fmt.Fprintf(b, ", actual %s", byteCount(float64(e.bytes)))
+		}
+		b.WriteString(")\n")
+	}
+}
+
+// queryParts returns the node's query parts in execution order,
+// regardless of whether the node was merged (items, interleaving absorbed
+// local tasks that are skipped here) or not (parts). This is the single
+// source of truth for plan rendering; Explain and ExplainAnalyze share
+// it.
+func queryParts(n *node) []*part {
+	if n.items == nil {
+		return n.parts
+	}
+	var ps []*part
+	for _, item := range n.items {
+		if item.pt != nil {
+			ps = append(ps, item.pt)
+		}
+	}
+	return ps
+}
+
+// pctError formats the relative estimation error of actual vs est
+// ("+12%", "-31%"); when the estimate is zero there is nothing to
+// compare against.
+func pctError(actual, est float64) string {
+	if est == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.0f%%", 100*(actual-est)/est)
 }
 
 func byteCount(bytes float64) string {

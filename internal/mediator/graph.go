@@ -109,6 +109,7 @@ type node struct {
 	finished bool // set (under the exec mutex) before done closes
 	err      error
 	evalSec  float64
+	outRows  int
 	outBytes int
 }
 
@@ -146,6 +147,11 @@ type graph struct {
 
 	st      *store
 	rootIDs []int // ids of root instances (exactly one)
+
+	// executed, set after a successful run, is the plan as executed (the
+	// recorded dispatch order under dynamic scheduling) — what
+	// ExplainAnalyze renders.
+	executed *plan
 }
 
 func (g *graph) newNode(kind nodeKind, src, name string) *node {

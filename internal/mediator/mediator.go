@@ -20,6 +20,7 @@
 package mediator
 
 import (
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/sqlmini"
 	"github.com/aigrepro/aig/internal/xmltree"
 )
@@ -106,6 +107,12 @@ type Options struct {
 	Net NetModel
 	// PlanOpts tunes per-source query planning.
 	PlanOpts sqlmini.PlanOptions
+	// Tracer, when non-nil, records one span tree per evaluation: a root
+	// "evaluate" span with one child per Fig. 5 phase (compile, optimize,
+	// execute, tag) and, under "execute", one span per dependency-graph
+	// node carrying the optimizer's estimates next to the measured
+	// actuals. A nil tracer disables tracing at negligible cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions enables every optimization with the §6 network model.
@@ -130,6 +137,12 @@ type Report struct {
 	NodeCount, EdgeCount int
 	// PerSourceBusySec is the summed eval time per source.
 	PerSourceBusySec map[string]float64
+	// WallSec is the measured wall-clock duration of the evaluation (as
+	// opposed to ResponseTimeSec, which runs on the virtual clock).
+	WallSec float64
+	// PhaseSec maps each Fig. 5 phase — "compile", "optimize", "execute",
+	// "tag" — to its measured wall-clock duration in seconds.
+	PhaseSec map[string]float64
 }
 
 // Result is the outcome of a mediator evaluation.

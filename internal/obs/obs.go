@@ -1,0 +1,270 @@
+// Package obs is the runtime observability layer: a lightweight,
+// dependency-free tracing and metrics substrate for the evaluation stack.
+//
+// Tracing follows the usual span model — a span is a named interval with
+// a parent, monotonic start/end times and a flat list of attributes — but
+// is deliberately minimal: spans are collected into a Tracer owned by one
+// evaluation, and exported as a JSON tree afterwards. There is no
+// sampling, no context propagation and no global collector; the mediator
+// threads the tracer through its own call graph explicitly.
+//
+// Everything is nil-safe: a nil *Tracer (the default) hands out nil
+// *Spans, and every method on a nil receiver is a no-op, so instrumented
+// code pays a single pointer test when tracing is disabled. The same
+// convention holds for the metric instruments in metrics.go.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values should be strings,
+// booleans, integers or floats so that the JSON export stays flat.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one named interval of work. Fields are written only by the
+// goroutine that started the span; readers must wait for End (the
+// mediator's phase structure guarantees this ordering).
+type Span struct {
+	tracer   *Tracer
+	id       int
+	parentID int // -1 for a root span
+
+	name  string
+	start time.Time // carries the monotonic clock reading
+	end   time.Time
+	attrs []Attr
+}
+
+// Tracer collects the spans of one evaluation. The zero value is not
+// usable; use NewTracer. A nil *Tracer is the disabled tracer.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// NewTracer returns an empty, enabled tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// StartSpan opens a span under parent (nil parent makes a root span) and
+// records it with the tracer. On a nil tracer it returns nil, which every
+// Span method accepts.
+func (t *Tracer) StartSpan(name string, parent *Span) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, parentID: -1, start: time.Now()}
+	if parent != nil {
+		s.parentID = parent.id
+	}
+	t.mu.Lock()
+	s.id = len(t.spans)
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes the span. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil || !s.end.IsZero() {
+		return
+	}
+	s.end = time.Now()
+}
+
+// SetAttr annotates the span and returns it for chaining.
+func (s *Span) SetAttr(key string, value any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	return s
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the elapsed monotonic time between start and end, or
+// zero if the span has not ended.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.end.IsZero() {
+		return 0
+	}
+	return s.end.Sub(s.start)
+}
+
+// Ended reports whether End was called.
+func (s *Span) Ended() bool { return s != nil && !s.end.IsZero() }
+
+// Attr returns the value of the first attribute with the given key.
+func (s *Span) Attr(key string) (any, bool) {
+	if s == nil {
+		return nil, false
+	}
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Spans returns every recorded span in start order.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Root returns the first root span (parentless), or nil.
+func (t *Tracer) Root() *Span {
+	for _, s := range t.Spans() {
+		if s.parentID < 0 {
+			return s
+		}
+	}
+	return nil
+}
+
+// Children returns the direct children of parent in start order.
+func (t *Tracer) Children(parent *Span) []*Span {
+	if t == nil || parent == nil {
+		return nil
+	}
+	var out []*Span
+	for _, s := range t.Spans() {
+		if s.parentID == parent.id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// spanJSON is the exported form of one span.
+type spanJSON struct {
+	ID       int            `json:"id"`
+	Parent   int            `json:"parent"` // -1 for roots
+	Name     string         `json:"name"`
+	StartUs  int64          `json:"start_us"` // microseconds since the trace began
+	DurUs    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []spanJSON     `json:"children,omitempty"`
+}
+
+// WriteJSON renders the trace as a JSON forest of spans, children nested
+// under their parents, with start offsets and durations in microseconds.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "[]\n")
+		return err
+	}
+	spans := t.Spans()
+	var origin time.Time
+	if len(spans) > 0 {
+		origin = spans[0].start
+	}
+	kids := make(map[int][]*Span)
+	var roots []*Span
+	for _, s := range spans {
+		if s.parentID < 0 {
+			roots = append(roots, s)
+		} else {
+			kids[s.parentID] = append(kids[s.parentID], s)
+		}
+	}
+	var convert func(s *Span) spanJSON
+	convert = func(s *Span) spanJSON {
+		j := spanJSON{
+			ID:      s.id,
+			Parent:  s.parentID,
+			Name:    s.name,
+			StartUs: s.start.Sub(origin).Microseconds(),
+			DurUs:   s.Duration().Microseconds(),
+		}
+		if len(s.attrs) > 0 {
+			j.Attrs = make(map[string]any, len(s.attrs))
+			for _, a := range s.attrs {
+				j.Attrs[a.Key] = a.Value
+			}
+		}
+		for _, c := range kids[s.id] {
+			j.Children = append(j.Children, convert(c))
+		}
+		return j
+	}
+	out := make([]spanJSON, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, convert(r))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// WriteText renders the trace as an indented tree, one line per span —
+// the quick human-readable view (the JSON export is the machine one).
+func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	kids := make(map[int][]*Span)
+	var roots []*Span
+	for _, s := range spans {
+		if s.parentID < 0 {
+			roots = append(roots, s)
+		} else {
+			kids[s.parentID] = append(kids[s.parentID], s)
+		}
+	}
+	var walk func(s *Span, depth int) error
+	walk = func(s *Span, depth int) error {
+		attrs := ""
+		for _, a := range s.attrs {
+			attrs += fmt.Sprintf(" %s=%v", a.Key, a.Value)
+		}
+		if _, err := fmt.Fprintf(w, "%*s%s %.3fms%s\n",
+			2*depth, "", s.name, float64(s.Duration().Microseconds())/1000, attrs); err != nil {
+			return err
+		}
+		for _, c := range kids[s.id] {
+			if err := walk(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order (shared by the metric
+// exports, which must be deterministic).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,9 @@
+package relstore
+
+import "github.com/aigrepro/aig/internal/obs"
+
+// metricInserts counts every row appended to an in-memory table — the
+// storage-level view of the mediator's cache-table writes (and of dataset
+// generation, which builds tables the same way).
+var metricInserts = obs.Default.NewCounter("aig_relstore_inserts_total",
+	"rows inserted into in-memory tables")

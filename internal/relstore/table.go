@@ -56,6 +56,7 @@ func (t *Table) Insert(row Tuple) error {
 	t.rows = append(t.rows, row)
 	t.indexes = nil // invalidate
 	t.mu.Unlock()
+	metricInserts.Inc()
 	return nil
 }
 

@@ -7,10 +7,39 @@ import (
 	"sync"
 	"time"
 
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
 	"github.com/aigrepro/aig/internal/sqlmini"
 )
+
+// Wire-protocol metrics: request counts, bytes on the wire in both
+// directions, and the round-trip latency distribution.
+var (
+	metricRequests = obs.Default.NewCounter("aig_remote_requests_total",
+		"requests sent to remote sources")
+	metricSentBytes = obs.Default.NewCounter("aig_remote_sent_bytes_total",
+		"bytes written to remote sources")
+	metricRecvBytes = obs.Default.NewCounter("aig_remote_recv_bytes_total",
+		"bytes read from remote sources")
+	metricRoundTrip = obs.Default.NewHistogram("aig_remote_roundtrip_seconds",
+		"request round-trip latency to remote sources", obs.DurationBuckets)
+)
+
+// Timeouts bounds the client's network operations. A hung or partitioned
+// source then surfaces as a timeout error on the issuing request —
+// traced like any other node error — instead of blocking an evaluation
+// worker forever. Zero values disable the corresponding deadline.
+type Timeouts struct {
+	// Dial bounds connection establishment.
+	Dial time.Duration
+	// Read bounds one response read, so it must cover the source-side
+	// query execution time, not just network latency.
+	Read time.Duration
+	// Write bounds one request write (the request carries the parameter
+	// tables, so sizeable shipments take real time on slow links).
+	Write time.Duration
+}
 
 // Client is a source.Source backed by a remote Server. Requests are
 // serialized over a single persistent connection (the engine executes one
@@ -18,6 +47,7 @@ import (
 type Client struct {
 	name string
 	addr string
+	to   Timeouts
 
 	mu   sync.Mutex
 	conn net.Conn
@@ -25,11 +55,17 @@ type Client struct {
 	dec  *gob.Decoder
 }
 
-// Dial connects to a remote source. name is the source's database name as
-// used in source-qualified table references.
+// Dial connects to a remote source without deadlines. name is the
+// source's database name as used in source-qualified table references.
 func Dial(name, addr string) (*Client, error) {
+	return DialTimeouts(name, addr, Timeouts{})
+}
+
+// DialTimeouts connects to a remote source with the given network
+// deadlines, which also bound the liveness check performed here.
+func DialTimeouts(name, addr string, to Timeouts) (*Client, error) {
 	registerGob()
-	c := &Client{name: name, addr: addr}
+	c := &Client{name: name, addr: addr, to: to}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -43,14 +79,32 @@ func Dial(name, addr string) (*Client, error) {
 }
 
 func (c *Client) connect() error {
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.to.Dial)
 	if err != nil {
-		return fmt.Errorf("remote: dialing source %s at %s: %v", c.name, c.addr, err)
+		return fmt.Errorf("remote: dialing source %s at %s: %w", c.name, c.addr, err)
 	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
+	mc := &meterConn{Conn: conn}
+	c.conn = mc
+	c.enc = gob.NewEncoder(mc)
+	c.dec = gob.NewDecoder(mc)
 	return nil
+}
+
+// meterConn counts the bytes crossing the wire.
+type meterConn struct {
+	net.Conn
+}
+
+func (m *meterConn) Read(p []byte) (int, error) {
+	n, err := m.Conn.Read(p)
+	metricRecvBytes.Add(int64(n))
+	return n, err
+}
+
+func (m *meterConn) Write(p []byte) (int, error) {
+	n, err := m.Conn.Write(p)
+	metricSentBytes.Add(int64(n))
+	return n, err
 }
 
 // Close drops the connection.
@@ -73,20 +127,34 @@ func (c *Client) roundTrip(req *request, resp *response) error {
 			return err
 		}
 	}
+	metricRequests.Inc()
+	start := time.Now()
+	if c.to.Write > 0 {
+		c.conn.SetWriteDeadline(start.Add(c.to.Write))
+	}
 	if err := c.enc.Encode(req); err != nil {
-		c.conn.Close()
-		c.conn = nil
-		return fmt.Errorf("remote: sending to %s: %v", c.name, err)
+		c.dropConn()
+		return fmt.Errorf("remote: sending to %s: %w", c.name, err)
+	}
+	if c.to.Read > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(c.to.Read))
 	}
 	if err := c.dec.Decode(resp); err != nil {
-		c.conn.Close()
-		c.conn = nil
-		return fmt.Errorf("remote: receiving from %s: %v", c.name, err)
+		c.dropConn()
+		return fmt.Errorf("remote: receiving from %s: %w", c.name, err)
 	}
+	metricRoundTrip.Observe(time.Since(start).Seconds())
 	if resp.Err != "" {
 		return fmt.Errorf("remote: source %s: %s", c.name, resp.Err)
 	}
 	return nil
+}
+
+// dropConn discards the connection after a wire error (the gob streams
+// are no longer in sync); the next request reconnects. Callers hold mu.
+func (c *Client) dropConn() {
+	c.conn.Close()
+	c.conn = nil
 }
 
 // Name implements source.Source.

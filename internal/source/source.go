@@ -16,8 +16,19 @@ import (
 	"sync"
 	"time"
 
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// Source-level metrics: one execution and one row count per engine-side
+// query, wherever that engine runs (in-process here; remote engines
+// count on their own side).
+var (
+	metricExecs = obs.Default.NewCounter("aig_source_queries_total",
+		"queries executed by in-process source engines")
+	metricExecRows = obs.Default.NewCounter("aig_source_rows_returned_total",
+		"result rows returned by in-process source engines")
 )
 
 // Estimate is a source's answer to a costing request: the expected
@@ -114,6 +125,10 @@ func (l *Local) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts 
 	}
 	start := time.Now()
 	out, err := sqlmini.Run(name, q, sqlmini.CatalogSchemas{Catalog: l.cat}, sqlmini.CatalogData{Catalog: l.cat}, sqlmini.CatalogStats{Catalog: l.cat}, params, opts)
+	if err == nil {
+		metricExecs.Inc()
+		metricExecRows.Add(int64(out.Len()))
+	}
 	return out, time.Since(start), err
 }
 

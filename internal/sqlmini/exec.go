@@ -31,6 +31,8 @@ func Exec(name string, plan *Plan, data DataProvider, params Params) (*relstore.
 		return nil, err
 	}
 
+	metricQueries.Inc()
+
 	// Materialize filtered base rows per table.
 	baseRows := make([][]relstore.Tuple, n)
 	for i := 0; i < n; i++ {
@@ -38,6 +40,7 @@ func Exec(name string, plan *Plan, data DataProvider, params Params) (*relstore.
 		if err != nil {
 			return nil, err
 		}
+		metricRowsScanned.Add(int64(len(rows)))
 		baseRows[i] = filterLocal(r, i, rows, env)
 	}
 
@@ -181,6 +184,7 @@ func Exec(name string, plan *Plan, data DataProvider, params Params) (*relstore.
 	if r.Query.Distinct {
 		out.Distinct()
 	}
+	metricRowsReturned.Add(int64(out.Len()))
 	return out, nil
 }
 
