@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt ci bench clean
+.PHONY: all build test race vet fmt lint fmt-check staticcheck fuzz-smoke ci bench clean
 
 all: build
 
@@ -19,8 +19,30 @@ vet:
 fmt:
 	gofmt -l .
 
-# ci is what .github/workflows/ci.yml runs.
-ci: vet build race
+# lint runs the aiglint diagnostic engine over the example specs;
+# any Error-severity diagnostic (exit 1) fails the target.
+lint:
+	$(GO) run ./cmd/aiglint examples
+
+# fmt-check verifies the checked-in canonical spec fixtures are in
+# aigspec.Format's canonical form.
+fmt-check:
+	$(GO) run ./cmd/aigfmt -l internal/aigspec/testdata
+
+# staticcheck is pinned by version and fetched on demand, so it runs in
+# CI without being a module dependency. Needs network access.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
+
+# fuzz-smoke gives each fuzz target a short budget; regressions in the
+# parsers' invariants surface as crashes.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/aigspec
+	$(GO) test -run '^$$' -fuzz FuzzParseGeneral -fuzztime 10s ./internal/dtd
+
+# ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
+# fetches pinned).
+ci: vet build race lint fmt-check fuzz-smoke
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

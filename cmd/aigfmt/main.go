@@ -1,50 +1,115 @@
-// Command aigfmt parses an AIG specification and prints it back in
+// Command aigfmt parses AIG specifications and prints them back in
 // canonical form (gofmt for the aigspec language):
 //
 //	aigfmt report.aig            # print the canonical form
 //	aigfmt -w report.aig         # rewrite the file in place
+//	aigfmt -l specs/             # list files whose formatting differs
 //
-// Parsing alone catches syntax errors; formatting normalizes member
-// ordering and SQL layout.
+// Each path is a .aig file or a directory searched recursively for
+// *.aig files. Parsing alone catches syntax errors; formatting
+// normalizes member ordering and SQL layout. With -l the exit status is
+// 1 when any file is not in canonical form (for CI gating) and 0
+// otherwise; parse and I/O failures exit 2.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"github.com/aigrepro/aig/internal/aigspec"
 )
 
 func main() {
-	write := flag.Bool("w", false, "rewrite the file in place")
+	write := flag.Bool("w", false, "rewrite files in place")
+	list := flag.Bool("l", false, "list files whose formatting differs; exit 1 if any do")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aigfmt [-l] [-w] path ...\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: aigfmt [-w] <spec.aig>")
+	if flag.NArg() == 0 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	path := flag.Arg(0)
-	data, err := os.ReadFile(path)
+
+	files, err := collect(flag.Args())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "aigfmt:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	a, err := aigspec.Parse(string(data))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "aigfmt:", err)
-		os.Exit(1)
+	if len(files) == 0 {
+		fail(fmt.Errorf("no .aig files found"))
 	}
-	out, err := aigspec.Format(a)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "aigfmt:", err)
-		os.Exit(1)
-	}
-	if *write {
-		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "aigfmt:", err)
-			os.Exit(1)
+
+	differs := false
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
 		}
-		return
+		a, err := aigspec.Parse(string(data))
+		if err != nil {
+			fail(fmt.Errorf("%s: %v", path, err))
+		}
+		out, err := aigspec.Format(a)
+		if err != nil {
+			fail(fmt.Errorf("%s: %v", path, err))
+		}
+		switch {
+		case *list:
+			if out != string(data) {
+				differs = true
+				fmt.Println(path)
+			}
+		case *write:
+			if out != string(data) {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					fail(err)
+				}
+			}
+		default:
+			fmt.Print(out)
+		}
 	}
-	fmt.Print(out)
+	if *list && differs {
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "aigfmt:", err)
+	os.Exit(2)
+}
+
+// collect expands the argument paths into the sorted list of .aig files:
+// files are taken as given, directories are walked recursively.
+func collect(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && filepath.Ext(path) == ".aig" {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
 }

@@ -1,0 +1,119 @@
+// Command aiglint checks AIG specification files for the problems the
+// static analyses of the paper can find without running the grammar:
+// unsatisfiable rule queries, possible non-termination, unreachable
+// element types, dead choice branches, unresolved source schemas,
+// rule-typing errors, constraints inconsistent with the DTD,
+// uncollapsible copy chains, and unused attribute members.
+//
+// Usage:
+//
+//	aiglint [-json] [-q] path ...
+//
+// Each path is a .aig file or a directory searched recursively for
+// *.aig files. Diagnostics print one per line as
+// file:line:col: severity: message [CODE]; -json emits them as a JSON
+// array instead, and -q suppresses output entirely. The exit status is
+// 0 when no errors were found (warnings and infos are advisory), 1 when
+// at least one error-severity diagnostic was reported, and 2 on usage
+// or I/O failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/aigrepro/aig/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	quiet := flag.Bool("q", false, "suppress output; report via exit status only")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aiglint [-json] [-q] path ...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	files, err := collect(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aiglint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "aiglint: no .aig files found\n")
+		os.Exit(2)
+	}
+
+	var diags []lint.Diagnostic
+	for _, f := range files {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aiglint: %v\n", err)
+			os.Exit(2)
+		}
+		diags = append(diags, lint.Source(f, string(text))...)
+	}
+
+	switch {
+	case *quiet:
+	case *jsonOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{} // render as [], not null
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "aiglint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range diags {
+			fmt.Println(d)
+			if d.Hint != "" {
+				fmt.Printf("\thint: %s\n", d.Hint)
+			}
+		}
+	}
+	if lint.HasErrors(diags) {
+		os.Exit(1)
+	}
+}
+
+// collect expands the argument paths into the sorted list of .aig files
+// to lint: files are taken as given, directories are walked recursively.
+func collect(paths []string) ([]string, error) {
+	var files []string
+	for _, p := range paths {
+		info, err := os.Stat(p)
+		if err != nil {
+			return nil, err
+		}
+		if !info.IsDir() {
+			files = append(files, p)
+			continue
+		}
+		err = filepath.WalkDir(p, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && filepath.Ext(path) == ".aig" {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(files)
+	return files, nil
+}

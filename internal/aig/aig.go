@@ -17,6 +17,7 @@ import (
 	"github.com/aigrepro/aig/internal/dtd"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/srcpos"
 	"github.com/aigrepro/aig/internal/xconstraint"
 )
 
@@ -53,6 +54,9 @@ type MemberDecl struct {
 	ValueKind relstore.Kind
 	// Fields is the tuple schema of Set/Bag members.
 	Fields relstore.Schema
+	// Pos is where the member was declared in the spec source (zero for
+	// programmatically built grammars).
+	Pos srcpos.Pos
 }
 
 // String renders the member declaration.
@@ -181,6 +185,12 @@ type InhRule struct {
 	// dependency graph). QueryParams binds the remaining parameters for
 	// every step.
 	Chain []*sqlmini.Query
+
+	// Pos is where the rule's first clause for this child appears in the
+	// spec source; QueryPos points at the query clause specifically (both
+	// zero for programmatically built grammars).
+	Pos      srcpos.Pos
+	QueryPos srcpos.Pos
 }
 
 // PrevParam is the reserved parameter name binding a chain step to the
@@ -258,6 +268,9 @@ func (e CollectChildren) String() string {
 // (scalar).
 type SynRule struct {
 	Exprs map[string]SynExpr
+	// Pos locates each member's defining clause in the spec source (absent
+	// or zero for programmatically built grammars).
+	Pos map[string]srcpos.Pos
 }
 
 // GuardKind discriminates the two guard forms of §3.3.
@@ -321,6 +334,47 @@ type Rule struct {
 
 	// Guards are checked after Syn(A) is computed.
 	Guards []Guard
+
+	// Pos is where the rule section starts in the spec source; CondPos
+	// points at the condition query clause (both zero for programmatically
+	// built grammars).
+	Pos     srcpos.Pos
+	CondPos srcpos.Pos
+}
+
+// DeclaredSources is the relational schema signature an AIG is written
+// against: source name -> table name -> schema, as declared in a spec's
+// "sources" section. It implements sqlmini.SchemaProvider so rule queries
+// can be resolved against the declaration alone, without live sources.
+type DeclaredSources map[string]map[string]relstore.Schema
+
+// TableSchema implements sqlmini.SchemaProvider.
+func (s DeclaredSources) TableSchema(source, table string) (relstore.Schema, error) {
+	tables, ok := s[source]
+	if !ok {
+		return nil, fmt.Errorf("source %q is not declared", source)
+	}
+	schema, ok := tables[table]
+	if !ok {
+		return nil, fmt.Errorf("source %q declares no table %q", source, table)
+	}
+	return schema, nil
+}
+
+// Clone returns a deep copy.
+func (s DeclaredSources) Clone() DeclaredSources {
+	if s == nil {
+		return nil
+	}
+	out := make(DeclaredSources, len(s))
+	for src, tables := range s {
+		ct := make(map[string]relstore.Schema, len(tables))
+		for t, schema := range tables {
+			ct[t] = append(relstore.Schema(nil), schema...)
+		}
+		out[src] = ct
+	}
+	return out
 }
 
 // AIG is an attribute integration grammar σ: R -> D (§3.1, Definition
@@ -335,6 +389,12 @@ type AIG struct {
 	Rules map[string]*Rule
 
 	Constraints []xconstraint.Constraint
+
+	// Sources, when non-nil, is the declared schema signature of the
+	// relational sources the grammar integrates (a spec's "sources"
+	// section). Static tooling resolves rule queries against it; at run
+	// time the live registry remains authoritative.
+	Sources DeclaredSources
 
 	// Labels maps internal element type names to the labels emitted in the
 	// output document. Recursion unfolding (§5.5) introduces per-level
@@ -387,6 +447,7 @@ func (a *AIG) Clone() *AIG {
 		out.Rules[k] = cloneRule(r)
 	}
 	out.Constraints = append([]xconstraint.Constraint(nil), a.Constraints...)
+	out.Sources = a.Sources.Clone()
 	if a.Labels != nil {
 		out.Labels = make(map[string]string, len(a.Labels))
 		for k, v := range a.Labels {
@@ -413,6 +474,8 @@ func cloneInhRule(r *InhRule) *InhRule {
 		Child:            r.Child,
 		Copies:           append([]CopyAssign(nil), r.Copies...),
 		TargetCollection: r.TargetCollection,
+		Pos:              r.Pos,
+		QueryPos:         r.QueryPos,
 	}
 	if r.Query != nil {
 		out.Query = r.Query.Clone()
@@ -437,6 +500,12 @@ func cloneSynRule(r *SynRule) *SynRule {
 	for k, v := range r.Exprs {
 		out.Exprs[k] = v // expressions are immutable values
 	}
+	if r.Pos != nil {
+		out.Pos = make(map[string]srcpos.Pos, len(r.Pos))
+		for k, v := range r.Pos {
+			out.Pos[k] = v
+		}
+	}
 	return out
 }
 
@@ -446,6 +515,8 @@ func cloneRule(r *Rule) *Rule {
 		TextSrc: r.TextSrc,
 		Syn:     cloneSynRule(r.Syn),
 		Guards:  append([]Guard(nil), r.Guards...),
+		Pos:     r.Pos,
+		CondPos: r.CondPos,
 	}
 	if r.Inh != nil {
 		out.Inh = make(map[string]*InhRule, len(r.Inh))

@@ -7,6 +7,7 @@ import (
 	"github.com/aigrepro/aig/internal/dtd"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/srcpos"
 )
 
 // Validate performs the static analyses of §3.1 in one pass: structural
@@ -16,34 +17,79 @@ import (
 // relation, and well-formedness of the XML constraints. It returns all
 // problems found, joined.
 func (a *AIG) Validate(schemas sqlmini.SchemaProvider) error {
+	return errors.Join(a.ValidateAll(schemas)...)
+}
+
+// ValidateAll is Validate returning the individual problems instead of
+// joining them. For grammars parsed from spec text, each error is (or
+// wraps) a *srcpos.Error locating the offending declaration, so tooling
+// can attribute problems to source lines. A nil schemas provider skips
+// query resolution (the schema-dependent subset of the checks): rule
+// queries are then checked only for parameter binding, which is what
+// static linting of a spec without declared sources needs.
+func (a *AIG) ValidateAll(schemas sqlmini.SchemaProvider) []error {
 	v := &validator{aig: a, schemas: schemas}
 	if err := a.DTD.Validate(); err != nil {
-		return err
+		return []error{err}
 	}
 	for _, elem := range a.DTD.Types() {
 		v.checkElem(elem)
 	}
 	for _, c := range a.Constraints {
 		if err := c.ValidateAgainst(a.DTD); err != nil {
+			if c.Pos.IsValid() {
+				err = srcpos.Errorf(c.Pos, "%v", err)
+			}
 			v.errs = append(v.errs, err)
 		}
 	}
-	return errors.Join(v.errs...)
+	return v.errs
 }
 
 type validator struct {
 	aig     *AIG
 	schemas sqlmini.SchemaProvider
 	errs    []error
+	// cur is the source position errors are attributed to; checks update
+	// it as they descend into positioned nodes.
+	cur srcpos.Pos
+}
+
+// at moves the error position to p when p is known, returning the
+// previous position for restoring.
+func (v *validator) at(p srcpos.Pos) srcpos.Pos {
+	prev := v.cur
+	if p.IsValid() {
+		v.cur = p
+	}
+	return prev
 }
 
 func (v *validator) errorf(format string, args ...any) {
+	if v.cur.IsValid() {
+		v.errs = append(v.errs, srcpos.Errorf(v.cur, "aig: "+format, args...))
+		return
+	}
 	v.errs = append(v.errs, fmt.Errorf("aig: "+format, args...))
+}
+
+// addErr records an error produced elsewhere, attributing it to the
+// current position unless it is already positioned.
+func (v *validator) addErr(err error) {
+	if v.cur.IsValid() && !srcpos.PosOf(err).IsValid() {
+		err = srcpos.Errorf(v.cur, "%v", err)
+	}
+	v.errs = append(v.errs, err)
 }
 
 func (v *validator) checkElem(elem string) {
 	p, _ := v.aig.DTD.Production(elem)
 	r := v.aig.Rules[elem]
+	v.cur = v.aig.DTD.Pos[elem]
+	if r != nil && r.Pos.IsValid() {
+		v.cur = r.Pos
+	}
+	defer func() { v.cur = srcpos.Pos{} }()
 	switch p.Kind {
 	case dtd.ProdText:
 		v.checkTextRule(elem, r)
@@ -216,7 +262,7 @@ func (v *validator) checkSeqRule(elem string, p dtd.Production, r *Rule) {
 		v.errorf("%s: sequence productions take no condition query or branches", where)
 	}
 	if _, err := v.aig.SiblingOrder(elem); err != nil {
-		v.errs = append(v.errs, err)
+		v.addErr(err)
 	}
 }
 
@@ -250,7 +296,9 @@ func (v *validator) checkChoiceRule(elem string, p dtd.Production, r *Rule) {
 	if r.Cond == nil {
 		v.errorf("%s: missing condition query", where)
 	} else {
+		prev := v.at(r.CondPos)
 		v.checkQueryResolves(where+" (condition)", r.Cond, r.CondParams, sourceEnv{inhElem: elem}, nil)
+		v.cur = prev
 	}
 	if len(r.Branches) != len(p.Children) {
 		v.errorf("%s: %d branches for %d alternatives", where, len(r.Branches), len(p.Children))
@@ -277,8 +325,11 @@ func (v *validator) checkChoiceRule(elem string, p dtd.Production, r *Rule) {
 // copy) whose rows spawn children.
 func (v *validator) checkInhRule(where, child string, r *InhRule, env sourceEnv, star bool) {
 	target := v.aig.Inh[child]
+	prev := v.at(r.Pos)
+	defer func() { v.cur = prev }()
 	if r.IsQuery() {
 		var outSchema relstore.Schema
+		v.at(r.QueryPos)
 		if r.Query != nil {
 			outSchema = v.checkQueryResolves(where, r.Query, r.QueryParams, env, nil)
 		} else {
@@ -434,6 +485,12 @@ func (v *validator) checkQueryResolves(where string, q *sqlmini.Query, params ma
 		}
 		paramSchemas[name] = schema
 	}
+	if v.schemas == nil {
+		// No schema provider: parameter bindings above are still checked,
+		// but resolution (and the schema-dependent checks downstream of the
+		// output schema) is skipped.
+		return nil
+	}
 	r, err := sqlmini.Resolve(q, v.schemas, paramSchemas)
 	if err != nil {
 		v.errorf("%s: %v", where, err)
@@ -474,7 +531,9 @@ func (v *validator) checkSynRule(where, elem string, r *SynRule, env sourceEnv) 
 	}
 	for name := range r.Exprs {
 		if _, ok := decl.Member(name); !ok {
+			prev := v.at(r.Pos[name])
 			v.errorf("%s: Syn(%s) has no member %q", where, elem, name)
+			v.cur = prev
 		}
 	}
 	for _, m := range decl.Members {
@@ -482,7 +541,9 @@ func (v *validator) checkSynRule(where, elem string, r *SynRule, env sourceEnv) 
 		if !ok {
 			continue // defaults to Null / empty
 		}
+		prev := v.at(r.Pos[m.Name])
 		v.checkSynExpr(where, elem, m, expr, env)
+		v.cur = prev
 	}
 }
 

@@ -61,10 +61,14 @@ import (
 	"github.com/aigrepro/aig/internal/aig"
 	"github.com/aigrepro/aig/internal/dtd"
 	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/srcpos"
 	"github.com/aigrepro/aig/internal/xconstraint"
 )
 
-// Parse parses a complete AIG specification.
+// Parse parses a complete AIG specification. Parse errors are (or wrap)
+// *srcpos.Error values positioned within input, and the resulting
+// grammar's rules, attribute members, constraints and DTD types carry
+// their source positions for diagnostics.
 func Parse(input string) (*aig.AIG, error) {
 	p := &parser{}
 	if err := p.splitSections(input); err != nil {
@@ -73,13 +77,18 @@ func Parse(input string) (*aig.AIG, error) {
 	if p.dtdText == "" {
 		return nil, fmt.Errorf("aigspec: missing dtd section")
 	}
+	// Section bodies keep their raw lines, so positions reported relative
+	// to a section are off by a line shift only; columns are exact.
 	d, err := dtd.Parse(p.dtdText)
 	if err != nil {
-		return nil, err
+		return nil, srcpos.ShiftErr(err, p.dtdStart-1)
+	}
+	for name, pos := range d.Pos {
+		d.Pos[name] = pos.Shift(p.dtdStart - 1)
 	}
 	a := aig.New(d)
 	for _, decl := range p.attrLines {
-		if err := parseAttrDecl(a, decl.text, decl.line); err != nil {
+		if err := parseAttrDecl(a, decl.text, decl.pos); err != nil {
 			return nil, err
 		}
 	}
@@ -88,10 +97,20 @@ func Parse(input string) (*aig.AIG, error) {
 			return nil, err
 		}
 	}
+	if p.sourcesText != "" {
+		srcs, err := parseSources(p.sourcesText, p.sourcesStart)
+		if err != nil {
+			return nil, err
+		}
+		a.Sources = srcs
+	}
 	if p.constraintText != "" {
 		cs, err := xconstraint.ParseAll(p.constraintText)
 		if err != nil {
-			return nil, err
+			return nil, srcpos.ShiftErr(err, p.constraintStart-1)
+		}
+		for i := range cs {
+			cs[i].Pos = cs[i].Pos.Shift(p.constraintStart - 1)
 		}
 		a.Constraints = cs
 	}
@@ -107,25 +126,38 @@ func MustParse(input string) *aig.AIG {
 	return a
 }
 
+// attrLine is one meaningful line of the spec: its stripped text and the
+// position of its first non-space byte.
 type attrLine struct {
 	text string
-	line int
+	pos  srcpos.Pos
 }
 
 type ruleSection struct {
 	elem  string
+	pos   srcpos.Pos // position of the "rule X" header line
 	lines []attrLine
 }
 
 type parser struct {
-	dtdText        string
-	attrLines      []attrLine
-	ruleSections   []ruleSection
-	constraintText string
+	dtdText         string
+	dtdStart        int // 1-based line of the dtd section's first body line
+	attrLines       []attrLine
+	ruleSections    []ruleSection
+	sourcesText     string
+	sourcesStart    int
+	constraintText  string
+	constraintStart int
 }
 
-func errAt(line int, format string, args ...any) error {
-	return fmt.Errorf("aigspec: line %d: %s", line, fmt.Sprintf(format, args...))
+// errAt builds a positioned aigspec error.
+func errAt(pos srcpos.Pos, format string, args ...any) error {
+	return srcpos.Errorf(pos, "aigspec: "+format, args...)
+}
+
+// indentOf returns the 1-based column of a line's first non-space byte.
+func indentOf(raw string) int {
+	return len(raw) - len(strings.TrimLeft(raw, " \t")) + 1
 }
 
 // splitSections does the coarse, line-oriented pass.
@@ -140,46 +172,56 @@ func (p *parser) splitSections(input string) error {
 		}
 		return s
 	}
+	// section collects the raw body of a "<keyword> ... end" block,
+	// returning the body and the 1-based line its first body line is on.
+	section := func(keyword string, headerPos srcpos.Pos) (string, int, error) {
+		i++
+		start := i + 1
+		var body []string
+		for i < n && strip(lines[i]) != "end" {
+			body = append(body, lines[i])
+			i++
+		}
+		if i == n {
+			return "", 0, errAt(headerPos, "unterminated %s section", keyword)
+		}
+		i++
+		return strings.Join(body, "\n"), start, nil
+	}
 	for i < n {
 		line := strip(lines[i])
-		lineNo := i + 1
+		pos := srcpos.At(i+1, indentOf(lines[i]))
 		switch {
 		case line == "":
 			i++
 		case line == "dtd":
-			i++
-			var body []string
-			for i < n && strip(lines[i]) != "end" {
-				body = append(body, lines[i])
-				i++
+			body, start, err := section("dtd", pos)
+			if err != nil {
+				return err
 			}
-			if i == n {
-				return errAt(lineNo, "unterminated dtd section")
+			p.dtdText, p.dtdStart = body, start
+		case line == "sources":
+			body, start, err := section("sources", pos)
+			if err != nil {
+				return err
 			}
-			i++
-			p.dtdText = strings.Join(body, "\n")
+			p.sourcesText, p.sourcesStart = body, start
 		case line == "constraints":
-			i++
-			var body []string
-			for i < n && strip(lines[i]) != "end" {
-				body = append(body, lines[i])
-				i++
+			body, start, err := section("constraints", pos)
+			if err != nil {
+				return err
 			}
-			if i == n {
-				return errAt(lineNo, "unterminated constraints section")
-			}
-			i++
-			p.constraintText = strings.Join(body, "\n")
+			p.constraintText, p.constraintStart = body, start
 		case strings.HasPrefix(line, "inh ") || strings.HasPrefix(line, "syn "):
-			p.attrLines = append(p.attrLines, attrLine{text: line, line: lineNo})
+			p.attrLines = append(p.attrLines, attrLine{text: line, pos: pos})
 			i++
 		case strings.HasPrefix(line, "rule "):
 			elem := strings.TrimSpace(strings.TrimPrefix(line, "rule "))
 			if elem == "" {
-				return errAt(lineNo, "rule without element type")
+				return errAt(pos, "rule without element type")
 			}
 			i++
-			rs := ruleSection{elem: elem}
+			rs := ruleSection{elem: elem, pos: pos}
 			// Collect rule body, joining SQL continuation lines: a clause
 			// containing "query" and ':' extends until a ';'.
 			for i < n {
@@ -192,48 +234,94 @@ func (p *parser) splitSections(input string) error {
 					i++
 					continue
 				}
-				start := i + 1
+				clausePos := srcpos.At(i+1, indentOf(lines[i]))
 				if idx := strings.Index(body, ":"); idx >= 0 && strings.Contains(body[:idx+1], "query") {
 					// Multi-line SQL until ';'.
 					for !strings.Contains(body, ";") {
 						i++
 						if i >= n || strip(lines[i]) == "end" {
-							return errAt(start, "unterminated SQL block (missing ';')")
+							return errAt(clausePos, "unterminated SQL block (missing ';')")
 						}
 						body += " " + strip(lines[i])
 					}
 				}
-				rs.lines = append(rs.lines, attrLine{text: body, line: start})
+				rs.lines = append(rs.lines, attrLine{text: body, pos: clausePos})
 				i++
 				if i > n {
-					return errAt(lineNo, "unterminated rule %s", elem)
+					return errAt(pos, "unterminated rule %s", elem)
 				}
 			}
 			p.ruleSections = append(p.ruleSections, rs)
 		default:
-			return errAt(lineNo, "unrecognized directive %q", line)
+			return errAt(pos, "unrecognized directive %q", line)
 		}
 	}
 	return nil
 }
 
+// parseSources parses the body of a "sources" section: one table
+// declaration per line, "SOURCE:table(col, col:kind, ...)". Columns
+// default to string, like relstore schema strings.
+func parseSources(body string, startLine int) (aig.DeclaredSources, error) {
+	out := make(aig.DeclaredSources)
+	for li, raw := range strings.Split(body, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		pos := srcpos.At(startLine+li, indentOf(raw))
+		source, rest, found := strings.Cut(line, ":")
+		source = strings.TrimSpace(source)
+		if !found || source == "" {
+			return nil, errAt(pos, "source table needs SOURCE:table(columns): %q", line)
+		}
+		open := strings.IndexByte(rest, '(')
+		if open < 0 || !strings.HasSuffix(rest, ")") {
+			return nil, errAt(pos, "source table needs (columns): %q", line)
+		}
+		table := strings.TrimSpace(rest[:open])
+		if table == "" {
+			return nil, errAt(pos, "missing table name in %q", line)
+		}
+		schema, err := relstore.ParseSchema(strings.Split(rest[open+1:len(rest)-1], ","))
+		if err != nil {
+			return nil, errAt(pos, "%v", err)
+		}
+		if out[source] == nil {
+			out[source] = make(map[string]relstore.Schema)
+		}
+		if _, dup := out[source][table]; dup {
+			return nil, errAt(pos, "table %s:%s declared twice", source, table)
+		}
+		out[source][table] = schema
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
 // parseAttrDecl parses "inh patient (date, SSN)" / "syn treatments (set
 // trIdS(trId))".
-func parseAttrDecl(a *aig.AIG, text string, line int) error {
-	side, rest, _ := strings.Cut(text, " ")
-	rest = strings.TrimSpace(rest)
+func parseAttrDecl(a *aig.AIG, text string, pos srcpos.Pos) error {
+	side, rawRest, _ := strings.Cut(text, " ")
+	restOff := len(side) + 1 + (len(rawRest) - len(strings.TrimLeft(rawRest, " \t")))
+	rest := strings.TrimSpace(rawRest)
 	open := strings.IndexByte(rest, '(')
 	if open < 0 || !strings.HasSuffix(rest, ")") {
-		return errAt(line, "attribute declaration needs (members): %q", text)
+		return errAt(pos, "attribute declaration needs (members): %q", text)
 	}
 	elem := strings.TrimSpace(rest[:open])
 	if _, ok := a.DTD.Production(elem); !ok {
-		return errAt(line, "attribute for undeclared element %q", elem)
+		return errAt(pos, "attribute for undeclared element %q", elem)
 	}
 	body := rest[open+1 : len(rest)-1]
-	decl, err := parseMembers(body)
+	decl, err := parseMembers(body, pos, restOff+open+1)
 	if err != nil {
-		return errAt(line, "%v", err)
+		if srcpos.PosOf(err).IsValid() {
+			return err
+		}
+		return errAt(pos, "%v", err)
 	}
 	if side == "inh" {
 		a.Inh[elem] = decl
@@ -244,10 +332,16 @@ func parseAttrDecl(a *aig.AIG, text string, line int) error {
 }
 
 // parseMembers parses "date, SSN:string, set trIdS(trId:string), bag B(v)".
-func parseMembers(body string) (aig.AttrDecl, error) {
+// base is the position of the declaration line and bodyOff the byte offset
+// of body within it, so each member's position can be recorded.
+func parseMembers(body string, base srcpos.Pos, bodyOff int) (aig.AttrDecl, error) {
 	var decl aig.AttrDecl
-	for _, part := range splitTop(body, ',') {
-		part = strings.TrimSpace(part)
+	off := 0
+	for _, rawPart := range splitTop(body, ',') {
+		part := strings.TrimSpace(rawPart)
+		lead := len(rawPart) - len(strings.TrimLeft(rawPart, " \t"))
+		mpos := srcpos.At(base.Line, base.Col+bodyOff+off+lead)
+		off += len(rawPart) + 1
 		if part == "" {
 			continue
 		}
@@ -267,22 +361,24 @@ func parseMembers(body string) (aig.AttrDecl, error) {
 				var err error
 				vk, err = relstore.ParseKind(kindName)
 				if err != nil {
-					return decl, err
+					return decl, errAt(mpos, "%v", err)
 				}
 			}
-			decl.Members = append(decl.Members, aig.ScalarMember(strings.TrimSpace(name), vk))
+			m := aig.ScalarMember(strings.TrimSpace(name), vk)
+			m.Pos = mpos
+			decl.Members = append(decl.Members, m)
 			continue
 		}
 		open := strings.IndexByte(part, '(')
 		if open < 0 || !strings.HasSuffix(part, ")") {
-			return decl, fmt.Errorf("collection member needs (fields): %q", part)
+			return decl, errAt(mpos, "collection member needs (fields): %q", part)
 		}
 		name := strings.TrimSpace(part[:open])
 		fields, err := relstore.ParseSchema(strings.Split(part[open+1:len(part)-1], ","))
 		if err != nil {
-			return decl, err
+			return decl, errAt(mpos, "%v", err)
 		}
-		decl.Members = append(decl.Members, aig.MemberDecl{Name: name, Kind: kind, Fields: fields})
+		decl.Members = append(decl.Members, aig.MemberDecl{Name: name, Kind: kind, Fields: fields, Pos: mpos})
 	}
 	return decl, nil
 }

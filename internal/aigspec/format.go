@@ -59,6 +59,34 @@ func Format(a *aig.AIG) (string, error) {
 		fmt.Fprintf(&b, "rule %s\n%send\n\n", elem, body)
 	}
 
+	if len(a.Sources) > 0 {
+		b.WriteString("sources\n")
+		srcNames := make([]string, 0, len(a.Sources))
+		for s := range a.Sources {
+			srcNames = append(srcNames, s)
+		}
+		sort.Strings(srcNames)
+		for _, s := range srcNames {
+			tables := make([]string, 0, len(a.Sources[s]))
+			for t := range a.Sources[s] {
+				tables = append(tables, t)
+			}
+			sort.Strings(tables)
+			for _, t := range tables {
+				cols := make([]string, len(a.Sources[s][t]))
+				for i, c := range a.Sources[s][t] {
+					if c.Kind == relstore.KindString {
+						cols[i] = c.Name
+					} else {
+						cols[i] = c.String()
+					}
+				}
+				fmt.Fprintf(&b, "  %s:%s(%s)\n", s, t, strings.Join(cols, ", "))
+			}
+		}
+		b.WriteString("end\n\n")
+	}
+
 	if len(a.Constraints) > 0 {
 		b.WriteString("constraints\n")
 		for _, c := range a.Constraints {

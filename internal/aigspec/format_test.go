@@ -1,6 +1,8 @@
 package aigspec
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -8,6 +10,28 @@ import (
 	"github.com/aigrepro/aig/internal/specialize"
 	"github.com/aigrepro/aig/internal/sqlmini"
 )
+
+// TestCanonicalFixtureCurrent keeps testdata/sigma0.canonical.aig — the
+// checked-in canonical form of σ0 that CI's `aigfmt -l` gate runs over —
+// in sync with what Format actually emits for hospital.SpecText.
+func TestCanonicalFixtureCurrent(t *testing.T) {
+	a, err := Parse(hospital.SpecText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Format(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "sigma0.canonical.aig")
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Errorf("%s is stale; regenerate it with: go run ./cmd/aigfmt -w %s", path, filepath.Join("internal", "aigspec", path))
+	}
+}
 
 // TestFormatRoundTripSigma0: serializing the programmatic σ0 and parsing
 // the result yields a grammar that validates and produces the same

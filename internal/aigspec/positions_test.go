@@ -1,0 +1,161 @@
+package aigspec
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/srcpos"
+)
+
+// TestParseErrorPositions pins the line/column attribution of parse
+// errors: every error Parse returns for a malformed spec must be a
+// *srcpos.Error locating the offending construct, with positions in
+// whole-file coordinates even for problems inside the dtd and
+// constraints sections (whose bodies are parsed separately).
+func TestParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want srcpos.Pos
+		msg  string
+	}{
+		{
+			"bad directive",
+			"dtd\n  <!ELEMENT a (#PCDATA)>\nend\nwhatever",
+			srcpos.At(4, 1),
+			"unrecognized directive",
+		},
+		{
+			"dtd error shifted to file coordinates",
+			// junk is on file line 3, column 3 (two spaces of indent).
+			"dtd\n  <!ELEMENT a (#PCDATA)>\n  junk\nend",
+			srcpos.At(3, 3),
+			"expected <!ELEMENT",
+		},
+		{
+			"dtd group error keeps its column",
+			"dtd\n  <!ELEMENT a (b,|c)>\nend",
+			srcpos.At(2, 18),
+			"expected element name",
+		},
+		{
+			"attr decl for unknown element",
+			"dtd\n  <!ELEMENT a (#PCDATA)>\nend\n\ninh b (x)",
+			srcpos.At(5, 1),
+			"undeclared element",
+		},
+		{
+			"bad member kind points at the member",
+			"dtd\n  <!ELEMENT a (#PCDATA)>\nend\ninh a (ok, bad:bogus)",
+			srcpos.At(4, 12),
+			"unknown kind",
+		},
+		{
+			"bad rule clause",
+			"dtd\n  <!ELEMENT a (#PCDATA)>\nend\nrule a\n  bogus clause\nend",
+			srcpos.At(5, 3),
+			"unrecognized rule clause",
+		},
+		{
+			"bad sql inside rule",
+			"dtd\n  <!ELEMENT a (b*)>\n  <!ELEMENT b (#PCDATA)>\nend\ninh b (v)\nrule a\n  child b from query []: not sql;\nend",
+			srcpos.At(7, 3),
+			"sqlmini",
+		},
+		{
+			"constraint error shifted to file coordinates",
+			"dtd\n  <!ELEMENT a (#PCDATA)>\nend\nconstraints\n  not a constraint\nend",
+			srcpos.At(5, 3),
+			"xconstraint",
+		},
+		{
+			"bad sources line",
+			"dtd\n  <!ELEMENT a (#PCDATA)>\nend\nsources\n  nonsense\nend",
+			srcpos.At(5, 3),
+			"SOURCE:table",
+		},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.spec)
+		if err == nil {
+			t.Errorf("%s: Parse succeeded, want error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.msg) {
+			t.Errorf("%s: error %q does not contain %q", tc.name, err, tc.msg)
+		}
+		if got := srcpos.PosOf(err); got != tc.want {
+			t.Errorf("%s: error position = %v, want %v (error: %v)", tc.name, got, tc.want, err)
+		}
+	}
+}
+
+// TestParsedPositions checks that positions survive into the AST: rules,
+// inherited rules, syn members, attribute members, constraints and DTD
+// element types all point back at their defining lines.
+func TestParsedPositions(t *testing.T) {
+	spec := `dtd
+  <!ELEMENT a (b*)>
+  <!ELEMENT b (#PCDATA)>
+end
+
+inh a (x)
+inh b (v, w:int)
+
+rule a
+  child b from query [p = inh(a)]: select t.v as v from S:t t;
+end
+
+rule b
+  text inh(b).v
+  syn v = inh(b).v
+end
+
+syn b (v)
+
+sources
+  S:t(v)
+end
+
+constraints
+  a(b.v -> b)
+end
+`
+	a, err := Parse(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.DTD.Pos["b"]; got != srcpos.At(3, 13) {
+		t.Errorf("DTD.Pos[b] = %v, want 3:13", got)
+	}
+	if got := a.Rules["a"].Pos; got != srcpos.At(9, 1) {
+		t.Errorf("rule a Pos = %v, want 9:1", got)
+	}
+	ir := a.Rules["a"].Inh["b"]
+	if ir.Pos != srcpos.At(10, 3) || ir.QueryPos != srcpos.At(10, 3) {
+		t.Errorf("inh rule positions = %v / %v, want 10:3", ir.Pos, ir.QueryPos)
+	}
+	if got := a.Rules["b"].Syn.Pos["v"]; got != srcpos.At(15, 3) {
+		t.Errorf("syn member pos = %v, want 15:3", got)
+	}
+	mx, _ := a.Inh["a"].Member("x")
+	if mx.Pos != srcpos.At(6, 8) {
+		t.Errorf("Inh(a).x pos = %v, want 6:8", mx.Pos)
+	}
+	mw, _ := a.Inh["b"].Member("w")
+	if mw.Pos != srcpos.At(7, 11) {
+		t.Errorf("Inh(b).w pos = %v, want 7:11", mw.Pos)
+	}
+	if len(a.Constraints) != 1 || a.Constraints[0].Pos != srcpos.At(25, 3) {
+		t.Fatalf("constraint position = %v", a.Constraints[0].Pos)
+	}
+	if a.Sources == nil {
+		t.Fatal("sources section not parsed")
+	}
+	if _, err := a.Sources.TableSchema("S", "t"); err != nil {
+		t.Errorf("declared source lookup: %v", err)
+	}
+	if _, err := a.Sources.TableSchema("S", "nope"); err == nil {
+		t.Error("lookup of undeclared table succeeded")
+	}
+}

@@ -7,21 +7,22 @@ import (
 
 	"github.com/aigrepro/aig/internal/aig"
 	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/srcpos"
 )
 
 // parseRule parses one rule section into a semantic rule.
 func parseRule(a *aig.AIG, rs ruleSection) error {
 	if _, ok := a.DTD.Production(rs.elem); !ok {
-		return fmt.Errorf("aigspec: rule for undeclared element %q", rs.elem)
+		return errAt(rs.pos, "rule for undeclared element %q", rs.elem)
 	}
 	if _, dup := a.Rules[rs.elem]; dup {
-		return fmt.Errorf("aigspec: duplicate rule for %q", rs.elem)
+		return errAt(rs.pos, "duplicate rule for %q", rs.elem)
 	}
-	r := &aig.Rule{Elem: rs.elem, Inh: make(map[string]*aig.InhRule)}
+	r := &aig.Rule{Elem: rs.elem, Inh: make(map[string]*aig.InhRule), Pos: rs.pos}
 	a.Rules[rs.elem] = r
 
 	for _, l := range rs.lines {
-		if err := parseClause(a, r, l.text, l.line); err != nil {
+		if err := parseClause(a, r, l.text, l.pos); err != nil {
 			return err
 		}
 	}
@@ -31,12 +32,12 @@ func parseRule(a *aig.AIG, rs ruleSection) error {
 	return nil
 }
 
-func parseClause(a *aig.AIG, r *aig.Rule, text string, line int) error {
+func parseClause(a *aig.AIG, r *aig.Rule, text string, pos srcpos.Pos) error {
 	switch {
 	case strings.HasPrefix(text, "text "):
 		src, err := parseSrc(strings.TrimSpace(strings.TrimPrefix(text, "text ")))
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		r.TextSrc = src
 		return nil
@@ -44,35 +45,37 @@ func parseClause(a *aig.AIG, r *aig.Rule, text string, line int) error {
 	case strings.HasPrefix(text, "syn "):
 		member, expr, err := parseSynClause(a, strings.TrimPrefix(text, "syn "))
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		if r.Syn == nil {
-			r.Syn = &aig.SynRule{Exprs: make(map[string]aig.SynExpr)}
+			r.Syn = &aig.SynRule{Exprs: make(map[string]aig.SynExpr), Pos: make(map[string]srcpos.Pos)}
 		}
 		r.Syn.Exprs[member] = expr
+		r.Syn.Pos[member] = pos
 		return nil
 
 	case strings.HasPrefix(text, "child "):
-		return parseChildClause(a, r, nil, strings.TrimPrefix(text, "child "), line)
+		return parseChildClause(a, r, nil, strings.TrimPrefix(text, "child "), pos)
 
 	case strings.HasPrefix(text, "cond query"):
 		q, params, err := parseQueryClause(strings.TrimPrefix(text, "cond "))
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		r.Cond = q
 		r.CondParams = params
+		r.CondPos = pos
 		return nil
 
 	case strings.HasPrefix(text, "branch "):
 		rest := strings.TrimPrefix(text, "branch ")
 		numStr, tail, found := strings.Cut(rest, " ")
 		if !found {
-			return errAt(line, "branch needs a number and a clause")
+			return errAt(pos, "branch needs a number and a clause")
 		}
 		num, err := strconv.Atoi(numStr)
 		if err != nil || num < 1 {
-			return errAt(line, "bad branch number %q", numStr)
+			return errAt(pos, "bad branch number %q", numStr)
 		}
 		for len(r.Branches) < num {
 			r.Branches = append(r.Branches, aig.Branch{})
@@ -81,43 +84,44 @@ func parseClause(a *aig.AIG, r *aig.Rule, text string, line int) error {
 		tail = strings.TrimSpace(tail)
 		switch {
 		case strings.HasPrefix(tail, "child "):
-			return parseChildClause(a, r, b, strings.TrimPrefix(tail, "child "), line)
+			return parseChildClause(a, r, b, strings.TrimPrefix(tail, "child "), pos)
 		case strings.HasPrefix(tail, "syn "):
 			member, expr, err := parseSynClause(a, strings.TrimPrefix(tail, "syn "))
 			if err != nil {
-				return errAt(line, "%v", err)
+				return errAt(pos, "%v", err)
 			}
 			if b.Syn == nil {
-				b.Syn = &aig.SynRule{Exprs: make(map[string]aig.SynExpr)}
+				b.Syn = &aig.SynRule{Exprs: make(map[string]aig.SynExpr), Pos: make(map[string]srcpos.Pos)}
 			}
 			b.Syn.Exprs[member] = expr
+			b.Syn.Pos[member] = pos
 			return nil
 		default:
-			return errAt(line, "branch clause must be 'child' or 'syn': %q", tail)
+			return errAt(pos, "branch clause must be 'child' or 'syn': %q", tail)
 		}
 
 	default:
-		return errAt(line, "unrecognized rule clause %q", text)
+		return errAt(pos, "unrecognized rule clause %q", text)
 	}
 }
 
 // parseChildClause handles the child rule forms; branch selects a choice
 // alternative's rule instead of the shared map.
-func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, line int) error {
+func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, pos srcpos.Pos) error {
 	name, rest, found := strings.Cut(text, " ")
 	if !found {
-		return errAt(line, "child clause needs a form: %q", text)
+		return errAt(pos, "child clause needs a form: %q", text)
 	}
 	getRule := func() *aig.InhRule {
 		if branch != nil {
 			if branch.Inh == nil {
-				branch.Inh = &aig.InhRule{Child: name}
+				branch.Inh = &aig.InhRule{Child: name, Pos: pos}
 			}
 			return branch.Inh
 		}
 		ir := r.Inh[name]
 		if ir == nil {
-			ir = &aig.InhRule{Child: name}
+			ir = &aig.InhRule{Child: name, Pos: pos}
 			r.Inh[name] = ir
 		}
 		return ir
@@ -127,14 +131,15 @@ func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, 
 	case strings.HasPrefix(rest, "from query"):
 		q, params, err := parseQueryClause(rest[len("from "):])
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		ir := getRule()
 		if ir.Query != nil {
-			return errAt(line, "child %s already has a query", name)
+			return errAt(pos, "child %s already has a query", name)
 		}
 		ir.Query = q
 		ir.QueryParams = params
+		ir.QueryPos = pos
 		return nil
 
 	case strings.HasPrefix(rest, "collection "):
@@ -142,15 +147,16 @@ func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, 
 		rest = strings.TrimPrefix(rest, "collection ")
 		member, tail, found := strings.Cut(rest, " ")
 		if !found || !strings.HasPrefix(strings.TrimSpace(tail), "from query") {
-			return errAt(line, "collection clause must be 'collection <member> from query ...'")
+			return errAt(pos, "collection clause must be 'collection <member> from query ...'")
 		}
 		q, params, err := parseQueryClause(strings.TrimSpace(tail)[len("from "):])
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		ir := getRule()
 		ir.Query = q
 		ir.QueryParams = params
+		ir.QueryPos = pos
 		ir.TargetCollection = member
 		return nil
 
@@ -159,11 +165,11 @@ func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, 
 		assign := strings.TrimPrefix(rest, "set ")
 		member, srcText, found := strings.Cut(assign, "=")
 		if !found {
-			return errAt(line, "set clause needs '=': %q", assign)
+			return errAt(pos, "set clause needs '=': %q", assign)
 		}
 		src, err := parseSrc(strings.TrimSpace(srcText))
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		ir := getRule()
 		ir.Copies = append(ir.Copies, aig.Copy(strings.TrimSpace(member), src))
@@ -174,14 +180,14 @@ func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, 
 		body := strings.TrimPrefix(rest, "copy ")
 		membersText, fromText, found := strings.Cut(body, " from ")
 		if !found {
-			return errAt(line, "copy clause needs 'from': %q", body)
+			return errAt(pos, "copy clause needs 'from': %q", body)
 		}
 		src, err := parseSrc(strings.TrimSpace(fromText))
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		if src.Member != "" {
-			return errAt(line, "copy ... from takes a whole attribute, not a member")
+			return errAt(pos, "copy ... from takes a whole attribute, not a member")
 		}
 		ir := getRule()
 		for _, m := range strings.Split(membersText, ",") {
@@ -194,14 +200,14 @@ func parseChildClause(a *aig.AIG, r *aig.Rule, branch *aig.Branch, text string, 
 		// child X iterate src — star production driven by a collection.
 		src, err := parseSrc(strings.TrimSpace(strings.TrimPrefix(rest, "iterate ")))
 		if err != nil {
-			return errAt(line, "%v", err)
+			return errAt(pos, "%v", err)
 		}
 		ir := getRule()
 		ir.Copies = append(ir.Copies, aig.Copy("", src))
 		return nil
 
 	default:
-		return errAt(line, "unrecognized child form %q", rest)
+		return errAt(pos, "unrecognized child form %q", rest)
 	}
 }
 

@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/aigrepro/aig/internal/srcpos"
 )
 
 // TextType is the pseudo element type S denoting PCDATA in the simplified
@@ -83,12 +85,22 @@ type DTD struct {
 	// Entities lists the synthetic element types introduced by Simplify,
 	// which are erased again when converting documents back (§2, fact (2)).
 	Entities map[string]bool
+	// Pos records where each element type was declared in the source DTD
+	// text, when the DTD came from a parser. Entity types inherit the
+	// position of the element whose content model spawned them.
+	// Programmatically built DTDs leave it empty.
+	Pos map[string]srcpos.Pos
 }
 
 // New creates an empty DTD with the given root type. Productions are added
 // with Define.
 func New(root string) *DTD {
-	return &DTD{Root: root, Prods: make(map[string]Production), Entities: make(map[string]bool)}
+	return &DTD{
+		Root:     root,
+		Prods:    make(map[string]Production),
+		Entities: make(map[string]bool),
+		Pos:      make(map[string]srcpos.Pos),
+	}
 }
 
 // Define sets the production of an element type.
@@ -177,6 +189,9 @@ func (d *DTD) Clone() *DTD {
 	}
 	for n := range d.Entities {
 		out.Entities[n] = true
+	}
+	for n, p := range d.Pos {
+		out.Pos[n] = p
 	}
 	return out
 }

@@ -1,0 +1,39 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseGeneral throws arbitrary text at the DTD parser. Invariants:
+// ParseGeneral and the normalization pipeline behind Parse never panic,
+// and every element of a parsed-and-simplified DTD carries a recorded
+// declaration position.
+func FuzzParseGeneral(f *testing.F) {
+	f.Add("<!ELEMENT report (patient*)>\n<!ELEMENT patient (SSN, pname, treatments, bill)>\n<!ELEMENT SSN (#PCDATA)>")
+	f.Add("<!ELEMENT a (b | (c, d))*>\n<!ELEMENT b EMPTY>")
+	f.Add("<!ELEMENT a (#PCDATA)>")
+	f.Add("<!ELEMENT a (b?, c+)>")
+	f.Add("<!ELEMENT treatment (trId, tname, procedure)>\n<!ELEMENT procedure (treatment*)>")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ParseGeneral(input)
+		if err != nil {
+			return
+		}
+		d, err := Simplify(g)
+		if err != nil {
+			return
+		}
+		for _, name := range d.Types() {
+			// Entity types inherit the declaring element's position, so
+			// every type of a text-parsed DTD must have one.
+			if !d.Pos[name].IsValid() {
+				t.Fatalf("type %q has no recorded position\ninput: %q", name, input)
+			}
+		}
+		if err := d.Validate(); err != nil && !strings.Contains(err.Error(), "dtd:") {
+			t.Fatalf("Validate error without dtd prefix: %v", err)
+		}
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"github.com/aigrepro/aig/internal/srcpos"
 )
 
 // General is a DTD whose content models are arbitrary regular expressions,
@@ -14,14 +16,21 @@ type General struct {
 	Content map[string]Regex
 	// Order preserves declaration order for deterministic output.
 	Order []string
+	// Pos records where each element was declared (position of the name
+	// token), for positioned diagnostics. Keys match Content.
+	Pos map[string]srcpos.Pos
 }
 
 // ParseGeneral parses DTD text consisting of <!ELEMENT name content>
 // declarations. The root type is the first declared element. Comments
 // (<!-- ... -->) and blank space between declarations are ignored.
+// Parse errors are *srcpos.Error values carrying the line and column
+// within input where the problem was detected.
 func ParseGeneral(input string) (*General, error) {
-	g := &General{Content: make(map[string]Regex)}
+	g := &General{Content: make(map[string]Regex), Pos: make(map[string]srcpos.Pos)}
 	rest := input
+	tr := srcpos.NewTracker(input)
+	at := func() srcpos.Pos { return tr.At(len(input) - len(rest)) }
 	for {
 		rest = strings.TrimLeftFunc(rest, unicode.IsSpace)
 		if rest == "" {
@@ -30,29 +39,32 @@ func ParseGeneral(input string) (*General, error) {
 		if strings.HasPrefix(rest, "<!--") {
 			end := strings.Index(rest, "-->")
 			if end < 0 {
-				return nil, fmt.Errorf("dtd: unterminated comment")
+				return nil, srcpos.Errorf(at(), "dtd: unterminated comment")
 			}
 			rest = rest[end+3:]
 			continue
 		}
+		declPos := at()
 		if !strings.HasPrefix(rest, "<!ELEMENT") {
-			return nil, fmt.Errorf("dtd: expected <!ELEMENT, found %q", firstLine(rest))
+			return nil, srcpos.Errorf(declPos, "dtd: expected <!ELEMENT, found %q", firstLine(rest))
 		}
 		end := strings.Index(rest, ">")
 		if end < 0 {
-			return nil, fmt.Errorf("dtd: unterminated declaration %q", firstLine(rest))
+			return nil, srcpos.Errorf(declPos, "dtd: unterminated declaration %q", firstLine(rest))
 		}
+		base := len(input) - len(rest) + len("<!ELEMENT")
 		decl := rest[len("<!ELEMENT"):end]
 		rest = rest[end+1:]
-		name, content, err := parseElementDecl(decl)
+		name, namePos, content, err := parseElementDecl(tr, base, decl)
 		if err != nil {
 			return nil, err
 		}
 		if _, dup := g.Content[name]; dup {
-			return nil, fmt.Errorf("dtd: element %q declared twice", name)
+			return nil, srcpos.Errorf(namePos, "dtd: element %q declared twice", name)
 		}
 		g.Content[name] = content
 		g.Order = append(g.Order, name)
+		g.Pos[name] = namePos
 		if g.Root == "" {
 			g.Root = name
 		}
@@ -82,39 +94,52 @@ func firstLine(s string) string {
 	return s
 }
 
-func parseElementDecl(decl string) (string, Regex, error) {
-	p := &contentParser{input: decl}
+// parseElementDecl parses the body of one <!ELEMENT ...> declaration.
+// decl starts at byte offset base within the tracked DTD text; errors
+// carry positions relative to that text.
+func parseElementDecl(tr *srcpos.Tracker, base int, decl string) (string, srcpos.Pos, Regex, error) {
+	p := &contentParser{input: decl, tr: tr, base: base}
 	p.skipSpace()
+	nameOff := p.pos
 	name := p.ident()
 	if name == "" {
-		return "", nil, fmt.Errorf("dtd: missing element name in %q", decl)
+		return "", srcpos.Pos{}, nil, srcpos.Errorf(p.at(), "dtd: missing element name in %q", decl)
 	}
+	namePos := tr.At(base + nameOff)
 	p.skipSpace()
 	switch {
 	case p.consumeWord("EMPTY"):
 		p.skipSpace()
 		if !p.atEnd() {
-			return "", nil, fmt.Errorf("dtd: junk after EMPTY in %q", decl)
+			return "", srcpos.Pos{}, nil, srcpos.Errorf(p.at(), "dtd: junk after EMPTY in %q", decl)
 		}
-		return name, REmpty{}, nil
+		return name, namePos, REmpty{}, nil
 	case p.consumeWord("ANY"):
-		return "", nil, fmt.Errorf("dtd: ANY content is not supported (element %q)", name)
+		return "", srcpos.Pos{}, nil, srcpos.Errorf(namePos, "dtd: ANY content is not supported (element %q)", name)
 	}
 	r, err := p.parseGroup()
 	if err != nil {
-		return "", nil, fmt.Errorf("dtd: element %q: %v", name, err)
+		return "", srcpos.Pos{}, nil, fmt.Errorf("dtd: element %q: %w", name, err)
 	}
 	p.skipSpace()
 	if !p.atEnd() {
-		return "", nil, fmt.Errorf("dtd: junk after content model of %q: %q", name, p.rest())
+		return "", srcpos.Pos{}, nil, srcpos.Errorf(p.at(), "dtd: junk after content model of %q: %q", name, p.rest())
 	}
-	return name, r, nil
+	return name, namePos, r, nil
 }
 
 type contentParser struct {
 	input string
 	pos   int
+	// tr and base map positions within input back into the whole DTD
+	// text for error reporting: input starts at byte base of the tracked
+	// text.
+	tr   *srcpos.Tracker
+	base int
 }
+
+// at is the parser's current position within the whole DTD text.
+func (p *contentParser) at() srcpos.Pos { return p.tr.At(p.base + p.pos) }
 
 func (p *contentParser) atEnd() bool  { return p.pos >= len(p.input) }
 func (p *contentParser) rest() string { return p.input[p.pos:] }
@@ -167,7 +192,7 @@ func isNameByte(c byte) bool {
 func (p *contentParser) parseGroup() (Regex, error) {
 	p.skipSpace()
 	if p.peek() != '(' {
-		return nil, fmt.Errorf("expected '(', found %q", p.rest())
+		return nil, srcpos.Errorf(p.at(), "expected '(', found %q", p.rest())
 	}
 	p.pos++
 	var items []Regex
@@ -185,7 +210,7 @@ func (p *contentParser) parseGroup() (Regex, error) {
 			if sep == 0 {
 				sep = c
 			} else if sep != c {
-				return nil, fmt.Errorf("mixed ',' and '|' in one group")
+				return nil, srcpos.Errorf(p.at(), "mixed ',' and '|' in one group")
 			}
 			p.pos++
 		case ')':
@@ -200,9 +225,9 @@ func (p *contentParser) parseGroup() (Regex, error) {
 			}
 			return p.applySuffix(r), nil
 		case 0:
-			return nil, fmt.Errorf("unterminated group")
+			return nil, srcpos.Errorf(p.at(), "unterminated group")
 		default:
-			return nil, fmt.Errorf("unexpected %q in group", p.rest())
+			return nil, srcpos.Errorf(p.at(), "unexpected %q in group", p.rest())
 		}
 	}
 }
@@ -218,7 +243,7 @@ func (p *contentParser) parseItem() (Regex, error) {
 	default:
 		name := p.ident()
 		if name == "" {
-			return nil, fmt.Errorf("expected element name, found %q", p.rest())
+			return nil, srcpos.Errorf(p.at(), "expected element name, found %q", p.rest())
 		}
 		return p.applySuffix(RName{Name: name}), nil
 	}

@@ -26,8 +26,12 @@ func Simplify(g *General) (*DTD, error) {
 		sort.Strings(names)
 	}
 	for _, name := range names {
+		s.owner = name
 		if err := s.defineAs(name, g.Content[name]); err != nil {
 			return nil, err
+		}
+		if p, ok := g.Pos[name]; ok {
+			d.Pos[name] = p
 		}
 	}
 	if err := d.Validate(); err != nil {
@@ -37,17 +41,22 @@ func Simplify(g *General) (*DTD, error) {
 }
 
 type simplifier struct {
-	g    *General
-	d    *DTD
-	next int
+	g     *General
+	d     *DTD
+	next  int
+	owner string // element whose declaration is being simplified
 }
 
 // entity creates a fresh entity element type defined by r and returns its
-// name.
+// name. The entity inherits the source position of the declaration that
+// spawned it.
 func (s *simplifier) entity(owner string, r Regex) (string, error) {
 	s.next++
 	name := fmt.Sprintf("%s#%d", owner, s.next)
 	s.d.Entities[name] = true
+	if p, ok := s.g.Pos[s.owner]; ok {
+		s.d.Pos[name] = p
+	}
 	if err := s.defineAs(name, r); err != nil {
 		return "", err
 	}

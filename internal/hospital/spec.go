@@ -108,6 +108,15 @@ rule price
   text inh(price).val
 end
 
+sources
+  DB1:patient(SSN, pname, policy)
+  DB1:visitInfo(SSN, trId, date)
+  DB2:cover(policy, trId)
+  DB3:billing(trId, price:int)
+  DB4:treatment(trId, tname)
+  DB4:procedure(trId1, trId2)
+end
+
 constraints
   patient(item.trId -> item)
   patient(treatment.trId [= item.trId)

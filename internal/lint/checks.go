@@ -1,0 +1,387 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/srcpos"
+	"github.com/aigrepro/aig/internal/static"
+)
+
+type checker struct {
+	file  string
+	aig   *aig.AIG
+	diags []Diagnostic
+}
+
+func (c *checker) report(p srcpos.Pos, sev Severity, code, format string, args ...any) *Diagnostic {
+	c.diags = append(c.diags, Diagnostic{
+		File: c.file, Line: p.Line, Col: p.Col,
+		Severity: sev, Code: code,
+		Message: fmt.Sprintf(format, args...),
+	})
+	return &c.diags[len(c.diags)-1]
+}
+
+func (c *checker) run() {
+	c.checkValidation()
+	c.checkAnalysis()
+	c.checkDeadBranches()
+	c.checkCopyChains()
+	c.checkUnusedMembers()
+}
+
+// checkValidation runs the §3.1 validator and classifies each of its
+// errors into a diagnostic code by the failing subsystem: unresolved
+// source/table/column names (AIG006), constraint/DTD inconsistencies
+// (AIG008), and everything else (AIG007).
+func (c *checker) checkValidation() {
+	var provider sqlmini.SchemaProvider
+	if c.aig.Sources != nil {
+		provider = c.aig.Sources
+	} else {
+		c.report(srcpos.Pos{}, Info, CodeNoSources,
+			"spec declares no sources section; queries are not resolved against declared schemas")
+	}
+	for _, err := range c.aig.ValidateAll(provider) {
+		p := srcpos.PosOf(err)
+		msg := stripPos(err.Error(), p)
+		sev, code := Error, CodeRuleCheck
+		switch {
+		case strings.Contains(msg, "xconstraint:"):
+			code = CodeConstraint
+		case isUnresolvedName(msg):
+			code = CodeUnresolved
+		}
+		c.report(p, sev, code, "%s", msg)
+	}
+}
+
+// isUnresolvedName matches the error texts sqlmini.Resolve and
+// aig.DeclaredSources produce for names absent from the declared
+// schemas.
+func isUnresolvedName(msg string) bool {
+	for _, marker := range []string{
+		"is not declared",
+		"declares no table",
+		"unknown table",
+		"unknown column",
+		"has no column",
+		"ambiguous column",
+	} {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAnalysis runs the §4 analyses: query satisfiability (AIG002),
+// termination (AIG003), and reachability (AIG004), plus the vacuity
+// check for constraints over never-produced elements (AIG008).
+func (c *checker) checkAnalysis() {
+	an, err := static.Analyze(c.aig)
+	if err != nil {
+		// An invalid DTD was already reported by checkValidation.
+		return
+	}
+	rec := c.aig.DTD.RecursiveTypes()
+
+	keys := append([]string(nil), an.UnsatisfiableQueries...)
+	sort.Strings(keys)
+	for _, key := range keys {
+		elem, child, _ := strings.Cut(key, "/")
+		pos, where := c.queryAt(elem, child)
+		d := c.report(pos, Error, CodeUnsatisfiable, "%s can never return a row", where)
+		if rec[elem] && rec[child] {
+			// The paper's device for bounding recursion: an unsatisfiable
+			// query cuts the cycle at depth one. Intentional, so advisory.
+			d.Severity = Warning
+			d.Hint = fmt.Sprintf("this cuts the recursive cycle through %s, bounding the derivation depth; drop the rule if that is not intended", elem)
+		}
+	}
+
+	if !an.MustTerminate {
+		pos, cyclic := c.recursionSite(an, rec)
+		d := c.report(pos, Warning, CodeNonTermination,
+			"evaluation may not terminate: recursive cycle through %s is not cut by any unsatisfiable query",
+			strings.Join(cyclic, ", "))
+		d.Hint = "recursion depth is then bounded only by the data; add a cycle-cutting predicate or unfold to a fixed depth"
+	}
+
+	typeReach := c.aig.DTD.Reachable()
+	for _, elem := range c.aig.DTD.Types() {
+		switch {
+		case !typeReach[elem]:
+			c.report(c.aig.DTD.Pos[elem], Warning, CodeUnreachable,
+				"element type %s is unreachable from the root %s", elem, c.aig.DTD.Root)
+		case !an.CanReach[elem]:
+			c.report(c.aig.DTD.Pos[elem], Warning, CodeUnreachable,
+				"element %s can never be produced: every derivation path is cut by an unsatisfiable query", elem)
+		}
+	}
+
+	for _, con := range c.aig.Constraints {
+		if con.ValidateAgainst(c.aig.DTD) != nil {
+			continue // reported via checkValidation
+		}
+		for _, elem := range []string{con.Context, con.Source, con.Target} {
+			if elem != "" && typeReach[elem] && !an.CanReach[elem] {
+				c.report(con.Pos, Warning, CodeConstraint,
+					"constraint %s is vacuous: no %s element can ever be produced", con, elem)
+				break
+			}
+		}
+	}
+}
+
+// queryAt locates the query identified by a static analysis key
+// (elem, child; empty child means the condition query) and names it for
+// messages.
+func (c *checker) queryAt(elem, child string) (srcpos.Pos, string) {
+	r := c.aig.Rules[elem]
+	if r == nil {
+		return srcpos.Pos{}, fmt.Sprintf("query for %s", elem)
+	}
+	if child == "" {
+		pos := r.CondPos
+		if !pos.IsValid() {
+			pos = r.Pos
+		}
+		return pos, fmt.Sprintf("condition query of %s", elem)
+	}
+	ir := r.Inh[child]
+	if ir == nil {
+		for _, b := range r.Branches {
+			if b.Inh != nil && b.Inh.Child == child {
+				ir = b.Inh
+			}
+		}
+	}
+	pos := r.Pos
+	if ir != nil && ir.QueryPos.IsValid() {
+		pos = ir.QueryPos
+	}
+	return pos, fmt.Sprintf("query for %s -> %s", elem, child)
+}
+
+// recursionSite picks a stable source anchor for a non-termination
+// report: the first (lexicographically) reachable recursive type, plus
+// the full list for the message.
+func (c *checker) recursionSite(an *static.Analysis, rec map[string]bool) (srcpos.Pos, []string) {
+	var cyclic []string
+	for elem := range rec {
+		if an.CanReach[elem] {
+			cyclic = append(cyclic, elem)
+		}
+	}
+	sort.Strings(cyclic)
+	if len(cyclic) == 0 {
+		return srcpos.Pos{}, nil
+	}
+	return c.aig.DTD.Pos[cyclic[0]], cyclic
+}
+
+// checkDeadBranches looks for choice productions whose condition query
+// output is forced to a constant by its own predicates (AIG005): the
+// same branch is then taken on every instance, and the others are dead.
+func (c *checker) checkDeadBranches() {
+	for _, elem := range c.aig.DTD.Types() {
+		r := c.aig.Rules[elem]
+		p, _ := c.aig.DTD.Production(elem)
+		if r == nil || r.Cond == nil || p.Kind != dtd.ProdChoice {
+			continue
+		}
+		forced := static.ForcedOutputs(r.Cond)
+		// nil means unsatisfiable: AIG002 already covers that.
+		if len(forced) != 1 || forced[0] == nil {
+			continue
+		}
+		v := *forced[0]
+		pos := r.CondPos
+		if !pos.IsValid() {
+			pos = r.Pos
+		}
+		n := len(p.Children)
+		if v.Kind() != relstore.KindInt || v.AsInt() < 1 || v.AsInt() > int64(n) {
+			c.report(pos, Error, CodeDeadBranch,
+				"condition query of %s always returns %s, which selects no branch in [1, %d]", elem, v, n)
+			continue
+		}
+		k := int(v.AsInt())
+		var dead []string
+		for i, child := range p.Children {
+			if i+1 != k {
+				dead = append(dead, fmt.Sprintf("%d (%s)", i+1, child))
+			}
+		}
+		d := c.report(pos, Warning, CodeDeadBranch,
+			"condition query of %s always selects branch %d (%s); dead branches: %s",
+			elem, k, p.Children[k-1], strings.Join(dead, ", "))
+		d.Hint = "the predicates force the selector column to a constant; replace the choice with the selected alternative or fix the condition"
+	}
+}
+
+// checkCopyChains reports copy rules that forward synthesized values
+// (AIG009): copy elimination (§4) collapses only pure projections of
+// the parent's inherited attribute, so these rules always materialize
+// an edge in the query dependency graph.
+func (c *checker) checkCopyChains() {
+	for _, elem := range c.aig.DTD.Types() {
+		r := c.aig.Rules[elem]
+		if r == nil {
+			continue
+		}
+		inhRules := make([]*aig.InhRule, 0, len(r.Inh)+len(r.Branches))
+		for _, child := range sortedChildren(r.Inh) {
+			inhRules = append(inhRules, r.Inh[child])
+		}
+		for _, b := range r.Branches {
+			if b.Inh != nil {
+				inhRules = append(inhRules, b.Inh)
+			}
+		}
+		for _, ir := range inhRules {
+			if ir == nil || ir.IsQuery() {
+				continue
+			}
+			for _, cp := range ir.Copies {
+				if cp.Src.Side == aig.SynSide {
+					c.report(ir.Pos, Info, CodeCopyChain,
+						"copy rule for %s -> %s forwards %s; copy elimination cannot collapse it",
+						elem, ir.Child, cp.Src)
+					break
+				}
+			}
+		}
+	}
+}
+
+func sortedChildren(m map[string]*aig.InhRule) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// memberUse keys one attribute member for the usage scan.
+type memberUse struct {
+	side   aig.Side
+	elem   string
+	member string
+}
+
+// checkUnusedMembers warns about declared attribute members no rule
+// ever reads (AIG010). A member is read by copy sources, query
+// parameters, PCDATA sources, synthesized expressions, guards, and
+// whole-attribute references (which read every scalar member).
+func (c *checker) checkUnusedMembers() {
+	used := make(map[memberUse]bool)
+	use := func(src aig.SourceRef) {
+		if src == (aig.SourceRef{}) {
+			return
+		}
+		if src.Member != "" {
+			used[memberUse{src.Side, src.Elem, src.Member}] = true
+			return
+		}
+		// Whole scalar tuple: every scalar member is read.
+		decl := c.aig.Inh[src.Elem]
+		if src.Side == aig.SynSide {
+			decl = c.aig.Syn[src.Elem]
+		}
+		for _, m := range decl.Members {
+			if m.Kind == aig.Scalar {
+				used[memberUse{src.Side, src.Elem, m.Name}] = true
+			}
+		}
+	}
+	var useExpr func(e aig.SynExpr)
+	useExpr = func(e aig.SynExpr) {
+		switch e := e.(type) {
+		case aig.ScalarOf:
+			use(e.Src)
+		case aig.CollectionOf:
+			use(e.Src)
+		case aig.SingletonOf:
+			for _, s := range e.Srcs {
+				use(s)
+			}
+		case aig.UnionOf:
+			for _, t := range e.Terms {
+				useExpr(t)
+			}
+		case aig.CollectChildren:
+			used[memberUse{aig.SynSide, e.Child, e.Member}] = true
+		}
+	}
+	useInh := func(ir *aig.InhRule) {
+		if ir == nil {
+			return
+		}
+		for _, cp := range ir.Copies {
+			use(cp.Src)
+		}
+		for _, s := range ir.QueryParams {
+			use(s)
+		}
+	}
+	useSyn := func(sr *aig.SynRule) {
+		if sr == nil {
+			return
+		}
+		for _, e := range sr.Exprs {
+			useExpr(e)
+		}
+	}
+	for elem, r := range c.aig.Rules {
+		if r == nil {
+			continue
+		}
+		use(r.TextSrc)
+		for _, ir := range r.Inh {
+			useInh(ir)
+		}
+		for _, s := range r.CondParams {
+			use(s)
+		}
+		for _, b := range r.Branches {
+			useInh(b.Inh)
+			useSyn(b.Syn)
+		}
+		useSyn(r.Syn)
+		for _, g := range r.Guards {
+			switch g.Kind {
+			case aig.GuardUnique:
+				used[memberUse{aig.SynSide, elem, g.Member}] = true
+			case aig.GuardSubset:
+				used[memberUse{aig.SynSide, elem, g.Sub}] = true
+				used[memberUse{aig.SynSide, elem, g.Super}] = true
+			}
+		}
+	}
+	// Syn of the root is the grammar's result delivered to the caller, so
+	// its members count as consumed.
+	for _, m := range c.aig.Syn[c.aig.DTD.Root].Members {
+		used[memberUse{aig.SynSide, c.aig.DTD.Root, m.Name}] = true
+	}
+	report := func(side aig.Side, decls map[string]aig.AttrDecl) {
+		for _, elem := range c.aig.DTD.Types() {
+			for _, m := range decls[elem].Members {
+				if !used[memberUse{side, elem, m.Name}] {
+					c.report(m.Pos, Warning, CodeUnusedMember,
+						"member %s of %s(%s) is declared but never referenced by any rule", m.Name, side, elem)
+				}
+			}
+		}
+	}
+	report(aig.InhSide, c.aig.Inh)
+	report(aig.SynSide, c.aig.Syn)
+}

@@ -1,0 +1,305 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/srcpos"
+)
+
+// TestFixtureExactCodes is the acceptance fixture: a spec with a
+// deliberately unsatisfiable query, a query over an unknown column, and
+// a key inconsistent with the DTD must yield exactly those three
+// diagnostics, at the lines and columns of the offending clauses.
+func TestFixtureExactCodes(t *testing.T) {
+	text, err := os.ReadFile(filepath.Join("testdata", "bad.aig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Source("bad.aig", string(text))
+	want := []struct {
+		code string
+		pos  srcpos.Pos
+		sev  Severity
+		msg  string
+	}{
+		{CodeUnsatisfiable, srcpos.At(11, 3), Error, "can never return a row"},
+		{CodeUnresolved, srcpos.At(12, 3), Error, "nosuch"},
+		{CodeConstraint, srcpos.At(29, 3), Error, "zzz"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Code != w.code || d.Pos() != w.pos || d.Severity != w.sev {
+			t.Errorf("diag %d = %s (%s at %v), want %s %s at %v", i, d, d.Severity, d.Pos(), w.sev, w.code, w.pos)
+		}
+		if !strings.Contains(d.Message, w.msg) {
+			t.Errorf("diag %d message %q does not mention %q", i, d.Message, w.msg)
+		}
+	}
+}
+
+// TestExamplesHaveNoErrors pins the shipped example specs to lint clean:
+// warnings and infos are allowed (the hospital grammar is recursive by
+// design), error-severity diagnostics are not.
+func TestExamplesHaveNoErrors(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "examples", "*", "*.aig"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no example specs found")
+	}
+	for _, f := range matches {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags := Source(f, string(text))
+		for _, d := range diags {
+			t.Logf("%s", d)
+			if d.Severity == Error {
+				t.Errorf("%s: shipped spec has a lint error", d)
+			}
+		}
+	}
+}
+
+func lintText(t *testing.T, text string) []Diagnostic {
+	t.Helper()
+	return Source("test.aig", text)
+}
+
+func codes(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Code
+	}
+	return out
+}
+
+func hasCode(diags []Diagnostic, code string) bool {
+	for _, d := range diags {
+		if d.Code == code {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParseErrorDiagnostic(t *testing.T) {
+	diags := lintText(t, "dtd\n  <!ELEMENT a (#PCDATA)>\nend\nbogus")
+	if len(diags) != 1 || diags[0].Code != CodeParse || diags[0].Severity != Error {
+		t.Fatalf("diags = %v", diags)
+	}
+	if diags[0].Pos() != srcpos.At(4, 1) {
+		t.Errorf("parse diagnostic at %v, want 4:1", diags[0].Pos())
+	}
+	if strings.HasPrefix(diags[0].Message, "4:1:") {
+		t.Errorf("message %q still carries the position prefix", diags[0].Message)
+	}
+}
+
+func TestNoSourcesInfo(t *testing.T) {
+	diags := lintText(t, "dtd\n  <!ELEMENT a (#PCDATA)>\nend\n")
+	if !hasCode(diags, CodeNoSources) {
+		t.Errorf("no AIG011 for spec without sources: %v", codes(diags))
+	}
+	for _, d := range diags {
+		if d.Code == CodeNoSources && d.Severity != Info {
+			t.Errorf("AIG011 severity = %v, want info", d.Severity)
+		}
+	}
+}
+
+func TestDeadBranchDiagnostics(t *testing.T) {
+	spec := `dtd
+  <!ELEMENT r (a | b)>
+  <!ELEMENT a (#PCDATA)>
+  <!ELEMENT b (#PCDATA)>
+end
+
+rule r
+  cond query []: select t.n from S:t t where t.n = %d;
+end
+
+sources
+  S:t(n:int)
+end
+`
+	// Forced to 1: branch 2 is dead (warning).
+	diags := lintText(t, strings.Replace(spec, "%d", "1", 1))
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeDeadBranch {
+			found = true
+			if d.Severity != Warning {
+				t.Errorf("in-range dead branch severity = %v, want warning", d.Severity)
+			}
+			if !strings.Contains(d.Message, "branch 1") || !strings.Contains(d.Message, "2 (b)") {
+				t.Errorf("dead branch message %q lacks branch detail", d.Message)
+			}
+			if d.Pos() != srcpos.At(8, 3) {
+				t.Errorf("dead branch at %v, want 8:3", d.Pos())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no AIG005 for forced condition: %v", codes(diags))
+	}
+
+	// Forced to 7: out of range, no branch can ever be selected (error).
+	diags = lintText(t, strings.Replace(spec, "%d", "7", 1))
+	found = false
+	for _, d := range diags {
+		if d.Code == CodeDeadBranch {
+			found = true
+			if d.Severity != Error {
+				t.Errorf("out-of-range selector severity = %v, want error", d.Severity)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no AIG005 for out-of-range selector: %v", codes(diags))
+	}
+}
+
+func TestUnreachableElement(t *testing.T) {
+	spec := `dtd
+  <!ELEMENT r (a)>
+  <!ELEMENT a (#PCDATA)>
+  <!ELEMENT orphan (#PCDATA)>
+end
+`
+	diags := lintText(t, spec)
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeUnreachable {
+			found = true
+			if !strings.Contains(d.Message, "orphan") {
+				t.Errorf("unreachable message %q does not name orphan", d.Message)
+			}
+			if d.Pos() != srcpos.At(4, 13) {
+				t.Errorf("unreachable at %v, want 4:13", d.Pos())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no AIG004: %v", codes(diags))
+	}
+}
+
+func TestUnusedMember(t *testing.T) {
+	spec := `dtd
+  <!ELEMENT r (a)>
+  <!ELEMENT a (#PCDATA)>
+end
+
+inh a (v, ghost)
+
+rule r
+  child a set v = inh(r).q
+end
+
+rule a
+  text inh(a).v
+end
+
+inh r (q)
+`
+	diags := lintText(t, spec)
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeUnusedMember {
+			found = true
+			if !strings.Contains(d.Message, "ghost") {
+				t.Errorf("unexpected unused member: %s", d)
+			}
+			if d.Pos() != srcpos.At(6, 11) {
+				t.Errorf("unused member at %v, want 6:11", d.Pos())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no AIG010: %v", codes(diags))
+	}
+}
+
+func TestUnsatisfiableCutHint(t *testing.T) {
+	// A recursive star cycle cut by an unsatisfiable query is the paper's
+	// own depth-bounding device: warning with a hint, not an error.
+	spec := `dtd
+  <!ELEMENT r (a)>
+  <!ELEMENT a (x*)>
+  <!ELEMENT x (v, a)>
+  <!ELEMENT v (#PCDATA)>
+end
+
+inh a (n)
+inh v (n)
+inh x (n)
+
+rule r
+  child a set n = inh(r).n
+end
+
+rule a
+  child x from query [p = inh(a)]: select t.n from S:t t where t.n = 1 and t.n = 2;
+end
+
+rule x
+  child v set n = inh(x).n
+  child a set n = inh(x).n
+end
+
+rule v
+  text inh(v).n
+end
+
+inh r (n)
+
+sources
+  S:t(n:int)
+end
+`
+	diags := lintText(t, spec)
+	found := false
+	for _, d := range diags {
+		if d.Code == CodeUnsatisfiable {
+			found = true
+			if d.Severity != Warning {
+				t.Errorf("cycle-cutting unsat query severity = %v, want warning", d.Severity)
+			}
+			if d.Hint == "" || !strings.Contains(d.Hint, "recursive cycle") {
+				t.Errorf("cycle-cutting unsat query hint = %q", d.Hint)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no AIG002: %v", codes(diags))
+	}
+	if hasCode(diags, CodeNonTermination) {
+		t.Errorf("AIG003 reported although the cycle is cut: %v", codes(diags))
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := Diagnostic{File: "f.aig", Line: 3, Col: 7, Severity: Warning, Code: CodeUnreachable, Message: "m"}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"severity":"warning"`, `"code":"AIG004"`, `"line":3`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON %s lacks %s", b, want)
+		}
+	}
+	if strings.Contains(string(b), "hint") {
+		t.Errorf("empty hint serialized: %s", b)
+	}
+}

@@ -1,0 +1,105 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/aigspec"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/static"
+)
+
+// findInhRule locates the inherited-attribute rule for elem -> child,
+// looking through choice branches as static.Classify does.
+func findInhRule(a *aig.AIG, elem, child string) *aig.InhRule {
+	r := a.Rules[elem]
+	if r == nil {
+		return nil
+	}
+	if ir := r.Inh[child]; ir != nil {
+		return ir
+	}
+	for _, b := range r.Branches {
+		if b.Inh != nil && b.Inh.Child == child {
+			return b.Inh
+		}
+	}
+	return nil
+}
+
+// TestCopyElimMatchesStaticClassification cross-checks the §4 rule
+// classification the static package exposes against the predicate the
+// mediator's copy elimination actually gates on (isPureProjection): a
+// QSR must never be elided, and a CSR is elidable exactly when all of
+// its copies project the parent's inherited attribute.
+func TestCopyElimMatchesStaticClassification(t *testing.T) {
+	grammars := map[string]*aig.AIG{"sigma0": hospital.Sigma0(true)}
+	if parsed, err := aigspec.Parse(hospital.SpecText); err != nil {
+		t.Fatal(err)
+	} else {
+		grammars["spec"] = parsed
+	}
+	for name, a := range grammars {
+		for key, class := range static.Classify(a) {
+			elem, child, _ := strings.Cut(key, "/")
+			ir := findInhRule(a, elem, child)
+			if ir == nil {
+				t.Errorf("%s: classified rule %s has no InhRule", name, key)
+				continue
+			}
+			pure := isPureProjection(ir)
+			switch class {
+			case static.QSR:
+				if pure {
+					t.Errorf("%s: %s is a QSR but isPureProjection elides it", name, key)
+				}
+			case static.CSR:
+				want := true
+				for _, cp := range ir.Copies {
+					if cp.Src.Side != aig.InhSide {
+						want = false
+					}
+				}
+				if pure != want {
+					t.Errorf("%s: CSR %s: isPureProjection = %v, copies = %v", name, key, pure, ir.Copies)
+				}
+			}
+		}
+	}
+}
+
+// TestCopyChainsArePureProjections checks that every chain reported by
+// static.CopyChains really is collapsible: each parent -> child link
+// along a chain must be a rule copy elimination elides.
+func TestCopyChainsArePureProjections(t *testing.T) {
+	a := hospital.Sigma0(true)
+	chains := static.CopyChains(a)
+	if len(chains) == 0 {
+		t.Fatal("σ0 has no copy chains; expected at least patient -> treatments")
+	}
+	found := false
+	for _, chain := range chains {
+		if len(chain) < 2 {
+			t.Errorf("chain %v is too short", chain)
+			continue
+		}
+		if chain[0] == "patient" && chain[len(chain)-1] == "treatments" {
+			found = true
+		}
+		for i := 0; i+1 < len(chain); i++ {
+			parent, child := chain[i], chain[i+1]
+			ir := findInhRule(a, parent, child)
+			if ir == nil {
+				t.Errorf("chain %v: no rule for %s -> %s", chain, parent, child)
+				continue
+			}
+			if !isPureProjection(ir) {
+				t.Errorf("chain %v: link %s -> %s is not a pure projection", chain, parent, child)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected the patient -> treatments chain of Fig. 2, got %v", chains)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/aigrepro/aig/internal/aig"
 	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/srcpos"
 )
 
 // Unfold rewrites a recursive AIG into a non-recursive one by replicating
@@ -277,6 +278,8 @@ func renameRule(r *aig.Rule, elem string, rename func(string) string) *aig.Rule 
 			Child:            rename(ir.Child),
 			TargetCollection: ir.TargetCollection,
 			QueryParams:      renameParams(ir.QueryParams),
+			Pos:              ir.Pos,
+			QueryPos:         ir.QueryPos,
 		}
 		if ir.Query != nil {
 			out.Query = ir.Query.Clone()
@@ -297,6 +300,12 @@ func renameRule(r *aig.Rule, elem string, rename func(string) string) *aig.Rule 
 		for k, e := range sr.Exprs {
 			out.Exprs[k] = renameExpr(e, rename)
 		}
+		if sr.Pos != nil {
+			out.Pos = make(map[string]srcpos.Pos, len(sr.Pos))
+			for k, p := range sr.Pos {
+				out.Pos[k] = p
+			}
+		}
 		return out
 	}
 
@@ -305,6 +314,8 @@ func renameRule(r *aig.Rule, elem string, rename func(string) string) *aig.Rule 
 		TextSrc: renameRef(r.TextSrc),
 		Syn:     renameSyn(r.Syn),
 		Guards:  append([]aig.Guard(nil), r.Guards...),
+		Pos:     r.Pos,
+		CondPos: r.CondPos,
 	}
 	if r.TextSrc == (aig.SourceRef{}) {
 		out.TextSrc = aig.SourceRef{}

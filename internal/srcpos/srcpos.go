@@ -1,0 +1,161 @@
+// Package srcpos provides source positions (line and column) and
+// positioned errors for the textual languages of the repository: the
+// aigspec specification language, DTD declarations, and XML constraint
+// syntax. It is a leaf package so that both the parsers and the AST
+// packages (aig, dtd, xconstraint) can attach positions without import
+// cycles.
+//
+// Positions are 1-based; the zero Pos means "unknown". Columns count
+// bytes, which coincides with characters for the ASCII-only languages
+// parsed here.
+package srcpos
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Pos is a position in a source file: 1-based line and column. The zero
+// value means the position is unknown.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// At builds a position.
+func At(line, col int) Pos { return Pos{Line: line, Col: col} }
+
+// IsValid reports whether the position carries a real location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders "line:col", "line" when the column is unknown, or "-"
+// for the zero position.
+func (p Pos) String() string {
+	switch {
+	case p.Line <= 0:
+		return "-"
+	case p.Col <= 0:
+		return fmt.Sprintf("%d", p.Line)
+	default:
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+}
+
+// Shift returns the position moved down by lines (columns are preserved).
+// Shifting an unknown position yields an unknown position.
+func (p Pos) Shift(lines int) Pos {
+	if !p.IsValid() {
+		return p
+	}
+	p.Line += lines
+	return p
+}
+
+// Before reports whether p sorts before q (unknown positions sort first).
+func (p Pos) Before(q Pos) bool {
+	if p.Line != q.Line {
+		return p.Line < q.Line
+	}
+	return p.Col < q.Col
+}
+
+// Error is an error carrying a source position. Parsers return *Error so
+// that tooling (aiglint, editors) can surface exact locations; Error()
+// renders the conventional "line:col: message" form.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if !e.Pos.IsValid() {
+		return e.Msg
+	}
+	return e.Pos.String() + ": " + e.Msg
+}
+
+// Errorf builds a positioned error.
+func Errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// PosOf extracts the position from an error produced by Errorf (directly
+// or wrapped); the zero Pos when the error carries none.
+func PosOf(err error) Pos {
+	var pe *Error
+	if errors.As(err, &pe) {
+		return pe.Pos
+	}
+	return Pos{}
+}
+
+// ShiftErr moves a positioned error down by lines, so that section
+// parsers reporting positions relative to their section can be composed
+// into whole-file positions. Non-positioned errors pass through
+// unchanged.
+func ShiftErr(err error, lines int) error {
+	var pe *Error
+	if err == nil || !errors.As(err, &pe) {
+		return err
+	}
+	return &Error{Pos: pe.Pos.Shift(lines), Msg: pe.Msg}
+}
+
+// LineCol converts a byte offset into input text to a 1-based line and
+// column. Each call scans from the start of input; parsers converting
+// many offsets of the same input should use a Tracker instead.
+func LineCol(input string, offset int) Pos {
+	if offset < 0 {
+		offset = 0
+	}
+	if offset > len(input) {
+		offset = len(input)
+	}
+	line, col := 1, 1
+	for i := 0; i < offset; i++ {
+		if input[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return Pos{Line: line, Col: col}
+}
+
+// Tracker converts byte offsets of one input to positions, scanning the
+// input at most once overall for non-decreasing offsets — the pattern of
+// a parser recording positions as it advances. (Repeatedly calling
+// LineCol from a parser is quadratic in the input size.) Offsets before
+// the last one fall back to a fresh scan, so Tracker.At agrees with
+// LineCol on every input.
+type Tracker struct {
+	input string
+	off   int
+	pos   Pos
+}
+
+// NewTracker builds a tracker over input, starting at offset 0 = 1:1.
+func NewTracker(input string) *Tracker {
+	return &Tracker{input: input, pos: At(1, 1)}
+}
+
+// At converts a byte offset to its position.
+func (t *Tracker) At(offset int) Pos {
+	if offset > len(t.input) {
+		offset = len(t.input)
+	}
+	if offset < t.off {
+		return LineCol(t.input, offset)
+	}
+	for ; t.off < offset; t.off++ {
+		if t.input[t.off] == '\n' {
+			t.pos.Line++
+			t.pos.Col = 1
+		} else {
+			t.pos.Col++
+		}
+	}
+	return t.pos
+}

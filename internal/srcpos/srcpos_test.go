@@ -1,0 +1,113 @@
+package srcpos
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestPosString(t *testing.T) {
+	cases := []struct {
+		pos  Pos
+		want string
+	}{
+		{Pos{}, "-"},
+		{Pos{Line: 3}, "3"},
+		{Pos{Line: 3, Col: 7}, "3:7"},
+	}
+	for _, c := range cases {
+		if got := c.pos.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.pos, got, c.want)
+		}
+	}
+	if (Pos{}).IsValid() {
+		t.Error("zero Pos is valid")
+	}
+	if !(Pos{Line: 1, Col: 1}).IsValid() {
+		t.Error("1:1 is invalid")
+	}
+}
+
+func TestErrorRendering(t *testing.T) {
+	err := Errorf(At(4, 2), "bad %s", "token")
+	if got, want := err.Error(), "4:2: bad token"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if got := PosOf(err); got != At(4, 2) {
+		t.Errorf("PosOf = %v", got)
+	}
+	wrapped := fmt.Errorf("outer: %w", err)
+	if got := PosOf(wrapped); got != At(4, 2) {
+		t.Errorf("PosOf(wrapped) = %v", got)
+	}
+	if got := PosOf(errors.New("plain")); got.IsValid() {
+		t.Errorf("PosOf(plain) = %v, want zero", got)
+	}
+}
+
+func TestShiftErr(t *testing.T) {
+	err := Errorf(At(2, 5), "oops")
+	shifted := ShiftErr(err, 10)
+	if got := PosOf(shifted); got != At(12, 5) {
+		t.Errorf("shifted pos = %v, want 12:5", got)
+	}
+	plain := errors.New("plain")
+	if got := ShiftErr(plain, 10); got != plain {
+		t.Errorf("ShiftErr changed a plain error: %v", got)
+	}
+	if got := ShiftErr(nil, 3); got != nil {
+		t.Errorf("ShiftErr(nil) = %v", got)
+	}
+}
+
+func TestLineCol(t *testing.T) {
+	input := "ab\ncd\n\nef"
+	cases := []struct {
+		off  int
+		want Pos
+	}{
+		{0, At(1, 1)},
+		{1, At(1, 2)},
+		{3, At(2, 1)},
+		{4, At(2, 2)},
+		{6, At(3, 1)},
+		{7, At(4, 1)},
+		{99, At(4, 3)}, // clamped to end
+	}
+	for _, c := range cases {
+		if got := LineCol(input, c.off); got != c.want {
+			t.Errorf("LineCol(%d) = %v, want %v", c.off, got, c.want)
+		}
+	}
+}
+
+func TestTrackerAgreesWithLineCol(t *testing.T) {
+	input := "ab\ncd\n\nef"
+	tr := NewTracker(input)
+	// Forward (the amortized-O(1) path), including repeats and clamping.
+	for _, off := range []int{0, 1, 1, 3, 4, 6, 7, 99} {
+		if got, want := tr.At(off), LineCol(input, off); got != want {
+			t.Errorf("Tracker.At(%d) = %v, want %v", off, got, want)
+		}
+	}
+	// Backward offsets fall back to a scan but stay correct.
+	if got, want := tr.At(3), LineCol(input, 3); got != want {
+		t.Errorf("backward Tracker.At(3) = %v, want %v", got, want)
+	}
+	// And the tracker still answers forward queries afterwards.
+	if got, want := tr.At(7), LineCol(input, 7); got != want {
+		t.Errorf("Tracker.At(7) after rewind = %v, want %v", got, want)
+	}
+}
+
+func TestBefore(t *testing.T) {
+	if !At(1, 9).Before(At(2, 1)) {
+		t.Error("1:9 should sort before 2:1")
+	}
+	if !At(2, 1).Before(At(2, 4)) {
+		t.Error("2:1 should sort before 2:4")
+	}
+	if At(2, 4).Before(At(2, 4)) {
+		t.Error("equal positions are not Before each other")
+	}
+}

@@ -242,16 +242,49 @@ func haltsOnEmpty(d *dtd.DTD, elem string, state map[string]int) bool {
 // satisfiable (per the paper, the general problem is undecidable for full
 // SQL).
 func Satisfiable(q *sqlmini.Query) bool {
+	_, _, ok := constClasses(q)
+	return ok
+}
+
+// ForcedOutputs reports, for each select column of the query, the
+// constant value the query's predicates force it to take on every output
+// row (nil when the column is unconstrained). A nil slice means the query
+// is statically unsatisfiable and produces no rows at all. The linter
+// uses this to detect choice-production condition queries that always
+// select the same branch.
+func ForcedOutputs(q *sqlmini.Query) []*relstore.Value {
+	uf, classConst, ok := constClasses(q)
+	if !ok {
+		return nil
+	}
+	out := make([]*relstore.Value, len(q.Select))
+	for i, s := range q.Select {
+		if v, found := classConst[uf.find("c:"+s.Expr.String())]; found {
+			v := v
+			out[i] = &v
+		}
+	}
+	return out
+}
+
+// cmpPred is a deferred non-equality comparison between two class keys.
+type cmpPred struct {
+	a, b string
+	op   sqlmini.CompareOp
+}
+
+// constClasses performs the symbolic part of Satisfiable: it unions
+// columns, parameters and constants into equivalence classes from the
+// query's equality predicates, propagates constants, and checks the
+// deferred comparisons. It returns the union-find, the constant value per
+// class root, and whether the predicates are mutually consistent.
+func constClasses(q *sqlmini.Query) (*unionFind, map[string]relstore.Value, bool) {
 	uf := newUnionFind()
 	key := func(c sqlmini.ColRef) string { return "c:" + c.String() }
 	paramKey := func(p, f string) string { return "p:" + p + "." + f }
 
 	constOf := make(map[string]relstore.Value)
-	type cmp struct {
-		a, b string
-		op   sqlmini.CompareOp
-	}
-	var cmps []cmp
+	var cmps []cmpPred
 
 	for _, p := range q.Where {
 		switch p.Kind {
@@ -259,7 +292,7 @@ func Satisfiable(q *sqlmini.Query) bool {
 			if p.Op == sqlmini.OpEq {
 				uf.union(key(p.Left), key(p.Right))
 			} else {
-				cmps = append(cmps, cmp{key(p.Left), key(p.Right), p.Op})
+				cmps = append(cmps, cmpPred{key(p.Left), key(p.Right), p.Op})
 			}
 		case sqlmini.PredColConst:
 			ck := "k:" + p.Const.Key()
@@ -267,17 +300,17 @@ func Satisfiable(q *sqlmini.Query) bool {
 			if p.Op == sqlmini.OpEq {
 				uf.union(key(p.Left), ck)
 			} else {
-				cmps = append(cmps, cmp{key(p.Left), ck, p.Op})
+				cmps = append(cmps, cmpPred{key(p.Left), ck, p.Op})
 			}
 		case sqlmini.PredColParam:
 			if p.Op == sqlmini.OpEq {
 				uf.union(key(p.Left), paramKey(p.Param, p.ParamField))
 			} else {
-				cmps = append(cmps, cmp{key(p.Left), paramKey(p.Param, p.ParamField), p.Op})
+				cmps = append(cmps, cmpPred{key(p.Left), paramKey(p.Param, p.ParamField), p.Op})
 			}
 		case sqlmini.PredColInList:
 			if len(p.List) == 0 {
-				return false
+				return nil, nil, false
 			}
 			if len(p.List) == 1 {
 				ck := "k:" + p.List[0].Key()
@@ -294,7 +327,7 @@ func Satisfiable(q *sqlmini.Query) bool {
 	for ck, v := range constOf {
 		root := uf.find(ck)
 		if prev, ok := classConst[root]; ok && !prev.Equal(v) {
-			return false
+			return nil, nil, false
 		}
 		classConst[root] = v
 	}
@@ -303,15 +336,15 @@ func Satisfiable(q *sqlmini.Query) bool {
 	for _, c := range cmps {
 		ra, rb := uf.find(c.a), uf.find(c.b)
 		if ra == rb && (c.op == sqlmini.OpNe || c.op == sqlmini.OpLt || c.op == sqlmini.OpGt) {
-			return false
+			return nil, nil, false
 		}
 		va, aok := classConst[ra]
 		vb, bok := classConst[rb]
 		if aok && bok && !c.op.Eval(va, vb) {
-			return false
+			return nil, nil, false
 		}
 	}
-	return true
+	return uf, classConst, true
 }
 
 type unionFind struct{ parent map[string]string }

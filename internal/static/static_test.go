@@ -115,6 +115,39 @@ func TestSatisfiable(t *testing.T) {
 	}
 }
 
+func TestForcedOutputs(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want []string // per select item: forced constant's Key(), "" = free
+	}{
+		{`select a from DB:t where a = 'x'`, []string{"sx"}},
+		{`select a, b from DB:t where a = 'x'`, []string{"sx", ""}},
+		{`select a from DB:t where a = b and b = 1`, []string{"i1"}},
+		{`select a from DB:t where a in ('x')`, []string{"sx"}},
+		{`select a from DB:t where a > 'x'`, []string{""}},
+		{`select a from DB:t where a = $v.f`, []string{""}},
+	}
+	for _, tc := range cases {
+		got := ForcedOutputs(sqlmini.MustParse(tc.sql))
+		if len(got) != len(tc.want) {
+			t.Errorf("ForcedOutputs(%q) has %d entries, want %d", tc.sql, len(got), len(tc.want))
+			continue
+		}
+		for i, w := range tc.want {
+			var k string
+			if got[i] != nil {
+				k = got[i].Key()
+			}
+			if k != w {
+				t.Errorf("ForcedOutputs(%q)[%d] = %q, want %q", tc.sql, i, k, w)
+			}
+		}
+	}
+	if ForcedOutputs(sqlmini.MustParse(`select a from DB:t where a = 'x' and a = 'y'`)) != nil {
+		t.Error("ForcedOutputs of an unsatisfiable query should be nil")
+	}
+}
+
 func TestMayTerminateChoice(t *testing.T) {
 	// inf -> inf is a derivation with no data-driven escape: it never
 	// halts, even on the empty instance. With a choice offering a finite

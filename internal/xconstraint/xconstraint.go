@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/srcpos"
 	"github.com/aigrepro/aig/internal/xmltree"
 )
 
@@ -42,6 +43,10 @@ type Constraint struct {
 	SourceFields []string
 	Target       string
 	TargetFields []string
+	// Pos is where the constraint was written when it came from ParseAll
+	// with line tracking (e.g. the constraints section of an aigspec
+	// file); the zero Pos otherwise. It does not participate in String.
+	Pos srcpos.Pos
 }
 
 // MustKey builds a key constraint.
@@ -165,18 +170,22 @@ func MustParse(input string) Constraint {
 }
 
 // ParseAll parses one constraint per non-empty, non-comment ("--"/"#")
-// line.
+// line. Each constraint's Pos records its 1-based line within input and
+// the column of its first non-space byte; parse errors carry the same
+// position as a *srcpos.Error.
 func ParseAll(input string) ([]Constraint, error) {
 	var out []Constraint
-	for _, line := range strings.Split(input, "\n") {
-		line = strings.TrimSpace(line)
+	for i, raw := range strings.Split(input, "\n") {
+		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
 			continue
 		}
+		pos := srcpos.At(i+1, len(raw)-len(strings.TrimLeft(raw, " \t"))+1)
 		c, err := Parse(line)
 		if err != nil {
-			return nil, err
+			return nil, srcpos.Errorf(pos, "%v", err)
 		}
+		c.Pos = pos
 		out = append(out, c)
 	}
 	return out, nil
