@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fmt-check staticcheck fuzz-smoke ci bench clean
+.PHONY: all build test race vet fmt lint fmt-check staticcheck fuzz-smoke soak ci bench clean
 
 all: build
 
@@ -40,9 +40,15 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/aigspec
 	$(GO) test -run '^$$' -fuzz FuzzParseGeneral -fuzztime 10s ./internal/dtd
 
+# soak runs the differential harness for a wall-clock budget, shrinking
+# any divergence to a replayable {seed, config, ops} triple. CI runs it
+# for 30s on push and 10m nightly.
+soak:
+	$(GO) run ./cmd/aigdiff -duration 30s -shrink
+
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke
+ci: vet build race lint fmt-check fuzz-smoke soak
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

@@ -1,0 +1,155 @@
+// Command aigdiff fuzzes the AIG evaluation stack: it generates random
+// instances (internal/randaig) and pushes each through the differential
+// oracle (internal/difftest) — conceptual evaluation, the full mediator
+// option matrix, runtime re-unrolling of recursion, the constraint and
+// DTD cross-checks, and optionally TCP-served sources — reporting any
+// divergence between paths that are specified to agree.
+//
+// Usage:
+//
+//	aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink]
+//	        [-corpus dir] [-json file]
+//
+// Seeds run consecutively from -seed. With -duration, aigdiff runs until
+// the wall clock expires instead of a fixed count. On a divergence,
+// -shrink minimizes the failing instance (dropping constraints, pruning
+// grammar children, deleting table rows) and prints the replayable
+// {seed, config, ops} triple; with -corpus it is also saved there as a
+// regression file. -json writes run statistics (instances and oracle
+// evaluations per second) to the given file. The exit status is 0 when
+// every instance agreed on every path, 1 when a divergence was found,
+// and 2 on usage failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/aigrepro/aig/internal/difftest"
+	"github.com/aigrepro/aig/internal/randaig"
+)
+
+// stats is the -json payload.
+type stats struct {
+	Seed            int64   `json:"seed"`
+	Instances       int     `json:"instances"`
+	Evals           int     `json:"evals"`
+	Aborts          int     `json:"aborts"`
+	Recursive       int     `json:"recursive"`
+	Seconds         float64 `json:"seconds"`
+	InstancesPerSec float64 `json:"instances_per_sec"`
+	EvalsPerSec     float64 `json:"evals_per_sec"`
+	Divergences     int     `json:"divergences"`
+}
+
+func main() {
+	seed := flag.Int64("seed", 0, "first generation seed")
+	n := flag.Int("n", 100, "number of instances to check")
+	duration := flag.Duration("duration", 0, "run for this long instead of a fixed -n")
+	remote := flag.Bool("remote", false, "include the TCP remote-source leg (slower)")
+	shrink := flag.Bool("shrink", false, "minimize a failing instance before reporting it")
+	corpus := flag.String("corpus", "", "directory to save shrunk failures as regression files")
+	jsonPath := flag.String("json", "", "write run statistics as JSON to this file")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-corpus dir] [-json file]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := randaig.DefaultConfig()
+	opts := difftest.Options{Remote: *remote}
+	st := stats{Seed: *seed}
+	start := time.Now()
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = start.Add(*duration)
+	}
+
+	exit := 0
+	for s := *seed; ; s++ {
+		if deadline.IsZero() {
+			if st.Instances >= *n {
+				break
+			}
+		} else if time.Now().After(deadline) {
+			break
+		}
+		inst, err := randaig.Generate(s, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: seed %d: generate: %v\n", s, err)
+			os.Exit(2)
+		}
+		st.Instances++
+		if inst.Recursive {
+			st.Recursive++
+		}
+		out := difftest.Check(inst, opts)
+		st.Evals += out.Evals
+		if out.Aborted {
+			st.Aborts++
+		}
+		if out.Divergence == nil {
+			continue
+		}
+		st.Divergences++
+		exit = 1
+		report(inst, opts, out.Divergence, *shrink, *corpus, cfg)
+	}
+
+	st.Seconds = time.Since(start).Seconds()
+	if st.Seconds > 0 {
+		st.InstancesPerSec = float64(st.Instances) / st.Seconds
+		st.EvalsPerSec = float64(st.Evals) / st.Seconds
+	}
+	fmt.Printf("aigdiff: %d instances (%d recursive, %d aborts), %d oracle evaluations in %.2fs (%.1f inst/s, %.1f evals/s), %d divergences\n",
+		st.Instances, st.Recursive, st.Aborts, st.Evals, st.Seconds,
+		st.InstancesPerSec, st.EvalsPerSec, st.Divergences)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(st, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: write %s: %v\n", *jsonPath, err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(exit)
+}
+
+// report prints one divergence, optionally shrinking and filing it.
+func report(inst *randaig.Instance, opts difftest.Options, div *difftest.Divergence, shrink bool, corpusDir string, cfg randaig.Config) {
+	fmt.Fprintf(os.Stderr, "%s\n", div.Error())
+	ops := []randaig.Op(nil)
+	if shrink {
+		res := difftest.Shrink(inst, opts, div, 0)
+		ops = res.Ops
+		if res.Divergence != nil {
+			div = res.Divergence
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: shrunk in %d checks to %d ops:\n", res.Checks, len(res.Ops))
+		for _, op := range res.Ops {
+			fmt.Fprintf(os.Stderr, "  %s\n", op)
+		}
+	}
+	reg := difftest.Regression{Seed: inst.Seed, Config: cfg, Ops: ops, Leg: div.Leg, Note: div.Detail}
+	repro, err := json.Marshal(reg)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)
+	}
+	if corpusDir != "" {
+		path, err := difftest.SaveRegression(corpusDir, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: save regression: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: regression saved to %s\n", path)
+	}
+}

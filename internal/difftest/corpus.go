@@ -1,0 +1,94 @@
+package difftest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/randaig"
+)
+
+// Regression is one persisted failing instance: enough to regenerate it
+// deterministically ({seed, config}) and re-minimize it ({ops}), plus
+// bookkeeping about what diverged.
+type Regression struct {
+	Seed   int64          `json:"seed"`
+	Config randaig.Config `json:"config"`
+	Ops    []randaig.Op   `json:"ops,omitempty"`
+	// Leg is the oracle leg that diverged when the regression was filed.
+	Leg string `json:"leg,omitempty"`
+	// Note is a human explanation (what was wrong, when it was fixed).
+	Note string `json:"note,omitempty"`
+}
+
+// Instance regenerates the shrunken instance from the recorded seed,
+// config and op sequence.
+func (r Regression) Instance() (*randaig.Instance, error) {
+	inst, err := randaig.Generate(r.Seed, r.Config)
+	if err != nil {
+		return nil, fmt.Errorf("difftest: regression seed %d: %v", r.Seed, err)
+	}
+	return inst.ApplyAll(r.Ops)
+}
+
+// SaveRegression writes the regression as seed-<n>.json (or
+// seed-<n>-<k>.json when that name is taken) under dir, creating dir if
+// needed. It returns the path written.
+func SaveRegression(dir string, r Regression) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	base := fmt.Sprintf("seed-%d", r.Seed)
+	for k := 0; ; k++ {
+		name := base + ".json"
+		if k > 0 {
+			name = fmt.Sprintf("%s-%d.json", base, k)
+		}
+		path := filepath.Join(dir, name)
+		if _, err := os.Stat(path); err == nil {
+			continue
+		}
+		return path, os.WriteFile(path, data, 0o644)
+	}
+}
+
+// LoadCorpus reads every *.json regression under dir, sorted by file
+// name. A missing directory is an empty corpus, not an error.
+func LoadCorpus(dir string) (map[string]Regression, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Regression)
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		var r Regression
+		if err := json.Unmarshal(data, &r); err != nil {
+			return nil, fmt.Errorf("difftest: corpus file %s: %v", name, err)
+		}
+		out[name] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,107 @@
+package hospital_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/datagen"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the conceptual evaluator")
+
+// miniSize is a scaled-down datagen dataset for golden-file testing:
+// the Table-1 scales produce multi-megabyte documents (Small ≈ 9 MB
+// canonical for one report date) that are too large to commit and too
+// slow for the conceptual evaluator in tier-1 tests, so the golden
+// corpus pins the handwritten tiny catalog plus this generated mini
+// scale instead.
+var miniSize = datagen.Size{
+	Name: "mini", Patient: 40, VisitInfo: 120, Cover: 40,
+	Billing: 12, Treatment: 12, Procedure: 30,
+	Policies: 4, Dates: 5, Levels: 4,
+}
+
+// goldenCases enumerates the pinned documents: catalog × report date.
+func goldenCases() []struct {
+	name string
+	cat  *relstore.Catalog
+	date string
+} {
+	return []struct {
+		name string
+		cat  *relstore.Catalog
+		date string
+	}{
+		{"tiny-d1", hospital.TinyCatalog(), "d1"},
+		{"tiny-d2", hospital.TinyCatalog(), "d2"},
+		{"mini-d001", datagen.Generate(miniSize, 1), datagen.Date(0)},
+		{"mini-d003", datagen.Generate(miniSize, 1), datagen.Date(2)},
+	}
+}
+
+// TestGoldenDocuments evaluates the hospital AIG over each pinned
+// catalog with both evaluators and compares the canonical serialization
+// against the committed golden file. Run with -update to regenerate the
+// files from the conceptual evaluator.
+func TestGoldenDocuments(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := specialize.CompileConstraints(hospital.Sigma0(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			schemas := sqlmini.CatalogSchemas{Catalog: tc.cat}
+			stats := sqlmini.CatalogStats{Catalog: tc.cat}
+			a, err = specialize.DecomposeQueries(a, schemas, stats, sqlmini.PlanOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err = specialize.Unfold(a, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			doc, err := a.Eval(hospital.EnvFor(tc.cat), hospital.RootInh(a, tc.date))
+			if err != nil {
+				t.Fatalf("conceptual evaluation: %v", err)
+			}
+			got := doc.Canonical() + "\n"
+
+			path := filepath.Join("testdata", tc.name+".xml")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("conceptual document deviates from %s (len %d vs %d); run with -update if the change is intended",
+					path, len(got), len(want))
+			}
+
+			// The mediator must land on the same golden document.
+			med := mediator.New(source.RegistryFromCatalog(tc.cat), mediator.DefaultOptions())
+			res, err := med.Evaluate(a, hospital.RootInh(a, tc.date))
+			if err != nil {
+				t.Fatalf("mediator evaluation: %v", err)
+			}
+			if medGot := res.Doc.Canonical() + "\n"; medGot != string(want) {
+				t.Errorf("mediator document deviates from %s (len %d vs %d)", path, len(medGot), len(want))
+			}
+		})
+	}
+}

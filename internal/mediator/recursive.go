@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/aigrepro/aig/internal/aig"
@@ -17,7 +18,11 @@ import (
 // result and the depth that sufficed.
 //
 // The input AIG should already have constraints compiled and multi-source
-// queries decomposed; unfolding preserves both.
+// queries decomposed; unfolding preserves both. Compiled-guard aborts at
+// a depth below maxDepth trigger re-unrolling rather than an immediate
+// error, since a truncated document can violate (or satisfy) a
+// constraint that the full document does not; an abort that persists at
+// maxDepth is reported as such.
 func (m *Mediator) EvaluateRecursive(a *aig.AIG, rootInh *aig.AttrValue, estDepth, maxDepth int) (*Result, int, error) {
 	if estDepth < 1 {
 		estDepth = 1
@@ -33,6 +38,19 @@ func (m *Mediator) EvaluateRecursive(a *aig.AIG, rootInh *aig.AttrValue, estDept
 		}
 		res, g, err := m.evaluate(unf, rootInh)
 		if err != nil {
+			// A guard abort at a truncated depth is not trustworthy:
+			// truncation can both remove tuples a subset constraint needs
+			// and hide duplicates a key constraint would reject. Keep
+			// expanding; the abort is genuine only once deepening stops
+			// changing the document.
+			var abort *aig.AbortError
+			if errors.As(err, &abort) && depth < maxDepth {
+				depth *= 2
+				if depth > maxDepth {
+					depth = maxDepth
+				}
+				continue
+			}
 			return nil, depth, err
 		}
 		blocked, err := m.anyBlocked(g, probes)

@@ -1,0 +1,126 @@
+package randaig
+
+import (
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// Op kinds understood by Apply.
+const (
+	OpDropConstraint = "drop-constraint"
+	OpKeepRows       = "keep-rows"
+	OpPruneChild     = "prune-child"
+)
+
+// Op is one replayable shrink step. A failing instance is fully
+// described by {seed, config, ops}: regenerate with Generate and apply
+// the ops in order.
+type Op struct {
+	Kind string `json:"kind"`
+
+	// Index selects the constraint to drop (OpDropConstraint).
+	Index int `json:"index,omitempty"`
+
+	// Source/Table/Keep restrict a table to the rows at the given indices,
+	// in order (OpKeepRows). Indices refer to the table as it stands when
+	// the op is applied, i.e. after any earlier keep-rows ops.
+	Source string `json:"source,omitempty"`
+	Table  string `json:"table,omitempty"`
+	Keep   []int  `json:"keep,omitempty"`
+
+	// Elem/Child remove every occurrence of Child from Elem's sequence
+	// production, along with its inherited rule (OpPruneChild). The op
+	// fails when the result no longer validates (e.g. a sibling or the
+	// parent's Syn rule still references the child).
+	Elem  string `json:"elem,omitempty"`
+	Child string `json:"child,omitempty"`
+}
+
+func (op Op) String() string {
+	switch op.Kind {
+	case OpDropConstraint:
+		return fmt.Sprintf("%s[%d]", op.Kind, op.Index)
+	case OpKeepRows:
+		return fmt.Sprintf("%s[%s:%s -> %d rows]", op.Kind, op.Source, op.Table, len(op.Keep))
+	case OpPruneChild:
+		return fmt.Sprintf("%s[%s/%s]", op.Kind, op.Elem, op.Child)
+	default:
+		return op.Kind
+	}
+}
+
+// Apply returns a new instance with the op applied, leaving the receiver
+// untouched. It returns an error when the op does not apply cleanly
+// (out-of-range index, unknown table, or a prune that breaks static
+// validity) — shrinkers treat that as "candidate rejected".
+func (inst *Instance) Apply(op Op) (*Instance, error) {
+	out := inst.clone()
+	switch op.Kind {
+	case OpDropConstraint:
+		cs := out.AIG.Constraints
+		if op.Index < 0 || op.Index >= len(cs) {
+			return nil, fmt.Errorf("randaig: drop-constraint index %d out of range [0,%d)", op.Index, len(cs))
+		}
+		out.AIG.Constraints = append(cs[:op.Index:op.Index], cs[op.Index+1:]...)
+	case OpKeepRows:
+		db, err := out.Catalog.Database(op.Source)
+		if err != nil {
+			return nil, fmt.Errorf("randaig: keep-rows: %v", err)
+		}
+		t, err := db.Table(op.Table)
+		if err != nil {
+			return nil, fmt.Errorf("randaig: keep-rows: %v", err)
+		}
+		nt := relstore.NewTable(t.Name(), t.Schema())
+		for _, i := range op.Keep {
+			if i < 0 || i >= t.Len() {
+				return nil, fmt.Errorf("randaig: keep-rows index %d out of range [0,%d)", i, t.Len())
+			}
+			nt.MustInsert(t.Row(i).Clone())
+		}
+		db.AddTable(nt) // replaces the old table under the same name
+	case OpPruneChild:
+		p, ok := out.AIG.DTD.Production(op.Elem)
+		if !ok || p.Kind != dtd.ProdSeq {
+			return nil, fmt.Errorf("randaig: prune-child: %s is not a sequence type", op.Elem)
+		}
+		var kept []string
+		for _, c := range p.Children {
+			if c != op.Child {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) == len(p.Children) {
+			return nil, fmt.Errorf("randaig: prune-child: %s has no child %s", op.Elem, op.Child)
+		}
+		if len(kept) == 0 {
+			return nil, fmt.Errorf("randaig: prune-child: refusing to empty the production of %s", op.Elem)
+		}
+		out.AIG.DTD.DefineSeq(op.Elem, kept...)
+		if r := out.AIG.Rules[op.Elem]; r != nil {
+			delete(r.Inh, op.Child)
+		}
+		if err := out.Validate(); err != nil {
+			return nil, fmt.Errorf("randaig: prune-child %s/%s breaks validity: %v", op.Elem, op.Child, err)
+		}
+	default:
+		return nil, fmt.Errorf("randaig: unknown op kind %q", op.Kind)
+	}
+	return out, nil
+}
+
+// ApplyAll applies the ops in order, failing on the first that does not
+// apply.
+func (inst *Instance) ApplyAll(ops []Op) (*Instance, error) {
+	cur := inst
+	for i, op := range ops {
+		next, err := cur.Apply(op)
+		if err != nil {
+			return nil, fmt.Errorf("randaig: op %d (%s): %v", i, op, err)
+		}
+		cur = next
+	}
+	return cur, nil
+}

@@ -1,0 +1,202 @@
+// Package randaig generates random, statically valid AIG instances for
+// differential testing: a simplified DTD mixing text, empty, sequence,
+// choice and star productions (with optional DAG-bounded recursion),
+// typed attribute rules over generated multi-source relational schemas,
+// populated relstore databases, and keys/inclusion constraints that are
+// consistent with the generated data (plus, optionally, one violated
+// constraint to exercise the abort path).
+//
+// Every scalar value in an instance — root attribute, table columns,
+// query constants — is drawn from small closed pools ("v00".."vNN" for
+// strings, 1..N for ints), so copied and queried values always join with
+// table data and choice-condition lookups always hit. The generator
+// stays inside an envelope where the conceptual evaluator (§3.2) and the
+// set-oriented mediator (§5) are specified to agree exactly:
+//
+//   - star children declare their query-bound scalar members in select
+//     order (copied members after), so the mediator's inherited-tuple
+//     sort matches the conceptual evaluator's query-row sort;
+//   - non-star query rules only fill collection members
+//     (TargetCollection), never single-row scalar bindings, whose Row(0)
+//     choice is order-sensitive;
+//   - choice condition queries look up a key column that enumerates the
+//     whole string pool, so they always return exactly one row;
+//   - constraint fields are string-valued text elements, so the compiled
+//     guards (typed tuples) and the xconstraint tree checker (string
+//     tuples) agree;
+//   - recursion is a single component driven by an edge table over
+//     strictly increasing pool indices, so the data is a DAG and
+//     unfolding at StringPool+1 levels is always exact.
+//
+// Instances are deterministic functions of (seed, Config), and shrink
+// operations (see Op) are replayable, so a failure is fully described by
+// {seed, config, ops}.
+package randaig
+
+import (
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+// Config bounds the shape of generated instances. The zero value of any
+// numeric field means "use the default"; use DefaultConfig for the
+// standard envelope.
+type Config struct {
+	// Sources is the number of relational sources (databases DB1..DBn).
+	Sources int `json:"sources,omitempty"`
+	// MaxDepth bounds the nesting depth of generated element types.
+	MaxDepth int `json:"max_depth,omitempty"`
+	// MaxChildren bounds the slots of a sequence production.
+	MaxChildren int `json:"max_children,omitempty"`
+	// TypeBudget softly caps the number of generated element types.
+	TypeBudget int `json:"type_budget,omitempty"`
+	// StringPool is the size of the closed string-value pool.
+	StringPool int `json:"string_pool,omitempty"`
+	// IntPool is the size of the closed int-value pool (values 1..N).
+	IntPool int `json:"int_pool,omitempty"`
+	// MaxRows bounds the rows of each generated table.
+	MaxRows int `json:"max_rows,omitempty"`
+	// Constraints caps the satisfied keys/inclusions attached.
+	Constraints int `json:"constraints,omitempty"`
+	// Recursion allows one DAG-bounded recursive component per instance.
+	Recursion bool `json:"recursion"`
+	// AllowViolation lets the generator keep one violated constraint (when
+	// one arises) so evaluation aborts are exercised.
+	AllowViolation bool `json:"allow_violation"`
+}
+
+// DefaultConfig is the standard generation envelope: small instances
+// that still cover every production kind, multi-source queries,
+// recursion and constraints.
+func DefaultConfig() Config {
+	return Config{
+		Sources:        3,
+		MaxDepth:       4,
+		MaxChildren:    3,
+		TypeBudget:     18,
+		StringPool:     6,
+		IntPool:        5,
+		MaxRows:        10,
+		Constraints:    2,
+		Recursion:      true,
+		AllowViolation: true,
+	}
+}
+
+// normalize fills zero numeric fields from DefaultConfig.
+func (c Config) normalize() Config {
+	d := DefaultConfig()
+	if c.Sources <= 0 {
+		c.Sources = d.Sources
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = d.MaxDepth
+	}
+	if c.MaxChildren <= 0 {
+		c.MaxChildren = d.MaxChildren
+	}
+	if c.TypeBudget <= 0 {
+		c.TypeBudget = d.TypeBudget
+	}
+	if c.StringPool <= 0 {
+		c.StringPool = d.StringPool
+	}
+	if c.IntPool <= 0 {
+		c.IntPool = d.IntPool
+	}
+	if c.MaxRows < 2 {
+		c.MaxRows = d.MaxRows
+	}
+	if c.Constraints < 0 {
+		c.Constraints = 0
+	}
+	return c
+}
+
+// Instance is one complete generated AIG instance: grammar, data and
+// root attribute, ready for any evaluation path.
+type Instance struct {
+	Seed int64
+	Cfg  Config
+
+	// AIG is the base grammar, with declarative constraints attached but
+	// not compiled (run specialize.CompileConstraints to get guards).
+	AIG *aig.AIG
+	// Catalog holds the populated source databases.
+	Catalog *relstore.Catalog
+	// RootInh is the root element's inherited attribute value.
+	RootInh *aig.AttrValue
+	// Recursive reports whether the DTD has a recursive component.
+	Recursive bool
+	// UnfoldDepth is an unfolding depth at which truncation provably never
+	// cuts data (the recursion data forms a DAG over the string pool).
+	UnfoldDepth int
+}
+
+// Schemas returns a schema provider over the instance's catalog.
+func (inst *Instance) Schemas() sqlmini.SchemaProvider {
+	return sqlmini.CatalogSchemas{Catalog: inst.Catalog}
+}
+
+// Stats returns a statistics provider over the instance's catalog.
+func (inst *Instance) Stats() sqlmini.Stats {
+	return sqlmini.CatalogStats{Catalog: inst.Catalog}
+}
+
+// Env returns a conceptual-evaluator environment over the instance's
+// catalog.
+func (inst *Instance) Env() *aig.Env {
+	return &aig.Env{
+		Schemas: sqlmini.CatalogSchemas{Catalog: inst.Catalog},
+		Data:    sqlmini.CatalogData{Catalog: inst.Catalog},
+		Stats:   sqlmini.CatalogStats{Catalog: inst.Catalog},
+	}
+}
+
+// clone deep-copies the instance so shrink operations never share state
+// with their input.
+func (inst *Instance) clone() *Instance {
+	cat := relstore.NewCatalog()
+	for _, name := range inst.Catalog.DatabaseNames() {
+		db, err := inst.Catalog.Database(name)
+		if err == nil {
+			cat.Add(db.Clone())
+		}
+	}
+	return &Instance{
+		Seed:        inst.Seed,
+		Cfg:         inst.Cfg,
+		AIG:         inst.AIG.Clone(),
+		Catalog:     cat,
+		RootInh:     inst.RootInh.Clone(),
+		Recursive:   inst.Recursive,
+		UnfoldDepth: inst.UnfoldDepth,
+	}
+}
+
+// declaredSources builds the AIG "sources" signature from a catalog.
+func declaredSources(cat *relstore.Catalog) aig.DeclaredSources {
+	out := make(aig.DeclaredSources)
+	for _, dbName := range cat.DatabaseNames() {
+		db, err := cat.Database(dbName)
+		if err != nil {
+			continue
+		}
+		tables := make(map[string]relstore.Schema)
+		for _, tn := range db.TableNames() {
+			t, err := db.Table(tn)
+			if err == nil {
+				tables[tn] = t.Schema()
+			}
+		}
+		out[dbName] = tables
+	}
+	return out
+}
+
+// Validate re-runs the static checks on the instance's grammar against
+// its catalog schemas.
+func (inst *Instance) Validate() error {
+	return inst.AIG.Validate(declaredSources(inst.Catalog))
+}

@@ -1,0 +1,165 @@
+package randaig
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/specialize"
+)
+
+// TestGenerateValidAndDeterministic drives the generator across many
+// seeds: every instance must validate statically, evaluate cleanly
+// without constraints, and be bit-identical when regenerated.
+func TestGenerateValidAndDeterministic(t *testing.T) {
+	const n = 150
+	cfg := DefaultConfig()
+	var recursive, constrained, choices, multiSrc int
+	for seed := int64(0); seed < n; seed++ {
+		inst, err := Generate(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if inst.Recursive {
+			recursive++
+		}
+		if len(inst.AIG.Constraints) > 0 {
+			constrained++
+		}
+		for _, typ := range inst.AIG.DTD.Types() {
+			if p, _ := inst.AIG.DTD.Production(typ); p.Kind == dtd.ProdChoice {
+				choices++
+				break
+			}
+		}
+		for _, eq := range inst.AIG.Queries() {
+			if len(eq.Query.Sources()) > 1 {
+				multiSrc++
+				break
+			}
+		}
+
+		// The constraint-free grammar must evaluate.
+		plain := inst.AIG.Clone()
+		plain.Constraints = nil
+		plainU, err := specialize.Unfold(plain, inst.UnfoldDepth)
+		if err != nil {
+			t.Fatalf("seed %d: unfold: %v", seed, err)
+		}
+		doc, err := plainU.Eval(inst.Env(), inst.RootInh)
+		if err != nil {
+			t.Fatalf("seed %d: eval: %v", seed, err)
+		}
+
+		// Determinism: regenerating gives the same grammar and document.
+		again, err := Generate(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: regenerate: %v", seed, err)
+		}
+		if got, want := again.AIG.DTD.String(), inst.AIG.DTD.String(); got != want {
+			t.Fatalf("seed %d: DTD changed between generations:\n%s\nvs\n%s", seed, got, want)
+		}
+		plain2 := again.AIG.Clone()
+		plain2.Constraints = nil
+		plainU2, err := specialize.Unfold(plain2, again.UnfoldDepth)
+		if err != nil {
+			t.Fatalf("seed %d: re-unfold: %v", seed, err)
+		}
+		doc2, err := plainU2.Eval(again.Env(), again.RootInh)
+		if err != nil {
+			t.Fatalf("seed %d: re-eval: %v", seed, err)
+		}
+		if doc.Canonical() != doc2.Canonical() {
+			t.Fatalf("seed %d: document changed between generations", seed)
+		}
+	}
+	// Envelope coverage: the defaults must exercise the interesting shapes.
+	if recursive == 0 {
+		t.Error("no recursive instance in the sample")
+	}
+	if constrained == 0 {
+		t.Error("no constrained instance in the sample")
+	}
+	if choices == 0 {
+		t.Error("no choice production in the sample")
+	}
+	if multiSrc == 0 {
+		t.Error("no multi-source query in the sample")
+	}
+	t.Logf("coverage over %d seeds: recursive=%d constrained=%d choice=%d multi-source=%d",
+		n, recursive, constrained, choices, multiSrc)
+}
+
+func TestApplyOps(t *testing.T) {
+	var inst *Instance
+	// Find a seed with at least one constraint and a multi-row table.
+	for seed := int64(0); ; seed++ {
+		i, err := Generate(seed, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(i.AIG.Constraints) > 0 {
+			inst = i
+			break
+		}
+	}
+
+	dropped, err := inst.Apply(Op{Kind: OpDropConstraint, Index: 0})
+	if err != nil {
+		t.Fatalf("drop-constraint: %v", err)
+	}
+	if len(dropped.AIG.Constraints) != len(inst.AIG.Constraints)-1 {
+		t.Fatalf("constraint not dropped")
+	}
+	if len(inst.AIG.Constraints) == 0 {
+		t.Fatal("original instance mutated by Apply")
+	}
+
+	// keep-rows on some table.
+	var src, tbl string
+	var rows int
+	for _, dbn := range inst.Catalog.DatabaseNames() {
+		db, _ := inst.Catalog.Database(dbn)
+		for _, tn := range db.TableNames() {
+			tab, _ := db.Table(tn)
+			if tab.Len() >= 2 {
+				src, tbl, rows = dbn, tn, tab.Len()
+			}
+		}
+	}
+	if tbl == "" {
+		t.Fatal("no multi-row table generated")
+	}
+	trimmed, err := inst.Apply(Op{Kind: OpKeepRows, Source: src, Table: tbl, Keep: []int{0}})
+	if err != nil {
+		t.Fatalf("keep-rows: %v", err)
+	}
+	got, _ := trimmed.Catalog.Table(src, tbl)
+	if got.Len() != 1 {
+		t.Fatalf("keep-rows left %d rows, want 1", got.Len())
+	}
+	orig, _ := inst.Catalog.Table(src, tbl)
+	if orig.Len() != rows {
+		t.Fatal("original table mutated by Apply")
+	}
+
+	// Out-of-range ops must fail cleanly.
+	if _, err := inst.Apply(Op{Kind: OpDropConstraint, Index: 99}); err == nil {
+		t.Error("expected error for out-of-range constraint index")
+	}
+	if _, err := inst.Apply(Op{Kind: OpKeepRows, Source: src, Table: tbl, Keep: []int{rows + 7}}); err == nil {
+		t.Error("expected error for out-of-range row index")
+	}
+	if _, err := inst.Apply(Op{Kind: "bogus"}); err == nil {
+		t.Error("expected error for unknown op kind")
+	}
+}
+
+func TestConfigZeroValueNormalizes(t *testing.T) {
+	inst, err := Generate(7, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Cfg.Sources == 0 || inst.Cfg.MaxDepth == 0 {
+		t.Fatalf("config not normalized: %+v", inst.Cfg)
+	}
+}

@@ -1,0 +1,87 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCanonicalBasic(t *testing.T) {
+	doc := NewElement("db")
+	p := doc.AppendElement("patient")
+	p.AppendElement("ssn").AppendText("123")
+	p.AppendElement("name").AppendText("Joe")
+	doc.AppendElement("empty")
+
+	want := "<db><patient><ssn>123</ssn><name>Joe</name></patient><empty></empty></db>"
+	if got := doc.Canonical(); got != want {
+		t.Fatalf("Canonical = %q, want %q", got, want)
+	}
+}
+
+func TestCanonicalEscapes(t *testing.T) {
+	doc := NewElement("a")
+	doc.AppendText(`x<y&z>"w"`)
+	got := doc.Canonical()
+	if strings.ContainsAny(strings.TrimPrefix(strings.TrimSuffix(got, "</a>"), "<a>"), "<>") {
+		t.Fatalf("unescaped markup characters in %q", got)
+	}
+	// Round-trip: parsing the canonical form recovers the value.
+	back, err := ParseString(got)
+	if err != nil {
+		t.Fatalf("parse canonical: %v", err)
+	}
+	if back.StringValue() != `x<y&z>"w"` {
+		t.Fatalf("round-trip = %q", back.StringValue())
+	}
+}
+
+func TestCanonicalNormalizesTextNodes(t *testing.T) {
+	// "ab" as one text node vs split across two, plus an empty fragment.
+	one := NewElement("t")
+	one.AppendText("ab")
+
+	split := NewElement("t")
+	split.AppendText("a")
+	split.AppendText("")
+	split.AppendText("b")
+
+	if one.Canonical() != split.Canonical() {
+		t.Fatalf("split text canonicalizes differently: %q vs %q", one.Canonical(), split.Canonical())
+	}
+}
+
+func TestCanonicalDistinguishesStructure(t *testing.T) {
+	a := NewElement("r")
+	a.AppendElement("x").AppendText("1")
+	a.AppendElement("y").AppendText("2")
+
+	b := NewElement("r")
+	b.AppendElement("y").AppendText("2")
+	b.AppendElement("x").AppendText("1")
+
+	if a.Canonical() == b.Canonical() {
+		t.Fatal("sibling order must be significant")
+	}
+}
+
+func TestCanonicalAgreesWithEqual(t *testing.T) {
+	doc, err := ParseString("<r><a>1</a><b><c>2</c></b><d/></r>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := doc.Clone()
+	if !doc.Equal(clone) {
+		t.Fatal("clone not Equal")
+	}
+	if doc.Canonical() != clone.Canonical() {
+		t.Fatal("Equal trees with different canonical forms")
+	}
+	// And canonical output re-parses to an Equal tree.
+	back, err := ParseString(doc.Canonical())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !doc.Equal(back) {
+		t.Fatalf("canonical round-trip changed the tree:\n%s\nvs\n%s", doc, back)
+	}
+}
