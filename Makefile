@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt lint fmt-check staticcheck fuzz-smoke soak ci bench clean
+.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak serve loadtest smoke-serve ci bench clean
 
 all: build
 
@@ -12,6 +12,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# race-serve focuses the race detector on the packages the serving
+# daemon stresses concurrently (what CI runs on every push via `race`;
+# this target is the quick local loop).
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve ./internal/mediator ./internal/remote
 
 vet:
 	$(GO) vet ./...
@@ -46,9 +52,24 @@ fuzz-smoke:
 soak:
 	$(GO) run ./cmd/aigdiff -duration 30s -shrink
 
+# serve boots the XML-view daemon on the built-in hospital catalog.
+serve:
+	$(GO) run ./cmd/aigd -demo -addr :8080
+
+# loadtest drives a daemon started with `make serve` and refreshes the
+# committed serving baseline.
+loadtest:
+	$(GO) run ./cmd/aigload -url http://localhost:8080 -view report \
+		-param date=d1,d2,d3 -c 8 -n 5000 -json BENCH_serve.json
+
+# smoke-serve boots aigd, drives it with aigload and requires zero
+# errors plus observed cache hits; CI runs it on every push.
+smoke-serve:
+	./scripts/smoke_serve.sh
+
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke soak
+ci: vet build race lint fmt-check fuzz-smoke soak smoke-serve
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

@@ -1,0 +1,197 @@
+// Command aigd serves AIG-defined XML views over HTTP.
+//
+// At startup every view named with -view is parsed, validated against
+// the sources, constraint-compiled, query-decomposed and planned once;
+// requests then only bind the view's root parameters and evaluate:
+//
+//	aigd -addr :8080 -view report=report.aig -data ./data
+//	aigd -addr :8080 -view report=report.aig -source DB1=host1:7001 -source DB2=host2:7001
+//	aigd -demo        # built-in hospital view over the in-memory catalog
+//
+// Endpoints:
+//
+//	GET  /views                       list prepared views
+//	GET  /views/{name}?p=v&...        evaluate (or serve from cache)
+//	POST /views/{name}                same, parameters as form or JSON body
+//	GET  /views/{name}/explain        the prepared plan, no evaluation
+//	GET  /views/{name}/trace          span tree of the last traced evaluation
+//	GET  /metrics                     Prometheus text format
+//	GET  /healthz                     200 while serving, 503 while draining
+//
+// Results are cached per (view, parameters, source data versions);
+// mutating a source invalidates automatically. Identical concurrent
+// requests are coalesced into one evaluation, and -max-concurrent /
+// -max-queue / -queue-timeout bound the work the daemon accepts: beyond
+// them clients get 429 or 503 instead of unbounded queuing. SIGINT or
+// SIGTERM drains in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/remote"
+	"github.com/aigrepro/aig/internal/serve"
+	"github.com/aigrepro/aig/internal/source"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aigd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	var views, sources repeated
+	flag.Var(&views, "view", "view as NAME=SPECFILE (repeatable)")
+	flag.Var(&sources, "source", "remote source as NAME=ADDR (repeatable)")
+	dataDir := flag.String("data", "", "directory of CSV source databases (one subdirectory per DB)")
+	demo := flag.Bool("demo", false, "serve the built-in hospital view over the in-memory catalog")
+	maxConcurrent := flag.Int("max-concurrent", 8, "maximum concurrent evaluations")
+	maxQueue := flag.Int("max-queue", 64, "maximum requests waiting for an evaluation slot")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "longest a request may wait for a slot")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (0 disables caching)")
+	unfold := flag.Int("unfold", 4, "initial recursion unfolding depth")
+	maxUnfold := flag.Int("maxunfold", 64, "maximum unfolding depth")
+	srcTimeout := flag.Duration("source-timeout", 0, "connect/read/write timeout for remote sources (0 disables)")
+	verify := flag.Bool("verify", false, "check every evaluated document against the DTD and constraints")
+	traceReqs := flag.Bool("trace-requests", false, "record a span tree per evaluation, served at /views/{name}/trace")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "longest to wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	if *demo == (len(views) != 0) {
+		return fmt.Errorf("pass either -demo or at least one -view NAME=SPECFILE")
+	}
+
+	reg, err := buildRegistry(*dataDir, sources, *srcTimeout, *demo)
+	if err != nil {
+		return err
+	}
+
+	// In serve.Config zero means "default"; the flag's 0 means "off".
+	if *cacheEntries == 0 {
+		*cacheEntries = -1
+	}
+	cfg := serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueTimeout:  *queueTimeout,
+		CacheEntries:  *cacheEntries,
+		Unfold:        *unfold,
+		MaxUnfold:     *maxUnfold,
+		VerifyOutput:  *verify,
+		TraceRequests: *traceReqs,
+	}
+	srv := serve.NewServer(reg, cfg)
+
+	if *demo {
+		if _, err := srv.AddSpec("report", hospital.SpecText); err != nil {
+			return fmt.Errorf("preparing demo view: %w", err)
+		}
+		log.Printf("prepared demo view %q (hospital catalog)", "report")
+	}
+	for _, spec := range views {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-view needs NAME=SPECFILE, got %q", spec)
+		}
+		text, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		v, err := srv.AddSpec(name, string(text))
+		if err != nil {
+			return fmt.Errorf("preparing view %s: %w", name, err)
+		}
+		log.Printf("prepared view %q (params %v, sources %v)", name, v.Params(), v.Sources())
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("aigd listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+
+	log.Printf("draining (up to %v)...", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	log.Printf("aigd stopped")
+	return nil
+}
+
+func buildRegistry(dataDir string, sources []string, timeout time.Duration, demo bool) (*source.Registry, error) {
+	if demo {
+		return source.RegistryFromCatalog(hospital.TinyCatalog()), nil
+	}
+	reg := source.NewRegistry()
+	n := 0
+	if dataDir != "" {
+		entries, err := os.ReadDir(dataDir)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			db, err := relstore.LoadDir(e.Name(), filepath.Join(dataDir, e.Name()))
+			if err != nil {
+				return nil, err
+			}
+			reg.Add(source.NewLocal(db))
+			n++
+		}
+	}
+	for _, s := range sources {
+		name, addr, ok := strings.Cut(s, "=")
+		if !ok {
+			return nil, fmt.Errorf("-source needs NAME=ADDR, got %q", s)
+		}
+		client, err := remote.DialTimeouts(name, addr,
+			remote.Timeouts{Dial: timeout, Read: timeout, Write: timeout})
+		if err != nil {
+			return nil, err
+		}
+		reg.Add(client)
+		n++
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("no sources: pass -data or -source")
+	}
+	return reg, nil
+}

@@ -1,0 +1,289 @@
+// Command aigload drives a running aigd with a closed loop of
+// concurrent clients and reports throughput, latency percentiles and
+// the daemon's cache behaviour:
+//
+//	aigload -url http://localhost:8080 -view report -param date=d1,d2 -c 8 -n 2000 -json BENCH_serve.json
+//
+// Each of the -c workers issues requests back to back until -n total
+// requests complete (or -duration elapses, whichever comes first).
+// Repeatable -param flags name a view parameter with a comma-separated
+// value list; workers rotate through the value combinations so the
+// daemon sees a realistic mix of repeated (cacheable) bindings. After
+// the run, /metrics is scraped for the serve counters so the report can
+// attribute requests to cache hits, coalesced flights and evaluations.
+//
+// With -check the exit status enforces a healthy run: zero failed
+// requests and at least one cache hit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
+
+// report is the JSON written by -json (BENCH_serve.json).
+type report struct {
+	View        string  `json:"view"`
+	Concurrency int     `json:"concurrency"`
+	Requests    int64   `json:"requests"`
+	Errors      int64   `json:"errors"`
+	Rejected    int64   `json:"rejected"` // 429/503 admission rejections
+	DurationSec float64 `json:"duration_sec"`
+	Throughput  float64 `json:"throughput_rps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+
+	CacheHits     int64            `json:"cache_hits"`
+	CacheMisses   int64            `json:"cache_misses"`
+	Coalesced     int64            `json:"coalesced"`
+	Evaluations   int64            `json:"evaluations"`
+	CacheDisabled bool             `json:"cache_disabled,omitempty"`
+	BytesReceived int64            `json:"bytes_received"`
+	StatusCounts  map[string]int64 `json:"status_counts"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aigload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := flag.String("url", "http://localhost:8080", "aigd base URL")
+	view := flag.String("view", "report", "view to request")
+	var paramFlags repeated
+	flag.Var(&paramFlags, "param", "view parameter as NAME=V1,V2,... (repeatable; workers rotate the combinations)")
+	concurrency := flag.Int("c", 8, "concurrent workers")
+	total := flag.Int64("n", 1000, "total requests")
+	duration := flag.Duration("duration", 0, "stop after this long even if -n is not reached (0: no limit)")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file (e.g. BENCH_serve.json)")
+	check := flag.Bool("check", false, "exit non-zero unless errors==0 and cache hits > 0")
+	flag.Parse()
+
+	combos, err := paramCombos(paramFlags)
+	if err != nil {
+		return err
+	}
+
+	var (
+		done      atomic.Int64 // completed requests (any status)
+		issued    atomic.Int64 // tickets handed to workers
+		errsN     atomic.Int64 // transport errors + HTTP 5xx/4xx except admission rejections
+		rejected  atomic.Int64 // 429 / 503
+		bytesIn   atomic.Int64
+		statusMu  sync.Mutex
+		statuses  = make(map[string]int64)
+		latMu     sync.Mutex
+		latencies []float64 // milliseconds
+	)
+
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ticket := issued.Add(1)
+				if ticket > *total {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				u := *base + "/views/" + url.PathEscape(*view)
+				if q := combos.query(ticket - 1); q != "" {
+					u += "?" + q
+				}
+				t0 := time.Now()
+				resp, err := client.Get(u)
+				lat := time.Since(t0).Seconds() * 1000
+				done.Add(1)
+				if err != nil {
+					errsN.Add(1)
+					continue
+				}
+				n, _ := io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				bytesIn.Add(n)
+				statusMu.Lock()
+				statuses[strconv.Itoa(resp.StatusCode)]++
+				statusMu.Unlock()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					latMu.Lock()
+					latencies = append(latencies, lat)
+					latMu.Unlock()
+				case resp.StatusCode == http.StatusTooManyRequests ||
+					resp.StatusCode == http.StatusServiceUnavailable:
+					rejected.Add(1)
+				default:
+					errsN.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := report{
+		View:          *view,
+		Concurrency:   *concurrency,
+		Requests:      done.Load(),
+		Errors:        errsN.Load(),
+		Rejected:      rejected.Load(),
+		DurationSec:   elapsed.Seconds(),
+		BytesReceived: bytesIn.Load(),
+		StatusCounts:  statuses,
+	}
+	if elapsed > 0 {
+		rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	}
+	sort.Float64s(latencies)
+	rep.P50Ms = percentile(latencies, 0.50)
+	rep.P95Ms = percentile(latencies, 0.95)
+	rep.P99Ms = percentile(latencies, 0.99)
+
+	if counters, err := scrapeMetrics(client, *base); err != nil {
+		fmt.Fprintln(os.Stderr, "aigload: scraping /metrics:", err)
+	} else {
+		rep.CacheHits = counters["aig_serve_cache_hits_total"]
+		rep.CacheMisses = counters["aig_serve_cache_misses_total"]
+		rep.Coalesced = counters["aig_serve_coalesced_requests_total"]
+		rep.Evaluations = counters["aig_serve_evaluations_total"]
+		rep.CacheDisabled = rep.CacheHits == 0 && rep.CacheMisses == 0
+	}
+
+	fmt.Printf("view=%s c=%d requests=%d errors=%d rejected=%d\n",
+		rep.View, rep.Concurrency, rep.Requests, rep.Errors, rep.Rejected)
+	fmt.Printf("wall=%.2fs throughput=%.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		rep.DurationSec, rep.Throughput, rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	fmt.Printf("cache: hits=%d misses=%d coalesced=%d evaluations=%d\n",
+		rep.CacheHits, rep.CacheMisses, rep.Coalesced, rep.Evaluations)
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+
+	if *check {
+		if rep.Errors != 0 {
+			return fmt.Errorf("check failed: %d errors", rep.Errors)
+		}
+		if rep.CacheHits == 0 {
+			return fmt.Errorf("check failed: no cache hits")
+		}
+	}
+	return nil
+}
+
+// combos holds the cross product of parameter value lists; query(i)
+// renders combination i (mod the product size) as a query string, so
+// consecutive tickets rotate deterministically through the bindings.
+type combos struct {
+	names  []string
+	values [][]string
+	size   int64
+}
+
+func paramCombos(flags []string) (*combos, error) {
+	c := &combos{size: 1}
+	for _, f := range flags {
+		name, list, ok := strings.Cut(f, "=")
+		if !ok || name == "" || list == "" {
+			return nil, fmt.Errorf("-param needs NAME=V1,V2,..., got %q", f)
+		}
+		vals := strings.Split(list, ",")
+		c.names = append(c.names, name)
+		c.values = append(c.values, vals)
+		c.size *= int64(len(vals))
+	}
+	return c, nil
+}
+
+func (c *combos) query(i int64) string {
+	if len(c.names) == 0 {
+		return ""
+	}
+	i %= c.size
+	q := url.Values{}
+	for k := range c.names {
+		n := int64(len(c.values[k]))
+		q.Set(c.names[k], c.values[k][i%n])
+		i /= n
+	}
+	return q.Encode()
+}
+
+// percentile returns the p-quantile of sorted (ascending) samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// scrapeMetrics fetches /metrics and parses the aig_serve_* counters.
+func scrapeMetrics(client *http.Client, base string) (map[string]int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	out := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "aig_serve_") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		if f, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil {
+			out[name] = int64(f)
+		}
+	}
+	return out, sc.Err()
+}

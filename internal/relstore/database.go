@@ -4,12 +4,20 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Database is a named collection of tables — one of the paper's relational
 // sources (DB1..DB4). Table names are unique within a database.
 type Database struct {
 	name string
+
+	// version counts mutations: any operation that can change what a
+	// query over this database returns (registering or dropping a table,
+	// inserting rows, reordering or deduplicating a registered table)
+	// bumps it. Reads never do. Result caches key on it to invalidate
+	// entries when the underlying data moves.
+	version atomic.Uint64
 
 	mu     sync.RWMutex
 	tables map[string]*Table
@@ -23,12 +31,25 @@ func NewDatabase(name string) *Database {
 // Name returns the database's name.
 func (db *Database) Name() string { return db.name }
 
+// Version returns the database's data version: a monotonic counter that
+// increases on every mutating operation and never on reads.
+func (db *Database) Version() uint64 { return db.version.Load() }
+
+// BumpVersion advances the data version by hand — the escape hatch for
+// callers that mutate table contents through means the database cannot
+// observe.
+func (db *Database) BumpVersion() { db.version.Add(1) }
+
 // AddTable registers a table. It replaces any existing table with the same
 // name, which is how the mediator installs temporary parameter tables.
+// The table is hooked so that its future mutations bump the database's
+// data version.
 func (db *Database) AddTable(t *Table) {
 	db.mu.Lock()
 	db.tables[t.Name()] = t
 	db.mu.Unlock()
+	t.addOnMutate(db.BumpVersion)
+	db.version.Add(1)
 }
 
 // CreateTable creates, registers and returns an empty table.
@@ -41,8 +62,12 @@ func (db *Database) CreateTable(name string, schema Schema) *Table {
 // DropTable removes the named table if present.
 func (db *Database) DropTable(name string) {
 	db.mu.Lock()
+	_, present := db.tables[name]
 	delete(db.tables, name)
 	db.mu.Unlock()
+	if present {
+		db.version.Add(1)
+	}
 }
 
 // Table returns the named table, or an error naming the database if it is
@@ -78,13 +103,20 @@ func (db *Database) TableNames() []string {
 	return names
 }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database. The copy starts at data
+// version zero with its tables hooked to bump the copy, not the
+// original.
 func (db *Database) Clone() *Database {
 	out := NewDatabase(db.name)
 	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for n, t := range db.tables {
-		out.tables[n] = t.Clone()
+	clones := make([]*Table, 0, len(db.tables))
+	for _, t := range db.tables {
+		clones = append(clones, t.Clone())
+	}
+	db.mu.RUnlock()
+	for _, t := range clones {
+		out.tables[t.Name()] = t
+		t.addOnMutate(out.BumpVersion)
 	}
 	return out
 }

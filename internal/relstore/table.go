@@ -19,6 +19,10 @@ type Table struct {
 
 	mu      sync.Mutex
 	indexes map[string]*hashIndex
+	// onMutate is invoked after every mutating operation (insert, sort,
+	// distinct). Databases hook registered tables here so that table
+	// mutations advance the database's data version.
+	onMutate []func()
 }
 
 type hashIndex struct {
@@ -47,6 +51,23 @@ func (t *Table) Row(i int) Tuple { return t.rows[i] }
 // use Insert to add rows.
 func (t *Table) Rows() []Tuple { return t.rows }
 
+// addOnMutate registers a callback fired after every mutation.
+func (t *Table) addOnMutate(fn func()) {
+	t.mu.Lock()
+	t.onMutate = append(t.onMutate, fn)
+	t.mu.Unlock()
+}
+
+// mutated runs the mutation callbacks outside the table lock.
+func (t *Table) mutated() {
+	t.mu.Lock()
+	fns := t.onMutate
+	t.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
 // Insert appends a tuple after validating it against the schema.
 func (t *Table) Insert(row Tuple) error {
 	if err := t.schema.Validate(row); err != nil {
@@ -57,6 +78,7 @@ func (t *Table) Insert(row Tuple) error {
 	t.indexes = nil // invalidate
 	t.mu.Unlock()
 	metricInserts.Inc()
+	t.mutated()
 	return nil
 }
 
@@ -192,6 +214,7 @@ func (t *Table) Sort(cols []int) {
 		}
 		return false
 	})
+	t.mutated()
 }
 
 // Distinct removes duplicate rows in place, keeping first occurrences.
@@ -210,6 +233,7 @@ func (t *Table) Distinct() {
 	t.rows = out
 	t.indexes = nil
 	t.mu.Unlock()
+	t.mutated()
 }
 
 // Equal reports whether two tables have equal schemas and equal rows as

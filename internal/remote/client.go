@@ -187,6 +187,17 @@ func (c *Client) ColumnDistinct(table, column string) (int, error) {
 	return resp.Card, nil
 }
 
+// DataVersion implements source.Source: the engine-side database's
+// monotonic data version, so mediator-side result caches invalidate
+// when a remote source mutates.
+func (c *Client) DataVersion() (uint64, error) {
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqVersion}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Version, nil
+}
+
 // Estimate implements source.Source (the costing API of §5.2).
 func (c *Client) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (source.Estimate, error) {
 	req := &request{

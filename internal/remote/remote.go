@@ -29,6 +29,7 @@ const (
 	reqDistinct
 	reqEstimate
 	reqExec
+	reqVersion
 )
 
 // wireValue is the gob-encodable form of a relstore.Value.
@@ -135,6 +136,7 @@ type response struct {
 
 	SchemaSpec []string
 	Card       int
+	Version    uint64
 
 	EstCost  float64
 	EstRows  float64
@@ -176,6 +178,10 @@ func handle(local *source.Local, req *request) *response {
 	case reqDistinct:
 		n, err := local.ColumnDistinct(req.Table, req.Column)
 		resp.Card = n
+		resp.setError(err)
+	case reqVersion:
+		v, err := local.DataVersion()
+		resp.Version = v
 		resp.setError(err)
 	case reqEstimate:
 		q, err := sqlmini.Parse(req.SQL)

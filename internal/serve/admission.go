@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control outcomes. The two rejections map to distinct HTTP
+// statuses: a full queue is the client's signal to back off (429), a
+// queue timeout is the server's admission that it cannot turn work
+// around in time (503).
+var (
+	errQueueFull    = errors.New("serve: admission queue full")
+	errQueueTimeout = errors.New("serve: timed out waiting for an evaluation slot")
+)
+
+// admission is a bounded-concurrency semaphore with a bounded, timed
+// wait queue. At most slots evaluations run concurrently; at most
+// maxQueue further callers wait, each for at most timeout. Everything
+// beyond that is rejected immediately, so load beyond capacity degrades
+// into fast, explicit rejections instead of unbounded queuing.
+type admission struct {
+	slots    chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+	timeout  time.Duration
+
+	// onQueue is called with the instantaneous queue depth after every
+	// change, for the queue-depth gauge.
+	onQueue func(depth int64)
+}
+
+// newAdmission builds a semaphore with the given bounds. slots < 1 is
+// raised to 1; maxQueue < 0 means no waiting at all.
+func newAdmission(slots int, maxQueue int, timeout time.Duration) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	return &admission{
+		slots:    make(chan struct{}, slots),
+		maxQueue: int64(maxQueue),
+		timeout:  timeout,
+	}
+}
+
+// acquire claims an evaluation slot, waiting in the bounded queue if
+// none is free. It returns the time spent queued.
+func (a *admission) acquire(ctx context.Context) (time.Duration, error) {
+	// Fast path: a slot is free, no queuing.
+	select {
+	case a.slots <- struct{}{}:
+		return 0, nil
+	default:
+	}
+	depth := a.queued.Add(1)
+	if depth > a.maxQueue {
+		a.queued.Add(-1)
+		return 0, errQueueFull
+	}
+	a.notifyQueue(depth)
+	start := time.Now()
+	defer func() {
+		a.notifyQueue(a.queued.Add(-1))
+	}()
+	timer := time.NewTimer(a.timeout)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return time.Since(start), nil
+	case <-timer.C:
+		return time.Since(start), errQueueTimeout
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// release returns a slot.
+func (a *admission) release() { <-a.slots }
+
+// inUse returns the number of occupied slots.
+func (a *admission) inUse() int { return len(a.slots) }
+
+// queueDepth returns the number of waiting callers.
+func (a *admission) queueDepth() int64 { return a.queued.Load() }
+
+func (a *admission) notifyQueue(depth int64) {
+	if a.onQueue != nil {
+		a.onQueue(depth)
+	}
+}

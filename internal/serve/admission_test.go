@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := newAdmission(2, 0, time.Second)
+	for i := 0; i < 2; i++ {
+		wait, err := a.acquire(context.Background())
+		if err != nil || wait != 0 {
+			t.Fatalf("acquire %d: wait=%v err=%v, want free slot", i, wait, err)
+		}
+	}
+	if a.inUse() != 2 {
+		t.Fatalf("inUse=%d, want 2", a.inUse())
+	}
+	a.release()
+	a.release()
+	if a.inUse() != 0 {
+		t.Fatalf("inUse=%d after release, want 0", a.inUse())
+	}
+}
+
+func TestAdmissionQueueFull(t *testing.T) {
+	a := newAdmission(1, 0, time.Second)
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// maxQueue 0: with the slot held, nobody may wait.
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("err=%v, want errQueueFull", err)
+	}
+}
+
+func TestAdmissionQueueTimeout(t *testing.T) {
+	a := newAdmission(1, 1, 20*time.Millisecond)
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	wait, err := a.acquire(context.Background())
+	if !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("err=%v, want errQueueTimeout", err)
+	}
+	if wait < 20*time.Millisecond {
+		t.Fatalf("reported wait %v shorter than the timeout", wait)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timed out after %v, far beyond the 20ms bound", elapsed)
+	}
+	if a.queueDepth() != 0 {
+		t.Fatalf("queueDepth=%d after timeout, want 0", a.queueDepth())
+	}
+}
+
+func TestAdmissionContextCancel(t *testing.T) {
+	a := newAdmission(1, 1, time.Minute)
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if _, err := a.acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v, want context.Canceled", err)
+	}
+}
+
+func TestAdmissionQueuedCallerGetsFreedSlot(t *testing.T) {
+	a := newAdmission(1, 4, time.Second)
+	var depths []int64
+	var mu sync.Mutex
+	a.onQueue = func(d int64) {
+		mu.Lock()
+		depths = append(depths, d)
+		mu.Unlock()
+	}
+	if _, err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		_, err := a.acquire(context.Background())
+		acquired <- err
+	}()
+	waitFor(t, "caller queued", func() bool { return a.queueDepth() == 1 })
+	a.release()
+	if err := <-acquired; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(depths) != 2 || depths[0] != 1 || depths[1] != 0 {
+		t.Fatalf("queue-depth notifications = %v, want [1 0]", depths)
+	}
+}
+
+func TestAdmissionNeverExceedsSlots(t *testing.T) {
+	const slots = 3
+	a := newAdmission(slots, 64, time.Second)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := a.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			n := inUse.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inUse.Add(-1)
+			a.release()
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak concurrency %d exceeded %d slots", p, slots)
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	var runs atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 8
+	var wg sync.WaitGroup
+	leaders := make([]bool, n)
+	entries := make([]*cacheEntry, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err, leader := g.Do("k", func() (*cacheEntry, error) {
+				close(started)
+				runs.Add(1)
+				<-block
+				return entry("shared"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			leaders[i], entries[i] = leader, e
+		}(i)
+	}
+	<-started
+	// Give followers a moment to pile onto the in-flight call, then
+	// release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(block)
+	wg.Wait()
+
+	if runs.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", runs.Load())
+	}
+	nLeaders := 0
+	for i := range leaders {
+		if leaders[i] {
+			nLeaders++
+		}
+		if string(entries[i].body) != "shared" {
+			t.Fatalf("caller %d got body %q", i, entries[i].body)
+		}
+	}
+	if nLeaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", nLeaders)
+	}
+
+	// After the flight lands, the key is reusable: a fresh call runs fn
+	// again instead of returning the stale result.
+	_, _, leader := g.Do("k", func() (*cacheEntry, error) {
+		runs.Add(1)
+		return entry("second"), nil
+	})
+	if !leader || runs.Load() != 2 {
+		t.Fatalf("post-flight call: leader=%v runs=%d, want true/2", leader, runs.Load())
+	}
+}

@@ -1,0 +1,93 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// cacheEntry is one materialized view result: the rendered XML bytes
+// plus the evaluation facts the server reports in response headers.
+type cacheEntry struct {
+	body    []byte
+	depth   int
+	evalSec float64
+	created time.Time
+}
+
+// lru is a fixed-capacity least-recently-used cache from full cache
+// keys (view + canonical params + data-version stamp) to rendered
+// results. Invalidation is structural: a source mutation changes the
+// stamp and therefore the key, so stale entries are never *hit* — they
+// linger unreferenced until capacity evicts them, which is the usual
+// trade of version-keyed caches (no scan on write, no coordination with
+// the mutating source).
+type lru struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *lruItem
+	items    map[string]*list.Element
+
+	onEvict func() // metrics hook, called outside hot-path decisions but under mu
+}
+
+type lruItem struct {
+	key   string
+	entry *cacheEntry
+}
+
+// newLRU builds a cache holding up to capacity entries; capacity <= 0
+// disables caching (every Get misses, Add drops).
+func newLRU(capacity int) *lru {
+	return &lru{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the entry under key, refreshing its recency.
+func (c *lru) Get(key string) (*cacheEntry, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+// Add inserts (or refreshes) an entry, evicting the least recently used
+// entries beyond capacity.
+func (c *lru) Add(key string, e *cacheEntry) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).entry = e
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruItem{key: key, entry: e})
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.items, back.Value.(*lruItem).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

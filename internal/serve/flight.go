@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent duplicate work: the first caller of
+// Do under a key becomes the leader and runs fn; callers arriving while
+// the leader is in flight wait and share the leader's result. Keys
+// include the data-version stamp, so a request arriving after a source
+// mutation uses a fresh key and is *not* folded into an evaluation over
+// the older data.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// Do executes fn once per key per flight, returning fn's result to
+// every concurrent caller. leader reports whether this caller ran fn.
+func (g *flightGroup) Do(key string, fn func() (*cacheEntry, error)) (entry *cacheEntry, err error, leader bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, inFlight := g.calls[key]; inFlight {
+		g.mu.Unlock()
+		<-c.done
+		return c.entry, c.err, false
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.entry, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.entry, c.err, true
+}

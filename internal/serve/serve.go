@@ -1,0 +1,555 @@
+// Package serve is the long-running mediator daemon of the repo's
+// serving story: it turns the one-shot evaluation pipeline (parse →
+// validate → constraint-compile → decompose → evaluate) into a
+// registry of *prepared views* whose request-independent work happens
+// once at startup, then answers HTTP requests that only bind the root
+// inherited attribute (the paper's on-demand materialization of §5 —
+// e.g. one patient's report) and evaluate through the shared
+// mediator.
+//
+// Three mechanisms make it hold up under concurrent traffic:
+//
+//   - a result cache: an LRU keyed by view + canonicalized parameters +
+//     a per-source data-version stamp, so entries are structurally
+//     invalidated the moment any referenced source mutates;
+//   - request coalescing: concurrent identical requests (same key,
+//     same data versions) share a single evaluation;
+//   - admission control: a bounded-concurrency semaphore with a
+//     bounded, timed wait queue — excess load is rejected with 429/503
+//     instead of queuing without bound — plus a graceful drain for
+//     clean shutdown.
+//
+// Everything is wired into the obs layer: per-request spans (when
+// tracing is enabled), latency and queue-wait histograms, cache
+// hit/miss/eviction counters, and gauges for in-flight evaluations and
+// queue depth, all served from /metrics in Prometheus text format.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/aigspec"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// NewServer.
+type Config struct {
+	// MaxConcurrent bounds simultaneous evaluations (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds callers waiting for an evaluation slot beyond
+	// MaxConcurrent (default 64). Requests past the bound get 429.
+	MaxQueue int
+	// QueueTimeout bounds the wait for a slot (default 2s). Requests
+	// that wait longer get 503.
+	QueueTimeout time.Duration
+	// CacheEntries is the result cache capacity (default 256);
+	// 0 disables caching (use -1 to mean "explicitly zero" is not
+	// needed — 0 from the zero Config is replaced by the default, so
+	// pass a negative value to disable).
+	CacheEntries int
+	// Unfold is the initial recursion-unfolding depth (default 4);
+	// MaxUnfold the limit (default 64). Views adapt upward per request
+	// and remember the depth that sufficed.
+	Unfold, MaxUnfold int
+	// Mediator, when non-nil, overrides the mediator options shared by
+	// all views (default mediator.DefaultOptions).
+	Mediator *mediator.Options
+	// VerifyOutput re-checks every materialized document against the
+	// view's DTD and constraints before serving it.
+	VerifyOutput bool
+	// TraceRequests threads a per-request obs.Tracer through the
+	// mediator; each view keeps its latest span tree for
+	// GET /views/{name}/trace.
+	TraceRequests bool
+	// Metrics is the registry the server's instruments live in
+	// (default obs.Default).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 0
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.Unfold <= 0 {
+		c.Unfold = 4
+	}
+	if c.MaxUnfold < c.Unfold {
+		c.MaxUnfold = 64
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
+	}
+	return c
+}
+
+// serveMetrics bundles the server's instruments.
+type serveMetrics struct {
+	requests        *obs.Counter
+	errors          *obs.Counter
+	hits            *obs.Counter
+	misses          *obs.Counter
+	coalesced       *obs.Counter
+	evaluations     *obs.Counter
+	rejectedFull    *obs.Counter
+	rejectedTimeout *obs.Counter
+	evictions       *obs.Counter
+
+	inflightEvals *obs.Gauge
+	queueDepth    *obs.Gauge
+	cacheEntries  *obs.Gauge
+
+	requestSec   *obs.Histogram
+	queueWaitSec *obs.Histogram
+	evalSec      *obs.Histogram
+}
+
+func newServeMetrics(r *obs.Registry) serveMetrics {
+	return serveMetrics{
+		requests:        r.NewCounter("aig_serve_requests_total", "view requests received"),
+		errors:          r.NewCounter("aig_serve_errors_total", "view requests failed with an internal error"),
+		hits:            r.NewCounter("aig_serve_cache_hits_total", "view requests answered from the result cache"),
+		misses:          r.NewCounter("aig_serve_cache_misses_total", "view requests not answered from the result cache"),
+		coalesced:       r.NewCounter("aig_serve_coalesced_requests_total", "view requests that shared another request's in-flight evaluation"),
+		evaluations:     r.NewCounter("aig_serve_evaluations_total", "mediator evaluations executed"),
+		rejectedFull:    r.NewCounter("aig_serve_rejected_queue_full_total", "view requests rejected because the admission queue was full (429)"),
+		rejectedTimeout: r.NewCounter("aig_serve_rejected_queue_timeout_total", "view requests rejected after waiting too long for an evaluation slot (503)"),
+		evictions:       r.NewCounter("aig_serve_cache_evictions_total", "result-cache entries evicted by capacity"),
+		inflightEvals:   r.NewGauge("aig_serve_inflight_evaluations", "evaluations currently holding an admission slot"),
+		queueDepth:      r.NewGauge("aig_serve_queue_depth", "requests waiting for an evaluation slot"),
+		cacheEntries:    r.NewGauge("aig_serve_cache_entries", "entries in the result cache"),
+		requestSec:      r.NewHistogram("aig_serve_request_seconds", "view request latency", obs.DurationBuckets),
+		queueWaitSec:    r.NewHistogram("aig_serve_queue_wait_seconds", "time spent waiting for an evaluation slot", obs.DurationBuckets),
+		evalSec:         r.NewHistogram("aig_serve_evaluate_seconds", "mediator evaluation wall time", obs.DurationBuckets),
+	}
+}
+
+// Server is the daemon: a prepared-view registry over one source
+// registry, plus the cache / coalescing / admission machinery and the
+// HTTP surface.
+type Server struct {
+	cfg  Config
+	reg  *source.Registry
+	opts mediator.Options
+
+	mu    sync.RWMutex
+	views map[string]*View
+
+	cache  *lru
+	flight flightGroup
+	adm    *admission
+	m      serveMetrics
+
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// NewServer builds a server over the given sources.
+func NewServer(reg *source.Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	opts := mediator.DefaultOptions()
+	if cfg.Mediator != nil {
+		opts = *cfg.Mediator
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   reg,
+		opts:  opts,
+		views: make(map[string]*View),
+		cache: newLRU(cfg.CacheEntries),
+		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		m:     newServeMetrics(cfg.Metrics),
+	}
+	s.cache.onEvict = s.m.evictions.Inc
+	s.adm.onQueue = func(depth int64) { s.m.queueDepth.Set(float64(depth)) }
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /views", s.handleList)
+	mux.HandleFunc("GET /views/{name}", s.handleView)
+	mux.HandleFunc("POST /views/{name}", s.handleView)
+	mux.HandleFunc("GET /views/{name}/explain", s.handleExplain)
+	mux.HandleFunc("GET /views/{name}/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s
+}
+
+// AddView prepares and registers a view under the given name,
+// replacing any previous view of that name.
+func (s *Server) AddView(name string, a *aig.AIG) (*View, error) {
+	v, err := prepareView(name, a, s.reg, s.opts, s.cfg.Unfold, s.cfg.MaxUnfold)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.views[name] = v
+	s.mu.Unlock()
+	return v, nil
+}
+
+// AddSpec parses an aigspec source text and registers it as a view.
+func (s *Server) AddSpec(name, specText string) (*View, error) {
+	a, err := aigspec.Parse(specText)
+	if err != nil {
+		return nil, fmt.Errorf("view %s: %w", name, err)
+	}
+	return s.AddView(name, a)
+}
+
+// View returns the named prepared view, or nil.
+func (s *Server) View(name string) *View {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.views[name]
+}
+
+// ViewNames returns the registered view names in sorted order.
+func (s *Server) ViewNames() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.views))
+	for n := range s.views {
+		out = append(out, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain marks the server as draining (new view requests get 503,
+// /healthz reports unhealthy so load balancers stop sending traffic)
+// and waits for in-flight requests to finish or ctx to expire.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	// An atomic counter rather than a WaitGroup: requests keep arriving
+	// (and bouncing off the draining check) while we wait, and a
+	// WaitGroup forbids Add concurrent with Wait once the counter may
+	// reach zero.
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// stamp renders the data-version stamp of the sources a view reads:
+// the part of the cache key that moves when a source mutates.
+func (s *Server) stamp(v *View) (string, error) {
+	versions, err := s.reg.DataVersions(v.sources)
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(versions))
+	for _, name := range v.sources {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, versions[name]))
+	}
+	return strings.Join(parts, ";"), nil
+}
+
+// requestParams extracts view parameters from the query string, a POST
+// form body, or a JSON object body, and validates them against the
+// view's root attribute.
+func requestParams(r *http.Request, v *View) (map[string]string, error) {
+	params := make(map[string]string)
+	if r.Method == http.MethodPost && strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
+		var body map[string]string
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			return nil, fmt.Errorf("decoding JSON parameters: %w", err)
+		}
+		for k, val := range body {
+			params[k] = val
+		}
+		// Query-string parameters still apply (and win on conflict).
+		for k, vals := range r.URL.Query() {
+			if len(vals) > 0 {
+				params[k] = vals[0]
+			}
+		}
+	} else {
+		if err := r.ParseForm(); err != nil {
+			return nil, fmt.Errorf("parsing parameters: %w", err)
+		}
+		for k, vals := range r.Form {
+			if len(vals) > 0 {
+				params[k] = vals[0]
+			}
+		}
+	}
+	// Validate names and values now, so bad requests are 400s that never
+	// reach the cache or the admission queue.
+	if _, err := v.bindParams(params); err != nil {
+		return nil, err
+	}
+	return params, nil
+}
+
+// handleView answers GET/POST /views/{name}.
+func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.m.requests.Inc()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer func() { s.m.requestSec.Observe(time.Since(start).Seconds()) }()
+
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	v := s.View(r.PathValue("name"))
+	if v == nil {
+		http.Error(w, "no such view", http.StatusNotFound)
+		return
+	}
+	params, err := requestParams(r, v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	stamp, err := s.stamp(v)
+	if err != nil {
+		s.m.errors.Inc()
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	key := v.name + "\x00" + canonicalParams(params) + "\x00" + stamp
+
+	if e, ok := s.cache.Get(key); ok {
+		s.m.hits.Inc()
+		s.writeEntry(w, e, "hit")
+		return
+	}
+	s.m.misses.Inc()
+
+	e, err, leader := s.flight.Do(key, func() (*cacheEntry, error) {
+		waited, aerr := s.adm.acquire(r.Context())
+		s.m.queueWaitSec.Observe(waited.Seconds())
+		if aerr != nil {
+			return nil, aerr
+		}
+		defer func() {
+			s.adm.release()
+			s.m.inflightEvals.Set(float64(s.adm.inUse()))
+		}()
+		s.m.inflightEvals.Set(float64(s.adm.inUse()))
+		entry, eerr := s.evaluate(v, params)
+		if eerr != nil {
+			return nil, eerr
+		}
+		s.cache.Add(key, entry)
+		s.m.cacheEntries.Set(float64(s.cache.Len()))
+		return entry, nil
+	})
+	if !leader {
+		s.m.coalesced.Inc()
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	state := "miss"
+	if !leader {
+		state = "coalesced"
+	}
+	s.writeEntry(w, e, state)
+}
+
+// evaluate runs one mediator evaluation for a prepared view and
+// renders the document.
+func (s *Server) evaluate(v *View, params map[string]string) (*cacheEntry, error) {
+	rootInh, err := v.bindParams(params)
+	if err != nil {
+		return nil, err
+	}
+
+	var tracer *obs.Tracer
+	med := v.med
+	if s.cfg.TraceRequests {
+		tracer = obs.NewTracer()
+		opts := s.opts
+		opts.Tracer = tracer
+		med = mediator.New(s.reg, opts)
+	}
+
+	est := int(v.estDepth.Load())
+	t0 := time.Now()
+	res, depth, err := med.EvaluateRecursive(v.sa, rootInh, est, v.maxDepth)
+	s.m.evalSec.Observe(time.Since(t0).Seconds())
+	s.m.evaluations.Inc()
+	if err != nil {
+		return nil, err
+	}
+	v.estDepth.Store(int32(depth))
+
+	if s.cfg.VerifyOutput {
+		if cerr := dtd.Conforms(v.a.DTD, res.Doc); cerr != nil {
+			return nil, fmt.Errorf("view %s: output violates the DTD: %w", v.name, cerr)
+		}
+		if viol := xconstraint.CheckAll(v.a.Constraints, res.Doc); len(viol) != 0 {
+			return nil, fmt.Errorf("view %s: output violates constraints: %v", v.name, viol[0])
+		}
+	}
+
+	var buf strings.Builder
+	if werr := res.Doc.WriteIndented(&buf); werr != nil {
+		return nil, werr
+	}
+	if tracer != nil {
+		var tb strings.Builder
+		if terr := tracer.WriteJSON(&tb); terr == nil {
+			v.setLastTrace([]byte(tb.String()))
+		}
+	}
+	return &cacheEntry{
+		body:    []byte(buf.String()),
+		depth:   depth,
+		evalSec: res.Report.WallSec,
+		created: time.Now(),
+	}, nil
+}
+
+// writeEntry sends a materialized result with the serving headers.
+func (s *Server) writeEntry(w http.ResponseWriter, e *cacheEntry, cacheState string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/xml; charset=utf-8")
+	h.Set("X-Aig-Cache", cacheState)
+	h.Set("X-Aig-Unfold-Depth", fmt.Sprint(e.depth))
+	h.Set("X-Aig-Eval-Seconds", fmt.Sprintf("%.6f", e.evalSec))
+	w.Write(e.body)
+}
+
+// writeError maps evaluation and admission errors to HTTP statuses:
+// queue full → 429, queue timeout (or client gone) → 503, anything
+// else → 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.m.rejectedFull.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, errQueueTimeout), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.m.rejectedTimeout.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		s.m.errors.Inc()
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// viewInfo is the JSON shape of one view in GET /views.
+type viewInfo struct {
+	Name    string      `json:"name"`
+	Params  []ParamDecl `json:"params"`
+	Sources []string    `json:"sources"`
+	Depth   int         `json:"unfold_depth"`
+}
+
+// handleList answers GET /views.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var out []viewInfo
+	for _, name := range s.ViewNames() {
+		v := s.View(name)
+		if v == nil {
+			continue
+		}
+		out = append(out, viewInfo{
+			Name:    v.name,
+			Params:  v.Params(),
+			Sources: v.Sources(),
+			Depth:   int(v.estDepth.Load()),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+// handleExplain answers GET /views/{name}/explain with the plan
+// rendered at prepare time.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	v := s.View(r.PathValue("name"))
+	if v == nil {
+		http.Error(w, "no such view", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, v.Plan())
+}
+
+// handleTrace answers GET /views/{name}/trace with the span tree of
+// the most recent traced evaluation.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	v := s.View(r.PathValue("name"))
+	if v == nil {
+		http.Error(w, "no such view", http.StatusNotFound)
+		return
+	}
+	trace := v.LastTrace()
+	if trace == nil {
+		http.Error(w, "no traced evaluation yet (is TraceRequests enabled?)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(trace)
+}
+
+// handleMetrics answers GET /metrics in Prometheus text format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WritePrometheus(w)
+	if s.cfg.Metrics != obs.Default {
+		obs.Default.WritePrometheus(w)
+	}
+}
+
+// handleHealth answers GET /healthz: 200 while serving, 503 while
+// draining (so load balancers stop routing before shutdown).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}

@@ -50,6 +50,11 @@ type Source interface {
 	// TableCard and ColumnDistinct expose statistics for planning.
 	TableCard(table string) (int, error)
 	ColumnDistinct(table, column string) (int, error)
+	// DataVersion returns the source's monotonic data version: it
+	// advances on every mutation of the source's data and never on
+	// reads, so two equal versions observed at different times imply the
+	// source would answer queries identically. Result caches key on it.
+	DataVersion() (uint64, error)
 	// Estimate runs the costing API for a query that references only this
 	// source's tables (plus parameters).
 	Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error)
@@ -96,6 +101,9 @@ func (l *Local) TableCard(table string) (int, error) {
 func (l *Local) ColumnDistinct(table, column string) (int, error) {
 	return sqlmini.CatalogStats{Catalog: l.cat}.ColumnDistinct(l.db.Name(), table, column)
 }
+
+// DataVersion implements Source.
+func (l *Local) DataVersion() (uint64, error) { return l.db.Version(), nil }
 
 func (l *Local) checkLocal(q *sqlmini.Query) error {
 	for _, s := range q.Sources() {
@@ -187,6 +195,30 @@ func (r *Registry) Names() []string {
 	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
+}
+
+// DataVersions returns the data version of each named source (every
+// registered source when names is nil). The map is a consistent cache
+// key only in the absence of concurrent mutations; a mutation racing
+// the snapshot invalidates at the next request, which is the usual
+// read-your-writes-eventually contract of an LRU over live sources.
+func (r *Registry) DataVersions(names []string) (map[string]uint64, error) {
+	if names == nil {
+		names = r.Names()
+	}
+	out := make(map[string]uint64, len(names))
+	for _, n := range names {
+		s, err := r.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.DataVersion()
+		if err != nil {
+			return nil, fmt.Errorf("source %s: data version: %w", n, err)
+		}
+		out[n] = v
+	}
+	return out, nil
 }
 
 // TableSchema implements sqlmini.SchemaProvider across all sources.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Smoke-test the serving daemon end to end: boot aigd on the built-in
+# hospital catalog, drive it with aigload, and require a clean run
+# (zero failed requests, cache hits observed). Used by `make smoke-serve`
+# and CI; finishes in well under 20 seconds.
+set -euo pipefail
+
+ADDR="${AIGD_ADDR:-127.0.0.1:18091}"
+REQUESTS="${AIGD_SMOKE_REQUESTS:-2000}"
+WORKERS="${AIGD_SMOKE_WORKERS:-8}"
+BENCH_OUT="${AIGD_SMOKE_JSON:-}"
+
+tmpdir="$(mktemp -d)"
+trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigload" ./cmd/aigload
+
+"$tmpdir/aigd" -demo -addr "$ADDR" >"$tmpdir/aigd.log" 2>&1 &
+daemon_pid=$!
+
+# Wait for the daemon to come up (at most ~5s).
+for _ in $(seq 50); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || {
+    echo "aigd did not become healthy; log:" >&2
+    cat "$tmpdir/aigd.log" >&2
+    exit 1
+}
+
+load_args=(-url "http://$ADDR" -view report -param date=d1,d2,d3 \
+    -c "$WORKERS" -n "$REQUESTS" -check)
+if [ -n "$BENCH_OUT" ]; then
+    load_args+=(-json "$BENCH_OUT")
+fi
+"$tmpdir/aigload" "${load_args[@]}"
+
+# Graceful shutdown: SIGTERM must drain and exit zero.
+kill -TERM "$daemon_pid"
+wait "$daemon_pid"
+echo "smoke_serve: OK"
