@@ -41,16 +41,25 @@ staticcheck:
 	$(GO) run honnef.co/go/tools/cmd/staticcheck@2025.1.1 ./...
 
 # fuzz-smoke gives each fuzz target a short budget; regressions in the
-# parsers' invariants surface as crashes.
+# parsers' invariants (and the remote delta wire format) surface as
+# crashes.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/aigspec
 	$(GO) test -run '^$$' -fuzz FuzzParseGeneral -fuzztime 10s ./internal/dtd
+	$(GO) test -run '^$$' -fuzz FuzzChangeSetWire -fuzztime 10s ./internal/remote
 
 # soak runs the differential harness for a wall-clock budget, shrinking
 # any divergence to a replayable {seed, config, ops} triple. CI runs it
 # for 30s on push and 10m nightly.
 soak:
 	$(GO) run ./cmd/aigdiff -duration 30s -shrink
+
+# soak-ivm cross-checks incremental view maintenance: random mutation
+# sequences replayed through the change-log judge against from-scratch
+# evaluation, with the truncation fallback exercised separately.
+soak-ivm:
+	$(GO) run ./cmd/aigdiff -ivm -n 300 -mutations 25 -shrink
+	$(GO) run ./cmd/aigdiff -ivm -n 50 -mutations 15 -logcap -1 -shrink
 
 # serve boots the XML-view daemon on the built-in hospital catalog.
 serve:
@@ -67,9 +76,15 @@ loadtest:
 smoke-serve:
 	./scripts/smoke_serve.sh
 
+# bench-ivm measures warm-cache serving under a mutating workload
+# (cache-off baseline vs refresher-maintained cache) and refreshes the
+# committed BENCH_ivm.json; fails below a 5x speedup.
+bench-ivm:
+	./scripts/bench_ivm.sh
+
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke soak smoke-serve
+ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm smoke-serve bench-ivm
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

@@ -17,13 +17,18 @@
 //	GET  /views/{name}/trace          span tree of the last traced evaluation
 //	GET  /metrics                     Prometheus text format
 //	GET  /healthz                     200 while serving, 503 while draining
+//	POST /mutate                      row-level writes (-allow-mutate only)
 //
 // Results are cached per (view, parameters, source data versions);
-// mutating a source invalidates automatically. Identical concurrent
-// requests are coalesced into one evaluation, and -max-concurrent /
-// -max-queue / -queue-timeout bound the work the daemon accepts: beyond
-// them clients get 429 or 503 instead of unbounded queuing. SIGINT or
-// SIGTERM drains in-flight requests before exiting.
+// mutating a source invalidates automatically. With -refresh-interval
+// a background refresher re-validates cached entries after mutations —
+// provably unaffected entries are restamped in place, the rest are
+// re-evaluated — so hot views stay warm instead of paying a miss on
+// the next request. Identical concurrent requests are coalesced into
+// one evaluation, and -max-concurrent / -max-queue / -queue-timeout
+// bound the work the daemon accepts: beyond them clients get 429 or
+// 503 instead of unbounded queuing. SIGINT or SIGTERM drains in-flight
+// requests before exiting.
 package main
 
 import (
@@ -70,6 +75,8 @@ func run() error {
 	maxQueue := flag.Int("max-queue", 64, "maximum requests waiting for an evaluation slot")
 	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "longest a request may wait for a slot")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (0 disables caching)")
+	refreshInterval := flag.Duration("refresh-interval", 0, "background cache refresh interval (0 disables the refresher)")
+	allowMutate := flag.Bool("allow-mutate", false, "serve POST /mutate for row-level writes against local sources")
 	unfold := flag.Int("unfold", 4, "initial recursion unfolding depth")
 	maxUnfold := flag.Int("maxunfold", 64, "maximum unfolding depth")
 	srcTimeout := flag.Duration("source-timeout", 0, "connect/read/write timeout for remote sources (0 disables)")
@@ -92,14 +99,16 @@ func run() error {
 		*cacheEntries = -1
 	}
 	cfg := serve.Config{
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		QueueTimeout:  *queueTimeout,
-		CacheEntries:  *cacheEntries,
-		Unfold:        *unfold,
-		MaxUnfold:     *maxUnfold,
-		VerifyOutput:  *verify,
-		TraceRequests: *traceReqs,
+		MaxConcurrent:   *maxConcurrent,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTimeout,
+		CacheEntries:    *cacheEntries,
+		Unfold:          *unfold,
+		MaxUnfold:       *maxUnfold,
+		VerifyOutput:    *verify,
+		TraceRequests:   *traceReqs,
+		RefreshInterval: *refreshInterval,
+		AllowMutate:     *allowMutate,
 	}
 	srv := serve.NewServer(reg, cfg)
 

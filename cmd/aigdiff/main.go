@@ -8,6 +8,7 @@
 // Usage:
 //
 //	aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink]
+//	        [-ivm] [-mutations N] [-logcap N]
 //	        [-corpus dir] [-json file]
 //
 // Seeds run consecutively from -seed. With -duration, aigdiff runs until
@@ -19,6 +20,18 @@
 // evaluations per second) to the given file. The exit status is 0 when
 // every instance agreed on every path, 1 when a divergence was found,
 // and 2 on usage failure.
+//
+// With -ivm, each instance is instead pushed through the incremental
+// view maintenance oracle: a sequence of -mutations random row inserts
+// and deletes is replayed against the instance's sources, a cached
+// document is maintained the way the serving layer's refresher would —
+// change-log deltas judged against the view's extracted dependencies,
+// restamp when provably irrelevant, full re-evaluation otherwise — and
+// after every step the maintained document is compared byte-for-byte
+// against a from-scratch evaluation. -logcap overrides the change-log
+// limit (negative disables delta logging entirely, forcing the
+// truncation fallback on every step); -shrink minimizes the mutation
+// sequence instead of the instance.
 package main
 
 import (
@@ -43,6 +56,13 @@ type stats struct {
 	InstancesPerSec float64 `json:"instances_per_sec"`
 	EvalsPerSec     float64 `json:"evals_per_sec"`
 	Divergences     int     `json:"divergences"`
+
+	// IVM-mode counters (-ivm).
+	Steps     int `json:"steps,omitempty"`
+	Restamps  int `json:"restamps,omitempty"`
+	Fulls     int `json:"full_refreshes,omitempty"`
+	Truncated int `json:"truncated_windows,omitempty"`
+	Skipped   int `json:"skipped,omitempty"`
 }
 
 func main() {
@@ -51,10 +71,13 @@ func main() {
 	duration := flag.Duration("duration", 0, "run for this long instead of a fixed -n")
 	remote := flag.Bool("remote", false, "include the TCP remote-source leg (slower)")
 	shrink := flag.Bool("shrink", false, "minimize a failing instance before reporting it")
+	ivmMode := flag.Bool("ivm", false, "run the incremental view maintenance oracle instead of the evaluation matrix")
+	mutations := flag.Int("mutations", 25, "mutations per instance in -ivm mode")
+	logCap := flag.Int("logcap", 0, "change-log limit in -ivm mode (0 default, <0 disables delta logging)")
 	corpus := flag.String("corpus", "", "directory to save shrunk failures as regression files")
 	jsonPath := flag.String("json", "", "write run statistics as JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-corpus dir] [-json file]\n")
+		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm] [-mutations N] [-logcap N] [-corpus dir] [-json file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -90,6 +113,28 @@ func main() {
 		if inst.Recursive {
 			st.Recursive++
 		}
+		if *ivmMode {
+			seq := difftest.GenerateMutations(inst, s, *mutations)
+			iopts := difftest.IVMOptions{LogCap: *logCap}
+			out := difftest.CheckIVM(inst, seq, iopts)
+			// Every step evaluates the oracle once, plus a full refresh when
+			// the judge found no proof, plus the initial evaluation.
+			st.Evals += 1 + out.Steps + out.Fulls
+			st.Steps += out.Steps
+			st.Restamps += out.Restamps
+			st.Fulls += out.Fulls
+			st.Truncated += out.Truncated
+			if out.Skipped {
+				st.Skipped++
+			}
+			if out.Divergence == nil {
+				continue
+			}
+			st.Divergences++
+			exit = 1
+			reportIVM(inst, seq, iopts, out.Divergence, *shrink, *corpus, cfg)
+			continue
+		}
 		out := difftest.Check(inst, opts)
 		st.Evals += out.Evals
 		if out.Aborted {
@@ -108,9 +153,14 @@ func main() {
 		st.InstancesPerSec = float64(st.Instances) / st.Seconds
 		st.EvalsPerSec = float64(st.Evals) / st.Seconds
 	}
-	fmt.Printf("aigdiff: %d instances (%d recursive, %d aborts), %d oracle evaluations in %.2fs (%.1f inst/s, %.1f evals/s), %d divergences\n",
-		st.Instances, st.Recursive, st.Aborts, st.Evals, st.Seconds,
-		st.InstancesPerSec, st.EvalsPerSec, st.Divergences)
+	if *ivmMode {
+		fmt.Printf("aigdiff -ivm: %d instances (%d skipped), %d mutation steps: %d restamps, %d full refreshes, %d truncated windows in %.2fs, %d divergences\n",
+			st.Instances, st.Skipped, st.Steps, st.Restamps, st.Fulls, st.Truncated, st.Seconds, st.Divergences)
+	} else {
+		fmt.Printf("aigdiff: %d instances (%d recursive, %d aborts), %d oracle evaluations in %.2fs (%.1f inst/s, %.1f evals/s), %d divergences\n",
+			st.Instances, st.Recursive, st.Aborts, st.Evals, st.Seconds,
+			st.InstancesPerSec, st.EvalsPerSec, st.Divergences)
+	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(st, "", "  ")
 		if err == nil {
@@ -140,6 +190,38 @@ func report(inst *randaig.Instance, opts difftest.Options, div *difftest.Diverge
 		}
 	}
 	reg := difftest.Regression{Seed: inst.Seed, Config: cfg, Ops: ops, Leg: div.Leg, Note: div.Detail}
+	repro, err := json.Marshal(reg)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)
+	}
+	if corpusDir != "" {
+		path, err := difftest.SaveRegression(corpusDir, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: save regression: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: regression saved to %s\n", path)
+	}
+}
+
+// reportIVM prints one IVM-mode divergence, optionally shrinking the
+// mutation sequence and filing the regression.
+func reportIVM(inst *randaig.Instance, seq []difftest.Mutation, opts difftest.IVMOptions, div *difftest.Divergence, shrink bool, corpusDir string, cfg randaig.Config) {
+	fmt.Fprintf(os.Stderr, "%s\n", div.Error())
+	if shrink {
+		shrunk, sdiv, checks := difftest.ShrinkIVM(inst, seq, opts, 0)
+		if sdiv != nil {
+			seq, div = shrunk, sdiv
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: shrunk in %d checks to %d mutations:\n", checks, len(seq))
+		for _, m := range seq {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+	}
+	reg := difftest.Regression{
+		Seed: inst.Seed, Config: cfg, Mode: "ivm",
+		Mutations: seq, LogCap: opts.LogCap, Leg: div.Leg, Note: div.Detail,
+	}
 	repro, err := json.Marshal(reg)
 	if err == nil {
 		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)

@@ -12,6 +12,15 @@
 // the run, /metrics is scraped for the serve counters so the report can
 // attribute requests to cache hits, coalesced flights and evaluations.
 //
+// With -mutate SOURCE:TABLE=V1,V2,... a background writer alternates
+// inserting and deleting that row through the daemon's POST /mutate
+// endpoint (aigd -allow-mutate) at -mutate-rate writes per second,
+// measuring serving behaviour under a continuously changing source; the
+// report then also carries the daemon's refresh counters and the
+// refresh-lag percentiles estimated from the /metrics histogram. With
+// -no-store every request carries Cache-Control: no-store, bypassing
+// the result cache — the cache-off baseline for the same workload.
+//
 // With -check the exit status enforces a healthy run: zero failed
 // requests and at least one cache hit.
 package main
@@ -22,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/url"
 	"os"
@@ -55,9 +65,21 @@ type report struct {
 	CacheMisses   int64            `json:"cache_misses"`
 	Coalesced     int64            `json:"coalesced"`
 	Evaluations   int64            `json:"evaluations"`
+	CacheHitRatio float64          `json:"cache_hit_ratio"`
 	CacheDisabled bool             `json:"cache_disabled,omitempty"`
 	BytesReceived int64            `json:"bytes_received"`
 	StatusCounts  map[string]int64 `json:"status_counts"`
+
+	// Mutation / refresh behaviour (populated with -mutate).
+	Mutations      int64   `json:"mutations,omitempty"`
+	MutationErrors int64   `json:"mutation_errors,omitempty"`
+	RefreshDelta   int64   `json:"refresh_delta,omitempty"`
+	RefreshFull    int64   `json:"refresh_full,omitempty"`
+	RefreshErrors  int64   `json:"refresh_errors,omitempty"`
+	StaleSkips     int64   `json:"stale_skips,omitempty"`
+	RefreshLagP50  float64 `json:"refresh_lag_p50_ms,omitempty"`
+	RefreshLagP95  float64 `json:"refresh_lag_p95_ms,omitempty"`
+	RefreshLagP99  float64 `json:"refresh_lag_p99_ms,omitempty"`
 }
 
 func main() {
@@ -77,6 +99,9 @@ func run() error {
 	duration := flag.Duration("duration", 0, "stop after this long even if -n is not reached (0: no limit)")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file (e.g. BENCH_serve.json)")
 	check := flag.Bool("check", false, "exit non-zero unless errors==0 and cache hits > 0")
+	noStore := flag.Bool("no-store", false, "send Cache-Control: no-store on every request (cache-off baseline)")
+	mutate := flag.String("mutate", "", "background writer as SOURCE:TABLE=V1,V2,... (alternates insert/delete via POST /mutate)")
+	mutateRate := flag.Float64("mutate-rate", 20, "background writes per second with -mutate")
 	flag.Parse()
 
 	combos, err := paramCombos(paramFlags)
@@ -103,6 +128,56 @@ func run() error {
 
 	client := &http.Client{Timeout: 30 * time.Second}
 	start := time.Now()
+
+	// Background writer: alternate insert/delete of one row so the
+	// sources keep moving for the whole run.
+	var mutOK, mutErr atomic.Int64
+	stopMut := make(chan struct{})
+	var mutWG sync.WaitGroup
+	if *mutate != "" {
+		src, table, row, err := parseMutateSpec(*mutate)
+		if err != nil {
+			return err
+		}
+		if *mutateRate <= 0 {
+			return fmt.Errorf("-mutate-rate must be positive, got %v", *mutateRate)
+		}
+		mutWG.Add(1)
+		go func() {
+			defer mutWG.Done()
+			tick := time.NewTicker(time.Duration(float64(time.Second) / *mutateRate))
+			defer tick.Stop()
+			op := "insert"
+			for {
+				select {
+				case <-stopMut:
+					return
+				case <-tick.C:
+				}
+				u := *base + "/mutate?" + url.Values{
+					"source": {src}, "table": {table}, "op": {op}, "values": {row},
+				}.Encode()
+				resp, err := client.Post(u, "", nil)
+				if err != nil {
+					mutErr.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					mutOK.Add(1)
+				} else {
+					mutErr.Add(1)
+				}
+				if op == "insert" {
+					op = "delete"
+				} else {
+					op = "insert"
+				}
+			}
+		}()
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
@@ -120,8 +195,17 @@ func run() error {
 				if q := combos.query(ticket - 1); q != "" {
 					u += "?" + q
 				}
+				req, err := http.NewRequest(http.MethodGet, u, nil)
+				if err != nil {
+					errsN.Add(1)
+					done.Add(1)
+					continue
+				}
+				if *noStore {
+					req.Header.Set("Cache-Control", "no-store")
+				}
 				t0 := time.Now()
-				resp, err := client.Get(u)
+				resp, err := client.Do(req)
 				lat := time.Since(t0).Seconds() * 1000
 				done.Add(1)
 				if err != nil {
@@ -150,6 +234,8 @@ func run() error {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	close(stopMut)
+	mutWG.Wait()
 
 	rep := report{
 		View:          *view,
@@ -169,7 +255,9 @@ func run() error {
 	rep.P95Ms = percentile(latencies, 0.95)
 	rep.P99Ms = percentile(latencies, 0.99)
 
-	if counters, err := scrapeMetrics(client, *base); err != nil {
+	rep.Mutations = mutOK.Load()
+	rep.MutationErrors = mutErr.Load()
+	if counters, hists, err := scrapeMetrics(client, *base); err != nil {
 		fmt.Fprintln(os.Stderr, "aigload: scraping /metrics:", err)
 	} else {
 		rep.CacheHits = counters["aig_serve_cache_hits_total"]
@@ -177,14 +265,32 @@ func run() error {
 		rep.Coalesced = counters["aig_serve_coalesced_requests_total"]
 		rep.Evaluations = counters["aig_serve_evaluations_total"]
 		rep.CacheDisabled = rep.CacheHits == 0 && rep.CacheMisses == 0
+		if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+			rep.CacheHitRatio = float64(rep.CacheHits) / float64(lookups)
+		}
+		rep.RefreshDelta = counters["aig_serve_refresh_delta_total"]
+		rep.RefreshFull = counters["aig_serve_refresh_full_total"]
+		rep.RefreshErrors = counters["aig_serve_refresh_errors_total"]
+		rep.StaleSkips = counters["aig_serve_cache_stale_skips_total"]
+		if lag := hists["aig_serve_refresh_lag_seconds"]; lag != nil {
+			rep.RefreshLagP50 = lag.quantile(0.50) * 1000
+			rep.RefreshLagP95 = lag.quantile(0.95) * 1000
+			rep.RefreshLagP99 = lag.quantile(0.99) * 1000
+		}
 	}
 
 	fmt.Printf("view=%s c=%d requests=%d errors=%d rejected=%d\n",
 		rep.View, rep.Concurrency, rep.Requests, rep.Errors, rep.Rejected)
 	fmt.Printf("wall=%.2fs throughput=%.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		rep.DurationSec, rep.Throughput, rep.P50Ms, rep.P95Ms, rep.P99Ms)
-	fmt.Printf("cache: hits=%d misses=%d coalesced=%d evaluations=%d\n",
-		rep.CacheHits, rep.CacheMisses, rep.Coalesced, rep.Evaluations)
+	fmt.Printf("cache: hits=%d misses=%d (ratio %.3f) coalesced=%d evaluations=%d\n",
+		rep.CacheHits, rep.CacheMisses, rep.CacheHitRatio, rep.Coalesced, rep.Evaluations)
+	if *mutate != "" {
+		fmt.Printf("mutations: %d ok, %d failed; refresh: delta=%d full=%d errors=%d stale-skips=%d\n",
+			rep.Mutations, rep.MutationErrors, rep.RefreshDelta, rep.RefreshFull, rep.RefreshErrors, rep.StaleSkips)
+		fmt.Printf("refresh lag: p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			rep.RefreshLagP50, rep.RefreshLagP95, rep.RefreshLagP99)
+	}
 
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
@@ -260,17 +366,63 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-// scrapeMetrics fetches /metrics and parses the aig_serve_* counters.
-func scrapeMetrics(client *http.Client, base string) (map[string]int64, error) {
+// parseMutateSpec splits "SOURCE:TABLE=V1,V2,..." into its parts.
+func parseMutateSpec(spec string) (src, table, row string, err error) {
+	target, row, ok := strings.Cut(spec, "=")
+	if ok {
+		src, table, ok = strings.Cut(target, ":")
+	}
+	if !ok || src == "" || table == "" || row == "" {
+		return "", "", "", fmt.Errorf("-mutate needs SOURCE:TABLE=V1,V2,..., got %q", spec)
+	}
+	return src, table, row, nil
+}
+
+// histogram is the cumulative bucket view of one scraped Prometheus
+// histogram: le upper bounds (ascending, +Inf last) with cumulative
+// counts.
+type histogram struct {
+	les  []float64
+	cums []int64
+}
+
+// quantile estimates the p-quantile from the buckets: the upper bound
+// of the first bucket whose cumulative count reaches p of the total
+// (the usual conservative bucket estimate; the +Inf bucket reports the
+// largest finite bound).
+func (h *histogram) quantile(p float64) float64 {
+	if len(h.cums) == 0 {
+		return 0
+	}
+	total := h.cums[len(h.cums)-1]
+	if total == 0 {
+		return 0
+	}
+	rank := int64(p * float64(total))
+	for i, c := range h.cums {
+		if c > rank {
+			if math.IsInf(h.les[i], 1) && i > 0 {
+				return h.les[i-1]
+			}
+			return h.les[i]
+		}
+	}
+	return h.les[len(h.les)-1]
+}
+
+// scrapeMetrics fetches /metrics and parses the aig_serve_* counters
+// and histogram bucket series.
+func scrapeMetrics(client *http.Client, base string) (map[string]int64, map[string]*histogram, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d", resp.StatusCode)
+		return nil, nil, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	out := make(map[string]int64)
+	counters := make(map[string]int64)
+	hists := make(map[string]*histogram)
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
@@ -281,9 +433,27 @@ func scrapeMetrics(client *http.Client, base string) (map[string]int64, error) {
 		if !ok {
 			continue
 		}
-		if f, err := strconv.ParseFloat(strings.TrimSpace(val), 64); err == nil {
-			out[name] = int64(f)
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			continue
 		}
+		if hname, rest, ok := strings.Cut(name, "_bucket{le=\""); ok {
+			le := math.Inf(1)
+			if bound := strings.TrimSuffix(rest, "\"}"); bound != "+Inf" {
+				if b, err := strconv.ParseFloat(bound, 64); err == nil {
+					le = b
+				}
+			}
+			h := hists[hname]
+			if h == nil {
+				h = &histogram{}
+				hists[hname] = h
+			}
+			h.les = append(h.les, le)
+			h.cums = append(h.cums, int64(f))
+			continue
+		}
+		counters[name] = int64(f)
 	}
-	return out, sc.Err()
+	return counters, hists, sc.Err()
 }

@@ -164,9 +164,14 @@ func TestRegressions(t *testing.T) {
 			if err != nil {
 				t.Fatalf("regenerate: %v", err)
 			}
-			out := Check(inst, Options{})
-			if out.Divergence != nil {
-				t.Fatalf("regression resurfaced (note: %s):\n%s", reg.Note, out.Divergence.Error())
+			var div *Divergence
+			if reg.Mode == "ivm" {
+				div = CheckIVM(inst, reg.Mutations, IVMOptions{LogCap: reg.LogCap}).Divergence
+			} else {
+				div = Check(inst, Options{}).Divergence
+			}
+			if div != nil {
+				t.Fatalf("regression resurfaced (note: %s):\n%s", reg.Note, div.Error())
 			}
 		})
 	}

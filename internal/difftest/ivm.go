@@ -1,0 +1,392 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/aigrepro/aig/internal/ivm"
+	"github.com/aigrepro/aig/internal/randaig"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// Mutation is one replayable row-level write against an instance's
+// catalog. Values are carried as schema-parsed texts so a mutation
+// sequence round-trips through regression JSON.
+type Mutation struct {
+	Source string   `json:"source"`
+	Table  string   `json:"table"`
+	Op     string   `json:"op"` // "insert" or "delete"
+	Row    []string `json:"row"`
+}
+
+func (m Mutation) String() string {
+	return fmt.Sprintf("%s %s:%s %v", m.Op, m.Source, m.Table, m.Row)
+}
+
+// apply performs the mutation, reporting whether it changed anything
+// (a delete of an absent row is a no-op).
+func (m Mutation) apply(cat *relstore.Catalog) (bool, error) {
+	t, err := cat.Table(m.Source, m.Table)
+	if err != nil {
+		return false, err
+	}
+	row, err := parseRow(t.Schema(), m.Row)
+	if err != nil {
+		return false, err
+	}
+	switch m.Op {
+	case "insert":
+		return true, t.Insert(row)
+	case "delete":
+		key := row.Key()
+		return t.DeleteWhere(func(r relstore.Tuple) bool { return r.Key() == key }) > 0, nil
+	default:
+		return false, fmt.Errorf("difftest: unknown mutation op %q", m.Op)
+	}
+}
+
+func parseRow(schema relstore.Schema, texts []string) (relstore.Tuple, error) {
+	if len(texts) != len(schema) {
+		return nil, fmt.Errorf("difftest: %d values for %d columns", len(texts), len(schema))
+	}
+	row := make(relstore.Tuple, len(texts))
+	for i, s := range texts {
+		v, err := relstore.ParseValue(schema[i].Kind, s)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+func renderRow(row relstore.Tuple) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		out[i] = v.Text()
+	}
+	return out
+}
+
+// GenerateMutations derives a deterministic mutation sequence for an
+// instance: inserts that mostly recombine existing column values (so
+// joins keep matching and the document actually changes) and deletes of
+// currently present rows. Generation tracks the evolving state on a
+// catalog clone, so deletes always name rows that exist at their point
+// in the sequence.
+func GenerateMutations(inst *randaig.Instance, seed int64, n int) []Mutation {
+	rng := rand.New(rand.NewSource(seed))
+	cat := cloneCatalog(inst.Catalog)
+
+	type target struct {
+		source string
+		table  *relstore.Table
+	}
+	var targets []target
+	for _, dbName := range cat.DatabaseNames() {
+		db, err := cat.Database(dbName)
+		if err != nil {
+			continue
+		}
+		for _, tn := range db.TableNames() {
+			if t, err := db.Table(tn); err == nil {
+				targets = append(targets, target{dbName, t})
+			}
+		}
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	var out []Mutation
+	for attempts := 0; len(out) < n && attempts < n*50; attempts++ {
+		tg := targets[rng.Intn(len(targets))]
+		t := tg.table
+		if t.Len() > 0 && rng.Intn(10) < 3 { // ~30% deletes
+			row := t.Row(rng.Intn(t.Len()))
+			m := Mutation{Source: tg.source, Table: t.Name(), Op: "delete", Row: renderRow(row)}
+			if ok, err := m.apply(cat); err == nil && ok {
+				out = append(out, m)
+			}
+			continue
+		}
+		row := make(relstore.Tuple, len(t.Schema()))
+		for c := range t.Schema() {
+			if t.Len() > 0 && rng.Intn(10) < 7 {
+				// Reuse a value already present in this column.
+				row[c] = t.Row(rng.Intn(t.Len()))[c]
+				continue
+			}
+			switch t.Schema()[c].Kind {
+			case relstore.KindInt:
+				row[c] = relstore.Int(int64(rng.Intn(20)))
+			default:
+				row[c] = relstore.String(fmt.Sprintf("z%d", rng.Intn(40)))
+			}
+		}
+		m := Mutation{Source: tg.source, Table: t.Name(), Op: "insert", Row: renderRow(row)}
+		if ok, err := m.apply(cat); err == nil && ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func cloneCatalog(cat *relstore.Catalog) *relstore.Catalog {
+	out := relstore.NewCatalog()
+	for _, name := range cat.DatabaseNames() {
+		if db, err := cat.Database(name); err == nil {
+			out.Add(db.Clone())
+		}
+	}
+	return out
+}
+
+// IVMOptions configures one incremental-maintenance oracle run.
+type IVMOptions struct {
+	// LogCap overrides every base table's change-log limit before the
+	// run: 0 keeps the default, a small positive value forces frequent
+	// truncation (exercising the full-refresh fallback), negative
+	// disables delta logging entirely.
+	LogCap int
+	// Fault, when set, rewrites the judge's verdict at each step —
+	// fault-injection hook for testing the oracle itself (forcing
+	// Unaffected simulates an unsound judge keeping stale documents).
+	Fault func(step int, v ivm.Verdict) ivm.Verdict
+}
+
+// IVMOutcome summarizes one incremental-maintenance oracle run.
+type IVMOutcome struct {
+	// Divergence is nil when incremental maintenance matched the oracle
+	// at every step.
+	Divergence *Divergence
+	// Steps counts applied mutations; Restamps how many the judge proved
+	// irrelevant (cached document kept); Fulls how many forced a
+	// re-evaluation; Truncated how many judgements hit a truncated
+	// change-log window.
+	Steps, Restamps, Fulls, Truncated int
+	// Skipped reports the instance was unusable for the IVM oracle (its
+	// initial evaluation aborts on a guard, so there is no document to
+	// maintain).
+	Skipped bool
+}
+
+// CheckIVM is the incremental-view-maintenance differential oracle: it
+// evaluates the instance's specialized grammar once, then replays the
+// mutation sequence the way the serving layer's refresher would —
+// judging each step's change-log deltas with ivm.Deps and either
+// keeping the cached document (judge says provably unaffected) or
+// re-evaluating — and after every step compares the maintained document
+// byte-for-byte against a from-scratch evaluation. Any mismatch is a
+// soundness bug in change capture, dependency extraction, or the judge,
+// and is reported on leg "ivm".
+//
+// The run mutates a clone of the instance's catalog, never the instance
+// itself, so CheckIVM can be re-run (shrinking, corpus replay) on the
+// same instance.
+func CheckIVM(inst *randaig.Instance, muts []Mutation, opts IVMOptions) IVMOutcome {
+	mkDiv := func(detail, want, got string) *Divergence {
+		return &Divergence{Seed: inst.Seed, Leg: "ivm", Detail: detail, Want: want, Got: got}
+	}
+	inst = &randaig.Instance{
+		Seed: inst.Seed, Cfg: inst.Cfg, AIG: inst.AIG,
+		Catalog: cloneCatalog(inst.Catalog), RootInh: inst.RootInh,
+		Recursive: inst.Recursive, UnfoldDepth: inst.UnfoldDepth,
+	}
+
+	comp, err := specialize.CompileConstraints(inst.AIG)
+	if err != nil {
+		return IVMOutcome{Divergence: mkDiv("constraint compilation failed: "+err.Error(), "", "")}
+	}
+	dec, err := specialize.DecomposeQueries(comp, inst.Schemas(), inst.Stats(), sqlmini.PlanOptions{})
+	if err != nil {
+		return IVMOutcome{Divergence: mkDiv("query decomposition failed: "+err.Error(), "", "")}
+	}
+	decU, err := specialize.Unfold(dec, inst.UnfoldDepth)
+	if err != nil {
+		return IVMOutcome{Divergence: mkDiv("unfold failed: "+err.Error(), "", "")}
+	}
+	deps, err := ivm.Extract(dec, inst.Schemas())
+	if err != nil {
+		return IVMOutcome{Divergence: mkDiv("dependency extraction failed: "+err.Error(), "", "")}
+	}
+	params, err := deps.ParamsFromInh(inst.RootInh)
+	if err != nil {
+		return IVMOutcome{Divergence: mkDiv("root parameter binding failed: "+err.Error(), "", "")}
+	}
+
+	if opts.LogCap != 0 {
+		forEachTable(inst.Catalog, func(_ string, t *relstore.Table) {
+			t.SetChangeLogLimit(opts.LogCap)
+		})
+	}
+
+	// Mutations can push the data into states the generator never
+	// produces (e.g. a choice-condition query matching zero rows), so
+	// evaluation errors are part of the judged outcome, not harness
+	// failures: the maintained state and the oracle must agree on them.
+	evaluate := func() (*xmltree.Node, error) {
+		return decU.Eval(inst.Env(), inst.RootInh)
+	}
+	outcomeStr := func(doc *xmltree.Node, err error) string {
+		if err != nil {
+			return "error: " + err.Error()
+		}
+		return doc.Canonical()
+	}
+
+	cachedDoc, cachedErr := evaluate()
+	if cachedErr != nil {
+		if isAbort(cachedErr) {
+			return IVMOutcome{Skipped: true}
+		}
+		return IVMOutcome{Divergence: mkDiv("initial evaluation failed: "+cachedErr.Error(), "", "")}
+	}
+	baseline := snapshotVersions(inst.Catalog)
+
+	var out IVMOutcome
+	for i, m := range muts {
+		changed, err := m.apply(inst.Catalog)
+		if err != nil {
+			return IVMOutcome{Divergence: mkDiv(fmt.Sprintf("step %d: applying %s: %v", i, m, err), "", "")}
+		}
+		if !changed {
+			continue
+		}
+		out.Steps++
+
+		// The refresher's decision: replay each moved table's deltas
+		// through the judge.
+		verdict := ivm.Unaffected
+		now := snapshotVersions(inst.Catalog)
+		for key, cur := range now {
+			old, ok := baseline[key]
+			if !ok || cur == old {
+				if !ok && deps.DependsOn(key.source, key.table) {
+					verdict = ivm.MaybeAffected
+				}
+				continue
+			}
+			if !deps.DependsOn(key.source, key.table) {
+				continue
+			}
+			cs, cerr := changesSince(inst.Catalog, key.source, key.table, old)
+			if cerr != nil {
+				return IVMOutcome{Divergence: mkDiv(fmt.Sprintf("step %d: deltas for %s:%s: %v", i, key.source, key.table, cerr), "", "")}
+			}
+			if cs.Truncated {
+				out.Truncated++
+			}
+			if deps.Judge(key.source, key.table, cs, params) != ivm.Unaffected {
+				verdict = ivm.MaybeAffected
+			}
+		}
+		baseline = now
+		if opts.Fault != nil {
+			verdict = opts.Fault(i, verdict)
+		}
+
+		if verdict == ivm.Unaffected {
+			out.Restamps++
+		} else {
+			out.Fulls++
+			cachedDoc, cachedErr = evaluate()
+		}
+
+		truthDoc, truthErr := evaluate()
+		if isAbort(truthErr) && isAbort(cachedErr) {
+			continue // both abort on a guard: equal outcome, as in compare()
+		}
+		want, got := outcomeStr(truthDoc, truthErr), outcomeStr(cachedDoc, cachedErr)
+		if want != got {
+			out.Divergence = mkDiv(
+				fmt.Sprintf("step %d (%s, verdict %v): maintained document differs from oracle", i, m, verdict),
+				want, got)
+			return out
+		}
+	}
+	return out
+}
+
+type tableKey struct{ source, table string }
+
+func forEachTable(cat *relstore.Catalog, fn func(source string, t *relstore.Table)) {
+	for _, dbName := range cat.DatabaseNames() {
+		db, err := cat.Database(dbName)
+		if err != nil {
+			continue
+		}
+		for _, tn := range db.TableNames() {
+			if t, err := db.Table(tn); err == nil {
+				fn(dbName, t)
+			}
+		}
+	}
+}
+
+func snapshotVersions(cat *relstore.Catalog) map[tableKey]uint64 {
+	out := make(map[tableKey]uint64)
+	forEachTable(cat, func(source string, t *relstore.Table) {
+		out[tableKey{source, t.Name()}] = t.Version()
+	})
+	return out
+}
+
+func changesSince(cat *relstore.Catalog, source, table string, since uint64) (relstore.ChangeSet, error) {
+	t, err := cat.Table(source, table)
+	if err != nil {
+		return relstore.ChangeSet{}, err
+	}
+	return t.ChangesSince(since), nil
+}
+
+// ShrinkIVM minimizes a diverging mutation sequence ddmin-style: it
+// tries dropping ever-smaller chunks of mutations while the "ivm" leg
+// keeps diverging (CheckIVM runs each candidate against a fresh catalog
+// clone). budget <= 0 means DefaultShrinkBudget checks.
+func ShrinkIVM(inst *randaig.Instance, muts []Mutation, opts IVMOptions, budget int) ([]Mutation, *Divergence, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	checks := 0
+	reproduces := func(candidate []Mutation) (*Divergence, bool) {
+		if checks >= budget {
+			return nil, false
+		}
+		checks++
+		out := CheckIVM(inst, candidate, opts)
+		return out.Divergence, out.Divergence != nil
+	}
+
+	cur := muts
+	var last *Divergence
+	if d, ok := reproduces(cur); ok {
+		last = d
+	} else {
+		return cur, nil, checks
+	}
+	for size := len(cur) / 2; size >= 1; {
+		removedAny := false
+		for start := 0; start+size <= len(cur); {
+			candidate := append(append([]Mutation(nil), cur[:start]...), cur[start+size:]...)
+			if d, ok := reproduces(candidate); ok {
+				cur, last = candidate, d
+				removedAny = true
+				continue // same start now covers the next chunk
+			}
+			start += size
+		}
+		if !removedAny {
+			size /= 2
+		} else if size > len(cur)/2 {
+			size = len(cur) / 2
+		}
+		if checks >= budget {
+			break
+		}
+	}
+	return cur, last, checks
+}

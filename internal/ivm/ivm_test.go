@@ -1,0 +1,164 @@
+package ivm
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+func hospitalDeps(t *testing.T) (*Deps, *relstore.Catalog) {
+	t.Helper()
+	cat := hospital.TinyCatalog()
+	reg := source.RegistryFromCatalog(cat)
+	comp, err := specialize.CompileConstraints(hospital.Sigma0(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := specialize.DecomposeQueries(comp, reg, reg, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deps, err := Extract(dec, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deps, cat
+}
+
+func changes(table string, op relstore.ChangeOp, rows ...relstore.Tuple) relstore.ChangeSet {
+	cs := relstore.ChangeSet{Table: table, Since: 1, Now: uint64(1 + len(rows))}
+	for i, row := range rows {
+		cs.Changes = append(cs.Changes, relstore.Change{Ver: uint64(2 + i), Op: op, Row: row})
+	}
+	return cs
+}
+
+func TestDependsOn(t *testing.T) {
+	deps, _ := hospitalDeps(t)
+	for _, tc := range []struct {
+		source, table string
+		want          bool
+	}{
+		{"DB1", "patient", true},
+		{"DB1", "visitInfo", true},
+		{"DB2", "cover", true},
+		{"DB3", "billing", true},
+		{"DB4", "treatment", true},
+		{"DB4", "procedure", true},
+		{"DB1", "nope", false},
+		{"DB9", "patient", false},
+	} {
+		if got := deps.DependsOn(tc.source, tc.table); got != tc.want {
+			t.Errorf("DependsOn(%s,%s) = %v, want %v", tc.source, tc.table, got, tc.want)
+		}
+	}
+	if n := len(deps.Tables("DB4")); n != 2 {
+		t.Errorf("Tables(DB4) = %v", deps.Tables("DB4"))
+	}
+}
+
+func TestRootCopyAnalysisTracesDateThroughCopies(t *testing.T) {
+	comp, err := specialize.CompileConstraints(hospital.Sigma0(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rootCopyMap(comp)
+	// Inh(treatments).date is copied report -> patient -> treatments.
+	if got := st["treatments"]["date"]; got != "date" {
+		t.Errorf("treatments.date traced to %q, want \"date\"", got)
+	}
+	// Inh(treatments).SSN comes from Q1's output: not a root copy.
+	if got := st["treatments"]["SSN"]; got != botMark {
+		t.Errorf("treatments.SSN traced to %q, want bottom", got)
+	}
+	// Inh(treatment).trId is query-bound in both creating productions.
+	if got := st["treatment"]["trId"]; got != botMark {
+		t.Errorf("treatment.trId traced to %q, want bottom", got)
+	}
+}
+
+func TestJudgeProvablyIrrelevantVisitInsert(t *testing.T) {
+	deps, _ := hospitalDeps(t)
+	params, err := deps.ParseParams(map[string]string{"date": "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A visit on another date fails the root-bound date predicate on
+	// every visitInfo scan (Q1 directly, Q2's chain step through the
+	// copy chain), inserted or deleted.
+	other := relstore.Tuple{relstore.String("s1"), relstore.String("t3"), relstore.String("d9")}
+	if v := deps.Judge("DB1", "visitInfo", changes("visitInfo", relstore.ChangeInsert, other), params); v != Unaffected {
+		t.Errorf("insert of other-date visit judged %v, want unaffected", v)
+	}
+	if v := deps.Judge("DB1", "visitInfo", changes("visitInfo", relstore.ChangeDelete, other), params); v != Unaffected {
+		t.Errorf("delete of other-date visit judged %v, want unaffected", v)
+	}
+
+	// The same row IS relevant when the view is evaluated for d9.
+	params9, err := deps.ParseParams(map[string]string{"date": "d9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := deps.Judge("DB1", "visitInfo", changes("visitInfo", relstore.ChangeInsert, other), params9); v != MaybeAffected {
+		t.Errorf("insert of matching-date visit judged %v, want maybe-affected", v)
+	}
+}
+
+func TestJudgeMatchingDateIsMaybeAffected(t *testing.T) {
+	deps, _ := hospitalDeps(t)
+	params, err := deps.ParseParams(map[string]string{"date": "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := relstore.Tuple{relstore.String("s1"), relstore.String("t3"), relstore.String("d1")}
+	if v := deps.Judge("DB1", "visitInfo", changes("visitInfo", relstore.ChangeInsert, row), params); v != MaybeAffected {
+		t.Errorf("judged %v, want maybe-affected", v)
+	}
+	// A batch mixing irrelevant and relevant rows is relevant.
+	other := relstore.Tuple{relstore.String("s1"), relstore.String("t3"), relstore.String("d9")}
+	if v := deps.Judge("DB1", "visitInfo", changes("visitInfo", relstore.ChangeInsert, other, row), params); v != MaybeAffected {
+		t.Errorf("mixed batch judged %v, want maybe-affected", v)
+	}
+}
+
+func TestJudgeUnprovableScansAlwaysMaybeAffected(t *testing.T) {
+	deps, _ := hospitalDeps(t)
+	params, err := deps.ParseParams(map[string]string{"date": "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// patient has no judgeable predicates: every change is relevant.
+	row := relstore.Tuple{relstore.String("s9"), relstore.String("zed"), relstore.String("gold")}
+	if v := deps.Judge("DB1", "patient", changes("patient", relstore.ChangeInsert, row), params); v != MaybeAffected {
+		t.Errorf("patient insert judged %v, want maybe-affected", v)
+	}
+}
+
+func TestJudgeTruncatedAndNonDependency(t *testing.T) {
+	deps, _ := hospitalDeps(t)
+	params, err := deps.ParseParams(map[string]string{"date": "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := deps.Judge("DB1", "visitInfo", relstore.ChangeSet{Table: "visitInfo", Truncated: true}, params); v != MaybeAffected {
+		t.Errorf("truncated window judged %v, want maybe-affected", v)
+	}
+	row := relstore.Tuple{relstore.String("x")}
+	if v := deps.Judge("DB1", "unrelated", changes("unrelated", relstore.ChangeInsert, row), params); v != Unaffected {
+		t.Errorf("non-dependency judged %v, want unaffected", v)
+	}
+}
+
+func TestParseParamsValidates(t *testing.T) {
+	deps, _ := hospitalDeps(t)
+	if _, err := deps.ParseParams(map[string]string{}); err == nil {
+		t.Error("missing parameter must error")
+	}
+	if _, err := deps.ParseParams(map[string]string{"date": "d1"}); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}

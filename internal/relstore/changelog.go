@@ -1,0 +1,110 @@
+package relstore
+
+// Change capture: every table carries a monotonic version and a bounded
+// log of row-level deltas so that incremental view maintenance can ask
+// "what changed since version v?" instead of re-reading the relation.
+// Operations that cannot be expressed as inserts and deletes (sorting,
+// wholesale replacement) reset the log; readers that fall off the
+// retained window get ChangeSet.Truncated and must fall back to a full
+// refresh.
+
+// ChangeOp is the kind of a row-level delta.
+type ChangeOp uint8
+
+const (
+	// ChangeInsert records a row appended to the table.
+	ChangeInsert ChangeOp = iota
+	// ChangeDelete records a row removed from the table.
+	ChangeDelete
+)
+
+// String returns "insert" or "delete".
+func (op ChangeOp) String() string {
+	if op == ChangeInsert {
+		return "insert"
+	}
+	return "delete"
+}
+
+// Change is one row-level delta. Ver is the table version the change
+// produced; a multi-row operation (DeleteWhere, Distinct) logs all its
+// rows under a single version.
+type Change struct {
+	Ver uint64
+	Op  ChangeOp
+	Row Tuple
+}
+
+// ChangeSet is the answer to "what happened to this table after version
+// Since?". When Truncated is true the log no longer covers the window
+// (the table was sorted or replaced, the caller's version is from a
+// different incarnation, or the bounded log dropped old entries) and
+// Changes must be ignored in favour of a full refresh. Otherwise
+// replaying Changes over the state at Since yields the state at Now.
+type ChangeSet struct {
+	Table     string
+	Since     uint64
+	Now       uint64
+	Truncated bool
+	Changes   []Change
+}
+
+// DefaultChangeLogLimit bounds how many row deltas a table retains when
+// no explicit limit is configured.
+const DefaultChangeLogLimit = 1024
+
+// changeLog is the bounded per-table delta log. All fields are guarded
+// by the owning table's mutex.
+type changeLog struct {
+	limit    int // 0 = DefaultChangeLogLimit, negative = logging disabled
+	disabled bool
+	// minVer is the version floor: the log covers (minVer, table.version].
+	// Requests for older windows are truncated.
+	minVer  uint64
+	entries []Change
+}
+
+func (l *changeLog) capLimit() int {
+	if l.limit > 0 {
+		return l.limit
+	}
+	return DefaultChangeLogLimit
+}
+
+// appendLocked records one delta, evicting from the front when the
+// bound is exceeded. Eviction moves the floor to the evicted version, so
+// partially retained multi-row versions are reported truncated rather
+// than half-replayed.
+func (l *changeLog) appendLocked(ch Change) {
+	if l.disabled {
+		l.minVer = ch.Ver
+		return
+	}
+	l.entries = append(l.entries, ch)
+	for len(l.entries) > l.capLimit() {
+		l.minVer = l.entries[0].Ver
+		l.entries = l.entries[1:]
+	}
+}
+
+// resetLocked drops the log and moves the floor to now: every window
+// starting before now becomes truncated.
+func (l *changeLog) resetLocked(now uint64) {
+	l.minVer = now
+	l.entries = nil
+}
+
+// sinceLocked collects the deltas after since, or reports truncation.
+func (l *changeLog) sinceLocked(table string, since, now uint64) ChangeSet {
+	cs := ChangeSet{Table: table, Since: since, Now: now}
+	if since > now || since < l.minVer {
+		cs.Truncated = true
+		return cs
+	}
+	for _, ch := range l.entries {
+		if ch.Ver > since {
+			cs.Changes = append(cs.Changes, ch)
+		}
+	}
+	return cs
+}

@@ -21,7 +21,7 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		return err
 	}
 	record := make([]string, len(t.schema))
-	for _, row := range t.rows {
+	for _, row := range t.rowsSnap() {
 		for i, v := range row {
 			record[i] = v.Text()
 		}

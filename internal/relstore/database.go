@@ -12,11 +12,15 @@ import (
 type Database struct {
 	name string
 
-	// version counts mutations: any operation that can change what a
-	// query over this database returns (registering or dropping a table,
-	// inserting rows, reordering or deduplicating a registered table)
-	// bumps it. Reads never do. Result caches key on it to invalidate
-	// entries when the underlying data moves.
+	// version is a seqlock-style data version: any operation that can
+	// change what a query over this database returns (registering or
+	// dropping a table, inserting rows, reordering or deduplicating a
+	// registered table) advances it, reads never do. Registered-table
+	// mutations bump it twice — to an odd value before any data becomes
+	// visible and back to even after — so an observer that reads an even
+	// version, then data, then the same even version has proof the data
+	// is exactly the state at that version. Result caches key on it and
+	// rely on that proof to cache only consistent snapshots.
 	version atomic.Uint64
 
 	mu     sync.RWMutex
@@ -37,19 +41,37 @@ func (db *Database) Version() uint64 { return db.version.Load() }
 
 // BumpVersion advances the data version by hand — the escape hatch for
 // callers that mutate table contents through means the database cannot
-// observe.
-func (db *Database) BumpVersion() { db.version.Add(1) }
+// observe. It advances by two to preserve the even-means-quiescent
+// parity convention (such mutations cannot be bracketed anyway).
+func (db *Database) BumpVersion() { db.version.Add(2) }
+
+// beginMutation and endMutation bracket a registered table's mutation:
+// odd while data may be in flux, even again once the mutation is fully
+// visible.
+func (db *Database) beginMutation() { db.version.Add(1) }
+func (db *Database) endMutation()   { db.version.Add(1) }
+
+// Quiesced reports whether no registered-table mutation is in flight
+// at the moment of the call (the version is even).
+func (db *Database) Quiesced() bool { return db.version.Load()%2 == 0 }
 
 // AddTable registers a table. It replaces any existing table with the same
 // name, which is how the mediator installs temporary parameter tables.
 // The table is hooked so that its future mutations bump the database's
-// data version.
+// data version. When a table is replaced, the newcomer's version is
+// advanced past the predecessor's and its change log reset, so the
+// version sequence observed under one table name stays monotonic and
+// replacement shows up as a truncated delta window (full refresh).
 func (db *Database) AddTable(t *Table) {
 	db.mu.Lock()
+	prev := db.tables[t.Name()]
 	db.tables[t.Name()] = t
 	db.mu.Unlock()
-	t.addOnMutate(db.BumpVersion)
-	db.version.Add(1)
+	if prev != nil && prev != t {
+		t.resetLogPast(prev.Version())
+	}
+	t.hookMutations(db.beginMutation, db.endMutation)
+	db.version.Add(2)
 }
 
 // CreateTable creates, registers and returns an empty table.
@@ -66,7 +88,7 @@ func (db *Database) DropTable(name string) {
 	delete(db.tables, name)
 	db.mu.Unlock()
 	if present {
-		db.version.Add(1)
+		db.version.Add(2)
 	}
 }
 
@@ -103,6 +125,28 @@ func (db *Database) TableNames() []string {
 	return names
 }
 
+// TableVersions returns the current data version of every table, keyed
+// by table name.
+func (db *Database) TableVersions() map[string]uint64 {
+	db.mu.RLock()
+	out := make(map[string]uint64, len(db.tables))
+	for name, t := range db.tables {
+		out[name] = t.Version()
+	}
+	db.mu.RUnlock()
+	return out
+}
+
+// ChangesSince returns the named table's row deltas after version since
+// (possibly truncated). Unknown tables yield an error.
+func (db *Database) ChangesSince(table string, since uint64) (ChangeSet, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return ChangeSet{}, err
+	}
+	return t.ChangesSince(since), nil
+}
+
 // Clone returns a deep copy of the database. The copy starts at data
 // version zero with its tables hooked to bump the copy, not the
 // original.
@@ -116,7 +160,7 @@ func (db *Database) Clone() *Database {
 	db.mu.RUnlock()
 	for _, t := range clones {
 		out.tables[t.Name()] = t
-		t.addOnMutate(out.BumpVersion)
+		t.hookMutations(out.beginMutation, out.endMutation)
 	}
 	return out
 }

@@ -7,3 +7,8 @@ import "github.com/aigrepro/aig/internal/obs"
 // generation, which builds tables the same way).
 var metricInserts = obs.Default.NewCounter("aig_relstore_inserts_total",
 	"rows inserted into in-memory tables")
+
+// metricDeletes counts rows removed from in-memory tables — the write
+// path incremental view maintenance turns into delete deltas.
+var metricDeletes = obs.Default.NewCounter("aig_relstore_deletes_total",
+	"rows deleted from in-memory tables")

@@ -5,23 +5,44 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Table is an in-memory relation: a schema plus an ordered multiset of
-// tuples. Hash indexes are built lazily per column set and invalidated on
-// mutation. Tables are safe for concurrent readers; writers must be
-// externally serialized with respect to readers (the mediator ships
-// immutable result tables, so this matches usage).
+// tuples. Row storage is copy-on-write: readers load an immutable
+// snapshot through an atomic pointer, so reads are safe against a
+// concurrent writer without locking. Writers are serialized by the table
+// mutex. A position returned by Lookup is only meaningful against the
+// snapshot it was built from, so callers that mix Lookup with Row must
+// not race with writers (the mediator's intermediate tables never do).
+//
+// Every mutation advances a monotonic per-table version and, when the
+// mutation is expressible as row inserts/deletes, appends the delta to a
+// bounded change log consumed by incremental view maintenance.
 type Table struct {
 	name   string
 	schema Schema
-	rows   []Tuple
 
-	mu      sync.Mutex
+	// snap is the published row snapshot: an immutable slice with
+	// len == cap, possibly aliasing a prefix of buf.
+	snap atomic.Pointer[[]Tuple]
+
+	// version counts mutations of this table, starting at zero.
+	version atomic.Uint64
+
+	mu sync.Mutex
+	// buf is the writer-side buffer. The prefix published in snap is
+	// never rewritten in place; appends either fill spare capacity the
+	// snapshot cannot see or reallocate.
+	buf     []Tuple
 	indexes map[string]*hashIndex
-	// onMutate is invoked after every mutating operation (insert, sort,
-	// distinct). Databases hook registered tables here so that table
-	// mutations advance the database's data version.
+	log     changeLog
+	// onBegin fires before a mutation publishes any data, onMutate after
+	// the mutation is fully visible. Databases hook registered tables
+	// here so the database's seqlock-style data version goes odd for the
+	// duration of the write and lands even past it — the bracket version
+	// caches use to recognize consistent snapshots.
+	onBegin  []func()
 	onMutate []func()
 }
 
@@ -41,24 +62,99 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table's schema. Callers must not mutate it.
 func (t *Table) Schema() Schema { return t.schema }
 
+// rowsSnap loads the current immutable row snapshot.
+func (t *Table) rowsSnap() []Tuple {
+	if p := t.snap.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// publishLocked makes the current buffer the visible snapshot. The
+// three-index slice caps the snapshot at its length so later in-place
+// appends to spare buffer capacity stay invisible to readers.
+func (t *Table) publishLocked() {
+	s := t.buf[:len(t.buf):len(t.buf)]
+	t.snap.Store(&s)
+}
+
 // Len returns the number of tuples (the relation's cardinality).
-func (t *Table) Len() int { return len(t.rows) }
+func (t *Table) Len() int { return len(t.rowsSnap()) }
 
 // Row returns the i-th tuple. Callers must not mutate it.
-func (t *Table) Row(i int) Tuple { return t.rows[i] }
+func (t *Table) Row(i int) Tuple { return t.rowsSnap()[i] }
 
-// Rows returns the underlying tuple slice. Callers must not mutate it;
-// use Insert to add rows.
-func (t *Table) Rows() []Tuple { return t.rows }
+// Rows returns the current row snapshot. Callers must not mutate it;
+// use Insert to add rows. The snapshot is immutable: it does not observe
+// later mutations.
+func (t *Table) Rows() []Tuple { return t.rowsSnap() }
 
-// addOnMutate registers a callback fired after every mutation.
-func (t *Table) addOnMutate(fn func()) {
+// Version returns the table's data version: a monotonic counter that
+// increases on every mutating operation and never on reads. A reader
+// that observes version v through Rows() sees at least the mutations up
+// to v.
+func (t *Table) Version() uint64 { return t.version.Load() }
+
+// SetChangeLogLimit bounds the change log to n row deltas (0 restores
+// DefaultChangeLogLimit). A negative n disables delta logging entirely:
+// every ChangesSince window is reported truncated, forcing full
+// refreshes.
+func (t *Table) SetChangeLogLimit(n int) {
 	t.mu.Lock()
-	t.onMutate = append(t.onMutate, fn)
+	defer t.mu.Unlock()
+	if n < 0 {
+		t.log.disabled = true
+		t.log.limit = 0
+		t.log.resetLocked(t.version.Load())
+		return
+	}
+	t.log.disabled = false
+	t.log.limit = n
+	for n > 0 && len(t.log.entries) > n {
+		t.log.minVer = t.log.entries[0].Ver
+		t.log.entries = t.log.entries[1:]
+	}
+}
+
+// ChangesSince returns the row deltas after version since, or a
+// truncated ChangeSet when the bounded log no longer covers the window.
+func (t *Table) ChangesSince(since uint64) ChangeSet {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.log.sinceLocked(t.name, since, t.version.Load())
+}
+
+// resetLogPastLocked is used when this table replaces another under the
+// same name: its version jumps past the predecessor's so the sequence
+// observed by name stays monotonic, and the log resets because already
+// logged deltas carry stale version numbers.
+func (t *Table) resetLogPast(prev uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if cur := t.version.Load(); cur <= prev {
+		t.version.Store(prev + 1)
+	}
+	t.log.resetLocked(t.version.Load())
+}
+
+// hookMutations registers a (begin, end) callback pair bracketing every
+// mutation.
+func (t *Table) hookMutations(begin, end func()) {
+	t.mu.Lock()
+	t.onBegin = append(t.onBegin, begin)
+	t.onMutate = append(t.onMutate, end)
 	t.mu.Unlock()
 }
 
-// mutated runs the mutation callbacks outside the table lock.
+// beginMutateLocked runs the begin callbacks. Writers call it under the
+// table lock, before publishing any data.
+func (t *Table) beginMutateLocked() {
+	for _, fn := range t.onBegin {
+		fn()
+	}
+}
+
+// mutated runs the end-of-mutation callbacks outside the table lock.
 func (t *Table) mutated() {
 	t.mu.Lock()
 	fns := t.onMutate
@@ -74,8 +170,12 @@ func (t *Table) Insert(row Tuple) error {
 		return fmt.Errorf("table %q: %v", t.name, err)
 	}
 	t.mu.Lock()
-	t.rows = append(t.rows, row)
+	t.beginMutateLocked()
+	t.buf = append(t.buf, row)
+	t.publishLocked()
 	t.indexes = nil // invalidate
+	ver := t.version.Add(1)
+	t.log.appendLocked(Change{Ver: ver, Op: ChangeInsert, Row: row})
 	t.mu.Unlock()
 	metricInserts.Inc()
 	t.mutated()
@@ -125,6 +225,63 @@ func (t *Table) InsertValues(vals ...any) error {
 	return t.Insert(row)
 }
 
+// DeleteAt removes the i-th row and returns it.
+func (t *Table) DeleteAt(i int) (Tuple, error) {
+	t.mu.Lock()
+	if i < 0 || i >= len(t.buf) {
+		n := len(t.buf)
+		t.mu.Unlock()
+		return nil, fmt.Errorf("table %q: delete index %d out of range [0,%d)", t.name, i, n)
+	}
+	row := t.buf[i]
+	t.beginMutateLocked()
+	// The published prefix may alias buf, so removal copies instead of
+	// shifting in place.
+	next := make([]Tuple, 0, len(t.buf)-1)
+	next = append(next, t.buf[:i]...)
+	next = append(next, t.buf[i+1:]...)
+	t.buf = next
+	t.publishLocked()
+	t.indexes = nil
+	ver := t.version.Add(1)
+	t.log.appendLocked(Change{Ver: ver, Op: ChangeDelete, Row: row})
+	t.mu.Unlock()
+	metricDeletes.Inc()
+	t.mutated()
+	return row, nil
+}
+
+// DeleteWhere removes every row the predicate matches, returning the
+// count. All removals are logged under a single new table version.
+func (t *Table) DeleteWhere(match func(Tuple) bool) int {
+	t.mu.Lock()
+	var removed []Tuple
+	next := make([]Tuple, 0, len(t.buf))
+	for _, row := range t.buf {
+		if match(row) {
+			removed = append(removed, row)
+		} else {
+			next = append(next, row)
+		}
+	}
+	if len(removed) == 0 {
+		t.mu.Unlock()
+		return 0
+	}
+	t.beginMutateLocked()
+	t.buf = next
+	t.publishLocked()
+	t.indexes = nil
+	ver := t.version.Add(1)
+	for _, row := range removed {
+		t.log.appendLocked(Change{Ver: ver, Op: ChangeDelete, Row: row})
+	}
+	t.mu.Unlock()
+	metricDeletes.Add(int64(len(removed)))
+	t.mutated()
+	return len(removed)
+}
+
 // Lookup returns the positions of all rows whose projection onto cols
 // equals key. It builds (and caches) a hash index on cols on first use.
 func (t *Table) Lookup(cols []int, key Tuple) []int {
@@ -150,7 +307,7 @@ func (t *Table) index(cols []int) *hashIndex {
 		return idx
 	}
 	idx := &hashIndex{cols: cols, buckets: make(map[string][]int)}
-	for i, row := range t.rows {
+	for i, row := range t.rowsSnap() {
 		k := row.KeyOn(cols)
 		idx.buckets[k] = append(idx.buckets[k], i)
 	}
@@ -169,8 +326,9 @@ func indexSignature(cols []int) string {
 // DistinctCount returns the number of distinct values in the given column,
 // used by selectivity estimation.
 func (t *Table) DistinctCount(col int) int {
-	seen := make(map[string]struct{}, len(t.rows))
-	for _, row := range t.rows {
+	rows := t.rowsSnap()
+	seen := make(map[string]struct{}, len(rows))
+	for _, row := range rows {
 		seen[row[col].Key()] = struct{}{}
 	}
 	return len(seen)
@@ -179,31 +337,37 @@ func (t *Table) DistinctCount(col int) int {
 // ByteSize returns the approximate total wire size of the table's rows.
 func (t *Table) ByteSize() int {
 	n := 0
-	for _, row := range t.rows {
+	for _, row := range t.rowsSnap() {
 		n += row.ByteSize()
 	}
 	return n
 }
 
-// Clone returns a deep copy of the table (indexes are not copied).
+// Clone returns a deep copy of the table (indexes, version and change
+// log are not copied: the clone is a fresh incarnation at version zero).
 func (t *Table) Clone() *Table {
+	rows := t.rowsSnap()
 	out := NewTable(t.name, t.schema)
-	out.rows = make([]Tuple, len(t.rows))
-	for i, row := range t.rows {
-		out.rows[i] = row.Clone()
+	out.buf = make([]Tuple, len(rows))
+	for i, row := range rows {
+		out.buf[i] = row.Clone()
 	}
+	out.publishLocked()
 	return out
 }
 
 // Sort orders the table's rows lexicographically by the given columns
 // (all columns when cols is nil). Sorting is stable. The tagger relies on
-// this to group rows by their path-encoding prefix.
+// this to group rows by their path-encoding prefix. Reordering is not
+// expressible as row deltas, so Sort resets the change log: pending
+// ChangesSince windows come back truncated.
 func (t *Table) Sort(cols []int) {
 	t.mu.Lock()
-	t.indexes = nil
-	t.mu.Unlock()
-	sort.SliceStable(t.rows, func(i, j int) bool {
-		a, b := t.rows[i], t.rows[j]
+	t.beginMutateLocked()
+	next := make([]Tuple, len(t.buf))
+	copy(next, t.buf)
+	sort.SliceStable(next, func(i, j int) bool {
+		a, b := next[i], next[j]
 		if cols == nil {
 			return a.Compare(b) < 0
 		}
@@ -214,24 +378,39 @@ func (t *Table) Sort(cols []int) {
 		}
 		return false
 	})
+	t.buf = next
+	t.publishLocked()
+	t.indexes = nil
+	ver := t.version.Add(1)
+	t.log.resetLocked(ver)
+	t.mu.Unlock()
 	t.mutated()
 }
 
-// Distinct removes duplicate rows in place, keeping first occurrences.
+// Distinct removes duplicate rows, keeping first occurrences. Dropped
+// duplicates are logged as deletes (order of survivors is unchanged).
 func (t *Table) Distinct() {
-	seen := make(map[string]struct{}, len(t.rows))
-	out := t.rows[:0]
-	for _, row := range t.rows {
+	t.mu.Lock()
+	t.beginMutateLocked()
+	seen := make(map[string]struct{}, len(t.buf))
+	out := make([]Tuple, 0, len(t.buf))
+	var dropped []Tuple
+	for _, row := range t.buf {
 		k := row.Key()
 		if _, dup := seen[k]; dup {
+			dropped = append(dropped, row)
 			continue
 		}
 		seen[k] = struct{}{}
 		out = append(out, row)
 	}
-	t.mu.Lock()
-	t.rows = out
+	t.buf = out
+	t.publishLocked()
 	t.indexes = nil
+	ver := t.version.Add(1)
+	for _, row := range dropped {
+		t.log.appendLocked(Change{Ver: ver, Op: ChangeDelete, Row: row})
+	}
 	t.mu.Unlock()
 	t.mutated()
 }
@@ -239,14 +418,15 @@ func (t *Table) Distinct() {
 // Equal reports whether two tables have equal schemas and equal rows as
 // multisets (order-insensitive).
 func (t *Table) Equal(u *Table) bool {
-	if !t.schema.Equal(u.schema) || len(t.rows) != len(u.rows) {
+	trows, urows := t.rowsSnap(), u.rowsSnap()
+	if !t.schema.Equal(u.schema) || len(trows) != len(urows) {
 		return false
 	}
-	counts := make(map[string]int, len(t.rows))
-	for _, row := range t.rows {
+	counts := make(map[string]int, len(trows))
+	for _, row := range trows {
 		counts[row.Key()]++
 	}
-	for _, row := range u.rows {
+	for _, row := range urows {
 		counts[row.Key()]--
 		if counts[row.Key()] < 0 {
 			return false
@@ -258,9 +438,10 @@ func (t *Table) Equal(u *Table) bool {
 // String renders the table with its schema and up to 20 rows, for
 // debugging and error messages.
 func (t *Table) String() string {
+	rows := t.rowsSnap()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s%s [%d rows]", t.name, t.schema, len(t.rows))
-	for i, row := range t.rows {
+	fmt.Fprintf(&b, "%s%s [%d rows]", t.name, t.schema, len(rows))
+	for i, row := range rows {
 		if i == 20 {
 			b.WriteString("\n  ...")
 			break

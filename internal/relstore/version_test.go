@@ -97,6 +97,33 @@ func TestVersionCloneIsIndependent(t *testing.T) {
 	}
 }
 
+func TestVersionSeqlockParity(t *testing.T) {
+	db, tab := newVersionedDB(t)
+	if !db.Quiesced() {
+		t.Fatal("quiescent database reports a mutation in flight")
+	}
+	// A probe hook registered after the database's own hooks observes the
+	// version mid-mutation: it must be odd (write in flight), and land
+	// even again once the mutation is complete.
+	var during []uint64
+	tab.hookMutations(func() { during = append(during, db.Version()) }, func() {})
+	tab.MustInsert(Tuple{String("s4"), String("dave")})
+	if len(during) != 1 || during[0]%2 == 0 {
+		t.Fatalf("version during mutation = %v, want one odd value", during)
+	}
+	if v := db.Version(); v%2 != 0 {
+		t.Fatalf("version %d after mutation, want even", v)
+	}
+	tab.Sort(nil)
+	tab.Distinct()
+	if _, err := tab.DeleteAt(0); err != nil {
+		t.Fatal(err)
+	}
+	if v := db.Version(); v%2 != 0 {
+		t.Fatalf("version %d after mutation burst, want even", v)
+	}
+}
+
 func must(err error) {
 	if err != nil {
 		panic(err)

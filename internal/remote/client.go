@@ -198,6 +198,28 @@ func (c *Client) DataVersion() (uint64, error) {
 	return resp.Version, nil
 }
 
+// TableVersions implements source.Source: the engine-side per-table
+// data versions, so the refresher attributes remote mutations to the
+// tables that changed.
+func (c *Client) TableVersions() (map[string]uint64, error) {
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqTableVersions}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Versions, nil
+}
+
+// ChangesSince implements source.Source. A restarted or log-bounded
+// engine answers with a truncated ChangeSet rather than an error, so
+// callers fall back to a full refresh.
+func (c *Client) ChangesSince(table string, since uint64) (relstore.ChangeSet, error) {
+	var resp response
+	if err := c.roundTrip(&request{Kind: reqChanges, Table: table, Since: since}, &resp); err != nil {
+		return relstore.ChangeSet{}, err
+	}
+	return changeSetFromWire(resp.Deltas), nil
+}
+
 // Estimate implements source.Source (the costing API of §5.2).
 func (c *Client) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (source.Estimate, error) {
 	req := &request{

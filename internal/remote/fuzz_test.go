@@ -1,0 +1,61 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/relstore"
+)
+
+// FuzzChangeSetWire checks that arbitrary change sets survive the wire:
+// wire encoding, gob serialization and decoding compose to the
+// identity. The raw input drives a small interpreter that builds the
+// ChangeSet, so the fuzzer explores shapes (empty rows, null values,
+// negative ints, truncation flags) rather than gob's framing.
+func FuzzChangeSetWire(f *testing.F) {
+	f.Add("patient", uint64(0), uint64(3), false, []byte{0, 1, 2, 3, 4, 5})
+	f.Add("", uint64(9), uint64(2), true, []byte{})
+	f.Add("t", uint64(1), uint64(1), false, []byte{255, 254, 253, 7, 9, 11, 200, 1})
+
+	f.Fuzz(func(t *testing.T, table string, since, now uint64, truncated bool, data []byte) {
+		cs := relstore.ChangeSet{Table: table, Since: since, Now: now, Truncated: truncated}
+		ver := since
+		for len(data) > 0 {
+			n := int(data[0] % 5) // row width 0..4
+			data = data[1:]
+			ch := relstore.Change{Ver: ver}
+			if n%2 == 1 {
+				ch.Op = relstore.ChangeDelete
+			}
+			ver++
+			for i := 0; i < n && len(data) > 0; i++ {
+				b := data[0]
+				data = data[1:]
+				switch b % 3 {
+				case 0:
+					ch.Row = append(ch.Row, relstore.Int(int64(b)-128))
+				case 1:
+					ch.Row = append(ch.Row, relstore.String(string(rune(b))))
+				default:
+					ch.Row = append(ch.Row, relstore.Null)
+				}
+			}
+			cs.Changes = append(cs.Changes, ch)
+		}
+
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(changeSetToWire(cs)); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var w wireChangeSet
+		if err := gob.NewDecoder(&buf).Decode(&w); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		got := changeSetFromWire(w)
+		if !reflect.DeepEqual(got, cs) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, cs)
+		}
+	})
+}

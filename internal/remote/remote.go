@@ -30,6 +30,8 @@ const (
 	reqEstimate
 	reqExec
 	reqVersion
+	reqTableVersions
+	reqChanges
 )
 
 // wireValue is the gob-encodable form of a relstore.Value.
@@ -116,11 +118,55 @@ func bindingFromWire(w wireTable) (sqlmini.Binding, error) {
 	return sqlmini.Binding{Schema: schema, Rows: rows}, nil
 }
 
+// wireChange is the gob-encodable form of one row delta.
+type wireChange struct {
+	Ver uint64
+	Op  uint8
+	Row []wireValue
+}
+
+// wireChangeSet is the gob-encodable form of a relstore.ChangeSet: the
+// answer to a reqChanges request. Truncated survives the trip so remote
+// consumers fall back to a full refresh exactly like local ones.
+type wireChangeSet struct {
+	Table     string
+	Since     uint64
+	Now       uint64
+	Truncated bool
+	Changes   []wireChange
+}
+
+func changeSetToWire(cs relstore.ChangeSet) wireChangeSet {
+	w := wireChangeSet{Table: cs.Table, Since: cs.Since, Now: cs.Now, Truncated: cs.Truncated}
+	for _, ch := range cs.Changes {
+		wc := wireChange{Ver: ch.Ver, Op: uint8(ch.Op)}
+		wc.Row = make([]wireValue, len(ch.Row))
+		for i, v := range ch.Row {
+			wc.Row[i] = toWire(v)
+		}
+		w.Changes = append(w.Changes, wc)
+	}
+	return w
+}
+
+func changeSetFromWire(w wireChangeSet) relstore.ChangeSet {
+	cs := relstore.ChangeSet{Table: w.Table, Since: w.Since, Now: w.Now, Truncated: w.Truncated}
+	for _, wc := range w.Changes {
+		ch := relstore.Change{Ver: wc.Ver, Op: relstore.ChangeOp(wc.Op)}
+		for _, wv := range wc.Row {
+			ch.Row = append(ch.Row, fromWire(wv))
+		}
+		cs.Changes = append(cs.Changes, ch)
+	}
+	return cs
+}
+
 // request is one client->server message.
 type request struct {
 	Kind   reqKind
 	Table  string
 	Column string
+	Since  uint64
 
 	SQL          string
 	Params       map[string]wireTable
@@ -137,6 +183,8 @@ type response struct {
 	SchemaSpec []string
 	Card       int
 	Version    uint64
+	Versions   map[string]uint64
+	Deltas     wireChangeSet
 
 	EstCost  float64
 	EstRows  float64
@@ -183,6 +231,17 @@ func handle(local *source.Local, req *request) *response {
 		v, err := local.DataVersion()
 		resp.Version = v
 		resp.setError(err)
+	case reqTableVersions:
+		vers, err := local.TableVersions()
+		resp.Versions = vers
+		resp.setError(err)
+	case reqChanges:
+		cs, err := local.ChangesSince(req.Table, req.Since)
+		if err != nil {
+			resp.setError(err)
+			return resp
+		}
+		resp.Deltas = changeSetToWire(cs)
 	case reqEstimate:
 		q, err := sqlmini.Parse(req.SQL)
 		if err != nil {

@@ -7,12 +7,38 @@ import (
 )
 
 // cacheEntry is one materialized view result: the rendered XML bytes
-// plus the evaluation facts the server reports in response headers.
+// plus the evaluation facts the server reports in response headers and
+// the provenance the background refresher needs to keep the entry warm
+// (which view and parameters produced it, under which data-version
+// stamp, at which per-table versions).
 type cacheEntry struct {
 	body    []byte
 	depth   int
 	evalSec float64
 	created time.Time
+
+	view   string
+	params map[string]string
+	// keyPrefix is the stamp-independent part of the cache key
+	// (view + canonical params): the entry's logical identity across
+	// refreshes.
+	keyPrefix string
+	// stamp is the per-source data-version stamp the entry was
+	// materialized under: the body equals a from-scratch evaluation at
+	// exactly these versions.
+	stamp string
+	// tableVers records the per-table versions at the stamp, the
+	// baseline ChangesSince windows are judged from.
+	tableVers map[string]map[string]uint64
+}
+
+// restamped returns a copy of the entry carrying a newer stamp: the
+// judge proved the body unchanged, only the provenance moves.
+func (e *cacheEntry) restamped(stamp string, tableVers map[string]map[string]uint64) *cacheEntry {
+	out := *e
+	out.stamp = stamp
+	out.tableVers = tableVers
+	return &out
 }
 
 // lru is a fixed-capacity least-recently-used cache from full cache
@@ -90,4 +116,43 @@ func (c *lru) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Snapshot returns the current (key, entry) pairs without touching
+// recency — the refresher's working set. Entries are shared, not
+// copied; they are immutable once cached.
+func (c *lru) Snapshot() []lruItem {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]lruItem, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		it := el.Value.(*lruItem)
+		out = append(out, lruItem{key: it.key, entry: it.entry})
+	}
+	return out
+}
+
+// Remove drops the entry under key, if present.
+func (c *lru) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Replace atomically removes oldKey and installs e under newKey — a
+// refresh moving an entry to a newer data-version stamp.
+func (c *lru) Replace(oldKey, newKey string, e *cacheEntry) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.items[oldKey]; ok {
+		c.order.Remove(el)
+		delete(c.items, oldKey)
+	}
+	c.mu.Unlock()
+	c.Add(newKey, e)
 }

@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/source"
+)
+
+// handleMutate answers POST /mutate (registered only with
+// Config.AllowMutate): row-level writes against local sources, the
+// write half of mutation demos and warm-cache benchmarks.
+//
+//	POST /mutate?source=DB1&table=visitInfo&op=insert&values=s1,t9,d9
+//	POST /mutate?source=DB1&table=visitInfo&op=delete&values=s1,t9,d9
+//	POST /mutate?source=DB1&table=visitInfo&op=delete            (last row)
+//
+// Values are comma-separated and parsed against the table schema.
+// op=delete with values removes every matching row; without values it
+// removes the last row.
+func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	srcName, table, op := q.Get("source"), q.Get("table"), q.Get("op")
+	if srcName == "" || table == "" || op == "" {
+		http.Error(w, "source, table and op are required", http.StatusBadRequest)
+		return
+	}
+	src, err := s.reg.Get(srcName)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	local, ok := src.(*source.Local)
+	if !ok {
+		http.Error(w, fmt.Sprintf("source %s is not local; /mutate only writes local sources", srcName), http.StatusBadRequest)
+		return
+	}
+	t, err := local.DB().Table(table)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+
+	var row relstore.Tuple
+	if raw := q.Get("values"); raw != "" {
+		parts := strings.Split(raw, ",")
+		if len(parts) != len(t.Schema()) {
+			http.Error(w, fmt.Sprintf("%d values for %d columns", len(parts), len(t.Schema())), http.StatusBadRequest)
+			return
+		}
+		row = make(relstore.Tuple, len(parts))
+		for i, p := range parts {
+			v, perr := relstore.ParseValue(t.Schema()[i].Kind, p)
+			if perr != nil {
+				http.Error(w, perr.Error(), http.StatusBadRequest)
+				return
+			}
+			row[i] = v
+		}
+	}
+
+	var affected int
+	switch op {
+	case "insert":
+		if row == nil {
+			http.Error(w, "insert requires values", http.StatusBadRequest)
+			return
+		}
+		if err := t.Insert(row); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		affected = 1
+	case "delete":
+		if row != nil {
+			key := row.Key()
+			affected = t.DeleteWhere(func(r relstore.Tuple) bool { return r.Key() == key })
+		} else {
+			if t.Len() == 0 {
+				http.Error(w, "table is empty", http.StatusConflict)
+				return
+			}
+			if _, err := t.DeleteAt(t.Len() - 1); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			affected = 1
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown op %q (want insert or delete)", op), http.StatusBadRequest)
+		return
+	}
+	s.m.mutations.Inc()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"source":   srcName,
+		"table":    table,
+		"op":       op,
+		"affected": affected,
+		"version":  t.Version(),
+		"rows":     t.Len(),
+	})
+}

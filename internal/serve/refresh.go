@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/aigrepro/aig/internal/ivm"
+)
+
+// refresher is the background half of incremental view maintenance:
+// a loop that watches the per-source data versions and, whenever cached
+// entries fall behind, either proves them still exact (delta judgement
+// via ivm.Deps — the entry is restamped to the new version without
+// re-evaluating) or rebuilds them by a full evaluation. Either way the
+// cache stays warm across writes: steady read traffic keeps hitting
+// instead of paying an evaluation after every mutation.
+//
+// Soundness leans on two version reads bracketing every decision. A
+// cycle reads a view's stamp, snapshots its per-table versions, and
+// reads the stamp again; only if the two stamps agree is the snapshot
+// trusted (nothing mutated in between, so stamp, table versions, and
+// data are one consistent state). Restamping additionally relies on the
+// change-log judge: all deltas between an entry's recorded table
+// versions and the snapshot must be provably irrelevant for the entry's
+// parameter binding. Full rebuilds go through the same
+// stamp-recheck-before-cache path as request misses.
+type refresher struct {
+	s        *Server
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	// dirtyAt tracks, per logical entry (cache-key prefix), when the
+	// refresher first observed it stale — the start point of the
+	// refresh-lag measurement.
+	dirtyAt map[string]time.Time
+}
+
+func newRefresher(s *Server, interval time.Duration) *refresher {
+	return &refresher{
+		s:        s,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		dirtyAt:  make(map[string]time.Time),
+	}
+}
+
+func (r *refresher) start() { go r.loop() }
+
+// stopOnce stops the loop and waits for the in-flight cycle to finish.
+func (r *refresher) stopOnce() {
+	r.once.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+func (r *refresher) loop() {
+	defer close(r.done)
+	ticker := time.NewTicker(r.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		if r.s.draining.Load() {
+			return
+		}
+		r.cycle()
+	}
+}
+
+// viewState is one view's consistent version snapshot for a cycle.
+type viewState struct {
+	v     *View
+	stamp string
+	tv    map[string]map[string]uint64
+	ok    bool
+}
+
+// snapshotView reads stamp, table versions, stamp again, accepting only
+// a quiescent window. Under sustained writes faster than two version
+// round trips no snapshot is consistent; the view's entries simply wait
+// for a later cycle.
+func (r *refresher) snapshotView(v *View) viewState {
+	st := viewState{v: v}
+	for attempt := 0; attempt < 3; attempt++ {
+		s1, settled, err := r.s.stamp(v)
+		if err != nil {
+			r.s.m.refreshErrors.Inc()
+			return st
+		}
+		if !settled {
+			continue
+		}
+		tv, err := r.s.tableVersions(v)
+		if err != nil {
+			r.s.m.refreshErrors.Inc()
+			return st
+		}
+		s2, _, err := r.s.stamp(v)
+		if err != nil {
+			r.s.m.refreshErrors.Inc()
+			return st
+		}
+		if s1 == s2 {
+			st.stamp, st.tv, st.ok = s1, tv, true
+			return st
+		}
+	}
+	return st
+}
+
+// cycle runs one refresh pass over the whole cache.
+func (r *refresher) cycle() {
+	s := r.s
+	s.m.refreshCycles.Inc()
+
+	items := s.cache.Snapshot()
+	states := make(map[string]viewState)
+	live := make(map[string]bool, len(items))
+
+	var dirty []lruItem
+	for _, it := range items {
+		live[it.entry.keyPrefix] = true
+		st, ok := states[it.entry.view]
+		if !ok {
+			if v := s.View(it.entry.view); v != nil {
+				st = r.snapshotView(v)
+			}
+			states[it.entry.view] = st
+		}
+		if !st.ok {
+			continue
+		}
+		if it.entry.stamp == st.stamp {
+			delete(r.dirtyAt, it.entry.keyPrefix)
+			continue
+		}
+		dirty = append(dirty, it)
+	}
+	s.m.refreshDirty.Set(float64(len(dirty)))
+
+	for _, it := range dirty {
+		select {
+		case <-r.stop:
+			return
+		default:
+		}
+		r.refreshOne(it, states[it.entry.view])
+	}
+
+	// Entries evicted from the cache no longer need lag tracking.
+	for prefix := range r.dirtyAt {
+		if !live[prefix] {
+			delete(r.dirtyAt, prefix)
+		}
+	}
+}
+
+// refreshOne brings one stale entry up to the cycle's snapshot, by
+// restamp when the judge proves the deltas irrelevant, by full
+// re-evaluation otherwise.
+func (r *refresher) refreshOne(it lruItem, st viewState) {
+	s := r.s
+	e := it.entry
+	start := time.Now()
+	dirtySince, seen := r.dirtyAt[e.keyPrefix]
+	if !seen {
+		dirtySince = start
+		r.dirtyAt[e.keyPrefix] = start
+	}
+
+	if r.judgeUnaffected(e, st) {
+		newKey := e.keyPrefix + "\x00" + st.stamp
+		s.cache.Replace(it.key, newKey, e.restamped(st.stamp, st.tv))
+		s.m.cacheEntries.Set(float64(s.cache.Len()))
+		s.m.refreshDelta.Inc()
+	} else {
+		// Full rebuild through the shared miss path: coalesces with any
+		// concurrent client miss on the same key and only caches if the
+		// stamp holds through the evaluation. The stale entry is removed
+		// either way — its key can never be hit again (stamps are
+		// monotone), so keeping it would only crowd the LRU.
+		_, err, _ := s.missFlight(context.Background(), st.v, e.params, e.keyPrefix, st.stamp, false)
+		s.cache.Remove(it.key)
+		s.m.cacheEntries.Set(float64(s.cache.Len()))
+		if err != nil {
+			s.m.refreshErrors.Inc()
+			return
+		}
+		s.m.refreshFull.Inc()
+	}
+
+	s.m.refreshSec.Observe(time.Since(start).Seconds())
+	s.m.refreshLagSec.Observe(time.Since(dirtySince).Seconds())
+	delete(r.dirtyAt, e.keyPrefix)
+}
+
+// judgeUnaffected proves, if it can, that the entry's body is identical
+// at the cycle's snapshot: for every dependency table whose version
+// moved, every logged change in the window is judged irrelevant for the
+// entry's parameter binding. Any gap in the proof — unparseable
+// parameters, a truncated change log, a table appearing or vanishing, a
+// delta the judge cannot exclude — falls back to full re-evaluation.
+func (r *refresher) judgeUnaffected(e *cacheEntry, st viewState) bool {
+	deps := st.v.deps
+	if deps == nil {
+		return false
+	}
+	params, err := deps.ParseParams(e.params)
+	if err != nil {
+		return false
+	}
+	for _, sourceName := range st.v.sources {
+		old := e.tableVers[sourceName]
+		cur := st.tv[sourceName]
+		for table, cv := range cur {
+			ov, ok := old[table]
+			if !ok {
+				// A table the entry never saw: relevant only if scanned.
+				if deps.DependsOn(sourceName, table) {
+					return false
+				}
+				continue
+			}
+			if cv == ov {
+				continue
+			}
+			if !deps.DependsOn(sourceName, table) {
+				continue
+			}
+			src, gerr := r.s.reg.Get(sourceName)
+			if gerr != nil {
+				return false
+			}
+			cs, cerr := src.ChangesSince(table, ov)
+			if cerr != nil {
+				return false
+			}
+			// The log may already extend past the snapshot (writes keep
+			// landing); that is fine — if every change up to cs.Now is
+			// irrelevant, the body is unchanged at every version in the
+			// window, including the snapshot's.
+			if deps.Judge(sourceName, table, cs, params) != ivm.Unaffected {
+				return false
+			}
+		}
+		for table := range old {
+			if _, ok := cur[table]; !ok && deps.DependsOn(sourceName, table) {
+				return false // dependency table dropped
+			}
+		}
+	}
+	return true
+}

@@ -76,6 +76,15 @@ type Config struct {
 	// mediator; each view keeps its latest span tree for
 	// GET /views/{name}/trace.
 	TraceRequests bool
+	// RefreshInterval enables the background refresher: every interval it
+	// re-stamps or re-evaluates cached entries whose sources mutated, so
+	// steady traffic keeps hitting a warm cache instead of paying a full
+	// evaluation after every write. 0 (the default) disables refreshing —
+	// entries then go structurally stale and the next request misses.
+	RefreshInterval time.Duration
+	// AllowMutate exposes POST /mutate, a demo/benchmark endpoint that
+	// applies row-level writes to local sources. Off by default.
+	AllowMutate bool
 	// Metrics is the registry the server's instruments live in
 	// (default obs.Default).
 	Metrics *obs.Registry
@@ -124,13 +133,23 @@ type serveMetrics struct {
 	rejectedTimeout *obs.Counter
 	evictions       *obs.Counter
 
+	staleSkips    *obs.Counter
+	refreshCycles *obs.Counter
+	refreshDelta  *obs.Counter
+	refreshFull   *obs.Counter
+	refreshErrors *obs.Counter
+	mutations     *obs.Counter
+
 	inflightEvals *obs.Gauge
 	queueDepth    *obs.Gauge
 	cacheEntries  *obs.Gauge
+	refreshDirty  *obs.Gauge
 
-	requestSec   *obs.Histogram
-	queueWaitSec *obs.Histogram
-	evalSec      *obs.Histogram
+	requestSec    *obs.Histogram
+	queueWaitSec  *obs.Histogram
+	evalSec       *obs.Histogram
+	refreshSec    *obs.Histogram
+	refreshLagSec *obs.Histogram
 }
 
 func newServeMetrics(r *obs.Registry) serveMetrics {
@@ -144,12 +163,21 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		rejectedFull:    r.NewCounter("aig_serve_rejected_queue_full_total", "view requests rejected because the admission queue was full (429)"),
 		rejectedTimeout: r.NewCounter("aig_serve_rejected_queue_timeout_total", "view requests rejected after waiting too long for an evaluation slot (503)"),
 		evictions:       r.NewCounter("aig_serve_cache_evictions_total", "result-cache entries evicted by capacity"),
+		staleSkips:      r.NewCounter("aig_serve_cache_stale_skips_total", "evaluation results not cached because the data-version stamp moved mid-evaluation"),
+		refreshCycles:   r.NewCounter("aig_serve_refresh_cycles_total", "background refresh cycles run"),
+		refreshDelta:    r.NewCounter("aig_serve_refresh_delta_total", "cache entries kept warm by delta judgement (restamped without re-evaluation)"),
+		refreshFull:     r.NewCounter("aig_serve_refresh_full_total", "cache entries refreshed by full re-evaluation"),
+		refreshErrors:   r.NewCounter("aig_serve_refresh_errors_total", "background refresh attempts that failed"),
+		mutations:       r.NewCounter("aig_serve_mutations_total", "row mutations applied through POST /mutate"),
 		inflightEvals:   r.NewGauge("aig_serve_inflight_evaluations", "evaluations currently holding an admission slot"),
 		queueDepth:      r.NewGauge("aig_serve_queue_depth", "requests waiting for an evaluation slot"),
 		cacheEntries:    r.NewGauge("aig_serve_cache_entries", "entries in the result cache"),
+		refreshDirty:    r.NewGauge("aig_serve_refresh_dirty_queue", "cached entries observed stale at the start of the latest refresh cycle"),
 		requestSec:      r.NewHistogram("aig_serve_request_seconds", "view request latency", obs.DurationBuckets),
 		queueWaitSec:    r.NewHistogram("aig_serve_queue_wait_seconds", "time spent waiting for an evaluation slot", obs.DurationBuckets),
 		evalSec:         r.NewHistogram("aig_serve_evaluate_seconds", "mediator evaluation wall time", obs.DurationBuckets),
+		refreshSec:      r.NewHistogram("aig_serve_refresh_seconds", "per-entry background refresh wall time", obs.DurationBuckets),
+		refreshLagSec:   r.NewHistogram("aig_serve_refresh_lag_seconds", "time from first observing an entry stale to serving it warm again", obs.DurationBuckets),
 	}
 }
 
@@ -168,6 +196,8 @@ type Server struct {
 	flight flightGroup
 	adm    *admission
 	m      serveMetrics
+
+	refresher *refresher
 
 	draining atomic.Bool
 	inflight atomic.Int64
@@ -202,8 +232,24 @@ func NewServer(reg *source.Registry, cfg Config) *Server {
 	mux.HandleFunc("GET /views/{name}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if cfg.AllowMutate {
+		mux.HandleFunc("POST /mutate", s.handleMutate)
+	}
 	s.mux = mux
+
+	if cfg.RefreshInterval > 0 && cfg.CacheEntries > 0 {
+		s.refresher = newRefresher(s, cfg.RefreshInterval)
+		s.refresher.start()
+	}
 	return s
+}
+
+// Close stops the background refresher (if any). Idempotent; safe on a
+// server that never started one.
+func (s *Server) Close() {
+	if s.refresher != nil {
+		s.refresher.stopOnce()
+	}
 }
 
 // AddView prepares and registers a view under the given name,
@@ -255,6 +301,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // and waits for in-flight requests to finish or ctx to expire.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.Close()
 	// An atomic counter rather than a WaitGroup: requests keep arriving
 	// (and bouncing off the draining check) while we wait, and a
 	// WaitGroup forbids Add concurrent with Wait once the counter may
@@ -274,17 +321,44 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // stamp renders the data-version stamp of the sources a view reads:
-// the part of the cache key that moves when a source mutates.
-func (s *Server) stamp(v *View) (string, error) {
+// the part of the cache key that moves when a source mutates. The
+// second return is the seqlock check — true when every component is
+// even, i.e. no source had a mutation in flight at the moment of the
+// read. Only settled stamps participate in consistency proofs; an
+// unsettled one still keys a request (it just never matches a settled
+// recheck, so nothing is cached under it).
+func (s *Server) stamp(v *View) (string, bool, error) {
 	versions, err := s.reg.DataVersions(v.sources)
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
+	settled := true
 	parts := make([]string, 0, len(versions))
 	for _, name := range v.sources {
+		if versions[name]%2 != 0 {
+			settled = false
+		}
 		parts = append(parts, fmt.Sprintf("%s=%d", name, versions[name]))
 	}
-	return strings.Join(parts, ";"), nil
+	return strings.Join(parts, ";"), settled, nil
+}
+
+// tableVersions snapshots the per-table versions of every source a view
+// reads — the ChangesSince baseline stored alongside a cached entry.
+func (s *Server) tableVersions(v *View) (map[string]map[string]uint64, error) {
+	out := make(map[string]map[string]uint64, len(v.sources))
+	for _, name := range v.sources {
+		src, err := s.reg.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		tv, err := src.TableVersions()
+		if err != nil {
+			return nil, fmt.Errorf("source %s: %w", name, err)
+		}
+		out[name] = tv
+	}
+	return out, nil
 }
 
 // requestParams extracts view parameters from the query string, a POST
@@ -346,13 +420,29 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	stamp, err := s.stamp(v)
+	stamp, _, err := s.stamp(v)
 	if err != nil {
 		s.m.errors.Inc()
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
-	key := v.name + "\x00" + canonicalParams(params) + "\x00" + stamp
+	prefix := v.name + "\x00" + canonicalParams(params)
+	key := prefix + "\x00" + stamp
+
+	if noStoreRequest(r) {
+		// Benchmark/baseline escape hatch: evaluate without consulting or
+		// populating the cache (and without coalescing, so every request
+		// pays the full evaluation it is measuring).
+		s.m.misses.Inc()
+		entry, berr := s.evaluateAdmitted(r.Context(), v, params)
+		if berr != nil {
+			s.writeError(w, berr)
+			return
+		}
+		entry.stamp = stamp
+		s.writeEntry(w, entry, "bypass")
+		return
+	}
 
 	if e, ok := s.cache.Get(key); ok {
 		s.m.hits.Inc()
@@ -361,25 +451,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.misses.Inc()
 
-	e, err, leader := s.flight.Do(key, func() (*cacheEntry, error) {
-		waited, aerr := s.adm.acquire(r.Context())
-		s.m.queueWaitSec.Observe(waited.Seconds())
-		if aerr != nil {
-			return nil, aerr
-		}
-		defer func() {
-			s.adm.release()
-			s.m.inflightEvals.Set(float64(s.adm.inUse()))
-		}()
-		s.m.inflightEvals.Set(float64(s.adm.inUse()))
-		entry, eerr := s.evaluate(v, params)
-		if eerr != nil {
-			return nil, eerr
-		}
-		s.cache.Add(key, entry)
-		s.m.cacheEntries.Set(float64(s.cache.Len()))
-		return entry, nil
-	})
+	e, err, leader := s.missFlight(r.Context(), v, params, prefix, stamp, true)
 	if !leader {
 		s.m.coalesced.Inc()
 	}
@@ -392,6 +464,76 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		state = "coalesced"
 	}
 	s.writeEntry(w, e, state)
+}
+
+// noStoreRequest reports whether the client asked to bypass the result
+// cache entirely (Cache-Control: no-store).
+func noStoreRequest(r *http.Request) bool {
+	return strings.Contains(strings.ToLower(r.Header.Get("Cache-Control")), "no-store")
+}
+
+// missFlight is the shared cache-fill path of request misses and
+// background full refreshes: coalesce on the would-be cache key,
+// evaluate, and cache the result only if the data-version stamp is
+// still the one the key was computed from. That recheck is what makes
+// every cached entry exact for its stamp — if a source mutated while
+// the evaluation ran, the result may reflect a mix of versions and is
+// served to the waiting clients but never cached (a later request or
+// refresh cycle rebuilds it under the new stamp).
+func (s *Server) missFlight(ctx context.Context, v *View, params map[string]string, prefix, stamp string, admit bool) (*cacheEntry, error, bool) {
+	key := prefix + "\x00" + stamp
+	return s.flight.Do(key, func() (*cacheEntry, error) {
+		var entry *cacheEntry
+		var eerr error
+		// The per-table version snapshot must be taken inside the
+		// stamp-recheck window too: when the recheck passes, nothing
+		// mutated between reading the stamp, these versions, and the
+		// data itself, so all three are mutually consistent.
+		tableVers, tverr := s.tableVersions(v)
+		if admit {
+			entry, eerr = s.evaluateAdmitted(ctx, v, params)
+		} else {
+			entry, eerr = s.evaluate(v, params)
+		}
+		if eerr != nil {
+			return nil, eerr
+		}
+		entry.view = v.name
+		entry.params = params
+		entry.keyPrefix = prefix
+		entry.stamp = stamp
+		entry.tableVers = tableVers
+		if tverr == nil {
+			// Cache only when the recheck stamp is settled (even — no
+			// write in flight) and identical to the key's stamp: by the
+			// seqlock argument nothing mutated between reading the stamp,
+			// the table versions, and the data, so the entry is exact for
+			// its stamp.
+			if s2, settled, serr := s.stamp(v); serr == nil && settled && s2 == stamp {
+				s.cache.Add(key, entry)
+				s.m.cacheEntries.Set(float64(s.cache.Len()))
+			} else {
+				s.m.staleSkips.Inc()
+			}
+		}
+		return entry, nil
+	})
+}
+
+// evaluateAdmitted runs evaluate under the admission semaphore, the way
+// client-triggered evaluations go.
+func (s *Server) evaluateAdmitted(ctx context.Context, v *View, params map[string]string) (*cacheEntry, error) {
+	waited, aerr := s.adm.acquire(ctx)
+	s.m.queueWaitSec.Observe(waited.Seconds())
+	if aerr != nil {
+		return nil, aerr
+	}
+	defer func() {
+		s.adm.release()
+		s.m.inflightEvals.Set(float64(s.adm.inUse()))
+	}()
+	s.m.inflightEvals.Set(float64(s.adm.inUse()))
+	return s.evaluate(v, params)
 }
 
 // evaluate runs one mediator evaluation for a prepared view and
@@ -455,6 +597,9 @@ func (s *Server) writeEntry(w http.ResponseWriter, e *cacheEntry, cacheState str
 	h.Set("X-Aig-Cache", cacheState)
 	h.Set("X-Aig-Unfold-Depth", fmt.Sprint(e.depth))
 	h.Set("X-Aig-Eval-Seconds", fmt.Sprintf("%.6f", e.evalSec))
+	if e.stamp != "" {
+		h.Set("X-Aig-Stamp", e.stamp)
+	}
 	w.Write(e.body)
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/ivm"
 	"github.com/aigrepro/aig/internal/mediator"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
@@ -44,6 +45,11 @@ type View struct {
 	params  []ParamDecl
 	plan    string
 
+	// deps is the view's judgeable table-dependency map, extracted once
+	// from the specialized grammar: the static half of incremental view
+	// maintenance the background refresher judges deltas against.
+	deps *ivm.Deps
+
 	// estDepth is the adaptive warm start for recursion unfolding: the
 	// depth that sufficed last time, so steady-state requests on stable
 	// data evaluate exactly once instead of re-probing upward.
@@ -69,6 +75,9 @@ func (v *View) Sources() []string { return append([]string(nil), v.sources...) }
 // time (at the initial unfolding depth).
 func (v *View) Plan() string { return v.plan }
 
+// Deps returns the view's judgeable table dependencies.
+func (v *View) Deps() *ivm.Deps { return v.deps }
+
 // prepareView runs the request-independent half of Fig. 5 once: parse
 // is the caller's job (specs arrive as *aig.AIG), then validate against
 // the live registry, compile the constraints into guards, decompose
@@ -88,6 +97,11 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 		return nil, fmt.Errorf("view %s: decomposing queries: %w", name, err)
 	}
 
+	deps, err := ivm.Extract(sa, reg)
+	if err != nil {
+		return nil, fmt.Errorf("view %s: extracting table dependencies: %w", name, err)
+	}
+
 	v := &View{
 		name:     name,
 		a:        a,
@@ -95,6 +109,7 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 		med:      mediator.New(reg, opts),
 		sources:  querySources(sa),
 		params:   rootParams(a),
+		deps:     deps,
 		maxDepth: maxUnfold,
 	}
 	v.estDepth.Store(int32(unfold))

@@ -55,6 +55,16 @@ type Source interface {
 	// reads, so two equal versions observed at different times imply the
 	// source would answer queries identically. Result caches key on it.
 	DataVersion() (uint64, error)
+	// TableVersions returns the per-table data versions of the source's
+	// stored tables: a finer-grained view of DataVersion that lets
+	// incremental view maintenance attribute a mutation to the tables it
+	// touched.
+	TableVersions() (map[string]uint64, error)
+	// ChangesSince returns the named table's row deltas after version
+	// since. A ChangeSet with Truncated set means the source no longer
+	// retains the window (bounded log, table replacement, restart) and
+	// the caller must fall back to a full refresh.
+	ChangesSince(table string, since uint64) (relstore.ChangeSet, error)
 	// Estimate runs the costing API for a query that references only this
 	// source's tables (plus parameters).
 	Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error)
@@ -104,6 +114,21 @@ func (l *Local) ColumnDistinct(table, column string) (int, error) {
 
 // DataVersion implements Source.
 func (l *Local) DataVersion() (uint64, error) { return l.db.Version(), nil }
+
+// TableVersions implements Source.
+func (l *Local) TableVersions() (map[string]uint64, error) {
+	return l.db.TableVersions(), nil
+}
+
+// ChangesSince implements Source.
+func (l *Local) ChangesSince(table string, since uint64) (relstore.ChangeSet, error) {
+	return l.db.ChangesSince(table, since)
+}
+
+// DB exposes the wrapped database so that serving-side mutation
+// endpoints (and tests) can write through the same instance the source
+// reads.
+func (l *Local) DB() *relstore.Database { return l.db }
 
 func (l *Local) checkLocal(q *sqlmini.Query) error {
 	for _, s := range q.Sources() {

@@ -1,0 +1,79 @@
+package specialize
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/source"
+	"github.com/aigrepro/aig/internal/sqlmini"
+)
+
+func TestTableScansCoversHospitalDependencies(t *testing.T) {
+	reg := source.RegistryFromCatalog(hospital.TinyCatalog())
+	a := hospital.Sigma0(true)
+	comp, err := CompileConstraints(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecomposeQueries(comp, reg, reg, sqlmini.PlanOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	scans := TableScans(dec)
+	seen := make(map[string]bool)
+	for _, ts := range scans {
+		seen[ts.Source+":"+ts.Table] = true
+	}
+	for _, want := range []string{
+		"DB1:patient", "DB1:visitInfo", "DB2:cover",
+		"DB3:billing", "DB4:treatment", "DB4:procedure",
+	} {
+		if !seen[want] {
+			t.Errorf("missing scan of %s (got %v)", want, seen)
+		}
+	}
+	if seen["Mediator:prev"] {
+		t.Error("parameter refs must not appear as table scans")
+	}
+
+	// Q1's visitInfo scan carries the root-bound date predicate; its
+	// patient scan carries none (only a join predicate, which is not
+	// attributable to one scan).
+	var visitPreds, patientPreds int
+	for _, ts := range scans {
+		if ts.Elem != "report" {
+			continue
+		}
+		switch ts.Table {
+		case "visitInfo":
+			visitPreds += len(ts.Preds)
+			for _, p := range ts.Preds {
+				if p.Kind == sqlmini.PredColCol {
+					t.Errorf("join predicate leaked into scan preds: %v", p)
+				}
+			}
+		case "patient":
+			patientPreds += len(ts.Preds)
+		}
+	}
+	if visitPreds == 0 {
+		t.Error("visitInfo scan in report production lost its date predicate")
+	}
+	if patientPreds != 0 {
+		t.Errorf("patient scan has %d preds, want 0", patientPreds)
+	}
+
+	// Determinism: extraction is order-stable.
+	again := TableScans(dec)
+	if len(again) != len(scans) {
+		t.Fatalf("non-deterministic scan count: %d vs %d", len(again), len(scans))
+	}
+	for i := range scans {
+		if scans[i].Source != again[i].Source || scans[i].Table != again[i].Table ||
+			scans[i].Elem != again[i].Elem || scans[i].Child != again[i].Child ||
+			scans[i].ChainStep != again[i].ChainStep {
+			t.Fatalf("non-deterministic order at %d: %+v vs %+v", i, scans[i], again[i])
+		}
+	}
+}

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Benchmark warm-cache serving under a mutating workload: boot aigd with
+# the background refresher and the /mutate endpoint enabled, then drive
+# the same request mix twice with aigload while a writer mutates a
+# source row 50 times a second —
+#
+#   baseline: every request carries Cache-Control: no-store, so each one
+#             pays a full evaluation (cache-off behaviour);
+#   warm:     the cache serves, and the refresher keeps entries warm by
+#             restamping views the delta judge proves unaffected.
+#
+# The daemon is restarted between phases so the scraped cache counters
+# are per-phase. The combined report lands in BENCH_ivm.json and the
+# script fails unless the warm phase is at least AIG_IVM_MIN_SPEEDUP
+# (default 5) times the baseline throughput, saw successful mutations,
+# delta refreshes, and exposes the refresh metrics on /metrics.
+set -euo pipefail
+
+ADDR="${AIGD_ADDR:-127.0.0.1:18093}"
+BASE_REQUESTS="${AIG_IVM_BASE_REQUESTS:-800}"
+WARM_REQUESTS="${AIG_IVM_WARM_REQUESTS:-8000}"
+WORKERS="${AIG_IVM_WORKERS:-8}"
+MUTATE_RATE="${AIG_IVM_MUTATE_RATE:-50}"
+MIN_SPEEDUP="${AIG_IVM_MIN_SPEEDUP:-5}"
+OUT="${AIG_IVM_JSON:-BENCH_ivm.json}"
+
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigload" ./cmd/aigload
+
+start_daemon() {
+    "$tmpdir/aigd" -demo -addr "$ADDR" -allow-mutate -refresh-interval 2ms \
+        >"$tmpdir/aigd.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 50); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "aigd did not become healthy; log:" >&2
+    cat "$tmpdir/aigd.log" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid"
+    daemon_pid=""
+}
+
+load() { # phase-label json-file extra-args...
+    local label="$1" out="$2"
+    shift 2
+    echo "== $label =="
+    "$tmpdir/aigload" -url "http://$ADDR" -view report -param date=d1,d2,d3 \
+        -c "$WORKERS" -mutate DB1:visitInfo=s9,t9,d9 -mutate-rate "$MUTATE_RATE" \
+        -json "$out" "$@"
+}
+
+start_daemon
+load baseline "$tmpdir/base.json" -n "$BASE_REQUESTS" -no-store
+stop_daemon
+
+start_daemon
+load warm "$tmpdir/warm.json" -n "$WARM_REQUESTS"
+
+# The refresh metrics must be live on /metrics while the daemon serves.
+metrics="$(curl -fsS "http://$ADDR/metrics")"
+for m in aig_serve_refresh_cycles_total aig_serve_refresh_delta_total \
+         aig_serve_refresh_dirty_queue aig_serve_refresh_lag_seconds_count; do
+    if ! grep -q "^$m" <<<"$metrics"; then
+        echo "bench_ivm: metric $m missing from /metrics" >&2
+        exit 1
+    fi
+done
+stop_daemon
+
+field() { # json-file field-name
+    awk -F': *' -v k="\"$2\"" '$1 ~ k {gsub(/,$/, "", $2); print $2; exit}' "$1"
+}
+
+base_rps="$(field "$tmpdir/base.json" throughput_rps)"
+warm_rps="$(field "$tmpdir/warm.json" throughput_rps)"
+mutations="$(field "$tmpdir/warm.json" mutations)"
+delta="$(field "$tmpdir/warm.json" refresh_delta)"
+speedup="$(awk -v w="$warm_rps" -v b="$base_rps" 'BEGIN { printf "%.2f", w/b }')"
+
+{
+    printf '{\n  "min_speedup": %s,\n  "speedup": %s,\n  "baseline": ' \
+        "$MIN_SPEEDUP" "$speedup"
+    cat "$tmpdir/base.json"
+    printf ',\n  "warm": '
+    cat "$tmpdir/warm.json"
+    printf '\n}\n'
+} >"$OUT"
+
+echo "bench_ivm: baseline ${base_rps} rps, warm ${warm_rps} rps, speedup ${speedup}x -> $OUT"
+
+fail=0
+awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }' || {
+    echo "bench_ivm: speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
+    fail=1
+}
+if [ "${mutations:-0}" -le 0 ]; then
+    echo "bench_ivm: warm phase saw no successful mutations" >&2
+    fail=1
+fi
+if [ "${delta:-0}" -le 0 ]; then
+    echo "bench_ivm: refresher performed no delta restamps" >&2
+    fail=1
+fi
+[ "$fail" -eq 0 ] && echo "bench_ivm: OK"
+exit "$fail"
