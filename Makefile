@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak serve loadtest smoke-serve ci bench clean
+.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak serve loadtest smoke-serve smoke-trace ci bench clean
 
 all: build
 
@@ -76,6 +76,13 @@ loadtest:
 smoke-serve:
 	./scripts/smoke_serve.sh
 
+# smoke-trace exercises the flight recorder end to end: a race-built
+# aigd with DB1 behind a race-built aigsource must serve a kept trace
+# stitching daemon-side and remote-side spans, then warm-path throughput
+# with the recorder on (sampling off) must stay within 5% of recorder-off.
+smoke-trace:
+	./scripts/smoke_trace.sh
+
 # bench-ivm measures warm-cache serving under a mutating workload
 # (cache-off baseline vs refresher-maintained cache) and refreshes the
 # committed BENCH_ivm.json; fails below a 5x speedup.
@@ -84,7 +91,7 @@ bench-ivm:
 
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm smoke-serve bench-ivm
+ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm smoke-serve smoke-trace bench-ivm
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

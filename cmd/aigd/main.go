@@ -18,6 +18,16 @@
 //	GET  /metrics                     Prometheus text format
 //	GET  /healthz                     200 while serving, 503 while draining
 //	POST /mutate                      row-level writes (-allow-mutate only)
+//	GET  /debug/traces                flight-recorder trace summaries (-trace only)
+//	GET  /debug/traces/{id}           one kept trace's full span tree (-trace only)
+//	GET  /debug/pprof/  /debug/vars   runtime profiling and expvar (-debug only)
+//
+// With -trace every request runs under a W3C-compatible trace context:
+// an incoming Traceparent header is adopted (so a caller's trace ID
+// groups the daemon's spans), responses carry X-Aig-Trace-Id, and the
+// flight recorder tail-samples completed traces — errors and slow
+// requests always kept, a -trace-sample fraction of the rest — into a
+// bounded in-memory store served at /debug/traces.
 //
 // Results are cached per (view, parameters, source data versions);
 // mutating a source invalidates automatically. With -refresh-interval
@@ -36,7 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -82,8 +92,21 @@ func run() error {
 	srcTimeout := flag.Duration("source-timeout", 0, "connect/read/write timeout for remote sources (0 disables)")
 	verify := flag.Bool("verify", false, "check every evaluated document against the DTD and constraints")
 	traceReqs := flag.Bool("trace-requests", false, "record a span tree per evaluation, served at /views/{name}/trace")
+	trace := flag.Bool("trace", false, "enable the flight recorder: per-request traces with tail sampling, served at /debug/traces")
+	traceCapacity := flag.Int("trace-capacity", 256, "kept traces before the oldest is evicted")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "requests at least this slow are always kept (0 disables the slow rule)")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of fast, healthy requests kept, 0 keeps none (errors and slow requests are always kept)")
+	debug := flag.Bool("debug", false, "serve /debug/pprof and /debug/vars (exposes runtime internals; trusted listeners only)")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "longest to wait for in-flight requests on shutdown")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(logger)
 
 	if *demo == (len(views) != 0) {
 		return fmt.Errorf("pass either -demo or at least one -view NAME=SPECFILE")
@@ -109,6 +132,13 @@ func run() error {
 		TraceRequests:   *traceReqs,
 		RefreshInterval: *refreshInterval,
 		AllowMutate:     *allowMutate,
+
+		FlightRecorder:     *trace,
+		TraceCapacity:      *traceCapacity,
+		TraceSlowThreshold: cliDisabled(*traceSlow == 0, *traceSlow),
+		TraceSampleRate:    cliDisabled(*traceSample == 0, *traceSample),
+		EnableDebug:        *debug,
+		Logger:             logger,
 	}
 	srv := serve.NewServer(reg, cfg)
 
@@ -116,7 +146,7 @@ func run() error {
 		if _, err := srv.AddSpec("report", hospital.SpecText); err != nil {
 			return fmt.Errorf("preparing demo view: %w", err)
 		}
-		log.Printf("prepared demo view %q (hospital catalog)", "report")
+		slog.Info("prepared demo view", "view", "report", "catalog", "hospital")
 	}
 	for _, spec := range views {
 		name, path, ok := strings.Cut(spec, "=")
@@ -131,13 +161,13 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("preparing view %s: %w", name, err)
 		}
-		log.Printf("prepared view %q (params %v, sources %v)", name, v.Params(), v.Sources())
+		slog.Info("prepared view", "view", name, "params", fmt.Sprint(v.Params()), "sources", fmt.Sprint(v.Sources()))
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("aigd listening on %s", *addr)
+		slog.Info("aigd listening", "addr", *addr, "flight_recorder", *trace, "debug", *debug)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -150,17 +180,47 @@ func run() error {
 	}
 	stop()
 
-	log.Printf("draining (up to %v)...", *drainTimeout)
+	slog.Info("draining", "timeout", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(dctx); err != nil {
-		log.Printf("drain: %v", err)
+		slog.Warn("drain did not finish cleanly", "err", err)
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	log.Printf("aigd stopped")
+	slog.Info("aigd stopped")
 	return nil
+}
+
+// cliDisabled translates flag semantics into serve.Config semantics for
+// the tail-sampling knobs: on the command line 0 means "off", while in
+// Config 0 means "use the default" and negative means off.
+func cliDisabled[T time.Duration | float64](off bool, v T) T {
+	if off {
+		return -1
+	}
+	return v
+}
+
+// buildLogger makes the process-wide structured logger from the
+// -log-format / -log-level flags. Request logs carry trace_id and
+// request_id attributes, so `-log-format json` pipes straight into log
+// search keyed by the same IDs /debug/traces serves.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format %q (want text or json)", format)
+	}
 }
 
 func buildRegistry(dataDir string, sources []string, timeout time.Duration, demo bool) (*source.Registry, error) {

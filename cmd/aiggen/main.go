@@ -17,7 +17,7 @@ import (
 )
 
 func main() {
-	size := flag.String("size", "small", "dataset size: small, medium or large (Table 1)")
+	size := flag.String("size", "small", "dataset size: small, medium or large (Table 1), or tiny (smoke tests)")
 	seed := flag.Int64("seed", 42, "generator seed")
 	out := flag.String("out", "data", "output directory")
 	flag.Parse()

@@ -23,6 +23,13 @@
 //
 // With -check the exit status enforces a healthy run: zero failed
 // requests and at least one cache hit.
+//
+// Against an aigd running with -trace, -trace-header stamps every
+// request with a fresh W3C Traceparent (so daemon traces carry IDs the
+// client chose and printed logs correlate), and -slowest N ends the run
+// by listing the N slowest traces the daemon's flight recorder kept —
+// each ID pastes into GET /debug/traces/{id} for the full span tree of
+// exactly that slow request.
 package main
 
 import (
@@ -41,6 +48,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/aigrepro/aig/internal/obs"
 )
 
 type repeated []string
@@ -69,6 +78,11 @@ type report struct {
 	CacheDisabled bool             `json:"cache_disabled,omitempty"`
 	BytesReceived int64            `json:"bytes_received"`
 	StatusCounts  map[string]int64 `json:"status_counts"`
+
+	// SlowestTraces lists the N slowest traces the daemon's flight
+	// recorder kept for this view (populated with -slowest against an
+	// aigd running with -trace).
+	SlowestTraces []slowTrace `json:"slowest_traces,omitempty"`
 
 	// Mutation / refresh behaviour (populated with -mutate).
 	Mutations      int64   `json:"mutations,omitempty"`
@@ -102,6 +116,8 @@ func run() error {
 	noStore := flag.Bool("no-store", false, "send Cache-Control: no-store on every request (cache-off baseline)")
 	mutate := flag.String("mutate", "", "background writer as SOURCE:TABLE=V1,V2,... (alternates insert/delete via POST /mutate)")
 	mutateRate := flag.Float64("mutate-rate", 20, "background writes per second with -mutate")
+	traceHeader := flag.Bool("trace-header", false, "send a fresh W3C Traceparent header per request, so daemon-side traces carry client-chosen IDs")
+	slowest := flag.Int("slowest", 0, "after the run, fetch /debug/traces and report the N slowest kept traces (needs aigd -trace)")
 	flag.Parse()
 
 	combos, err := paramCombos(paramFlags)
@@ -204,6 +220,9 @@ func run() error {
 				if *noStore {
 					req.Header.Set("Cache-Control", "no-store")
 				}
+				if *traceHeader {
+					req.Header.Set("Traceparent", obs.FormatTraceparent(obs.NewTraceID()))
+				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
 				lat := time.Since(t0).Seconds() * 1000
@@ -285,6 +304,20 @@ func run() error {
 		rep.DurationSec, rep.Throughput, rep.P50Ms, rep.P95Ms, rep.P99Ms)
 	fmt.Printf("cache: hits=%d misses=%d (ratio %.3f) coalesced=%d evaluations=%d\n",
 		rep.CacheHits, rep.CacheMisses, rep.CacheHitRatio, rep.Coalesced, rep.Evaluations)
+	if *slowest > 0 {
+		traces, err := slowestTraces(client, *base, *view, *slowest)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aigload: fetching /debug/traces:", err)
+		} else if len(traces) == 0 {
+			fmt.Println("slowest traces: none kept (tail sampling dropped the run, or no traffic was traced)")
+		} else {
+			rep.SlowestTraces = traces
+			fmt.Printf("slowest kept traces (inspect with GET %s/debug/traces/{id}):\n", *base)
+			for _, t := range traces {
+				fmt.Printf("  %8.2fms  %s  cache=%s status=%d kept=%s\n", t.DurationMs, t.ID, t.Cache, t.Status, t.Kept)
+			}
+		}
+	}
 	if *mutate != "" {
 		fmt.Printf("mutations: %d ok, %d failed; refresh: delta=%d full=%d errors=%d stale-skips=%d\n",
 			rep.Mutations, rep.MutationErrors, rep.RefreshDelta, rep.RefreshFull, rep.RefreshErrors, rep.StaleSkips)
@@ -317,6 +350,47 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// slowTrace is one row of the post-run slowest-traces report, a subset
+// of the daemon's /debug/traces summary fields.
+type slowTrace struct {
+	ID         string  `json:"id"`
+	DurationMs float64 `json:"duration_ms"`
+	Status     int     `json:"status,omitempty"`
+	Cache      string  `json:"cache,omitempty"`
+	Kept       string  `json:"kept,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// slowestTraces asks the daemon's flight recorder for this view's kept
+// traces and returns the n slowest. A 404 means the recorder is off
+// (aigd without -trace) — reported as an error so the caller can say
+// why the section is missing.
+func slowestTraces(client *http.Client, base, view string, n int) ([]slowTrace, error) {
+	u := base + "/debug/traces?" + url.Values{"view": {view}, "limit": {"1000"}}.Encode()
+	resp, err := client.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("flight recorder disabled (run aigd with -trace)")
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		Traces []slowTrace `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	sort.Slice(body.Traces, func(i, j int) bool { return body.Traces[i].DurationMs > body.Traces[j].DurationMs })
+	if len(body.Traces) > n {
+		body.Traces = body.Traces[:n]
+	}
+	return body.Traces, nil
 }
 
 // combos holds the cross product of parameter value lists; query(i)
@@ -432,6 +506,11 @@ func scrapeMetrics(client *http.Client, base string) (map[string]int64, map[stri
 		name, val, ok := strings.Cut(line, " ")
 		if !ok {
 			continue
+		}
+		// Bucket lines may carry an OpenMetrics exemplar suffix
+		// ("... 5 # {trace_id=\"...\"} 0.07"); the value ends before it.
+		if v, _, hasEx := strings.Cut(val, " # "); hasEx {
+			val = v
 		}
 		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
 		if err != nil {

@@ -30,6 +30,16 @@ type Size struct {
 	Levels   int
 }
 
+// Tiny is a smoke-test scale, not part of Table 1: small enough that
+// race-instrumented end-to-end runs (scripts/smoke_trace.sh) evaluate a
+// view in milliseconds, while still populating every table and a
+// multi-level procedure DAG.
+var Tiny = Size{
+	Name: "tiny", Patient: 60, VisitInfo: 240, Cover: 30,
+	Billing: 20, Treatment: 20, Procedure: 24,
+	Policies: 4, Dates: 10, Levels: 4,
+}
+
 // The three dataset scales of Table 1.
 var (
 	Small = Size{
@@ -49,17 +59,22 @@ var (
 	}
 )
 
-// Sizes lists the scales in increasing order.
+// Sizes lists the Table 1 scales in increasing order. Tiny is kept out
+// so benchmarks and cardinality checks that reproduce the paper's table
+// iterate exactly the published scales.
 var Sizes = []Size{Small, Medium, Large}
 
-// SizeByName returns the named scale.
+// SizeByName returns the named scale, including the off-table "tiny".
 func SizeByName(name string) (Size, error) {
+	if name == Tiny.Name {
+		return Tiny, nil
+	}
 	for _, s := range Sizes {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Size{}, fmt.Errorf("datagen: unknown dataset size %q (want small, medium or large)", name)
+	return Size{}, fmt.Errorf("datagen: unknown dataset size %q (want tiny, small, medium or large)", name)
 }
 
 // Date returns the i-th report date string (0-based).

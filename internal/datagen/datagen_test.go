@@ -171,8 +171,42 @@ func TestSizeByName(t *testing.T) {
 	if s, err := SizeByName("medium"); err != nil || s.Name != "medium" {
 		t.Errorf("SizeByName(medium) = %v, %v", s, err)
 	}
+	if s, err := SizeByName("tiny"); err != nil || s.Name != "tiny" {
+		t.Errorf("SizeByName(tiny) = %v, %v", s, err)
+	}
 	if _, err := SizeByName("gigantic"); err == nil {
 		t.Error("unknown size accepted")
+	}
+}
+
+// TestTinyGenerates checks the off-table smoke scale populates every
+// table at its declared cardinality (the procedure DAG may come up a few
+// edges short if the random pairing exhausts its retry budget, but must
+// still exist).
+func TestTinyGenerates(t *testing.T) {
+	cat := Generate(Tiny, 1)
+	exact := map[[2]string]int{
+		{"DB1", "patient"}:   Tiny.Patient,
+		{"DB1", "visitInfo"}: Tiny.VisitInfo,
+		{"DB2", "cover"}:     Tiny.Cover,
+		{"DB3", "billing"}:   Tiny.Billing,
+		{"DB4", "treatment"}: Tiny.Treatment,
+	}
+	for loc, want := range exact {
+		tab, err := cat.Table(loc[0], loc[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tab.Len() != want {
+			t.Errorf("%s.%s: %d rows, want %d", loc[0], loc[1], tab.Len(), want)
+		}
+	}
+	proc, err := cat.Table("DB4", "procedure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Len() == 0 || proc.Len() > Tiny.Procedure {
+		t.Errorf("procedure: %d rows, want 1..%d", proc.Len(), Tiny.Procedure)
 	}
 }
 

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"strings"
@@ -27,11 +28,11 @@ type failingSource struct {
 	failAt int32
 }
 
-func (f *failingSource) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
+func (f *failingSource) Exec(ctx context.Context, name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
 	if atomic.AddInt32(f.calls, 1) == f.failAt {
 		return nil, 0, errInjected
 	}
-	return f.Source.Exec(name, q, params, opts)
+	return f.Source.Exec(ctx, name, q, params, opts)
 }
 
 // failingRegistry wraps every database of the catalog so that the

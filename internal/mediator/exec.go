@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -26,6 +27,7 @@ func New(reg *source.Registry, opts Options) *Mediator {
 // exec is the runtime state of one evaluation.
 type exec struct {
 	g        *graph
+	ctx      context.Context // carries the execute-phase span for node parenting
 	rootInh  *aig.AttrValue
 	mu       sync.Mutex
 	firstErr error
@@ -52,15 +54,27 @@ func (x *exec) fail(err error) {
 // Schedule), execute the plan with one worker per source, and tag the
 // cached tables into the document.
 func (m *Mediator) Evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, error) {
-	res, _, err := m.evaluate(a, rootInh)
+	return m.EvaluateContext(context.Background(), a, rootInh)
+}
+
+// EvaluateContext is Evaluate with a caller-supplied context. A tracer
+// carried by ctx (obs.ContextWithSpan) takes precedence over
+// Options.Tracer, so one mediator instance serves many traced requests
+// without per-request reconfiguration; ctx also flows into every source
+// call for cancellation.
+func (m *Mediator) EvaluateContext(ctx context.Context, a *aig.AIG, rootInh *aig.AttrValue) (*Result, error) {
+	res, _, err := m.evaluate(ctx, a, rootInh)
 	return res, err
 }
 
-func (m *Mediator) evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, *graph, error) {
-	tr := m.opts.Tracer
+func (m *Mediator) evaluate(ctx context.Context, a *aig.AIG, rootInh *aig.AttrValue) (*Result, *graph, error) {
+	tr, parent := obs.SpanFromContext(ctx)
+	if tr == nil {
+		tr = m.opts.Tracer
+	}
 	start := time.Now()
-	root := tr.StartSpan("evaluate", nil)
-	res, g, err := m.evaluatePhases(a, rootInh, tr, root)
+	root := tr.StartSpan("evaluate", parent)
+	res, g, err := m.evaluatePhases(ctx, a, rootInh, tr, root)
 	if err != nil {
 		root.SetAttr("error", err.Error())
 	}
@@ -74,11 +88,11 @@ func (m *Mediator) evaluate(a *aig.AIG, rootInh *aig.AttrValue) (*Result, *graph
 
 // evaluatePhases runs the four Fig. 5 phases under the given root span,
 // recording one child span and one wall-clock timing per phase.
-func (m *Mediator) evaluatePhases(a *aig.AIG, rootInh *aig.AttrValue, tr *obs.Tracer, root *obs.Span) (*Result, *graph, error) {
+func (m *Mediator) evaluatePhases(ctx context.Context, a *aig.AIG, rootInh *aig.AttrValue, tr *obs.Tracer, root *obs.Span) (*Result, *graph, error) {
 	phaseSec := make(map[string]float64, 4)
 
 	sp, t0 := tr.StartSpan("compile", root), time.Now()
-	g, err := compile(a, m.reg, m.opts)
+	g, err := compile(obs.ContextWithSpan(ctx, tr, sp), a, m.reg, m.opts)
 	phaseSec["compile"] = time.Since(t0).Seconds()
 	if err != nil {
 		sp.End()
@@ -103,7 +117,7 @@ func (m *Mediator) evaluatePhases(a *aig.AIG, rootInh *aig.AttrValue, tr *obs.Tr
 		rootInh = aig.NewAttrValue(a.Inh[a.DTD.Root])
 	}
 	sp, t0 = tr.StartSpan("execute", root), time.Now()
-	x := &exec{g: g, rootInh: rootInh, tr: tr, execSpan: sp}
+	x := &exec{g: g, ctx: obs.ContextWithSpan(ctx, tr, sp), rootInh: rootInh, tr: tr, execSpan: sp}
 	executed, err := x.run(p)
 	phaseSec["execute"] = time.Since(t0).Seconds()
 	sp.End()
@@ -278,7 +292,8 @@ func (x *exec) runNode(n *node) {
 	var err error
 	switch n.kind {
 	case nodeQuery:
-		err = x.runQueryNode(n)
+		// Source calls made for this node parent under its span.
+		err = x.runQueryNode(obs.ContextWithSpan(x.ctx, x.tr, sp), n)
 	default:
 		rows := 0
 		if n.runLocal != nil {
@@ -298,7 +313,7 @@ func (x *exec) runNode(n *node) {
 // runQueryNode executes every part of a (possibly merged) query node at
 // its source, in dependency order. Merged nodes interleave absorbed local
 // tasks (the inlined key-path combination) between their query parts.
-func (x *exec) runQueryNode(n *node) error {
+func (x *exec) runQueryNode(ctx context.Context, n *node) error {
 	if n.items != nil {
 		for _, item := range n.items {
 			if item.local != nil {
@@ -312,7 +327,7 @@ func (x *exec) runQueryNode(n *node) error {
 			if item.pt == nil {
 				continue // absorbed barrier: nothing to execute
 			}
-			if err := x.runPart(n, item.pt); err != nil {
+			if err := x.runPart(ctx, n, item.pt); err != nil {
 				return err
 			}
 		}
@@ -338,7 +353,7 @@ func (x *exec) runQueryNode(n *node) error {
 		return nil
 	}
 	for _, pt := range n.parts {
-		if err := x.runPart(n, pt); err != nil {
+		if err := x.runPart(ctx, n, pt); err != nil {
 			return err
 		}
 	}
@@ -351,7 +366,7 @@ func (x *exec) runQueryNode(n *node) error {
 }
 
 // runPart executes one query part at the node's source.
-func (x *exec) runPart(n *node, pt *part) error {
+func (x *exec) runPart(ctx context.Context, n *node, pt *part) error {
 	params, paramBytes, err := x.bindParams(pt)
 	if err != nil {
 		return fmt.Errorf("mediator: %s: %v", pt.name, err)
@@ -375,7 +390,7 @@ func (x *exec) runPart(n *node, pt *part) error {
 		if gerr != nil {
 			return gerr
 		}
-		out, dur, err = src.Exec(pt.name, pt.rw.query, params, opts)
+		out, dur, err = src.Exec(ctx, pt.name, pt.rw.query, params, opts)
 	}
 	if err != nil {
 		return fmt.Errorf("mediator: %s: %v", pt.name, err)

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,7 +15,7 @@ import (
 // executed; costs shown are the compile-time estimates the optimizer used
 // (§5.2).
 func (m *Mediator) Explain(a *aig.AIG) (string, error) {
-	g, err := compile(a, m.reg, m.opts)
+	g, err := compile(context.Background(), a, m.reg, m.opts)
 	if err != nil {
 		return "", err
 	}
@@ -33,7 +34,7 @@ func (m *Mediator) Explain(a *aig.AIG) (string, error) {
 // The evaluation result (document and report) is returned alongside the
 // rendering so callers can still use or verify the output.
 func (m *Mediator) ExplainAnalyze(a *aig.AIG, rootInh *aig.AttrValue) (string, *Result, error) {
-	res, g, err := m.evaluate(a, rootInh)
+	res, g, err := m.evaluate(context.Background(), a, rootInh)
 	if err != nil {
 		return "", nil, err
 	}

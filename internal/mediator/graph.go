@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/aigrepro/aig/internal/aig"
@@ -137,6 +138,7 @@ type graph struct {
 	a     *aig.AIG
 	reg   *source.Registry
 	opts  Options
+	ctx   context.Context // compile-time context; carries the caller's trace
 	root  *ctxNode
 	nodes []*node
 	edges []*edge
@@ -212,14 +214,16 @@ func (g *graph) depNodeFor(parentCtx *ctxNode, src aig.SourceRef) (*node, error)
 	return g.synOf[sib.path], nil
 }
 
-// compile builds the dependency graph for the AIG.
-func compile(a *aig.AIG, reg *source.Registry, opts Options) (*graph, error) {
+// compile builds the dependency graph for the AIG. ctx carries the
+// caller's trace (source Estimate calls made while costing parent under
+// the compile-phase span) and cancellation.
+func compile(ctx context.Context, a *aig.AIG, reg *source.Registry, opts Options) (*graph, error) {
 	root, err := buildContextTree(a.DTD)
 	if err != nil {
 		return nil, err
 	}
 	g := &graph{
-		a: a, reg: reg, opts: opts, root: root,
+		a: a, reg: reg, opts: opts, ctx: ctx, root: root,
 		inhDone: make(map[string]*node),
 		synOf:   make(map[string]*node),
 		estRows: make(map[string]float64),

@@ -212,7 +212,7 @@ func (g *graph) estimatePart(srcName string, rw *rewritten, parentCtx *ctxNode, 
 	if err != nil {
 		return sourceEstimate{Rows: parentRows, Bytes: parentRows * 16, Cost: parentRows}
 	}
-	est, err := src.Estimate(rw.query, rw.paramSchemas(), opts)
+	est, err := src.Estimate(g.ctx, rw.query, rw.paramSchemas(), opts)
 	if err != nil {
 		return sourceEstimate{Rows: parentRows, Bytes: parentRows * 16, Cost: parentRows}
 	}

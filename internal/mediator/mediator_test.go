@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -299,7 +300,7 @@ func TestContextTreeDisambiguatesSharedTypes(t *testing.T) {
 	// nodes (Fig. 6), keeping the dependency graph acyclic.
 	cat := hospital.TinyCatalog()
 	a, reg := prepared(t, cat, 2, true)
-	g, err := compile(a, reg, DefaultOptions())
+	g, err := compile(context.Background(), a, reg, DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestScheduleConsistentWithDependencies(t *testing.T) {
 	cat := hospital.TinyCatalog()
 	a, reg := prepared(t, cat, 3, true)
 	for _, algo := range []ScheduleAlgo{ScheduleLevel, ScheduleFIFO} {
-		g, err := compile(a, reg, Options{Net: DefaultNet(), Schedule: algo})
+		g, err := compile(context.Background(), a, reg, Options{Net: DefaultNet(), Schedule: algo})
 		if err != nil {
 			t.Fatal(err)
 		}

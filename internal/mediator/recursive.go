@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,6 +25,13 @@ import (
 // constraint that the full document does not; an abort that persists at
 // maxDepth is reported as such.
 func (m *Mediator) EvaluateRecursive(a *aig.AIG, rootInh *aig.AttrValue, estDepth, maxDepth int) (*Result, int, error) {
+	return m.EvaluateRecursiveContext(context.Background(), a, rootInh, estDepth, maxDepth)
+}
+
+// EvaluateRecursiveContext is EvaluateRecursive with a caller-supplied
+// context; every unfolding round's evaluation and every truncation probe
+// runs under the trace ctx carries.
+func (m *Mediator) EvaluateRecursiveContext(ctx context.Context, a *aig.AIG, rootInh *aig.AttrValue, estDepth, maxDepth int) (*Result, int, error) {
 	if estDepth < 1 {
 		estDepth = 1
 	}
@@ -36,7 +44,7 @@ func (m *Mediator) EvaluateRecursive(a *aig.AIG, rootInh *aig.AttrValue, estDept
 		if err != nil {
 			return nil, depth, err
 		}
-		res, g, err := m.evaluate(unf, rootInh)
+		res, g, err := m.evaluate(ctx, unf, rootInh)
 		if err != nil {
 			// A guard abort at a truncated depth is not trustworthy:
 			// truncation can both remove tuples a subset constraint needs
@@ -152,7 +160,7 @@ func (m *Mediator) probeInstance(g *graph, ir *aig.InhRule, c *ctxNode, inst *in
 				return false, gerr
 			}
 			var xerr error
-			out, _, xerr = src.Exec("probe", q, params, g.opts.PlanOpts)
+			out, _, xerr = src.Exec(g.ctx, "probe", q, params, g.opts.PlanOpts)
 			if xerr != nil {
 				return false, xerr
 			}

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"regexp"
 	"strings"
 	"testing"
@@ -165,7 +166,7 @@ func TestExplainSharedRenderer(t *testing.T) {
 	// (items) or not (parts) — the old renderer had two overlapping
 	// branches. Rebuild the same (deterministic) optimized graph and
 	// count.
-	g, err := compile(a, reg, m.opts)
+	g, err := compile(context.Background(), a, reg, m.opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+package obs
+
+import "context"
+
+// spanCtxKey carries the active tracer and span through a
+// context.Context, so layers that only see a ctx (HTTP handlers, the
+// mediator's source calls, the remote client) can parent their spans
+// correctly without new parameters on every signature.
+type spanCtxKey struct{}
+
+// spanCtx is a dedicated context carrier rather than context.WithValue:
+// one allocation per request instead of two (no boxing of the value),
+// and lookups hit a type switch before falling back to the parent chain.
+type spanCtx struct {
+	context.Context
+	tr   *Tracer
+	span *Span
+}
+
+func (c *spanCtx) Value(key any) any {
+	if _, ok := key.(spanCtxKey); ok {
+		return c
+	}
+	return c.Context.Value(key)
+}
+
+// ContextWithSpan returns ctx carrying the tracer and the span new work
+// should parent under. A nil tracer returns ctx unchanged, so the
+// disabled path stays allocation-free.
+func ContextWithSpan(ctx context.Context, tr *Tracer, span *Span) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return &spanCtx{Context: ctx, tr: tr, span: span}
+}
+
+// SpanFromContext returns the tracer and parent span carried by ctx, or
+// (nil, nil) when the request is untraced.
+func SpanFromContext(ctx context.Context) (*Tracer, *Span) {
+	if ctx == nil {
+		return nil, nil
+	}
+	if v, ok := ctx.Value(spanCtxKey{}).(*spanCtx); ok {
+		return v.tr, v.span
+	}
+	return nil, nil
+}

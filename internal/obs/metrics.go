@@ -129,6 +129,17 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is +Inf
 	sum    float64
 	count  uint64
+	// exemplars holds, per bucket, the latest observation that carried a
+	// trace ID (nil until the first ObserveExemplar), so a latency bucket
+	// links to a concrete captured trace in the flight recorder.
+	exemplars []exemplar
+}
+
+// exemplar is one bucket's reference observation: the trace it came
+// from and its exact value.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // DurationBuckets is a decade ladder suited to query and round-trip
@@ -159,6 +170,17 @@ func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram 
 
 // Observe records one observation.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v, "")
+}
+
+// ObserveExemplar records one observation and remembers the trace it
+// came from as the bucket's exemplar, replacing any previous one. An
+// empty traceID degrades to a plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.observe(v, traceID)
+}
+
+func (h *Histogram) observe(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -170,6 +192,12 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i]++
 	h.sum += v
 	h.count++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]exemplar, len(h.counts))
+		}
+		h.exemplars[i] = exemplar{traceID: traceID, value: v}
+	}
 	h.mu.Unlock()
 }
 
@@ -193,8 +221,9 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
-// snapshot returns cumulative bucket counts, sum and count.
-func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
+// snapshot returns cumulative bucket counts, sum, count and the
+// per-bucket exemplars (nil when none were ever recorded).
+func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64, ex []exemplar) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	cum = make([]uint64, len(h.counts))
@@ -203,7 +232,19 @@ func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
 		running += c
 		cum[i] = running
 	}
-	return cum, h.sum, h.count
+	if h.exemplars != nil {
+		ex = append([]exemplar(nil), h.exemplars...)
+	}
+	return cum, h.sum, h.count, ex
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics form
+// (` # {trace_id="..."} value`), or "" when the bucket has none.
+func exemplarSuffix(ex []exemplar, i int) string {
+	if i >= len(ex) || ex[i].traceID == "" {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %v", ex[i].traceID, ex[i].value)
 }
 
 // WritePrometheus renders every instrument in the Prometheus text
@@ -244,17 +285,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(histograms) {
 		h := histograms[name]
-		cum, sum, count := h.snapshot()
+		cum, sum, count, ex := h.snapshot()
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, h.help, name); err != nil {
 			return err
 		}
 		for i, b := range h.bounds {
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, b, cum[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d%s\n", name, b, cum[i], exemplarSuffix(ex, i)); err != nil {
 				return err
 			}
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %v\n%s_count %d\n",
-			name, cum[len(cum)-1], name, sum, name, count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d%s\n%s_sum %v\n%s_count %d\n",
+			name, cum[len(cum)-1], exemplarSuffix(ex, len(cum)-1), name, sum, name, count); err != nil {
 			return err
 		}
 	}
@@ -293,7 +334,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	}
 	r.mu.Unlock()
 	for name, h := range hs {
-		cum, sum, count := h.snapshot()
+		cum, sum, count, _ := h.snapshot()
 		out[name] = metricJSON{
 			Type: "histogram", Help: h.help,
 			Buckets: h.bounds, Counts: cum, Sum: sum, Count: count,

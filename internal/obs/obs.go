@@ -2,11 +2,15 @@
 // dependency-free tracing and metrics substrate for the evaluation stack.
 //
 // Tracing follows the usual span model — a span is a named interval with
-// a parent, monotonic start/end times and a flat list of attributes — but
-// is deliberately minimal: spans are collected into a Tracer owned by one
-// evaluation, and exported as a JSON tree afterwards. There is no
-// sampling, no context propagation and no global collector; the mediator
-// threads the tracer through its own call graph explicitly.
+// a parent, monotonic start/end times and a flat list of attributes —
+// collected into a Tracer owned by one request or evaluation. Every
+// tracer carries a trace ID (accepted from or emitted as a W3C
+// Traceparent header, see traceparent.go), travels through call graphs
+// either explicitly or inside a context.Context (see context.go), and
+// can export its spans as relocatable SpanData so a remote callee's
+// spans graft back into the caller's trace (Export/Graft). Retention is
+// the flight recorder's job: the obs/store package tail-samples
+// completed traces into a bounded ring served at /debug/traces.
 //
 // Everything is nil-safe: a nil *Tracer (the default) hands out nil
 // *Spans, and every method on a nil receiver is a no-op, so instrumented
@@ -44,15 +48,56 @@ type Span struct {
 	attrs []Attr
 }
 
-// Tracer collects the spans of one evaluation. The zero value is not
-// usable; use NewTracer. A nil *Tracer is the disabled tracer.
+// Tracer collects the spans of one request or evaluation. The zero
+// value is not usable; use NewTracer. A nil *Tracer is the disabled
+// tracer.
 type Tracer struct {
-	mu    sync.Mutex
-	spans []*Span
+	traceID string
+	mu      sync.Mutex
+	spans   []*Span
+
+	// arena is block storage for the first spans, so a typical request
+	// (a handful of spans) costs one allocation for all of them instead
+	// of one each. It is only ever resliced up to its fixed capacity —
+	// never grown — so &arena[i] pointers stay valid for the trace's
+	// lifetime.
+	arena []Span
 }
 
-// NewTracer returns an empty, enabled tracer.
-func NewTracer() *Tracer { return &Tracer{} }
+// spanArenaSize is how many spans a tracer pre-allocates in one block. A
+// warm cache hit records 2 spans; a full evaluation typically records a
+// dozen or two, so the overflow path still matters but the common case
+// is covered.
+const spanArenaSize = 8
+
+// newSpanLocked hands out span storage; the caller must hold t.mu and
+// must overwrite every field of the returned span.
+func (t *Tracer) newSpanLocked() *Span {
+	if t.arena == nil {
+		t.arena = make([]Span, 0, spanArenaSize)
+	}
+	if n := len(t.arena); n < cap(t.arena) {
+		t.arena = t.arena[:n+1]
+		return &t.arena[n]
+	}
+	return new(Span)
+}
+
+// NewTracer returns an empty, enabled tracer with a fresh trace ID.
+func NewTracer() *Tracer { return &Tracer{traceID: NewTraceID()} }
+
+// NewTracerID returns an empty, enabled tracer carrying the given trace
+// ID (typically one propagated from an inbound Traceparent header or the
+// remote wire protocol).
+func NewTracerID(id string) *Tracer { return &Tracer{traceID: id} }
+
+// TraceID returns the tracer's trace ID ("" on nil).
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	return t.traceID
+}
 
 // StartSpan opens a span under parent (nil parent makes a root span) and
 // records it with the tracer. On a nil tracer it returns nil, which every
@@ -61,12 +106,17 @@ func (t *Tracer) StartSpan(name string, parent *Span) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tracer: t, name: name, parentID: -1, start: time.Now()}
+	start := time.Now()
+	parentID := -1
 	if parent != nil {
-		s.parentID = parent.id
+		parentID = parent.id
 	}
 	t.mu.Lock()
-	s.id = len(t.spans)
+	s := t.newSpanLocked()
+	*s = Span{tracer: t, id: len(t.spans), parentID: parentID, name: name, start: start}
+	if t.spans == nil {
+		t.spans = make([]*Span, 0, spanArenaSize)
+	}
 	t.spans = append(t.spans, s)
 	t.mu.Unlock()
 	return s
@@ -122,7 +172,17 @@ func (s *Span) Attr(key string) (any, bool) {
 	return nil, false
 }
 
-// Spans returns every recorded span in start order.
+// Start returns the span's start time (zero on nil).
+func (s *Span) Start() time.Time {
+	if s == nil {
+		return time.Time{}
+	}
+	return s.start
+}
+
+// Spans returns every recorded span in creation order (which is start
+// order only for spans created by one goroutine; concurrent siblings may
+// appear out of start order).
 func (t *Tracer) Spans() []*Span {
 	if t == nil {
 		return nil
@@ -130,6 +190,71 @@ func (t *Tracer) Spans() []*Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]*Span(nil), t.spans...)
+}
+
+// SpanData is the relocatable form of one finished span: times are
+// offsets from an anchor instant, and Parent indexes into the same
+// SpanData slice (-1 marks a root). Export and Graft move span forests
+// between tracers — in practice across the remote wire protocol, so a
+// source engine's spans stitch into the mediator-side trace.
+type SpanData struct {
+	Name     string
+	Parent   int // index into the slice; -1 for roots
+	Start    time.Duration
+	Duration time.Duration
+	Attrs    []Attr
+}
+
+// Export renders every recorded span as SpanData with starts relative to
+// anchor. Spans still open export with their current duration zero.
+func (t *Tracer) Export(anchor time.Time) []SpanData {
+	if t == nil {
+		return nil
+	}
+	spans := t.Spans()
+	out := make([]SpanData, len(spans))
+	for i, s := range spans {
+		out[i] = SpanData{
+			Name:     s.name,
+			Parent:   s.parentID,
+			Start:    s.start.Sub(anchor),
+			Duration: s.Duration(),
+			Attrs:    append([]Attr(nil), s.attrs...),
+		}
+	}
+	return out
+}
+
+// Graft adds a forest of finished spans under parent (nil parent makes
+// them roots), anchoring their offsets at the given instant. Parent
+// indices inside data are remapped to the new span IDs; data roots
+// attach to parent. The usual use is stitching a remote callee's
+// exported spans under the local RPC span, anchored at the RPC's start.
+func (t *Tracer) Graft(parent *Span, anchor time.Time, data []SpanData) {
+	if t == nil || len(data) == 0 {
+		return
+	}
+	t.mu.Lock()
+	base := len(t.spans)
+	for _, d := range data {
+		s := t.newSpanLocked()
+		*s = Span{
+			tracer:   t,
+			id:       len(t.spans),
+			parentID: -1,
+			name:     d.Name,
+			start:    anchor.Add(d.Start),
+			end:      anchor.Add(d.Start + d.Duration),
+			attrs:    append([]Attr(nil), d.Attrs...),
+		}
+		if d.Parent >= 0 && d.Parent < len(data) {
+			s.parentID = base + d.Parent
+		} else if parent != nil {
+			s.parentID = parent.id
+		}
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
 }
 
 // Root returns the first root span (parentless), or nil.
@@ -167,6 +292,36 @@ type spanJSON struct {
 	Children []spanJSON     `json:"children,omitempty"`
 }
 
+// forest arranges spans for rendering: the origin is the minimum start
+// time (spans are stored in creation order under the tracer's lock, so
+// spans[0] may postdate a concurrent sibling), and roots and sibling
+// lists are sorted by start time with the creation ID as tie-break, so
+// output is deterministic however concurrently the spans were created.
+func forest(spans []*Span) (origin time.Time, roots []*Span, kids map[int][]*Span) {
+	kids = make(map[int][]*Span)
+	for _, s := range spans {
+		if origin.IsZero() || s.start.Before(origin) {
+			origin = s.start
+		}
+		if s.parentID < 0 {
+			roots = append(roots, s)
+		} else {
+			kids[s.parentID] = append(kids[s.parentID], s)
+		}
+	}
+	byStart := func(a, b *Span) bool {
+		if !a.start.Equal(b.start) {
+			return a.start.Before(b.start)
+		}
+		return a.id < b.id
+	}
+	sort.Slice(roots, func(i, j int) bool { return byStart(roots[i], roots[j]) })
+	for _, c := range kids {
+		sort.Slice(c, func(i, j int) bool { return byStart(c[i], c[j]) })
+	}
+	return origin, roots, kids
+}
+
 // WriteJSON renders the trace as a JSON forest of spans, children nested
 // under their parents, with start offsets and durations in microseconds.
 func (t *Tracer) WriteJSON(w io.Writer) error {
@@ -174,20 +329,7 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 		_, err := io.WriteString(w, "[]\n")
 		return err
 	}
-	spans := t.Spans()
-	var origin time.Time
-	if len(spans) > 0 {
-		origin = spans[0].start
-	}
-	kids := make(map[int][]*Span)
-	var roots []*Span
-	for _, s := range spans {
-		if s.parentID < 0 {
-			roots = append(roots, s)
-		} else {
-			kids[s.parentID] = append(kids[s.parentID], s)
-		}
-	}
+	origin, roots, kids := forest(t.Spans())
 	var convert func(s *Span) spanJSON
 	convert = func(s *Span) spanJSON {
 		j := spanJSON{
@@ -223,16 +365,7 @@ func (t *Tracer) WriteText(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	spans := t.Spans()
-	kids := make(map[int][]*Span)
-	var roots []*Span
-	for _, s := range spans {
-		if s.parentID < 0 {
-			roots = append(roots, s)
-		} else {
-			kids[s.parentID] = append(kids[s.parentID], s)
-		}
-	}
+	_, roots, kids := forest(t.Spans())
 	var walk func(s *Span, depth int) error
 	walk = func(s *Span, depth int) error {
 		attrs := ""

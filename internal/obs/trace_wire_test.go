@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if len(id) != 32 {
+		t.Fatalf("trace ID %q, want 32 hex chars", id)
+	}
+	got, ok := ParseTraceparent(FormatTraceparent(id))
+	if !ok || got != id {
+		t.Fatalf("round trip: %q, %v", got, ok)
+	}
+}
+
+func TestParseTraceparentRejectsGarbage(t *testing.T) {
+	bad := []string{
+		"",
+		"not-a-traceparent",
+		"00-zzzz2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // non-hex id
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",   // short id
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",   // short span
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01", // forbidden version
+	}
+	for _, tp := range bad {
+		if id, ok := ParseTraceparent(tp); ok {
+			t.Errorf("ParseTraceparent(%q) accepted as %q", tp, id)
+		}
+	}
+	if id, ok := ParseTraceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"); !ok || id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("canonical traceparent rejected: %q, %v", id, ok)
+	}
+}
+
+func TestRequestIDShape(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("request IDs %q, %q; want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two request IDs collided: %q", a)
+	}
+}
+
+func TestTraceRequestIDShape(t *testing.T) {
+	tr, req := NewTraceRequestID()
+	if len(tr) != 32 || !isLowerHex(tr) {
+		t.Fatalf("trace ID %q; want 32 hex chars", tr)
+	}
+	if len(req) != 16 || !isLowerHex(req) {
+		t.Fatalf("request ID %q; want 16 hex chars", req)
+	}
+	if id, ok := ParseTraceparent(FormatTraceparentSpan(tr, req)); !ok || id != tr {
+		t.Fatalf("FormatTraceparentSpan(%q, %q) did not round-trip: got %q, %v", tr, req, id, ok)
+	}
+}
+
+// TestGraftRemapsParents ships one tracer's spans into another and
+// checks the grafted subtree hangs under the attachment span with its
+// internal parent/child structure intact.
+func TestGraftRemapsParents(t *testing.T) {
+	remote := NewTracer()
+	rr := remote.StartSpan("rpc:exec", nil)
+	scan := remote.StartSpan("scan:DB1.patient", rr).SetAttr("rows", 3)
+	scan.End()
+	rr.End()
+	anchor := time.Now()
+	data := remote.Export(anchor)
+
+	local := NewTracer()
+	root := local.StartSpan("request", nil)
+	call := local.StartSpan("call:DB1.exec", root)
+	local.Graft(call, anchor, data)
+	call.End()
+	root.End()
+
+	under := local.Children(call)
+	if len(under) != 1 || under[0].Name() != "rpc:exec" {
+		t.Fatalf("call children = %v, want [rpc:exec]", spanNames(under))
+	}
+	scans := local.Children(under[0])
+	if len(scans) != 1 || scans[0].Name() != "scan:DB1.patient" {
+		t.Fatalf("rpc children = %v, want [scan:DB1.patient]", spanNames(scans))
+	}
+	if v, ok := scans[0].Attr("rows"); !ok || v != 3 {
+		t.Fatalf("grafted attr rows = %v (%T), %v", v, v, ok)
+	}
+}
+
+// TestWriteTextOriginIsEarliestSpan regression-tests the origin fix:
+// grafting spans that started before the local root must not produce
+// negative offsets — the rendered origin is the earliest span, wherever
+// it sits in the slice.
+func TestWriteTextOriginIsEarliestSpan(t *testing.T) {
+	remote := NewTracer()
+	rr := remote.StartSpan("early", nil)
+	rr.End()
+	// Export against an anchor 50ms in the future, so the grafted span
+	// lands 50ms before the local spans.
+	anchor := time.Now().Add(50 * time.Millisecond)
+	data := remote.Export(anchor)
+
+	local := NewTracer()
+	root := local.StartSpan("late-root", nil)
+	local.Graft(root, anchor.Add(-100*time.Millisecond), data)
+	root.End()
+
+	var b strings.Builder
+	if err := local.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "+-") {
+		t.Fatalf("negative offset in text tree:\n%s", b.String())
+	}
+
+	var j strings.Builder
+	if err := local.WriteJSON(&j); err != nil {
+		t.Fatal(err)
+	}
+	var out []struct {
+		StartMs  float64 `json:"start_ms"`
+		Name     string  `json:"name"`
+		Children []struct {
+			StartMs float64 `json:"start_ms"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(j.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, j.String())
+	}
+	for _, root := range out {
+		if root.StartMs < 0 {
+			t.Fatalf("negative root offset %f in %s", root.StartMs, root.Name)
+		}
+		for _, c := range root.Children {
+			if c.StartMs < 0 {
+				t.Fatalf("negative child offset %f", c.StartMs)
+			}
+		}
+	}
+}
+
+// TestWriteJSONDeterministicOrder: two tracers recording the same spans
+// in different creation order render identical trees, because output is
+// sorted by start time.
+func TestWriteJSONDeterministicOrder(t *testing.T) {
+	base := time.Now()
+	build := func(reversed bool) string {
+		tr := NewTracer()
+		root := tr.StartSpan("root", nil)
+		data := []SpanData{
+			{Name: "a", Parent: -1, Start: 10 * time.Millisecond, Duration: time.Millisecond},
+			{Name: "b", Parent: -1, Start: 20 * time.Millisecond, Duration: time.Millisecond},
+		}
+		if reversed {
+			data[0], data[1] = data[1], data[0]
+		}
+		tr.Graft(root, base, data)
+		root.End()
+		var b strings.Builder
+		if err := tr.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		// Keep only the span names (durations and offsets differ run to
+		// run for the live root); the rendering order is what must not
+		// depend on creation order.
+		lines := strings.Split(b.String(), "\n")
+		var names []string
+		for _, l := range lines {
+			name := strings.TrimSpace(l)
+			if i := strings.IndexByte(name, ' '); i >= 0 {
+				name = name[:i]
+			}
+			names = append(names, name)
+		}
+		return strings.Join(names, "\n")
+	}
+	if a, b := build(false), build(true); a != b {
+		t.Fatalf("creation order leaked into rendering:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestPrometheusExemplarRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("ex_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.ObserveExemplar(0.5, "4bf92f3577b34da6a3ce929d0e0e4736")
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := `ex_seconds_bucket{le="1"} 2 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("missing exemplar line %q in:\n%s", want, out)
+	}
+	// The first bucket saw no exemplar and must render bare.
+	if !strings.Contains(out, "ex_seconds_bucket{le=\"0.1\"} 1\n") {
+		t.Fatalf("plain bucket line damaged:\n%s", out)
+	}
+}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"strings"
+)
+
+// Trace and request identifiers, and the W3C trace-context header
+// bridge. Trace IDs are 16 random bytes rendered as 32 lowercase hex
+// digits — the Traceparent trace-id field — so a caller that already
+// participates in a distributed trace can hand its ID to aigd and find
+// the daemon's spans under the same trace. IDs come from math/rand
+// rather than crypto/rand: they are correlation keys, not secrets, and
+// the serving hot path should not pay a syscall per request.
+
+const hexDigits = "0123456789abcdef"
+
+func randHex(n int) string {
+	var buf [48]byte // covers every caller; stack-allocated
+	b := buf[:n]
+	for i := 0; i < n; {
+		v := rand.Uint64()
+		for j := 0; j < 16 && i < n; j++ {
+			b[i] = hexDigits[v&0xf]
+			v >>= 4
+			i++
+		}
+	}
+	return string(b)
+}
+
+// NewTraceID returns a fresh 32-hex-digit trace ID.
+func NewTraceID() string { return randHex(32) }
+
+// NewRequestID returns a fresh 16-hex-digit request ID: the short
+// per-request correlation key for log lines, distinct from the
+// (possibly client-supplied) trace ID.
+func NewRequestID() string { return randHex(16) }
+
+// NewTraceRequestID mints a trace ID and a request ID from one random
+// draw — the serving hot path's way to pay one allocation instead of
+// two when no Traceparent was supplied.
+func NewTraceRequestID() (traceID, requestID string) {
+	s := randHex(48)
+	return s[:32], s[32:]
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+const zeroTraceID = "00000000000000000000000000000000"
+
+// ParseTraceparent extracts the trace ID from a W3C Traceparent header
+// ("00-<32 hex trace-id>-<16 hex span-id>-<2 hex flags>"). It accepts
+// any version except the invalid ff, and rejects the all-zero trace ID
+// the spec reserves. The parse is allocation-free: it runs on the serving
+// hot path for every request, almost always on an absent header.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	if h == "" {
+		return "", false
+	}
+	h = strings.TrimSpace(h)
+	// "vv-" + 32 + "-" + 16 + "-" + 2 = 55 bytes, optionally followed by
+	// "-<future fields>".
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return "", false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return "", false
+	}
+	ver, id, span := h[:2], h[3:35], h[36:52]
+	if !isLowerHex(ver) || ver == "ff" {
+		return "", false
+	}
+	if !isLowerHex(id) || id == zeroTraceID {
+		return "", false
+	}
+	if !isLowerHex(span) {
+		return "", false
+	}
+	return id, true
+}
+
+// FormatTraceparent renders a Traceparent header for the given trace ID
+// with a fresh span ID and the sampled flag set.
+func FormatTraceparent(traceID string) string {
+	return FormatTraceparentSpan(traceID, randHex(16))
+}
+
+// FormatTraceparentSpan renders a Traceparent header for the given trace
+// ID and 16-hex-digit parent span ID with the sampled flag set. aigd
+// uses the request ID as the span ID, so the header it echoes doubles as
+// the log-correlation key.
+func FormatTraceparentSpan(traceID, spanID string) string {
+	return "00-" + traceID + "-" + spanID + "-01"
+}

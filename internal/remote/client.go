@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -120,6 +121,7 @@ func (c *Client) Close() error {
 }
 
 func (c *Client) roundTrip(req *request, resp *response) error {
+	req.Proto = protoVersion
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.conn == nil {
@@ -220,8 +222,33 @@ func (c *Client) ChangesSince(table string, since uint64) (relstore.ChangeSet, e
 	return changeSetFromWire(resp.Deltas), nil
 }
 
+// tracedTrip wraps roundTrip for the query-path RPCs: when ctx carries a
+// tracer, it opens a client-side call span, asks the server to trace by
+// setting the request's trace ID, and grafts the returned server-side
+// spans under the call span — anchored at the instant just before the
+// request hit the wire, so the stitched tree is internally consistent
+// without comparing the two machines' clocks (residual skew is bounded
+// by the one-way network latency).
+func (c *Client) tracedTrip(ctx context.Context, req *request, resp *response) error {
+	tr, parent := obs.SpanFromContext(ctx)
+	if tr == nil {
+		return c.roundTrip(req, resp)
+	}
+	req.TraceID = tr.TraceID()
+	sp := tr.StartSpan("call:"+c.name+"."+req.Kind.String(), parent)
+	sp.SetAttr("addr", c.addr)
+	anchor := time.Now()
+	err := c.roundTrip(req, resp)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	tr.Graft(sp, anchor, spansFromWire(resp.Spans))
+	return err
+}
+
 // Estimate implements source.Source (the costing API of §5.2).
-func (c *Client) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (source.Estimate, error) {
+func (c *Client) Estimate(ctx context.Context, q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (source.Estimate, error) {
 	req := &request{
 		Kind:         reqEstimate,
 		SQL:          q.String(),
@@ -237,7 +264,7 @@ func (c *Client) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sq
 		req.ParamSchemas[name] = spec
 	}
 	var resp response
-	if err := c.roundTrip(req, &resp); err != nil {
+	if err := c.tracedTrip(ctx, req, &resp); err != nil {
 		return source.Estimate{}, err
 	}
 	return source.Estimate{Cost: resp.EstCost, Rows: resp.EstRows, Bytes: resp.EstBytes}, nil
@@ -245,8 +272,8 @@ func (c *Client) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sq
 
 // Exec implements source.Source: the query ships as SQL text with its
 // parameter tables; the result table and the engine-measured evaluation
-// time ship back.
-func (c *Client) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
+// time ship back, along with the server-side spans of a traced request.
+func (c *Client) Exec(ctx context.Context, name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
 	req := &request{
 		Kind:        reqExec,
 		SQL:         q.String(),
@@ -259,7 +286,7 @@ func (c *Client) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts
 		req.Params[pname] = tableToWire(b.Schema, b.Rows)
 	}
 	var resp response
-	if err := c.roundTrip(req, &resp); err != nil {
+	if err := c.tracedTrip(ctx, req, &resp); err != nil {
 		return nil, 0, err
 	}
 	out, err := tableFromWire(name, resp.Result)

@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -38,7 +39,7 @@ func TestManyClientsOneServer(t *testing.T) {
 	defer srv.Close()
 
 	q := sqlmini.MustParse(`select trId, price from DB3:billing where price > 0`)
-	want, _, err := source.NewLocal(db).Exec("out", q, nil, sqlmini.PlanOptions{})
+	want, _, err := source.NewLocal(db).Exec(context.Background(), "out", q, nil, sqlmini.PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestManyClientsOneServer(t *testing.T) {
 			for i := 0; i < perClient; i++ {
 				switch i % 3 {
 				case 0:
-					out, _, err := cl.Exec("out", q, nil, sqlmini.PlanOptions{})
+					out, _, err := cl.Exec(context.Background(), "out", q, nil, sqlmini.PlanOptions{})
 					if err != nil {
 						errs <- fmt.Errorf("client %d exec: %w", c, err)
 						return
@@ -120,7 +121,7 @@ func TestSharedClientConcurrentMixedTraffic(t *testing.T) {
 			Schema: relstore.MustSchema("date:string"),
 			Rows:   []relstore.Tuple{{relstore.String(d)}},
 		}}
-		out, _, err := local.Exec("out", byDate, params, sqlmini.PlanOptions{})
+		out, _, err := local.Exec(context.Background(), "out", byDate, params, sqlmini.PlanOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func TestSharedClientConcurrentMixedTraffic(t *testing.T) {
 					Schema: relstore.MustSchema("date:string"),
 					Rows:   []relstore.Tuple{{relstore.String(d)}},
 				}}
-				out, _, err := client.Exec("out", byDate, params, sqlmini.PlanOptions{})
+				out, _, err := client.Exec(context.Background(), "out", byDate, params, sqlmini.PlanOptions{})
 				if err != nil {
 					t.Errorf("goroutine %d: %v", g, err)
 					failures.Add(1)

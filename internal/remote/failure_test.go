@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestClientConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			out, _, err := client.Exec("out", q, nil, sqlmini.PlanOptions{})
+			out, _, err := client.Exec(context.Background(), "out", q, nil, sqlmini.PlanOptions{})
 			if err != nil {
 				errs <- err
 				return
@@ -106,7 +107,7 @@ func TestServerRejectsBadSQL(t *testing.T) {
 	// Estimation with an unknown parameter errors cleanly, and the
 	// connection keeps working afterwards.
 	q := sqlmini.MustParse(`select SSN from DB1:patient where SSN = $v.ghost`)
-	if _, err := client.Estimate(q, sqlmini.ParamSchemas{"v": nil}, sqlmini.PlanOptions{}); err == nil {
+	if _, err := client.Estimate(context.Background(), q, sqlmini.ParamSchemas{"v": nil}, sqlmini.PlanOptions{}); err == nil {
 		t.Error("bad parameter estimate succeeded")
 	}
 	if _, err := client.TableCard("patient"); err != nil {

@@ -10,13 +10,25 @@
 package remote
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
+	"time"
 
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
 	"github.com/aigrepro/aig/internal/sqlmini"
 )
+
+// protoVersion is the wire protocol version this build speaks. Gob's
+// field-name matching keeps the stream compatible in both directions:
+// version 1 peers simply never see (or send) the tracing fields added in
+// version 2, and tracing degrades to off for that hop.
+//
+//	1: initial protocol (query, costing, versions, change sets)
+//	2: adds request.TraceID and response.Spans for distributed tracing
+const protoVersion = 2
 
 // reqKind discriminates request types.
 type reqKind uint8
@@ -33,6 +45,32 @@ const (
 	reqTableVersions
 	reqChanges
 )
+
+// String names the request kind for span names and log lines.
+func (k reqKind) String() string {
+	switch k {
+	case reqPing:
+		return "ping"
+	case reqSchema:
+		return "schema"
+	case reqCard:
+		return "card"
+	case reqDistinct:
+		return "distinct"
+	case reqEstimate:
+		return "estimate"
+	case reqExec:
+		return "exec"
+	case reqVersion:
+		return "version"
+	case reqTableVersions:
+		return "table_versions"
+	case reqChanges:
+		return "changes"
+	default:
+		return fmt.Sprintf("kind%d", uint8(k))
+	}
+}
 
 // wireValue is the gob-encodable form of a relstore.Value.
 type wireValue struct {
@@ -161,12 +199,74 @@ func changeSetFromWire(w wireChangeSet) relstore.ChangeSet {
 	return cs
 }
 
+// wireAttr is one span attribute, stringified for the wire.
+type wireAttr struct {
+	K, V string
+}
+
+// wireSpan is the gob-encodable form of one exported span. Times are
+// offsets from the serving side's handling start, so the client can
+// re-anchor them at its own RPC start instant (the clocks never compare
+// directly; the residual skew is at most the one-way network latency).
+type wireSpan struct {
+	Name       string
+	Parent     int // index into the same slice; -1 for roots
+	StartNanos int64
+	DurNanos   int64
+	Attrs      []wireAttr
+}
+
+func spansToWire(data []obs.SpanData) []wireSpan {
+	if len(data) == 0 {
+		return nil
+	}
+	out := make([]wireSpan, len(data))
+	for i, d := range data {
+		w := wireSpan{
+			Name:       d.Name,
+			Parent:     d.Parent,
+			StartNanos: d.Start.Nanoseconds(),
+			DurNanos:   d.Duration.Nanoseconds(),
+		}
+		for _, a := range d.Attrs {
+			w.Attrs = append(w.Attrs, wireAttr{K: a.Key, V: fmt.Sprint(a.Value)})
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func spansFromWire(ws []wireSpan) []obs.SpanData {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]obs.SpanData, len(ws))
+	for i, w := range ws {
+		d := obs.SpanData{
+			Name:     w.Name,
+			Parent:   w.Parent,
+			Start:    time.Duration(w.StartNanos),
+			Duration: time.Duration(w.DurNanos),
+		}
+		for _, a := range w.Attrs {
+			d.Attrs = append(d.Attrs, obs.Attr{Key: a.K, Value: a.V})
+		}
+		out[i] = d
+	}
+	return out
+}
+
 // request is one client->server message.
 type request struct {
+	Proto  int
 	Kind   reqKind
 	Table  string
 	Column string
 	Since  uint64
+
+	// TraceID, when non-empty, asks the server to trace the handling of
+	// this request and ship the spans back on the response.
+	TraceID string
 
 	SQL          string
 	Params       map[string]wireTable
@@ -178,7 +278,8 @@ type request struct {
 
 // response is one server->client message.
 type response struct {
-	Err string
+	Proto int
+	Err   string
 
 	SchemaSpec []string
 	Card       int
@@ -192,6 +293,10 @@ type response struct {
 
 	Result    wireTable
 	EvalNanos int64
+
+	// Spans carries the server-side span forest of a traced request,
+	// offsets relative to the server's handling start.
+	Spans []wireSpan
 }
 
 func (r *response) setError(err error) {
@@ -205,9 +310,25 @@ func registerGob() {
 	gob.Register(wireTable{})
 }
 
-// handle executes one request against a local source.
+// handle executes one request against a local source. When the request
+// carries a trace ID the whole handling runs under a server-side tracer
+// whose spans ship back on the response, re-anchorable by the caller.
 func handle(local *source.Local, req *request) *response {
-	resp := &response{}
+	resp := &response{Proto: protoVersion}
+	ctx := context.Background()
+	if req.TraceID != "" {
+		tr := obs.NewTracerID(req.TraceID)
+		anchor := time.Now()
+		root := tr.StartSpan("rpc:"+req.Kind.String(), nil)
+		ctx = obs.ContextWithSpan(ctx, tr, root)
+		defer func() {
+			if resp.Err != "" {
+				root.SetAttr("error", resp.Err)
+			}
+			root.End()
+			resp.Spans = spansToWire(tr.Export(anchor))
+		}()
+	}
 	switch req.Kind {
 	case reqPing:
 	case reqSchema:
@@ -257,7 +378,7 @@ func handle(local *source.Local, req *request) *response {
 			}
 			params[name] = s
 		}
-		est, err := local.Estimate(q, params, sqlmini.PlanOptions{ParamCards: req.ParamCards, DefaultParamCard: req.DefaultCard})
+		est, err := local.Estimate(ctx, q, params, sqlmini.PlanOptions{ParamCards: req.ParamCards, DefaultParamCard: req.DefaultCard})
 		if err != nil {
 			resp.setError(err)
 			return resp
@@ -278,7 +399,7 @@ func handle(local *source.Local, req *request) *response {
 			}
 			params[name] = b
 		}
-		out, dur, err := local.Exec(req.ResultName, q, params, sqlmini.PlanOptions{ParamCards: req.ParamCards, DefaultParamCard: req.DefaultCard})
+		out, dur, err := local.Exec(ctx, req.ResultName, q, params, sqlmini.PlanOptions{ParamCards: req.ParamCards, DefaultParamCard: req.DefaultCard})
 		if err != nil {
 			resp.setError(err)
 			return resp

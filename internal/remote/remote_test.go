@@ -1,6 +1,7 @@
 package remote
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -76,7 +77,7 @@ func TestClientExecMatchesLocal(t *testing.T) {
 		Schema: relstore.MustSchema("trId:string"),
 		Rows:   []relstore.Tuple{{relstore.String("t1")}, {relstore.String("t3")}},
 	}}
-	got, dur, err := src.Exec("out", q, params, sqlmini.PlanOptions{})
+	got, dur, err := src.Exec(context.Background(), "out", q, params, sqlmini.PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestClientExecMatchesLocal(t *testing.T) {
 		t.Error("no evaluation time measured")
 	}
 	db, _ := cat.Database("DB3")
-	want, _, err := source.NewLocal(db).Exec("out", q, params, sqlmini.PlanOptions{})
+	want, _, err := source.NewLocal(db).Exec(context.Background(), "out", q, params, sqlmini.PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestClientEstimate(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := sqlmini.MustParse(`select SSN from DB1:visitInfo where date = $v.date`)
-	est, err := src.Estimate(q, sqlmini.ParamSchemas{"v": relstore.MustSchema("date:string")}, sqlmini.PlanOptions{})
+	est, err := src.Estimate(context.Background(), q, sqlmini.ParamSchemas{"v": relstore.MustSchema("date:string")}, sqlmini.PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestClientErrors(t *testing.T) {
 	}
 	// Query against a foreign source must be rejected server-side.
 	q := sqlmini.MustParse(`select trId from DB3:billing`)
-	if _, _, err := src.Exec("out", q, nil, sqlmini.PlanOptions{}); err == nil {
+	if _, _, err := src.Exec(context.Background(), "out", q, nil, sqlmini.PlanOptions{}); err == nil {
 		t.Error("foreign-source query accepted")
 	}
 	// Dial failure.

@@ -4,7 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 
@@ -74,13 +74,13 @@ func (s *Server) serveConn(conn net.Conn) {
 		var req request
 		if err := dec.Decode(&req); err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				log.Printf("remote: decoding request from %s: %v", conn.RemoteAddr(), err)
+				slog.Warn("remote: decoding request failed", "peer", conn.RemoteAddr().String(), "err", err)
 			}
 			return
 		}
 		resp := handle(s.local, &req)
 		if err := enc.Encode(resp); err != nil {
-			log.Printf("remote: encoding response to %s: %v", conn.RemoteAddr(), err)
+			slog.Warn("remote: encoding response failed", "peer", conn.RemoteAddr().String(), "err", err)
 			return
 		}
 	}

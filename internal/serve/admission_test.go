@@ -148,7 +148,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			e, err, leader := g.Do("k", func() (*cacheEntry, error) {
+			e, err, leader := g.Do(context.Background(), "k", func() (*cacheEntry, error) {
 				close(started)
 				runs.Add(1)
 				<-block
@@ -185,7 +185,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 
 	// After the flight lands, the key is reusable: a fresh call runs fn
 	// again instead of returning the stale result.
-	_, _, leader := g.Do("k", func() (*cacheEntry, error) {
+	_, _, leader := g.Do(context.Background(), "k", func() (*cacheEntry, error) {
 		runs.Add(1)
 		return entry("second"), nil
 	})

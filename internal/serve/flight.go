@@ -1,6 +1,11 @@
 package serve
 
-import "sync"
+import (
+	"context"
+	"sync"
+
+	"github.com/aigrepro/aig/internal/obs"
+)
 
 // flightGroup coalesces concurrent duplicate work: the first caller of
 // Do under a key becomes the leader and runs fn; callers arriving while
@@ -17,21 +22,38 @@ type flightCall struct {
 	done  chan struct{}
 	entry *cacheEntry
 	err   error
+
+	// leaderTrace is the leader's trace ID (empty when the leader ran
+	// untraced); waiters record it so a coalesced request's trace points
+	// at the trace that actually holds the evaluation spans.
+	leaderTrace string
 }
 
 // Do executes fn once per key per flight, returning fn's result to
 // every concurrent caller. leader reports whether this caller ran fn.
-func (g *flightGroup) Do(key string, fn func() (*cacheEntry, error)) (entry *cacheEntry, err error, leader bool) {
+// A traced waiter gets a "singleflight.wait" span carrying the leader's
+// trace ID, so a coalesced request's otherwise-empty trace links to the
+// trace where the evaluation actually happened.
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*cacheEntry, error)) (entry *cacheEntry, err error, leader bool) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
 	}
 	if c, inFlight := g.calls[key]; inFlight {
 		g.mu.Unlock()
+		tr, parent := obs.SpanFromContext(ctx)
+		sp := tr.StartSpan("singleflight.wait", parent)
 		<-c.done
+		if c.leaderTrace != "" {
+			sp.SetAttr("leader_trace", c.leaderTrace)
+		}
+		sp.End()
 		return c.entry, c.err, false
 	}
 	c := &flightCall{done: make(chan struct{})}
+	if tr, _ := obs.SpanFromContext(ctx); tr != nil {
+		c.leaderTrace = tr.TraceID()
+	}
 	g.calls[key] = c
 	g.mu.Unlock()
 

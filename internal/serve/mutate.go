@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
@@ -22,25 +23,32 @@ import (
 // op=delete with values removes every matching row; without values it
 // removes the last row.
 func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
+	rt, _ := s.beginBackgroundTrace("mutate", nil, time.Now())
+	rw := &statusRecorder{ResponseWriter: w}
+	rt.rw = rw
+	defer rt.finish()
+
 	q := r.URL.Query()
 	srcName, table, op := q.Get("source"), q.Get("table"), q.Get("op")
+	rt.params = canonicalParams(map[string]string{"source": srcName, "table": table, "op": op})
+	rt.root.SetAttr("source", srcName).SetAttr("table", table).SetAttr("op", op)
 	if srcName == "" || table == "" || op == "" {
-		http.Error(w, "source, table and op are required", http.StatusBadRequest)
+		http.Error(rw, "source, table and op are required", http.StatusBadRequest)
 		return
 	}
 	src, err := s.reg.Get(srcName)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(rw, err.Error(), http.StatusNotFound)
 		return
 	}
 	local, ok := src.(*source.Local)
 	if !ok {
-		http.Error(w, fmt.Sprintf("source %s is not local; /mutate only writes local sources", srcName), http.StatusBadRequest)
+		http.Error(rw, fmt.Sprintf("source %s is not local; /mutate only writes local sources", srcName), http.StatusBadRequest)
 		return
 	}
 	t, err := local.DB().Table(table)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusNotFound)
+		http.Error(rw, err.Error(), http.StatusNotFound)
 		return
 	}
 
@@ -48,14 +56,14 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	if raw := q.Get("values"); raw != "" {
 		parts := strings.Split(raw, ",")
 		if len(parts) != len(t.Schema()) {
-			http.Error(w, fmt.Sprintf("%d values for %d columns", len(parts), len(t.Schema())), http.StatusBadRequest)
+			http.Error(rw, fmt.Sprintf("%d values for %d columns", len(parts), len(t.Schema())), http.StatusBadRequest)
 			return
 		}
 		row = make(relstore.Tuple, len(parts))
 		for i, p := range parts {
 			v, perr := relstore.ParseValue(t.Schema()[i].Kind, p)
 			if perr != nil {
-				http.Error(w, perr.Error(), http.StatusBadRequest)
+				http.Error(rw, perr.Error(), http.StatusBadRequest)
 				return
 			}
 			row[i] = v
@@ -66,11 +74,11 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 	switch op {
 	case "insert":
 		if row == nil {
-			http.Error(w, "insert requires values", http.StatusBadRequest)
+			http.Error(rw, "insert requires values", http.StatusBadRequest)
 			return
 		}
 		if err := t.Insert(row); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+			http.Error(rw, err.Error(), http.StatusBadRequest)
 			return
 		}
 		affected = 1
@@ -80,23 +88,24 @@ func (s *Server) handleMutate(w http.ResponseWriter, r *http.Request) {
 			affected = t.DeleteWhere(func(r relstore.Tuple) bool { return r.Key() == key })
 		} else {
 			if t.Len() == 0 {
-				http.Error(w, "table is empty", http.StatusConflict)
+				http.Error(rw, "table is empty", http.StatusConflict)
 				return
 			}
 			if _, err := t.DeleteAt(t.Len() - 1); err != nil {
-				http.Error(w, err.Error(), http.StatusConflict)
+				http.Error(rw, err.Error(), http.StatusConflict)
 				return
 			}
 			affected = 1
 		}
 	default:
-		http.Error(w, fmt.Sprintf("unknown op %q (want insert or delete)", op), http.StatusBadRequest)
+		http.Error(rw, fmt.Sprintf("unknown op %q (want insert or delete)", op), http.StatusBadRequest)
 		return
 	}
 	s.m.mutations.Inc()
+	rt.root.SetAttr("affected", affected)
 
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(map[string]any{
 		"source":   srcName,
 		"table":    table,
 		"op":       op,

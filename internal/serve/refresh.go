@@ -1,11 +1,11 @@
 package serve
 
 import (
-	"context"
 	"sync"
 	"time"
 
 	"github.com/aigrepro/aig/internal/ivm"
+	"github.com/aigrepro/aig/internal/obs"
 )
 
 // refresher is the background half of incremental view maintenance:
@@ -164,7 +164,9 @@ func (r *refresher) cycle() {
 
 // refreshOne brings one stale entry up to the cycle's snapshot, by
 // restamp when the judge proves the deltas irrelevant, by full
-// re-evaluation otherwise.
+// re-evaluation otherwise. Each refresh runs as its own "refresh"-kind
+// trace, so slow background rebuilds are as retrievable from the flight
+// recorder as slow client requests.
 func (r *refresher) refreshOne(it lruItem, st viewState) {
 	s := r.s
 	e := it.entry
@@ -175,22 +177,34 @@ func (r *refresher) refreshOne(it lruItem, st viewState) {
 		r.dirtyAt[e.keyPrefix] = start
 	}
 
-	if r.judgeUnaffected(e, st) {
+	rt, ctx := s.beginBackgroundTrace("refresh", st.v, start)
+	rt.params = canonicalParams(e.params)
+	defer rt.finish()
+
+	tr, parent := obs.SpanFromContext(ctx)
+	judgeSpan := tr.StartSpan("ivm.judge", parent)
+	unaffected := r.judgeUnaffected(e, st)
+	judgeSpan.SetAttr("unaffected", unaffected).End()
+
+	if unaffected {
 		newKey := e.keyPrefix + "\x00" + st.stamp
 		s.cache.Replace(it.key, newKey, e.restamped(st.stamp, st.tv))
 		s.m.cacheEntries.Set(float64(s.cache.Len()))
 		s.m.refreshDelta.Inc()
+		rt.setCache("restamp")
 	} else {
 		// Full rebuild through the shared miss path: coalesces with any
 		// concurrent client miss on the same key and only caches if the
 		// stamp holds through the evaluation. The stale entry is removed
 		// either way — its key can never be hit again (stamps are
 		// monotone), so keeping it would only crowd the LRU.
-		_, err, _ := s.missFlight(context.Background(), st.v, e.params, e.keyPrefix, st.stamp, false)
+		_, err, _ := s.missFlight(ctx, st.v, e.params, e.keyPrefix, st.stamp, false)
 		s.cache.Remove(it.key)
 		s.m.cacheEntries.Set(float64(s.cache.Len()))
+		rt.setCache("rebuild")
 		if err != nil {
 			s.m.refreshErrors.Inc()
+			rt.fail(err)
 			return
 		}
 		s.m.refreshFull.Inc()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"strings"
@@ -237,7 +238,7 @@ func TestNoStaleHitUnderConcurrentMutation(t *testing.T) {
 		if err != nil || !settled {
 			t.Fatalf("stamp after mutation: settled=%v err=%v", settled, err)
 		}
-		e, err := s.evaluate(v, params)
+		e, err := s.evaluate(context.Background(), v, params)
 		if err != nil {
 			t.Fatalf("ground-truth evaluation: %v", err)
 		}

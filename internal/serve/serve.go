@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"github.com/aigrepro/aig/internal/dtd"
 	"github.com/aigrepro/aig/internal/mediator"
 	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/obs/store"
 	"github.com/aigrepro/aig/internal/source"
 	"github.com/aigrepro/aig/internal/xconstraint"
 )
@@ -76,6 +78,29 @@ type Config struct {
 	// mediator; each view keeps its latest span tree for
 	// GET /views/{name}/trace.
 	TraceRequests bool
+	// FlightRecorder enables full request tracing with tail-sampled
+	// retention: every request runs under a propagated trace context
+	// (Traceparent in/out, spans across cache, singleflight, admission,
+	// mediator, and remote sources), and completed traces are kept in a
+	// bounded ring when they erred, ran slow, or won the sampling draw —
+	// served at GET /debug/traces and /debug/traces/{id}.
+	FlightRecorder bool
+	// TraceCapacity is the flight recorder's ring size (default 256).
+	TraceCapacity int
+	// TraceSlowThreshold is the latency at or above which a trace is
+	// always kept (default 250ms; negative disables the slow rule).
+	TraceSlowThreshold time.Duration
+	// TraceSampleRate is the keep probability for fast, healthy traces
+	// (default 0.01; negative means keep none of them).
+	TraceSampleRate float64
+	// EnableDebug exposes net/http/pprof and expvar under /debug/. The
+	// endpoints reveal process internals; enable only on trusted
+	// listeners.
+	EnableDebug bool
+	// Logger, when non-nil, receives one structured line per request and
+	// background operation, correlated by trace and request ID (default
+	// slog.Default()).
+	Logger *slog.Logger
 	// RefreshInterval enables the background refresher: every interval it
 	// re-stamps or re-evaluates cached entries whose sources mutated, so
 	// steady traffic keeps hitting a warm cache instead of paying a full
@@ -117,6 +142,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default
+	}
+	if c.TraceCapacity <= 0 {
+		c.TraceCapacity = 256
+	}
+	if c.TraceSlowThreshold == 0 {
+		c.TraceSlowThreshold = 250 * time.Millisecond
+	}
+	if c.TraceSlowThreshold < 0 {
+		c.TraceSlowThreshold = 0
+	}
+	if c.TraceSampleRate == 0 {
+		c.TraceSampleRate = 0.01
+	}
+	if c.TraceSampleRate < 0 {
+		c.TraceSampleRate = 0
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -197,6 +240,10 @@ type Server struct {
 	adm    *admission
 	m      serveMetrics
 
+	// traces is the flight recorder (nil when disabled).
+	traces *store.Store
+	logger *slog.Logger
+
 	refresher *refresher
 
 	draining atomic.Bool
@@ -213,16 +260,23 @@ func NewServer(reg *source.Registry, cfg Config) *Server {
 		opts = *cfg.Mediator
 	}
 	s := &Server{
-		cfg:   cfg,
-		reg:   reg,
-		opts:  opts,
-		views: make(map[string]*View),
-		cache: newLRU(cfg.CacheEntries),
-		adm:   newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
-		m:     newServeMetrics(cfg.Metrics),
+		cfg:    cfg,
+		reg:    reg,
+		opts:   opts,
+		views:  make(map[string]*View),
+		cache:  newLRU(cfg.CacheEntries),
+		adm:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueTimeout),
+		m:      newServeMetrics(cfg.Metrics),
+		logger: cfg.Logger,
 	}
 	s.cache.onEvict = s.m.evictions.Inc
 	s.adm.onQueue = func(depth int64) { s.m.queueDepth.Set(float64(depth)) }
+	if cfg.FlightRecorder {
+		s.traces = store.New(cfg.TraceCapacity, store.Policy{
+			SlowThreshold: cfg.TraceSlowThreshold,
+			SampleRate:    cfg.TraceSampleRate,
+		})
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /views", s.handleList)
@@ -232,6 +286,11 @@ func NewServer(reg *source.Registry, cfg Config) *Server {
 	mux.HandleFunc("GET /views/{name}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/{id}", s.handleTraceByID)
+	if cfg.EnableDebug {
+		s.registerDebug(mux)
+	}
 	if cfg.AllowMutate {
 		mux.HandleFunc("POST /mutate", s.handleMutate)
 	}
@@ -259,6 +318,9 @@ func (s *Server) AddView(name string, a *aig.AIG) (*View, error) {
 	if err != nil {
 		return nil, err
 	}
+	v.reqSec = s.cfg.Metrics.NewHistogram(
+		"aig_serve_view_request_seconds_"+sanitizeMetricName(name),
+		"view request latency for view "+name, obs.DurationBuckets)
 	s.mu.Lock()
 	s.views[name] = v
 	s.mu.Unlock()
@@ -404,29 +466,40 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	s.m.requests.Inc()
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
-	defer func() { s.m.requestSec.Observe(time.Since(start).Seconds()) }()
 
 	if s.draining.Load() {
+		s.m.requestSec.Observe(time.Since(start).Seconds())
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	v := s.View(r.PathValue("name"))
 	if v == nil {
+		s.m.requestSec.Observe(time.Since(start).Seconds())
 		http.Error(w, "no such view", http.StatusNotFound)
 		return
 	}
+
+	// The request has a real view from here on: begin its trace. All
+	// error paths below must write through rw so the status lands in the
+	// trace summary and the log line.
+	rt, ctx, rw := s.beginRequestTrace(w, r, v, start)
+	defer rt.finish()
+
 	params, err := requestParams(r, v)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		rt.fail(err)
+		http.Error(rw, err.Error(), http.StatusBadRequest)
 		return
 	}
+	rt.params = canonicalParams(params)
 	stamp, _, err := s.stamp(v)
 	if err != nil {
 		s.m.errors.Inc()
-		http.Error(w, err.Error(), http.StatusBadGateway)
+		rt.fail(err)
+		http.Error(rw, err.Error(), http.StatusBadGateway)
 		return
 	}
-	prefix := v.name + "\x00" + canonicalParams(params)
+	prefix := v.name + "\x00" + rt.params
 	key := prefix + "\x00" + stamp
 
 	if noStoreRequest(r) {
@@ -434,36 +507,45 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		// populating the cache (and without coalescing, so every request
 		// pays the full evaluation it is measuring).
 		s.m.misses.Inc()
-		entry, berr := s.evaluateAdmitted(r.Context(), v, params)
+		rt.setCache("bypass")
+		entry, berr := s.evaluateAdmitted(ctx, v, params)
 		if berr != nil {
-			s.writeError(w, berr)
+			rt.fail(berr)
+			s.writeError(rw, berr)
 			return
 		}
 		entry.stamp = stamp
-		s.writeEntry(w, entry, "bypass")
+		s.writeEntry(rw, entry, "bypass")
 		return
 	}
 
-	if e, ok := s.cache.Get(key); ok {
+	tr, parent := obs.SpanFromContext(ctx)
+	lookupSpan := tr.StartSpan("cache.lookup", parent)
+	e, ok := s.cache.Get(key)
+	lookupSpan.SetAttr("hit", ok).End()
+	if ok {
 		s.m.hits.Inc()
-		s.writeEntry(w, e, "hit")
+		rt.setCache("hit")
+		s.writeEntry(rw, e, "hit")
 		return
 	}
 	s.m.misses.Inc()
 
-	e, err, leader := s.missFlight(r.Context(), v, params, prefix, stamp, true)
+	e, err, leader := s.missFlight(ctx, v, params, prefix, stamp, true)
 	if !leader {
 		s.m.coalesced.Inc()
 	}
 	if err != nil {
-		s.writeError(w, err)
+		rt.fail(err)
+		s.writeError(rw, err)
 		return
 	}
 	state := "miss"
 	if !leader {
 		state = "coalesced"
 	}
-	s.writeEntry(w, e, state)
+	rt.setCache(state)
+	s.writeEntry(rw, e, state)
 }
 
 // noStoreRequest reports whether the client asked to bypass the result
@@ -482,7 +564,7 @@ func noStoreRequest(r *http.Request) bool {
 // refresh cycle rebuilds it under the new stamp).
 func (s *Server) missFlight(ctx context.Context, v *View, params map[string]string, prefix, stamp string, admit bool) (*cacheEntry, error, bool) {
 	key := prefix + "\x00" + stamp
-	return s.flight.Do(key, func() (*cacheEntry, error) {
+	return s.flight.Do(ctx, key, func() (*cacheEntry, error) {
 		var entry *cacheEntry
 		var eerr error
 		// The per-table version snapshot must be taken inside the
@@ -493,7 +575,7 @@ func (s *Server) missFlight(ctx context.Context, v *View, params map[string]stri
 		if admit {
 			entry, eerr = s.evaluateAdmitted(ctx, v, params)
 		} else {
-			entry, eerr = s.evaluate(v, params)
+			entry, eerr = s.evaluate(ctx, v, params)
 		}
 		if eerr != nil {
 			return nil, eerr
@@ -523,39 +605,44 @@ func (s *Server) missFlight(ctx context.Context, v *View, params map[string]stri
 // evaluateAdmitted runs evaluate under the admission semaphore, the way
 // client-triggered evaluations go.
 func (s *Server) evaluateAdmitted(ctx context.Context, v *View, params map[string]string) (*cacheEntry, error) {
+	tr, parent := obs.SpanFromContext(ctx)
+	sp := tr.StartSpan("admission", parent)
 	waited, aerr := s.adm.acquire(ctx)
 	s.m.queueWaitSec.Observe(waited.Seconds())
+	sp.SetAttr("waited_sec", waited.Seconds())
 	if aerr != nil {
+		sp.SetAttr("error", aerr.Error()).End()
 		return nil, aerr
 	}
+	sp.End()
 	defer func() {
 		s.adm.release()
 		s.m.inflightEvals.Set(float64(s.adm.inUse()))
 	}()
 	s.m.inflightEvals.Set(float64(s.adm.inUse()))
-	return s.evaluate(v, params)
+	return s.evaluate(ctx, v, params)
 }
 
 // evaluate runs one mediator evaluation for a prepared view and
-// renders the document.
-func (s *Server) evaluate(v *View, params map[string]string) (*cacheEntry, error) {
+// renders the document. The tracer ctx carries (the flight recorder's,
+// or a refresh/mutate trace) flows through the whole evaluation stack;
+// with none and legacy TraceRequests set, a standalone tracer is made so
+// GET /views/{name}/trace still works.
+func (s *Server) evaluate(ctx context.Context, v *View, params map[string]string) (*cacheEntry, error) {
 	rootInh, err := v.bindParams(params)
 	if err != nil {
 		return nil, err
 	}
 
-	var tracer *obs.Tracer
-	med := v.med
-	if s.cfg.TraceRequests {
-		tracer = obs.NewTracer()
-		opts := s.opts
-		opts.Tracer = tracer
-		med = mediator.New(s.reg, opts)
+	tr, parent := obs.SpanFromContext(ctx)
+	if tr == nil && s.cfg.TraceRequests {
+		tr = obs.NewTracer()
+		ctx = obs.ContextWithSpan(ctx, tr, nil)
 	}
 
 	est := int(v.estDepth.Load())
 	t0 := time.Now()
-	res, depth, err := med.EvaluateRecursive(v.sa, rootInh, est, v.maxDepth)
+	res, depth, err := v.med.EvaluateRecursiveContext(ctx, v.sa, rootInh, est, v.maxDepth)
 	s.m.evalSec.Observe(time.Since(t0).Seconds())
 	s.m.evaluations.Inc()
 	if err != nil {
@@ -564,21 +651,33 @@ func (s *Server) evaluate(v *View, params map[string]string) (*cacheEntry, error
 	v.estDepth.Store(int32(depth))
 
 	if s.cfg.VerifyOutput {
-		if cerr := dtd.Conforms(v.a.DTD, res.Doc); cerr != nil {
+		sp := tr.StartSpan("verify", parent)
+		cerr := dtd.Conforms(v.a.DTD, res.Doc)
+		var viol []error
+		if cerr == nil {
+			for _, violation := range xconstraint.CheckAll(v.a.Constraints, res.Doc) {
+				viol = append(viol, violation)
+			}
+		}
+		sp.End()
+		if cerr != nil {
 			return nil, fmt.Errorf("view %s: output violates the DTD: %w", v.name, cerr)
 		}
-		if viol := xconstraint.CheckAll(v.a.Constraints, res.Doc); len(viol) != 0 {
+		if len(viol) != 0 {
 			return nil, fmt.Errorf("view %s: output violates constraints: %v", v.name, viol[0])
 		}
 	}
 
+	sp := tr.StartSpan("render", parent)
 	var buf strings.Builder
-	if werr := res.Doc.WriteIndented(&buf); werr != nil {
+	werr := res.Doc.WriteIndented(&buf)
+	sp.SetAttr("bytes", buf.Len()).End()
+	if werr != nil {
 		return nil, werr
 	}
-	if tracer != nil {
+	if s.cfg.TraceRequests && tr != nil {
 		var tb strings.Builder
-		if terr := tracer.WriteJSON(&tb); terr == nil {
+		if terr := tr.WriteJSON(&tb); terr == nil {
 			v.setLastTrace([]byte(tb.String()))
 		}
 	}

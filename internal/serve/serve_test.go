@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -27,9 +28,9 @@ type gatedSource struct {
 	gate chan struct{}
 }
 
-func (g *gatedSource) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
+func (g *gatedSource) Exec(ctx context.Context, name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
 	<-g.gate
-	return g.Source.Exec(name, q, params, opts)
+	return g.Source.Exec(ctx, name, q, params, opts)
 }
 
 // testServer builds a hospital-view server over TinyCatalog with a

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/obs/store"
+)
+
+// This file is the serving side of the flight recorder: the per-request
+// trace lifecycle (begin → span tree grows through the evaluation stack
+// → finish decides retention), and the /debug endpoints that expose what
+// the recorder kept.
+//
+// Trace identity is W3C-compatible: a request carrying a valid
+// Traceparent header joins the caller's trace (its spans appear under
+// the caller's trace ID at /debug/traces/{id}); otherwise a fresh trace
+// ID is minted. Either way the response echoes the trace ID, a fresh
+// request ID for log correlation, and an outbound Traceparent.
+
+// statusRecorder captures the response status for the trace summary and
+// the structured log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusRecorder) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusRecorder) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// requestTrace is the lifecycle of one traced request (or background
+// operation). With the flight recorder disabled it degrades to the
+// plain latency observation the server always made.
+type requestTrace struct {
+	s     *Server
+	v     *View
+	kind  string
+	start time.Time
+
+	tr    *obs.Tracer
+	root  *obs.Span
+	reqID string
+
+	rw         *statusRecorder // nil for background kinds
+	method     string
+	params     string
+	cacheState string
+	errMsg     string
+}
+
+// beginRequestTrace starts the trace of one HTTP view request: mints or
+// adopts the trace ID, opens the root span, stamps the correlation
+// headers on the response, and returns the ctx evaluation work must run
+// under. The returned writer must be used for the rest of the handler
+// so the final status lands in the trace.
+func (s *Server) beginRequestTrace(w http.ResponseWriter, r *http.Request, v *View, start time.Time) (*requestTrace, context.Context, *statusRecorder) {
+	rw := &statusRecorder{ResponseWriter: w}
+	rt := &requestTrace{s: s, v: v, kind: "request", start: start, rw: rw}
+	ctx := r.Context()
+	if s.traces != nil {
+		traceID, ok := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+		if ok {
+			rt.reqID = obs.NewRequestID()
+		} else {
+			traceID, rt.reqID = obs.NewTraceRequestID()
+		}
+		rt.method = r.Method
+		rt.tr = obs.NewTracerID(traceID)
+		// Identifying attrs (view, method, request_id) are attached at
+		// finish, and only if the trace is kept — the drop path should
+		// not pay for them.
+		rt.root = rt.tr.StartSpan("request", nil)
+		ctx = obs.ContextWithSpan(ctx, rt.tr, rt.root)
+		// Direct map writes with pre-canonical keys and one shared backing
+		// array: Header.Set would re-canonicalize each key and allocate a
+		// single-element slice per header, every request.
+		h := w.Header()
+		vals := [3]string{traceID, rt.reqID, obs.FormatTraceparentSpan(traceID, rt.reqID)}
+		h["X-Aig-Trace-Id"] = vals[0:1:1]
+		h["X-Aig-Request-Id"] = vals[1:2:2]
+		h["Traceparent"] = vals[2:3:3]
+	}
+	return rt, ctx, rw
+}
+
+// beginBackgroundTrace starts the trace of one background operation
+// (refresh, mutate): no HTTP request to adopt a Traceparent from, so a
+// fresh trace ID is always minted. With the recorder disabled it
+// returns an inert requestTrace and context.Background().
+func (s *Server) beginBackgroundTrace(kind string, v *View, start time.Time) (*requestTrace, context.Context) {
+	rt := &requestTrace{s: s, v: v, kind: kind, start: start}
+	ctx := context.Background()
+	if s.traces != nil {
+		rt.tr = obs.NewTracerID(obs.NewTraceID())
+		rt.root = rt.tr.StartSpan(kind, nil)
+		ctx = obs.ContextWithSpan(ctx, rt.tr, rt.root)
+	}
+	return rt, ctx
+}
+
+// fail records the error that decided this request's outcome.
+func (rt *requestTrace) fail(err error) {
+	if err != nil {
+		rt.errMsg = err.Error()
+	}
+}
+
+// setCache records the cache disposition ("hit", "miss", "coalesced",
+// "bypass") for the summary and the response already carries it.
+func (rt *requestTrace) setCache(state string) { rt.cacheState = state }
+
+// finish closes the root span, runs tail sampling, feeds the latency
+// histograms (with an exemplar when the trace was kept, so /metrics
+// links its buckets to retrievable traces), and emits the structured
+// log line.
+func (rt *requestTrace) finish() {
+	s := rt.s
+	dur := time.Since(rt.start)
+	sec := dur.Seconds()
+	status := 0
+	if rt.rw != nil {
+		status = rt.rw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		if rt.errMsg == "" && status >= 400 {
+			rt.errMsg = http.StatusText(status)
+		}
+	}
+
+	kept := false
+	if rt.tr != nil {
+		rt.root.End()
+		// Decide first, materialize after: almost every trace is dropped
+		// here, and the warm path should not pay for a record and span
+		// attributes nobody will ever read.
+		if reason := s.traces.Decide(dur, rt.errMsg != ""); reason != "" {
+			kept = true
+			view := ""
+			if rt.v != nil {
+				view = rt.v.name
+				rt.root.SetAttr("view", view)
+			}
+			if rt.method != "" {
+				rt.root.SetAttr("method", rt.method)
+			}
+			if rt.reqID != "" {
+				rt.root.SetAttr("request_id", rt.reqID)
+			}
+			if rt.errMsg != "" {
+				rt.root.SetAttr("error", rt.errMsg)
+			}
+			if rt.cacheState != "" {
+				rt.root.SetAttr("cache", rt.cacheState)
+			}
+			s.traces.Insert(&store.Trace{
+				ID:         rt.tr.TraceID(),
+				Kind:       rt.kind,
+				View:       view,
+				Params:     rt.params,
+				Start:      rt.start,
+				Duration:   dur,
+				Status:     status,
+				CacheState: rt.cacheState,
+				Error:      rt.errMsg,
+				Tracer:     rt.tr,
+			}, reason)
+		}
+	}
+
+	if rt.kind == "request" {
+		if kept {
+			s.m.requestSec.ObserveExemplar(sec, rt.tr.TraceID())
+			rt.v.reqSec.ObserveExemplar(sec, rt.tr.TraceID())
+		} else {
+			s.m.requestSec.Observe(sec)
+			rt.v.reqSec.Observe(sec)
+		}
+	}
+
+	if lg := s.logger; lg != nil {
+		// Per-request success lines sit at debug so the warm path stays
+		// syscall-free at the default level; the traffic worth reading —
+		// failures, traces the recorder kept, and low-rate background
+		// kinds — still lands in the log.
+		level := slog.LevelDebug
+		msg := rt.kind + " served"
+		switch {
+		case rt.errMsg != "":
+			level, msg = slog.LevelWarn, rt.kind+" failed"
+		case kept || rt.kind != "request":
+			level = slog.LevelInfo
+		}
+		if lg.Enabled(context.Background(), level) {
+			attrs := []slog.Attr{
+				slog.String("kind", rt.kind),
+				slog.Float64("duration_ms", float64(dur.Microseconds())/1000),
+			}
+			if rt.v != nil {
+				attrs = append(attrs, slog.String("view", rt.v.name))
+			}
+			if status != 0 {
+				attrs = append(attrs, slog.Int("status", status))
+			}
+			if rt.cacheState != "" {
+				attrs = append(attrs, slog.String("cache", rt.cacheState))
+			}
+			if rt.tr != nil {
+				attrs = append(attrs, slog.String("trace_id", rt.tr.TraceID()))
+			}
+			if rt.reqID != "" {
+				attrs = append(attrs, slog.String("request_id", rt.reqID))
+			}
+			if kept {
+				attrs = append(attrs, slog.Bool("trace_kept", true))
+			}
+			if rt.errMsg != "" {
+				attrs = append(attrs, slog.String("err", rt.errMsg))
+			}
+			lg.LogAttrs(context.Background(), level, msg, attrs...)
+		}
+	}
+}
+
+// traceFilter parses the /debug/traces query parameters.
+func traceFilter(r *http.Request) store.Filter {
+	q := r.URL.Query()
+	f := store.Filter{
+		View:  q.Get("view"),
+		Kind:  q.Get("kind"),
+		Limit: 50,
+	}
+	if ms, err := strconv.ParseFloat(q.Get("min_ms"), 64); err == nil && ms > 0 {
+		f.MinDuration = time.Duration(ms * float64(time.Millisecond))
+	}
+	if q.Get("errors") == "true" || q.Get("errors") == "1" {
+		f.ErrorsOnly = true
+	}
+	if n, err := strconv.Atoi(q.Get("limit")); err == nil && n > 0 {
+		f.Limit = n
+	}
+	return f
+}
+
+// handleTraces answers GET /debug/traces: the flight recorder's kept
+// trace summaries, newest first, filterable by view, kind, minimum
+// latency and errors-only.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		http.Error(w, "flight recorder disabled (enable Config.FlightRecorder / aigd -trace)", http.StatusNotFound)
+		return
+	}
+	list := s.traces.List(traceFilter(r))
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"kept":   s.traces.Len(),
+		"traces": list,
+	})
+}
+
+// handleTraceByID answers GET /debug/traces/{id}: one kept trace with
+// its full span tree, as JSON (default) or an indented text tree
+// (?format=text).
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		http.Error(w, "flight recorder disabled (enable Config.FlightRecorder / aigd -trace)", http.StatusNotFound)
+		return
+	}
+	t, ok := s.traces.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "no such trace (evicted, dropped by sampling, or never seen)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "trace %s %s view=%s params=%q status=%d cache=%s %.3fms kept=%s\n",
+			t.ID, t.Kind, t.View, t.Params, t.Status, t.CacheState, t.DurationMs, t.KeptReason)
+		if t.Error != "" {
+			fmt.Fprintf(w, "error: %s\n", t.Error)
+		}
+		t.Tracer.WriteText(w)
+		return
+	}
+	var spans bytes.Buffer
+	if err := t.Tracer.WriteJSON(&spans); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		*store.Trace
+		Spans json.RawMessage `json:"spans"`
+	}{t, json.RawMessage(bytes.TrimSpace(spans.Bytes()))})
+}
+
+// registerDebug wires the guarded runtime-introspection endpoints:
+// pprof profiles and expvar. They expose internals (stacks, heap
+// contents, command line), so they are opt-in via Config.EnableDebug
+// and meant for trusted/loopback listeners.
+func (s *Server) registerDebug(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+}
+
+// sanitizeMetricName maps a view name into the Prometheus metric-name
+// alphabet (anything else becomes '_').
+func sanitizeMetricName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b[i] = '_'
+			}
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}

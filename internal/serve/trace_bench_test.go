@@ -1,0 +1,54 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/source"
+)
+
+// BenchmarkWarmHit measures the handler's warm cache-hit path — the one
+// the smoke script's overhead guard gates — with the flight recorder off
+// and with it on but sampling off (every request traced, every healthy
+// fast trace dropped at completion).
+func BenchmarkWarmHit(b *testing.B) {
+	for _, bc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"recorder-off", Config{}},
+		{"recorder-on-sampling-off", Config{FlightRecorder: true, TraceSampleRate: -1, TraceSlowThreshold: -1}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cat := hospital.TinyCatalog()
+			reg := source.NewRegistry()
+			for _, name := range cat.DatabaseNames() {
+				db, err := cat.Database(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reg.Add(source.NewLocal(db))
+			}
+			bc.cfg.Metrics = obs.NewRegistry()
+			s := NewServer(reg, bc.cfg)
+			if _, err := s.AddSpec("report", hospital.SpecText); err != nil {
+				b.Fatal(err)
+			}
+			h := s.Handler()
+			req := httptest.NewRequest(http.MethodGet, "/views/report?date=d1", nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("warmup status %d", rec.Code)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.ServeHTTP(httptest.NewRecorder(), req)
+			}
+		})
+	}
+}

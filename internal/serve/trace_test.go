@@ -1,0 +1,339 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/remote"
+	"github.com/aigrepro/aig/internal/source"
+)
+
+// tracedTestServer builds the hospital-view server with DB1 behind a
+// real TCP remote server, so a request's trace must stitch daemon-side
+// spans together with spans shipped back over the wire.
+func tracedTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	cat := hospital.TinyCatalog()
+	reg := source.NewRegistry()
+	for _, name := range cat.DatabaseNames() {
+		db, err := cat.Database(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if name == "DB1" {
+			rsrv := remote.NewServer(db)
+			addr, err := rsrv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { rsrv.Close() })
+			client, err := remote.Dial(name, addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { client.Close() })
+			reg.Add(client)
+		} else {
+			reg.Add(source.NewLocal(db))
+		}
+	}
+	cfg.Metrics = obs.NewRegistry()
+	s := NewServer(reg, cfg)
+	if _, err := s.AddSpec("report", hospital.SpecText); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestFlightRecorderStitchedTrace drives one miss through a server
+// whose DB1 is remote and asserts the kept trace holds the whole story:
+// the request root, the evaluation phases, and the remote call's
+// client-side and server-side spans grafted into one tree.
+func TestFlightRecorderStitchedTrace(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{FlightRecorder: true, TraceSampleRate: 1})
+
+	const wantTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/views/report?date=d1", nil)
+	req.Header.Set("Traceparent", "00-"+wantTrace+"-00f067aa0ba902b7-01")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Aig-Trace-Id"); got != wantTrace {
+		t.Fatalf("X-Aig-Trace-Id %q, want the incoming trace ID %q", got, wantTrace)
+	}
+	if tp := resp.Header.Get("Traceparent"); !strings.Contains(tp, wantTrace) {
+		t.Fatalf("response Traceparent %q does not carry trace ID %q", tp, wantTrace)
+	}
+	if resp.Header.Get("X-Aig-Request-Id") == "" {
+		t.Fatal("no X-Aig-Request-Id header")
+	}
+
+	// The summary list must know the trace under the caller's ID.
+	lresp, err := http.Get(ts.URL + "/debug/traces?view=report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list struct {
+		Kept   int `json:"kept"`
+		Traces []struct {
+			ID         string  `json:"id"`
+			Kind       string  `json:"kind"`
+			View       string  `json:"view"`
+			Cache      string  `json:"cache"`
+			DurationMs float64 `json:"duration_ms"`
+			Kept       string  `json:"kept"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Kept == 0 || len(list.Traces) == 0 {
+		t.Fatalf("flight recorder kept nothing: %+v", list)
+	}
+	got := list.Traces[0]
+	if got.ID != wantTrace || got.Kind != "request" || got.View != "report" || got.Cache != "miss" {
+		t.Fatalf("trace summary %+v, want id=%s kind=request view=report cache=miss", got, wantTrace)
+	}
+	if got.Kept != "sampled" {
+		t.Fatalf("kept reason %q, want sampled (rate 1.0, fast, healthy)", got.Kept)
+	}
+
+	// The full tree must stitch daemon-side spans with the remote
+	// server's spans shipped over the wire.
+	tresp, err := http.Get(ts.URL + "/debug/traces/" + wantTrace + "?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tresp.Body.Close()
+	raw, err := io.ReadAll(tresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := string(raw)
+	for _, span := range []string{
+		"request",   // root
+		"admission", // serve-side admission wait
+		"evaluate",  // mediator root
+		"execute",   // evaluation phase
+		"node:",     // per-query-node span
+		"call:DB1.", // client side of the remote call
+		"rpc:",      // server side, grafted over the wire
+		"scan:DB1.", // per-table scan inside the remote server
+		"render",    // document rendering
+	} {
+		if !strings.Contains(tree, span) {
+			t.Fatalf("trace tree missing span %q:\n%s", span, tree)
+		}
+	}
+
+	// JSON form of the same trace parses and carries the spans.
+	jresp, err := http.Get(ts.URL + "/debug/traces/" + wantTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var full struct {
+		ID    string          `json:"id"`
+		Spans json.RawMessage `json:"spans"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	if full.ID != wantTrace || len(full.Spans) == 0 {
+		t.Fatalf("JSON trace: id=%q spans=%dB", full.ID, len(full.Spans))
+	}
+}
+
+// TestFlightRecorderCacheAndErrorFilters exercises the list filters:
+// a hit-serving trace, an erroring trace, and the errors-only view.
+func TestFlightRecorderCacheAndErrorFilters(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{FlightRecorder: true, TraceSampleRate: 1})
+
+	for i := 0; i < 2; i++ { // miss, then hit
+		code, _, _ := get(t, ts.URL+"/views/report?date=d1")
+		if code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	// A bad parameter fails with 400; the error rule must keep it even
+	// at sample rate 0.
+	if code, _, _ := get(t, ts.URL+"/views/report?nosuch=param"); code != http.StatusBadRequest {
+		t.Fatalf("bad-param status %d, want 400", code)
+	}
+
+	fetch := func(query string) []struct {
+		Cache string `json:"cache"`
+		Error string `json:"error"`
+		Kept  string `json:"kept"`
+	} {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/traces" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Traces []struct {
+				Cache string `json:"cache"`
+				Error string `json:"error"`
+				Kept  string `json:"kept"`
+			} `json:"traces"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Traces
+	}
+
+	all := fetch("?view=report")
+	if len(all) != 3 {
+		t.Fatalf("kept %d traces, want 3 (miss, hit, error)", len(all))
+	}
+	states := map[string]bool{}
+	for _, tr := range all {
+		states[tr.Cache] = true
+	}
+	if !states["miss"] || !states["hit"] {
+		t.Fatalf("cache states %v, want both miss and hit", states)
+	}
+
+	errs := fetch("?errors=true")
+	if len(errs) != 1 || errs[0].Error == "" || errs[0].Kept != "error" {
+		t.Fatalf("errors-only filter returned %+v, want exactly the 400 trace kept by the error rule", errs)
+	}
+
+	if vempty := fetch("?view=nosuchview"); len(vempty) != 0 {
+		t.Fatalf("view filter leaked %d traces", len(vempty))
+	}
+}
+
+// TestFlightRecorderTailSamplingDropsFast proves the recorder's default
+// posture: with sampling off, fast healthy requests leave no trace, but
+// the response still carries correlation headers.
+func TestFlightRecorderTailSamplingDropsFast(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{FlightRecorder: true, TraceSampleRate: -1})
+
+	resp, err := http.Get(ts.URL + "/views/report?date=d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Aig-Trace-Id") == "" {
+		t.Fatal("dropped trace must still answer with X-Aig-Trace-Id")
+	}
+	lresp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list struct {
+		Traces []json.RawMessage `json:"traces"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 0 {
+		t.Fatalf("fast healthy request was kept (%d traces); want dropped", len(list.Traces))
+	}
+	if code, _, _ := get(t, ts.URL+"/debug/traces/"+resp.Header.Get("X-Aig-Trace-Id")); code != http.StatusNotFound {
+		t.Fatalf("dropped trace lookup status %d, want 404", code)
+	}
+}
+
+// TestDebugEndpointsDisabledByDefault locks the guarded surface: no
+// flight recorder → /debug/traces is 404; no EnableDebug → pprof and
+// expvar are absent.
+func TestDebugEndpointsDisabledByDefault(t *testing.T) {
+	_, ts, _, _ := testServer(t, Config{}, nil)
+	for _, path := range []string{"/debug/traces", "/debug/traces/abc", "/debug/pprof/", "/debug/vars"} {
+		code, _, _ := get(t, ts.URL+path)
+		if code != http.StatusNotFound {
+			t.Fatalf("GET %s status %d, want 404", path, code)
+		}
+	}
+}
+
+// TestDebugEndpointsEnabled is the flip side: EnableDebug serves pprof
+// and expvar.
+func TestDebugEndpointsEnabled(t *testing.T) {
+	_, ts, _, _ := testServer(t, Config{EnableDebug: true}, nil)
+	for _, path := range []string{"/debug/pprof/", "/debug/vars"} {
+		code, body, _ := get(t, ts.URL+path)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s status %d, body %s", path, code, body)
+		}
+	}
+}
+
+// TestMetricsExemplar: a kept trace's ID must surface as an OpenMetrics
+// exemplar on the request-latency histogram, linking /metrics buckets
+// to retrievable traces.
+func TestMetricsExemplar(t *testing.T) {
+	_, ts := tracedTestServer(t, Config{FlightRecorder: true, TraceSampleRate: 1})
+	resp, err := http.Get(ts.URL + "/views/report?date=d1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	traceID := resp.Header.Get("X-Aig-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no trace ID header")
+	}
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics status %d", code)
+	}
+	if !strings.Contains(body, `# {trace_id="`+traceID+`"}`) {
+		t.Fatalf("metrics output has no exemplar for trace %s", traceID)
+	}
+	if !strings.Contains(body, "aig_serve_view_request_seconds_report_bucket") {
+		t.Fatal("per-view latency histogram missing from /metrics")
+	}
+}
+
+// TestMutateTraced: POST /mutate runs as a "mutate"-kind trace.
+func TestMutateTraced(t *testing.T) {
+	_, ts, _, _ := testServer(t, Config{AllowMutate: true, FlightRecorder: true, TraceSampleRate: 1}, nil)
+	resp, err := http.Post(ts.URL+"/mutate?source=DB1&table=visitInfo&op=insert&values=s1,t9,d9", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate status %d", resp.StatusCode)
+	}
+	lresp, err := http.Get(ts.URL + "/debug/traces?kind=mutate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list struct {
+		Traces []struct {
+			Kind   string `json:"kind"`
+			Params string `json:"params"`
+		} `json:"traces"`
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0].Kind != "mutate" {
+		t.Fatalf("mutate traces %+v, want exactly one kind=mutate", list.Traces)
+	}
+	if !strings.Contains(list.Traces[0].Params, "visitInfo") {
+		t.Fatalf("mutate trace params %q missing table", list.Traces[0].Params)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/aigrepro/aig/internal/aig"
 	"github.com/aigrepro/aig/internal/ivm"
 	"github.com/aigrepro/aig/internal/mediator"
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
 	"github.com/aigrepro/aig/internal/specialize"
@@ -55,6 +56,11 @@ type View struct {
 	// data evaluate exactly once instead of re-probing upward.
 	estDepth atomic.Int32
 	maxDepth int
+
+	// reqSec is the per-view request-latency histogram; kept traces feed
+	// it exemplars so its buckets link to retrievable flight-recorder
+	// traces.
+	reqSec *obs.Histogram
 
 	// lastTrace holds the span tree of the most recent traced
 	// evaluation, for GET /views/{name}/trace.
@@ -224,10 +230,13 @@ func canonicalParams(params map[string]string) string {
 	return b.String()
 }
 
-// escapeKeyPart escapes the cache-key separator characters.
+// keyPartReplacer escapes the cache-key separator characters. Built
+// once: a Replacer compiles its matching machine lazily on first use,
+// which is far too expensive to redo on every cache-key part.
+var keyPartReplacer = strings.NewReplacer("%", "%25", "&", "%26", "=", "%3D", "\x00", "%00")
+
 func escapeKeyPart(s string) string {
-	r := strings.NewReplacer("%", "%25", "&", "%26", "=", "%3D", "\x00", "%00")
-	return r.Replace(s)
+	return keyPartReplacer.Replace(s)
 }
 
 // setLastTrace stores the rendered span tree of the latest evaluation.

@@ -11,6 +11,7 @@
 package source
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -66,11 +67,13 @@ type Source interface {
 	// the caller must fall back to a full refresh.
 	ChangesSince(table string, since uint64) (relstore.ChangeSet, error)
 	// Estimate runs the costing API for a query that references only this
-	// source's tables (plus parameters).
-	Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error)
+	// source's tables (plus parameters). The context carries cancellation
+	// and the caller's trace (obs.SpanFromContext), so source engines can
+	// parent their spans under the mediator's.
+	Estimate(ctx context.Context, q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error)
 	// Exec executes such a query and reports the measured wall time spent
 	// inside the source engine.
-	Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error)
+	Exec(ctx context.Context, name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error)
 }
 
 // Local is an in-process source backed by a relstore database.
@@ -140,7 +143,7 @@ func (l *Local) checkLocal(q *sqlmini.Query) error {
 }
 
 // Estimate implements Source.
-func (l *Local) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error) {
+func (l *Local) Estimate(ctx context.Context, q *sqlmini.Query, params sqlmini.ParamSchemas, opts sqlmini.PlanOptions) (Estimate, error) {
 	if err := l.checkLocal(q); err != nil {
 		return Estimate{}, err
 	}
@@ -151,13 +154,38 @@ func (l *Local) Estimate(q *sqlmini.Query, params sqlmini.ParamSchemas, opts sql
 	return Estimate{Cost: plan.EstCost, Rows: plan.EstRows, Bytes: plan.EstBytes}, nil
 }
 
+// tracedData wraps a sqlmini.DataProvider and records one span per base
+// table the engine reads, so a trace shows which stored tables a query
+// plan actually touched and how large they were.
+type tracedData struct {
+	inner  sqlmini.DataProvider
+	tracer *obs.Tracer
+	parent *obs.Span
+}
+
+func (d tracedData) TableData(sourceName, table string) (*relstore.Table, error) {
+	sp := d.tracer.StartSpan("scan:"+sourceName+"."+table, d.parent)
+	t, err := d.inner.TableData(sourceName, table)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	} else {
+		sp.SetAttr("rows", t.Len())
+	}
+	sp.End()
+	return t, err
+}
+
 // Exec implements Source.
-func (l *Local) Exec(name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
+func (l *Local) Exec(ctx context.Context, name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error) {
 	if err := l.checkLocal(q); err != nil {
 		return nil, 0, err
 	}
+	var data sqlmini.DataProvider = sqlmini.CatalogData{Catalog: l.cat}
+	if tr, parent := obs.SpanFromContext(ctx); tr != nil {
+		data = tracedData{inner: data, tracer: tr, parent: parent}
+	}
 	start := time.Now()
-	out, err := sqlmini.Run(name, q, sqlmini.CatalogSchemas{Catalog: l.cat}, sqlmini.CatalogData{Catalog: l.cat}, sqlmini.CatalogStats{Catalog: l.cat}, params, opts)
+	out, err := sqlmini.Run(name, q, sqlmini.CatalogSchemas{Catalog: l.cat}, data, sqlmini.CatalogStats{Catalog: l.cat}, params, opts)
 	if err == nil {
 		metricExecs.Inc()
 		metricExecRows.Add(int64(out.Len()))

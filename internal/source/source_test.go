@@ -1,6 +1,7 @@
 package source
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -46,14 +47,14 @@ func TestLocalExecAndEstimate(t *testing.T) {
 	l, _ := localDB1(t)
 	q := sqlmini.MustParse(`select SSN from DB1:visitInfo where date = $v.date`)
 	params := sqlmini.Params{"v": sqlmini.ScalarBinding([]string{"date"}, relstore.Tuple{relstore.String("d1")})}
-	out, dur, err := l.Exec("out", q, params, sqlmini.PlanOptions{})
+	out, dur, err := l.Exec(context.Background(), "out", q, params, sqlmini.PlanOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 4 || dur < 0 {
 		t.Errorf("Exec returned %d rows, dur %v", out.Len(), dur)
 	}
-	est, err := l.Estimate(q, sqlmini.ParamSchemas{"v": relstore.MustSchema("date:string")}, sqlmini.PlanOptions{})
+	est, err := l.Estimate(context.Background(), q, sqlmini.ParamSchemas{"v": relstore.MustSchema("date:string")}, sqlmini.PlanOptions{})
 	if err != nil || est.Rows <= 0 || est.Cost <= 0 || est.Bytes <= 0 {
 		t.Errorf("Estimate = %+v, %v", est, err)
 	}
@@ -62,10 +63,10 @@ func TestLocalExecAndEstimate(t *testing.T) {
 func TestLocalRejectsForeignQueries(t *testing.T) {
 	l, _ := localDB1(t)
 	q := sqlmini.MustParse(`select trId from DB3:billing`)
-	if _, _, err := l.Exec("out", q, nil, sqlmini.PlanOptions{}); err == nil || !strings.Contains(err.Error(), "foreign source") {
+	if _, _, err := l.Exec(context.Background(), "out", q, nil, sqlmini.PlanOptions{}); err == nil || !strings.Contains(err.Error(), "foreign source") {
 		t.Errorf("foreign query error = %v", err)
 	}
-	if _, err := l.Estimate(q, nil, sqlmini.PlanOptions{}); err == nil {
+	if _, err := l.Estimate(context.Background(), q, nil, sqlmini.PlanOptions{}); err == nil {
 		t.Error("foreign estimate accepted")
 	}
 }

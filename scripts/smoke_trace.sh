@@ -1,0 +1,168 @@
+#!/usr/bin/env bash
+# Smoke-test request tracing end to end, two phases:
+#
+#  1. Correctness under the race detector: aigd (race-built, flight
+#     recorder on, DB1 behind a race-built aigsource over TCP) serves a
+#     traced workload; a kept trace fetched from /debug/traces must
+#     stitch daemon-side spans (request, evaluate, node:*) together with
+#     remote-side spans shipped over the wire (rpc:*, scan:DB1.*).
+#
+#  2. Overhead guard: with normal builds, warm-path throughput with the
+#     flight recorder on but sampling off must stay within
+#     AIGD_TRACE_TOLERANCE (default 5%) of the recorder-off baseline,
+#     measured back to back on the same machine.
+#
+# Used by `make smoke-trace` and CI.
+set -euo pipefail
+
+ADDR="${AIGD_TRACE_ADDR:-127.0.0.1:18092}"
+SRC_ADDR="${AIGD_TRACE_SRC_ADDR:-127.0.0.1:18093}"
+TOLERANCE="${AIGD_TRACE_TOLERANCE:-0.95}"
+BENCH_REQUESTS="${AIGD_TRACE_BENCH_REQUESTS:-20000}"
+BENCH_REPS="${AIGD_TRACE_BENCH_REPS:-5}"
+
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+source_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    [ -n "$source_pid" ] && kill "$source_pid" 2>/dev/null || true
+    rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+wait_healthy() {
+    for _ in $(seq 100); do
+        if curl -fsS "http://$1/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "daemon at $1 did not become healthy" >&2
+    return 1
+}
+
+stop_daemon() {
+    if [ -n "$daemon_pid" ]; then
+        kill -TERM "$daemon_pid" 2>/dev/null || true
+        wait "$daemon_pid" || true
+        daemon_pid=""
+    fi
+}
+
+echo "== building (race-instrumented daemon + source, plain load driver)"
+go build -race -o "$tmpdir/aigd.race" ./cmd/aigd
+go build -race -o "$tmpdir/aigsource.race" ./cmd/aigsource
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigload" ./cmd/aigload
+go build -o "$tmpdir/aiggen" ./cmd/aiggen
+
+# tiny keeps race-instrumented evaluation over the TCP remote fast
+# enough for CI while still touching every table.
+"$tmpdir/aiggen" -size tiny -seed 42 -out "$tmpdir/data"
+mkdir -p "$tmpdir/remote"
+mv "$tmpdir/data/DB1" "$tmpdir/remote/DB1"
+
+echo "== phase 1: stitched traces under -race (DB1 remote over TCP)"
+"$tmpdir/aigsource.race" -name DB1 -data "$tmpdir/remote/DB1" -listen "$SRC_ADDR" \
+    >"$tmpdir/aigsource.log" 2>&1 &
+source_pid=$!
+sleep 0.3
+
+"$tmpdir/aigd.race" -addr "$ADDR" \
+    -view report=examples/hospital/report.aig \
+    -data "$tmpdir/data" -source "DB1=$SRC_ADDR" \
+    -trace -trace-sample 1 -debug -log-format json \
+    >"$tmpdir/aigd_race.log" 2>&1 &
+daemon_pid=$!
+wait_healthy "$ADDR" || { cat "$tmpdir/aigd_race.log" >&2; exit 1; }
+
+"$tmpdir/aigload" -url "http://$ADDR" -view report \
+    -param date=d001,d002,d003 -c 4 -n 200 -check -trace-header -slowest 3
+
+# A kept cache-miss trace must exist (hits never reach the mediator, so
+# only a miss carries evaluation and remote spans) and stitch daemon-side
+# and remote-side spans.
+trace_id="$(curl -fsS "http://$ADDR/debug/traces?view=report&limit=1000" \
+    | python3 -c 'import json,sys
+ids = [t["id"] for t in json.load(sys.stdin)["traces"] if t.get("cache") == "miss"]
+print(ids[0] if ids else "")')"
+if [ -z "$trace_id" ]; then
+    echo "smoke_trace: no kept cache-miss trace at /debug/traces" >&2
+    exit 1
+fi
+tree="$(curl -fsS "http://$ADDR/debug/traces/$trace_id?format=text")"
+for span in "request" "evaluate" "node:" "call:DB1." "rpc:" "scan:DB1."; do
+    if ! grep -qF "$span" <<<"$tree"; then
+        echo "smoke_trace: trace $trace_id missing span \"$span\":" >&2
+        echo "$tree" >&2
+        exit 1
+    fi
+done
+echo "trace $trace_id stitches daemon- and remote-side spans"
+
+# Guarded debug endpoints answer while enabled. (grep without -q: with
+# pipefail, -q exiting at the first match would SIGPIPE curl mid-body.)
+curl -fsS "http://$ADDR/debug/vars" >/dev/null
+curl -fsS "http://$ADDR/metrics" | grep 'trace_id=' >/dev/null \
+    || { echo "smoke_trace: no exemplar on /metrics" >&2; exit 1; }
+
+stop_daemon
+kill "$source_pid" 2>/dev/null || true
+wait "$source_pid" 2>/dev/null || true
+source_pid=""
+if grep -q "WARNING: DATA RACE" "$tmpdir/aigd_race.log" "$tmpdir/aigsource.log"; then
+    echo "smoke_trace: race detected" >&2
+    exit 1
+fi
+
+echo "== phase 2: warm-path overhead guard (recorder on, sampling off)"
+# Methodology: boot one daemon per mode and run the load several times
+# against it, keeping each side's best rep. A freshly started process
+# spends its first runs growing the heap and faulting pages, and
+# same-machine throughput drifts ±10% run to run (shared CI boxes
+# especially), so single fresh-boot runs routinely swamp the 5% signal
+# this guard is after. The best warmed-up rep on each side is the
+# stable capability number. Correctness stays covered: the warmup pass
+# runs -check; the measured reps skip it so client-side verification
+# CPU does not share the box with the daemon being measured.
+throughput() { # $1: extra daemon flags  $2: output prefix
+    # shellcheck disable=SC2086
+    "$tmpdir/aigd" -demo -addr "$ADDR" $1 >"$tmpdir/aigd_bench.log" 2>&1 &
+    daemon_pid=$!
+    wait_healthy "$ADDR" || { cat "$tmpdir/aigd_bench.log" >&2; exit 1; }
+    "$tmpdir/aigload" -url "http://$ADDR" -view report -param date=d1 \
+        -c 8 -n 2000 -check >/dev/null
+    for i in $(seq "$BENCH_REPS"); do
+        "$tmpdir/aigload" -url "http://$ADDR" -view report -param date=d1 \
+            -c 8 -n "$BENCH_REQUESTS" -json "$2$i.json" >/dev/null
+    done
+    stop_daemon
+}
+
+measure() {
+    throughput "" "$tmpdir/off"
+    throughput "-trace -trace-sample 0 -trace-slow 0" "$tmpdir/on"
+    read -r rps_off rps_on ratio ok <<<"$(python3 - "$tmpdir" "$TOLERANCE" "$BENCH_REPS" <<'EOF'
+import json, sys
+dir, tol, reps = sys.argv[1], float(sys.argv[2]), int(sys.argv[3])
+rps = lambda f: json.load(open(f"{dir}/{f}.json"))["throughput_rps"]
+off = max(rps(f"off{i}") for i in range(1, reps + 1))
+on = max(rps(f"on{i}") for i in range(1, reps + 1))
+ratio = on / off if off else 0.0
+print(f"{off:.0f} {on:.0f} {ratio:.3f} {'yes' if ratio >= tol else 'no'}")
+EOF
+)"
+    echo "throughput: recorder-off ${rps_off} rps, recorder-on(sampling-off) ${rps_on} rps, ratio ${ratio}"
+}
+
+measure
+if [ "$ok" != "yes" ]; then
+    echo "ratio ${ratio} < ${TOLERANCE}; remeasuring once (transient load?)" >&2
+    measure
+fi
+if [ "$ok" != "yes" ]; then
+    echo "smoke_trace: tracing overhead too high (ratio ${ratio} < ${TOLERANCE})" >&2
+    exit 1
+fi
+echo "smoke_trace: OK"
