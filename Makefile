@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak serve loadtest smoke-serve smoke-trace ci bench clean
+.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak soak-ivm soak-certify serve loadtest smoke-serve smoke-trace bench-ivm bench-verify ci bench clean
 
 all: build
 
@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/aigspec
 	$(GO) test -run '^$$' -fuzz FuzzParseGeneral -fuzztime 10s ./internal/dtd
 	$(GO) test -run '^$$' -fuzz FuzzChangeSetWire -fuzztime 10s ./internal/remote
+	$(GO) test -run '^$$' -fuzz FuzzConstraintParse$$ -fuzztime 10s ./internal/xconstraint
 
 # soak runs the differential harness for a wall-clock budget, shrinking
 # any divergence to a replayable {seed, config, ops} triple. CI runs it
@@ -60,6 +61,13 @@ soak:
 soak-ivm:
 	$(GO) run ./cmd/aigdiff -ivm -n 300 -mutations 25 -shrink
 	$(GO) run ./cmd/aigdiff -ivm -n 50 -mutations 15 -logcap -1 -shrink
+
+# soak-certify is the certification soundness oracle: source constraints
+# discovered per seeded instance are certified, then no must-hold
+# verdict may be violated at runtime while its premises hold. Race-built
+# because the acceptance bar is a race-enabled sweep.
+soak-certify:
+	$(GO) run -race ./cmd/aigdiff -certify -n 300 -mutations 25 -shrink
 
 # serve boots the XML-view daemon on the built-in hospital catalog.
 serve:
@@ -89,9 +97,17 @@ smoke-trace:
 bench-ivm:
 	./scripts/bench_ivm.sh
 
+# bench-verify measures what static certification buys on the warm
+# path: the hospital view served with -verify=always (every request
+# re-verifies the document) against -verify (the certifier proved the
+# constraints, so the pass is skipped), refreshing the committed
+# BENCH_verify.json.
+bench-verify:
+	./scripts/bench_verify.sh
+
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm smoke-serve smoke-trace bench-ivm
+ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm soak-certify smoke-serve smoke-trace bench-ivm bench-verify
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

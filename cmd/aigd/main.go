@@ -67,6 +67,39 @@ type repeated []string
 func (r *repeated) String() string     { return strings.Join(*r, ",") }
 func (r *repeated) Set(v string) error { *r = append(*r, v); return nil }
 
+// verifyMode is the tri-state -verify flag: off (default), on (skip
+// verification for statically certified views), or always (verify even
+// certified views — the escape hatch for distrusting the certifier).
+// IsBoolFlag keeps plain `-verify` working as "on".
+type verifyMode struct{ on, always bool }
+
+func (v *verifyMode) String() string {
+	switch {
+	case v.always:
+		return "always"
+	case v.on:
+		return "true"
+	default:
+		return "false"
+	}
+}
+
+func (v *verifyMode) Set(s string) error {
+	switch strings.ToLower(s) {
+	case "true", "on", "1", "auto":
+		v.on, v.always = true, false
+	case "false", "off", "0":
+		v.on, v.always = false, false
+	case "always":
+		v.on, v.always = true, true
+	default:
+		return fmt.Errorf("want off, on or always, got %q", s)
+	}
+	return nil
+}
+
+func (v *verifyMode) IsBoolFlag() bool { return true }
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "aigd:", err)
@@ -90,7 +123,8 @@ func run() error {
 	unfold := flag.Int("unfold", 4, "initial recursion unfolding depth")
 	maxUnfold := flag.Int("maxunfold", 64, "maximum unfolding depth")
 	srcTimeout := flag.Duration("source-timeout", 0, "connect/read/write timeout for remote sources (0 disables)")
-	verify := flag.Bool("verify", false, "check every evaluated document against the DTD and constraints")
+	var verify verifyMode
+	flag.Var(&verify, "verify", "check evaluated documents against the DTD and constraints: off, on (skips statically certified views) or always")
 	traceReqs := flag.Bool("trace-requests", false, "record a span tree per evaluation, served at /views/{name}/trace")
 	trace := flag.Bool("trace", false, "enable the flight recorder: per-request traces with tail sampling, served at /debug/traces")
 	traceCapacity := flag.Int("trace-capacity", 256, "kept traces before the oldest is evicted")
@@ -128,7 +162,8 @@ func run() error {
 		CacheEntries:    *cacheEntries,
 		Unfold:          *unfold,
 		MaxUnfold:       *maxUnfold,
-		VerifyOutput:    *verify,
+		VerifyOutput:    verify.on,
+		VerifyAlways:    verify.always,
 		TraceRequests:   *traceReqs,
 		RefreshInterval: *refreshInterval,
 		AllowMutate:     *allowMutate,
@@ -143,10 +178,11 @@ func run() error {
 	srv := serve.NewServer(reg, cfg)
 
 	if *demo {
-		if _, err := srv.AddSpec("report", hospital.SpecText); err != nil {
+		v, err := srv.AddSpec("report", hospital.SpecText)
+		if err != nil {
 			return fmt.Errorf("preparing demo view: %w", err)
 		}
-		slog.Info("prepared demo view", "view", "report", "catalog", "hospital")
+		slog.Info("prepared demo view", "view", "report", "catalog", "hospital", "certified", v.Certified())
 	}
 	for _, spec := range views {
 		name, path, ok := strings.Cut(spec, "=")
@@ -161,7 +197,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("preparing view %s: %w", name, err)
 		}
-		slog.Info("prepared view", "view", name, "params", fmt.Sprint(v.Params()), "sources", fmt.Sprint(v.Sources()))
+		slog.Info("prepared view", "view", name, "params", fmt.Sprint(v.Params()), "sources", fmt.Sprint(v.Sources()), "certified", v.Certified())
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink]
-//	        [-ivm] [-mutations N] [-logcap N]
+//	        [-ivm | -certify] [-mutations N] [-logcap N]
 //	        [-corpus dir] [-json file]
 //
 // Seeds run consecutively from -seed. With -duration, aigdiff runs until
@@ -32,6 +32,17 @@
 // limit (negative disables delta logging entirely, forcing the
 // truncation fallback on every step); -shrink minimizes the mutation
 // sequence instead of the instance.
+//
+// With -certify, each instance is pushed through the certification
+// soundness oracle: the relational keys and foreign keys that genuinely
+// hold on the generated data are discovered and declared as source
+// premises, the static certifier (internal/propagate) proves XML
+// constraints from them, and across the mutation sequence every
+// must-hold verdict whose premises survive is checked against the
+// evaluated document — a runtime violation of a certified constraint is
+// a certifier soundness bug, reported on leg "certify". Mutations that
+// falsify a premise void the affected obligations instead. -shrink
+// minimizes the mutation sequence, as in -ivm mode.
 package main
 
 import (
@@ -63,6 +74,16 @@ type stats struct {
 	Fulls     int `json:"full_refreshes,omitempty"`
 	Truncated int `json:"truncated_windows,omitempty"`
 	Skipped   int `json:"skipped,omitempty"`
+
+	// Certification-mode counters (-certify).
+	Keys        int `json:"keys,omitempty"`
+	FKs         int `json:"fkeys,omitempty"`
+	MustHold    int `json:"must_hold,omitempty"`
+	Unknown     int `json:"unknown,omitempty"`
+	Violated    int `json:"violated,omitempty"`
+	Asserted    int `json:"asserted,omitempty"`
+	Voided      int `json:"voided,omitempty"`
+	Unevaluated int `json:"unevaluated,omitempty"`
 }
 
 func main() {
@@ -72,16 +93,17 @@ func main() {
 	remote := flag.Bool("remote", false, "include the TCP remote-source leg (slower)")
 	shrink := flag.Bool("shrink", false, "minimize a failing instance before reporting it")
 	ivmMode := flag.Bool("ivm", false, "run the incremental view maintenance oracle instead of the evaluation matrix")
+	certifyMode := flag.Bool("certify", false, "run the static-certification soundness oracle instead of the evaluation matrix")
 	mutations := flag.Int("mutations", 25, "mutations per instance in -ivm mode")
 	logCap := flag.Int("logcap", 0, "change-log limit in -ivm mode (0 default, <0 disables delta logging)")
 	corpus := flag.String("corpus", "", "directory to save shrunk failures as regression files")
 	jsonPath := flag.String("json", "", "write run statistics as JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm] [-mutations N] [-logcap N] [-corpus dir] [-json file]\n")
+		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm | -certify] [-mutations N] [-logcap N] [-corpus dir] [-json file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 0 {
+	if flag.NArg() != 0 || (*ivmMode && *certifyMode) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -135,6 +157,27 @@ func main() {
 			reportIVM(inst, seq, iopts, out.Divergence, *shrink, *corpus, cfg)
 			continue
 		}
+		if *certifyMode {
+			seq := difftest.GenerateMutations(inst, s, *mutations)
+			out := difftest.CheckCertify(inst, seq, difftest.CertifyOptions{})
+			st.Evals += out.Evals
+			st.Steps += out.Steps
+			st.Keys += out.Keys
+			st.FKs += out.FKs
+			st.MustHold += out.MustHold
+			st.Unknown += out.Unknown
+			st.Violated += out.Violated
+			st.Asserted += out.Asserted
+			st.Voided += out.Voided
+			st.Unevaluated += out.Unevaluated
+			if out.Divergence == nil {
+				continue
+			}
+			st.Divergences++
+			exit = 1
+			reportCertify(inst, seq, out.Divergence, *shrink, *corpus, cfg)
+			continue
+		}
 		out := difftest.Check(inst, opts)
 		st.Evals += out.Evals
 		if out.Aborted {
@@ -153,7 +196,11 @@ func main() {
 		st.InstancesPerSec = float64(st.Instances) / st.Seconds
 		st.EvalsPerSec = float64(st.Evals) / st.Seconds
 	}
-	if *ivmMode {
+	if *certifyMode {
+		fmt.Printf("aigdiff -certify: %d instances, %d keys + %d fkeys discovered, verdicts %d must-hold / %d unknown / %d violated; %d mutation steps: %d assertions, %d voided, %d unevaluated in %.2fs, %d divergences\n",
+			st.Instances, st.Keys, st.FKs, st.MustHold, st.Unknown, st.Violated,
+			st.Steps, st.Asserted, st.Voided, st.Unevaluated, st.Seconds, st.Divergences)
+	} else if *ivmMode {
 		fmt.Printf("aigdiff -ivm: %d instances (%d skipped), %d mutation steps: %d restamps, %d full refreshes, %d truncated windows in %.2fs, %d divergences\n",
 			st.Instances, st.Skipped, st.Steps, st.Restamps, st.Fulls, st.Truncated, st.Seconds, st.Divergences)
 	} else {
@@ -190,6 +237,38 @@ func report(inst *randaig.Instance, opts difftest.Options, div *difftest.Diverge
 		}
 	}
 	reg := difftest.Regression{Seed: inst.Seed, Config: cfg, Ops: ops, Leg: div.Leg, Note: div.Detail}
+	repro, err := json.Marshal(reg)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)
+	}
+	if corpusDir != "" {
+		path, err := difftest.SaveRegression(corpusDir, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: save regression: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: regression saved to %s\n", path)
+	}
+}
+
+// reportCertify prints one certification-soundness divergence,
+// optionally shrinking the mutation sequence and filing the regression.
+func reportCertify(inst *randaig.Instance, seq []difftest.Mutation, div *difftest.Divergence, shrink bool, corpusDir string, cfg randaig.Config) {
+	fmt.Fprintf(os.Stderr, "%s\n", div.Error())
+	if shrink {
+		shrunk, sdiv, checks := difftest.ShrinkCertify(inst, seq, difftest.CertifyOptions{}, 0)
+		if sdiv != nil {
+			seq, div = shrunk, sdiv
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: shrunk in %d checks to %d mutations:\n", checks, len(seq))
+		for _, m := range seq {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+	}
+	reg := difftest.Regression{
+		Seed: inst.Seed, Config: cfg, Mode: "certify",
+		Mutations: seq, Leg: div.Leg, Note: div.Detail,
+	}
 	repro, err := json.Marshal(reg)
 	if err == nil {
 		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)

@@ -7,15 +7,19 @@
 //
 // Usage:
 //
-//	aiglint [-json] [-q] path ...
+//	aiglint [-json] [-q] [-errors-only] [-fail-on level] path ...
 //
 // Each path is a .aig file or a directory searched recursively for
 // *.aig files. Diagnostics print one per line as
 // file:line:col: severity: message [CODE]; -json emits them as a JSON
-// array instead, and -q suppresses output entirely. The exit status is
-// 0 when no errors were found (warnings and infos are advisory), 1 when
-// at least one error-severity diagnostic was reported, and 2 on usage
-// or I/O failure.
+// array instead, and -q suppresses output entirely. -errors-only
+// restricts output (human or JSON) to error-severity findings.
+//
+// The exit status is severity-aware: 0 when nothing at or above the
+// -fail-on threshold was found (default error, so warnings and infos
+// are advisory), 1 when at least one diagnostic reached the threshold,
+// and 2 on usage or I/O failure. CI can gate strictly with
+// -fail-on warning once a codebase is clean.
 package main
 
 import (
@@ -33,11 +37,18 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	quiet := flag.Bool("q", false, "suppress output; report via exit status only")
+	errorsOnly := flag.Bool("errors-only", false, "report only error-severity diagnostics")
+	failOn := flag.String("fail-on", "error", "lowest severity that fails the run: error, warning or info")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aiglint [-json] [-q] path ...\n")
+		fmt.Fprintf(os.Stderr, "usage: aiglint [-json] [-q] [-errors-only] [-fail-on level] path ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	threshold, err := parseSeverity(*failOn)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aiglint: %v\n", err)
+		os.Exit(2)
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -62,6 +73,18 @@ func main() {
 		}
 		diags = append(diags, lint.Source(f, string(text))...)
 	}
+	// The exit decision looks at everything found; -errors-only narrows
+	// only what is printed.
+	failed := atOrAbove(diags, threshold)
+	if *errorsOnly {
+		kept := diags[:0]
+		for _, d := range diags {
+			if d.Severity == lint.Error {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
 
 	switch {
 	case *quiet:
@@ -83,9 +106,34 @@ func main() {
 			}
 		}
 	}
-	if lint.HasErrors(diags) {
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// parseSeverity maps a -fail-on argument to a lint.Severity.
+func parseSeverity(s string) (lint.Severity, error) {
+	switch s {
+	case "error":
+		return lint.Error, nil
+	case "warning", "warn":
+		return lint.Warning, nil
+	case "info":
+		return lint.Info, nil
+	default:
+		return 0, fmt.Errorf("-fail-on wants error, warning or info, got %q", s)
+	}
+}
+
+// atOrAbove reports whether any diagnostic reaches the severity
+// threshold.
+func atOrAbove(diags []lint.Diagnostic, threshold lint.Severity) bool {
+	for _, d := range diags {
+		if d.Severity >= threshold {
+			return true
+		}
+	}
+	return false
 }
 
 // collect expands the argument paths into the sorted list of .aig files

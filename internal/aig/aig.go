@@ -377,6 +377,60 @@ func (s DeclaredSources) Clone() DeclaredSources {
 	return out
 }
 
+// SourceKey declares a relational key (unique constraint) on a declared
+// source table: no two rows of Source:Table agree on all of Cols. The
+// propagation engine (internal/propagate) chases these through rule
+// queries to certify XML keys statically (§5).
+type SourceKey struct {
+	Source string
+	Table  string
+	Cols   []string
+	// Pos is where the key was declared in the spec source (zero for
+	// programmatically built grammars).
+	Pos srcpos.Pos
+}
+
+// String renders the key as "DB1:patient(SSN)".
+func (k SourceKey) String() string {
+	return fmt.Sprintf("%s:%s(%s)", k.Source, k.Table, strings.Join(k.Cols, ", "))
+}
+
+// Clone returns a deep copy.
+func (k SourceKey) Clone() SourceKey {
+	k.Cols = append([]string(nil), k.Cols...)
+	return k
+}
+
+// SourceFK declares a relational foreign key on a declared source table:
+// every Cols tuple of Source:Table appears as a RefCols tuple of
+// RefSource:RefTable. The referenced column list must itself be declared
+// as a SourceKey.
+type SourceFK struct {
+	Source    string
+	Table     string
+	Cols      []string
+	RefSource string
+	RefTable  string
+	RefCols   []string
+	// Pos is where the foreign key was declared in the spec source (zero
+	// for programmatically built grammars).
+	Pos srcpos.Pos
+}
+
+// String renders the foreign key as "DB1:visitInfo(trId) -> DB3:billing(trId)".
+func (k SourceFK) String() string {
+	return fmt.Sprintf("%s:%s(%s) -> %s:%s(%s)",
+		k.Source, k.Table, strings.Join(k.Cols, ", "),
+		k.RefSource, k.RefTable, strings.Join(k.RefCols, ", "))
+}
+
+// Clone returns a deep copy.
+func (k SourceFK) Clone() SourceFK {
+	k.Cols = append([]string(nil), k.Cols...)
+	k.RefCols = append([]string(nil), k.RefCols...)
+	return k
+}
+
 // AIG is an attribute integration grammar σ: R -> D (§3.1, Definition
 // 3.1): a DTD, attribute declarations, semantic rules per production, and
 // XML constraints.
@@ -395,6 +449,13 @@ type AIG struct {
 	// section). Static tooling resolves rule queries against it; at run
 	// time the live registry remains authoritative.
 	Sources DeclaredSources
+
+	// SourceKeys and SourceFKs are the relational constraints declared on
+	// the source signature ("key"/"fkey" lines of the sources section).
+	// They are premises, not checks: the certifier assumes they hold on
+	// every instance and proves XML constraints from them.
+	SourceKeys []SourceKey
+	SourceFKs  []SourceFK
 
 	// Labels maps internal element type names to the labels emitted in the
 	// output document. Recursion unfolding (§5.5) introduces per-level
@@ -448,6 +509,12 @@ func (a *AIG) Clone() *AIG {
 	}
 	out.Constraints = append([]xconstraint.Constraint(nil), a.Constraints...)
 	out.Sources = a.Sources.Clone()
+	for _, k := range a.SourceKeys {
+		out.SourceKeys = append(out.SourceKeys, k.Clone())
+	}
+	for _, k := range a.SourceFKs {
+		out.SourceFKs = append(out.SourceFKs, k.Clone())
+	}
 	if a.Labels != nil {
 		out.Labels = make(map[string]string, len(a.Labels))
 		for k, v := range a.Labels {

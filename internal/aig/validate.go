@@ -43,7 +43,84 @@ func (a *AIG) ValidateAll(schemas sqlmini.SchemaProvider) []error {
 			v.errs = append(v.errs, err)
 		}
 	}
+	v.checkSourceConstraints()
 	return v.errs
+}
+
+// checkSourceConstraints validates the declared relational constraints
+// (key/fkey lines of the sources section) against the declared schema
+// signature: columns exist, arities match, and every foreign key targets
+// a declared key of the referenced table.
+func (v *validator) checkSourceConstraints() {
+	a := v.aig
+	if len(a.SourceKeys) == 0 && len(a.SourceFKs) == 0 {
+		return
+	}
+	if a.Sources == nil {
+		v.cur = srcpos.Pos{}
+		v.errorf("source constraints declared without source table declarations")
+		return
+	}
+	checkCols := func(where, source, table string, cols []string) bool {
+		schema, err := a.Sources.TableSchema(source, table)
+		if err != nil {
+			v.errorf("%s: %v", where, err)
+			return false
+		}
+		ok := true
+		seen := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			if schema.ColumnIndex(c) < 0 {
+				v.errorf("%s: table %s:%s has no column %q", where, source, table, c)
+				ok = false
+			}
+			if seen[c] {
+				v.errorf("%s: column %q listed twice", where, c)
+				ok = false
+			}
+			seen[c] = true
+		}
+		return ok
+	}
+	keySet := make(map[string]bool, len(a.SourceKeys))
+	for _, k := range a.SourceKeys {
+		prev := v.at(k.Pos)
+		where := fmt.Sprintf("key %s", k)
+		if len(k.Cols) == 0 {
+			v.errorf("%s: key needs at least one column", where)
+		} else {
+			checkCols(where, k.Source, k.Table, k.Cols)
+		}
+		keySet[k.Source+":"+k.Table+"("+fmt.Sprint(k.Cols)+")"] = true
+		v.cur = prev
+	}
+	for _, fk := range a.SourceFKs {
+		prev := v.at(fk.Pos)
+		where := fmt.Sprintf("fkey %s", fk)
+		okL := len(fk.Cols) > 0 && checkCols(where, fk.Source, fk.Table, fk.Cols)
+		okR := checkCols(where, fk.RefSource, fk.RefTable, fk.RefCols)
+		if len(fk.Cols) != len(fk.RefCols) {
+			v.errorf("%s: arity mismatch: %d referencing columns for %d referenced", where, len(fk.Cols), len(fk.RefCols))
+			okL = false
+		}
+		if okL && okR {
+			lSchema, _ := a.Sources.TableSchema(fk.Source, fk.Table)
+			rSchema, _ := a.Sources.TableSchema(fk.RefSource, fk.RefTable)
+			for i := range fk.Cols {
+				lk := lSchema[lSchema.ColumnIndex(fk.Cols[i])].Kind
+				rk := rSchema[rSchema.ColumnIndex(fk.RefCols[i])].Kind
+				if lk != rk {
+					v.errorf("%s: kind mismatch: %s.%s is %s but %s.%s is %s",
+						where, fk.Table, fk.Cols[i], lk, fk.RefTable, fk.RefCols[i], rk)
+				}
+			}
+			if !keySet[fk.RefSource+":"+fk.RefTable+"("+fmt.Sprint(fk.RefCols)+")"] {
+				v.errorf("%s: referenced columns are not declared as a key of %s:%s",
+					where, fk.RefSource, fk.RefTable)
+			}
+		}
+		v.cur = prev
+	}
 }
 
 type validator struct {

@@ -98,11 +98,13 @@ func Parse(input string) (*aig.AIG, error) {
 		}
 	}
 	if p.sourcesText != "" {
-		srcs, err := parseSources(p.sourcesText, p.sourcesStart)
+		srcs, keys, fks, err := parseSources(p.sourcesText, p.sourcesStart)
 		if err != nil {
 			return nil, err
 		}
 		a.Sources = srcs
+		a.SourceKeys = keys
+		a.SourceFKs = fks
 	}
 	if p.constraintText != "" {
 		cs, err := xconstraint.ParseAll(p.constraintText)
@@ -259,46 +261,109 @@ func (p *parser) splitSections(input string) error {
 	return nil
 }
 
-// parseSources parses the body of a "sources" section: one table
-// declaration per line, "SOURCE:table(col, col:kind, ...)". Columns
-// default to string, like relstore schema strings.
-func parseSources(body string, startLine int) (aig.DeclaredSources, error) {
+// parseSources parses the body of a "sources" section: one declaration
+// per line. Table declarations read "SOURCE:table(col, col:kind, ...)"
+// (columns default to string, like relstore schema strings); relational
+// constraints on those tables read
+//
+//	key SOURCE:table(col, ...)
+//	fkey SOURCE:table(col, ...) -> SOURCE2:table2(col2, ...)
+//
+// and are returned alongside the schema signature. Constraint lines may
+// precede the tables they mention; validation resolves them later.
+func parseSources(body string, startLine int) (aig.DeclaredSources, []aig.SourceKey, []aig.SourceFK, error) {
 	out := make(aig.DeclaredSources)
+	var keys []aig.SourceKey
+	var fks []aig.SourceFK
 	for li, raw := range strings.Split(body, "\n") {
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
 			continue
 		}
 		pos := srcpos.At(startLine+li, indentOf(raw))
-		source, rest, found := strings.Cut(line, ":")
-		source = strings.TrimSpace(source)
-		if !found || source == "" {
-			return nil, errAt(pos, "source table needs SOURCE:table(columns): %q", line)
+		switch {
+		case strings.HasPrefix(line, "key "):
+			src, table, cols, err := parseTableCols(strings.TrimSpace(strings.TrimPrefix(line, "key ")), pos)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			keys = append(keys, aig.SourceKey{Source: src, Table: table, Cols: cols, Pos: pos})
+		case strings.HasPrefix(line, "fkey "):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "fkey "))
+			left, right, found := strings.Cut(rest, "->")
+			if !found {
+				return nil, nil, nil, errAt(pos, "fkey needs SRC:table(cols) -> SRC:table(cols): %q", line)
+			}
+			ls, lt, lc, err := parseTableCols(strings.TrimSpace(left), pos)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			rs, rt, rc, err := parseTableCols(strings.TrimSpace(right), pos)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			fks = append(fks, aig.SourceFK{
+				Source: ls, Table: lt, Cols: lc,
+				RefSource: rs, RefTable: rt, RefCols: rc,
+				Pos: pos,
+			})
+		default:
+			source, rest, found := strings.Cut(line, ":")
+			source = strings.TrimSpace(source)
+			if !found || source == "" {
+				return nil, nil, nil, errAt(pos, "source table needs SOURCE:table(columns): %q", line)
+			}
+			open := strings.IndexByte(rest, '(')
+			if open < 0 || !strings.HasSuffix(rest, ")") {
+				return nil, nil, nil, errAt(pos, "source table needs (columns): %q", line)
+			}
+			table := strings.TrimSpace(rest[:open])
+			if table == "" {
+				return nil, nil, nil, errAt(pos, "missing table name in %q", line)
+			}
+			schema, err := relstore.ParseSchema(strings.Split(rest[open+1:len(rest)-1], ","))
+			if err != nil {
+				return nil, nil, nil, errAt(pos, "%v", err)
+			}
+			if out[source] == nil {
+				out[source] = make(map[string]relstore.Schema)
+			}
+			if _, dup := out[source][table]; dup {
+				return nil, nil, nil, errAt(pos, "table %s:%s declared twice", source, table)
+			}
+			out[source][table] = schema
 		}
-		open := strings.IndexByte(rest, '(')
-		if open < 0 || !strings.HasSuffix(rest, ")") {
-			return nil, errAt(pos, "source table needs (columns): %q", line)
-		}
-		table := strings.TrimSpace(rest[:open])
-		if table == "" {
-			return nil, errAt(pos, "missing table name in %q", line)
-		}
-		schema, err := relstore.ParseSchema(strings.Split(rest[open+1:len(rest)-1], ","))
-		if err != nil {
-			return nil, errAt(pos, "%v", err)
-		}
-		if out[source] == nil {
-			out[source] = make(map[string]relstore.Schema)
-		}
-		if _, dup := out[source][table]; dup {
-			return nil, errAt(pos, "table %s:%s declared twice", source, table)
-		}
-		out[source][table] = schema
 	}
-	if len(out) == 0 {
-		return nil, nil
+	if len(out) == 0 && len(keys) == 0 && len(fks) == 0 {
+		return nil, nil, nil, nil
 	}
-	return out, nil
+	return out, keys, fks, nil
+}
+
+// parseTableCols parses "SOURCE:table(col, col, ...)" — the operand shape
+// shared by key and fkey lines — into its parts.
+func parseTableCols(s string, pos srcpos.Pos) (source, table string, cols []string, err error) {
+	source, rest, found := strings.Cut(s, ":")
+	source = strings.TrimSpace(source)
+	if !found || source == "" {
+		return "", "", nil, errAt(pos, "need SOURCE:table(columns), got %q", s)
+	}
+	open := strings.IndexByte(rest, '(')
+	if open < 0 || !strings.HasSuffix(rest, ")") {
+		return "", "", nil, errAt(pos, "need (columns) in %q", s)
+	}
+	table = strings.TrimSpace(rest[:open])
+	if table == "" {
+		return "", "", nil, errAt(pos, "missing table name in %q", s)
+	}
+	for _, c := range strings.Split(rest[open+1:len(rest)-1], ",") {
+		c = strings.TrimSpace(c)
+		if c == "" {
+			return "", "", nil, errAt(pos, "empty column name in %q", s)
+		}
+		cols = append(cols, c)
+	}
+	return source, table, cols, nil
 }
 
 // parseAttrDecl parses "inh patient (date, SSN)" / "syn treatments (set

@@ -59,7 +59,7 @@ func Format(a *aig.AIG) (string, error) {
 		fmt.Fprintf(&b, "rule %s\n%send\n\n", elem, body)
 	}
 
-	if len(a.Sources) > 0 {
+	if len(a.Sources) > 0 || len(a.SourceKeys) > 0 || len(a.SourceFKs) > 0 {
 		b.WriteString("sources\n")
 		srcNames := make([]string, 0, len(a.Sources))
 		for s := range a.Sources {
@@ -83,6 +83,16 @@ func Format(a *aig.AIG) (string, error) {
 				}
 				fmt.Fprintf(&b, "  %s:%s(%s)\n", s, t, strings.Join(cols, ", "))
 			}
+		}
+		keys := append([]aig.SourceKey(nil), a.SourceKeys...)
+		sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  key %s\n", k)
+		}
+		fks := append([]aig.SourceFK(nil), a.SourceFKs...)
+		sort.Slice(fks, func(i, j int) bool { return fks[i].String() < fks[j].String() })
+		for _, k := range fks {
+			fmt.Fprintf(&b, "  fkey %s\n", k)
 		}
 		b.WriteString("end\n\n")
 	}

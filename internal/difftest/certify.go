@@ -1,0 +1,413 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/propagate"
+	"github.com/aigrepro/aig/internal/randaig"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// DiscoverSourceConstraints scans a populated catalog for relational
+// constraints that are true of its current data: single-column keys
+// (plus minimal two-column keys no single column subsumes) and
+// single-column foreign keys whose referenced column is itself a
+// discovered key. The result is what a spec author who knew the data
+// could honestly declare in the sources section — the premises the
+// certification soundness oracle hands to propagate.Certify.
+//
+// Discovered constraints are facts about one database state, not
+// invariants: after a mutation they must be re-checked (KeyHolds,
+// FKHolds) before any verdict proved from them may be asserted.
+func DiscoverSourceConstraints(cat *relstore.Catalog) ([]aig.SourceKey, []aig.SourceFK) {
+	type col struct {
+		source string
+		table  *relstore.Table
+		idx    int
+	}
+	var keys []aig.SourceKey
+	var cols []col
+	keyed := make(map[string]bool) // "source:table:col" with a single-column key
+
+	forEachTable(cat, func(source string, t *relstore.Table) {
+		schema := t.Schema()
+		single := make([]bool, len(schema))
+		for i := range schema {
+			cols = append(cols, col{source, t, i})
+			if columnsUnique(t, []int{i}) {
+				single[i] = true
+				keys = append(keys, aig.SourceKey{
+					Source: source, Table: t.Name(), Cols: []string{schema[i].Name},
+				})
+				keyed[source+":"+t.Name()+":"+schema[i].Name] = true
+			}
+		}
+		// Minimal pairs only: a pair containing a key column adds nothing.
+		for i := range schema {
+			for j := i + 1; j < len(schema); j++ {
+				if single[i] || single[j] || !columnsUnique(t, []int{i, j}) {
+					continue
+				}
+				keys = append(keys, aig.SourceKey{
+					Source: source, Table: t.Name(),
+					Cols: []string{schema[i].Name, schema[j].Name},
+				})
+			}
+		}
+	})
+
+	var fks []aig.SourceFK
+	for _, from := range cols {
+		if from.table.Len() == 0 {
+			continue // vacuous inclusions are pure noise
+		}
+		fromName := from.table.Schema()[from.idx].Name
+		for _, to := range cols {
+			toName := to.table.Schema()[to.idx].Name
+			if from.source == to.source && from.table.Name() == to.table.Name() && fromName == toName {
+				continue
+			}
+			if from.table.Schema()[from.idx].Kind != to.table.Schema()[to.idx].Kind {
+				continue
+			}
+			if !keyed[to.source+":"+to.table.Name()+":"+toName] {
+				continue
+			}
+			if !columnIncluded(from.table, from.idx, to.table, to.idx) {
+				continue
+			}
+			fks = append(fks, aig.SourceFK{
+				Source: from.source, Table: from.table.Name(), Cols: []string{fromName},
+				RefSource: to.source, RefTable: to.table.Name(), RefCols: []string{toName},
+			})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	sort.Slice(fks, func(i, j int) bool { return fks[i].String() < fks[j].String() })
+	return keys, fks
+}
+
+// columnsUnique reports whether no two rows of t agree on all of cols.
+func columnsUnique(t *relstore.Table, cols []int) bool {
+	seen := make(map[string]bool, t.Len())
+	for i := 0; i < t.Len(); i++ {
+		row := t.Row(i)
+		key := ""
+		for _, c := range cols {
+			key += row[c].Key() + "\x00"
+		}
+		if seen[key] {
+			return false
+		}
+		seen[key] = true
+	}
+	return true
+}
+
+// columnIncluded reports π_fromCol(from) ⊆ π_toCol(to).
+func columnIncluded(from *relstore.Table, fromCol int, to *relstore.Table, toCol int) bool {
+	have := make(map[string]bool, to.Len())
+	for i := 0; i < to.Len(); i++ {
+		have[to.Row(i)[toCol].Key()] = true
+	}
+	for i := 0; i < from.Len(); i++ {
+		if !have[from.Row(i)[fromCol].Key()] {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyHolds reports whether a declared key is true of the catalog's
+// current data.
+func KeyHolds(cat *relstore.Catalog, k aig.SourceKey) bool {
+	t, err := cat.Table(k.Source, k.Table)
+	if err != nil {
+		return false
+	}
+	idx, ok := columnIndexes(t.Schema(), k.Cols)
+	return ok && columnsUnique(t, idx)
+}
+
+// FKHolds reports whether a declared single-column-per-side foreign key
+// is true of the catalog's current data (multi-column foreign keys are
+// checked tuple-wise).
+func FKHolds(cat *relstore.Catalog, fk aig.SourceFK) bool {
+	from, err := cat.Table(fk.Source, fk.Table)
+	if err != nil {
+		return false
+	}
+	to, err := cat.Table(fk.RefSource, fk.RefTable)
+	if err != nil {
+		return false
+	}
+	fromIdx, ok1 := columnIndexes(from.Schema(), fk.Cols)
+	toIdx, ok2 := columnIndexes(to.Schema(), fk.RefCols)
+	if !ok1 || !ok2 || len(fromIdx) != len(toIdx) {
+		return false
+	}
+	have := make(map[string]bool, to.Len())
+	for i := 0; i < to.Len(); i++ {
+		row, key := to.Row(i), ""
+		for _, c := range toIdx {
+			key += row[c].Key() + "\x00"
+		}
+		have[key] = true
+	}
+	for i := 0; i < from.Len(); i++ {
+		row, key := from.Row(i), ""
+		for _, c := range fromIdx {
+			key += row[c].Key() + "\x00"
+		}
+		if !have[key] {
+			return false
+		}
+	}
+	return true
+}
+
+func columnIndexes(schema relstore.Schema, names []string) ([]int, bool) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		c := schema.ColumnIndex(n)
+		if c < 0 {
+			return nil, false
+		}
+		out[i] = c
+	}
+	return out, true
+}
+
+// CertifyOptions configures one certification-soundness oracle run.
+type CertifyOptions struct {
+	// AssumePremises, when set, skips the per-step premise re-check and
+	// asserts every must-hold verdict even after a mutation falsified a
+	// premise its proof depends on — fault injection for testing the
+	// oracle itself (a verdict is only a proof under its premises, so
+	// assuming them unconditionally is exactly the unsoundness the
+	// premise tracking exists to prevent).
+	AssumePremises bool
+}
+
+// CertifyOutcome summarizes one certification-soundness oracle run.
+type CertifyOutcome struct {
+	// Divergence is nil when no must-hold verdict was contradicted by a
+	// runtime violation — a non-nil value is a soundness bug in the
+	// certifier.
+	Divergence *Divergence
+	// Keys and FKs count the source constraints discovered on the
+	// instance's data; MustHold, Unknown and Violated the verdicts the
+	// certifier reached from them.
+	Keys, FKs                   int
+	MustHold, Unknown, Violated int
+	// Steps counts applied mutations; Asserted the per-step must-hold
+	// checks actually executed; Voided the checks skipped because a
+	// mutation broke a premise the proof depends on; Unevaluated the
+	// steps where the mutated data no longer evaluates to a document.
+	Steps, Asserted, Voided, Unevaluated int
+	// Evals counts document evaluations (oracle throughput metric).
+	Evals int
+}
+
+// CheckCertify is the soundness oracle for the static certifier
+// (internal/propagate): it discovers the relational constraints that
+// genuinely hold on the instance's data, declares them as source
+// premises, certifies the instance's XML constraints from them, and
+// then — initially and after every mutation whose proof premises
+// survive — asserts that no constraint the certifier judged MustHold is
+// ever violated on the evaluated document. Verdicts are proofs under
+// premises, so a mutation that falsifies a used premise voids the
+// obligation rather than asserting it; a violation while every used
+// premise still holds is reported on leg "certify".
+//
+// The run mutates a clone of the instance's catalog, never the
+// instance itself, so CheckCertify can be re-run (shrinking, corpus
+// replay) on the same instance.
+func CheckCertify(inst *randaig.Instance, muts []Mutation, opts CertifyOptions) CertifyOutcome {
+	mkDiv := func(detail, want, got string) *Divergence {
+		return &Divergence{Seed: inst.Seed, Leg: "certify", Detail: detail, Want: want, Got: got}
+	}
+	inst = &randaig.Instance{
+		Seed: inst.Seed, Cfg: inst.Cfg, AIG: inst.AIG,
+		Catalog: cloneCatalog(inst.Catalog), RootInh: inst.RootInh,
+		Recursive: inst.Recursive, UnfoldDepth: inst.UnfoldDepth,
+	}
+
+	keys, fks := DiscoverSourceConstraints(inst.Catalog)
+	a := inst.AIG.Clone()
+	a.SourceKeys, a.SourceFKs = keys, fks
+	cert := propagate.Certify(a)
+
+	out := CertifyOutcome{Keys: len(keys), FKs: len(fks)}
+	var proved []propagate.Result
+	for _, r := range cert.Results {
+		switch r.Verdict {
+		case propagate.MustHold:
+			out.MustHold++
+			proved = append(proved, r)
+		case propagate.Violated:
+			out.Violated++
+		default:
+			out.Unknown++
+		}
+	}
+	if len(proved) == 0 {
+		return out
+	}
+
+	// Premise checkers, keyed the way Result.Uses renders them.
+	premise := make(map[string]func() bool)
+	for _, k := range keys {
+		k := k
+		premise["key "+k.String()] = func() bool { return KeyHolds(inst.Catalog, k) }
+	}
+	for _, fk := range fks {
+		fk := fk
+		premise["fkey "+fk.String()] = func() bool { return FKHolds(inst.Catalog, fk) }
+	}
+
+	// The document under test is the constraint-free evaluation: guards
+	// would abort on the very violations the oracle wants to observe.
+	plain := inst.AIG.Clone()
+	plain.Constraints = nil
+	plainU, err := specialize.Unfold(plain, inst.UnfoldDepth)
+	if err != nil {
+		out.Divergence = mkDiv("unfold of plain grammar failed: "+err.Error(), "", "")
+		return out
+	}
+	evaluate := func() (*xmltree.Node, error) {
+		out.Evals++
+		return plainU.Eval(inst.Env(), inst.RootInh)
+	}
+
+	assert := func(step int, m *Mutation, doc *xmltree.Node, intact map[string]bool) *Divergence {
+		for _, r := range proved {
+			ok := true
+			for _, u := range r.Uses {
+				if !intact[u] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				out.Voided++
+				continue
+			}
+			out.Asserted++
+			if vs := r.Constraint.Check(doc); len(vs) > 0 {
+				detail := fmt.Sprintf("certified constraint %s violated at runtime (proof: %s)", r.Constraint, r.Reason)
+				if m != nil {
+					detail = fmt.Sprintf("step %d (%s): %s", step, m, detail)
+				}
+				return mkDiv(detail, "no violations", vs[0].Error())
+			}
+		}
+		return nil
+	}
+
+	doc, err := evaluate()
+	if err != nil {
+		out.Divergence = mkDiv("initial evaluation failed: "+err.Error(), "", "")
+		return out
+	}
+	// Every discovered premise holds on the initial data by construction,
+	// so the initial obligations are all live.
+	allLive := make(map[string]bool, len(premise))
+	for u := range premise {
+		allLive[u] = true
+	}
+	if d := assert(0, nil, doc, allLive); d != nil {
+		out.Divergence = d
+		return out
+	}
+
+	for i, m := range muts {
+		changed, err := m.apply(inst.Catalog)
+		if err != nil {
+			out.Divergence = mkDiv(fmt.Sprintf("step %d: applying %s: %v", i, m, err), "", "")
+			return out
+		}
+		if !changed {
+			continue
+		}
+		out.Steps++
+
+		intact := make(map[string]bool, len(premise))
+		for u, holds := range premise {
+			if opts.AssumePremises || holds() {
+				intact[u] = true
+			}
+		}
+
+		// Mutations can push the data into states the generator never
+		// produces (a choice condition matching zero rows); with no
+		// document there is nothing the certifier's claim ranges over.
+		m := m
+		doc, err := evaluate()
+		if err != nil {
+			if isAbort(err) {
+				out.Divergence = mkDiv(fmt.Sprintf("step %d: guard abort in constraint-free grammar: %v", i, err), "", "")
+				return out
+			}
+			out.Unevaluated++
+			continue
+		}
+		if d := assert(i, &m, doc, intact); d != nil {
+			out.Divergence = d
+			return out
+		}
+	}
+	return out
+}
+
+// ShrinkCertify minimizes a diverging mutation sequence ddmin-style,
+// exactly as ShrinkIVM does for the maintenance oracle: ever-smaller
+// chunks of mutations are dropped while the "certify" leg keeps
+// diverging. budget <= 0 means DefaultShrinkBudget checks.
+func ShrinkCertify(inst *randaig.Instance, muts []Mutation, opts CertifyOptions, budget int) ([]Mutation, *Divergence, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	checks := 0
+	reproduces := func(candidate []Mutation) (*Divergence, bool) {
+		if checks >= budget {
+			return nil, false
+		}
+		checks++
+		out := CheckCertify(inst, candidate, opts)
+		return out.Divergence, out.Divergence != nil
+	}
+
+	cur := muts
+	var last *Divergence
+	if d, ok := reproduces(cur); ok {
+		last = d
+	} else {
+		return cur, nil, checks
+	}
+	for size := len(cur) / 2; size >= 1; {
+		removedAny := false
+		for start := 0; start+size <= len(cur); {
+			candidate := append(append([]Mutation(nil), cur[:start]...), cur[start+size:]...)
+			if d, ok := reproduces(candidate); ok {
+				cur, last = candidate, d
+				removedAny = true
+				continue
+			}
+			start += size
+		}
+		if !removedAny {
+			size /= 2
+		} else if size > len(cur)/2 {
+			size = len(cur) / 2
+		}
+		if checks >= budget {
+			break
+		}
+	}
+	return cur, last, checks
+}

@@ -23,10 +23,12 @@ type Regression struct {
 	// Note is a human explanation (what was wrong, when it was fixed).
 	Note string `json:"note,omitempty"`
 	// Mode selects the oracle to replay the regression under: "" means
-	// Check (the evaluation-path matrix), "ivm" means CheckIVM over the
-	// recorded mutation sequence.
+	// Check (the evaluation-path matrix), "ivm" means CheckIVM and
+	// "certify" means CheckCertify, each over the recorded mutation
+	// sequence.
 	Mode string `json:"mode,omitempty"`
-	// Mutations is the shrunken mutation sequence for Mode "ivm".
+	// Mutations is the shrunken mutation sequence for Mode "ivm" and
+	// "certify".
 	Mutations []Mutation `json:"mutations,omitempty"`
 	// LogCap is the change-log limit CheckIVM ran with (Mode "ivm").
 	LogCap int `json:"log_cap,omitempty"`

@@ -1,0 +1,192 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// deepReport builds a conforming hospital document whose recursion
+// (procedure -> treatment*) is unrolled to the given depth, returning
+// the document and the deepest treatment node.
+func deepReport(depth int) (*xmltree.Node, *xmltree.Node) {
+	report := xmltree.NewElement("report")
+	patient := report.AppendElement("patient")
+	patient.AppendElement("SSN").AppendText("s1")
+	patient.AppendElement("pname").AppendText("alice")
+	treatments := patient.AppendElement("treatments")
+	parent := treatments
+	var deepest *xmltree.Node
+	for i := 0; i < depth; i++ {
+		tr := parent.AppendElement("treatment")
+		tr.AppendElement("trId").AppendText("t1")
+		tr.AppendElement("tname").AppendText("xray")
+		parent = tr.AppendElement("procedure")
+		deepest = tr
+	}
+	bill := patient.AppendElement("bill")
+	item := bill.AppendElement("item")
+	item.AppendElement("trId").AppendText("t1")
+	item.AppendElement("price").AppendText("100")
+	return report, deepest
+}
+
+// TestConformsErrorPathDeep: a violation buried many levels down the
+// recursive part of the document must be reported with the full path to
+// the offending node, not some ancestor.
+func TestConformsErrorPathDeep(t *testing.T) {
+	d := hospitalDTD(t)
+	const depth = 7
+	doc, deepest := deepReport(depth)
+	if err := Conforms(d, doc); err != nil {
+		t.Fatalf("deep conforming document rejected: %v", err)
+	}
+
+	wantPath := "/report/patient/treatments" +
+		strings.Repeat("/treatment/procedure", depth-1) + "/treatment"
+
+	// Drop the deepest treatment's tname: its children no longer match
+	// (trId, tname, procedure).
+	deepest.Children = append(deepest.Children[:1:1], deepest.Children[2])
+	err := Conforms(d, doc)
+	if err == nil {
+		t.Fatal("mutilated deep treatment accepted")
+	}
+	if !strings.Contains(err.Error(), wantPath+" do not match") {
+		t.Errorf("error does not locate the deep node:\n  want path %s\n  got %v", wantPath, err)
+	}
+
+	// An undeclared element at the same depth is located too.
+	doc, deepest = deepReport(depth)
+	deepest.Child("procedure").AppendElement("alien")
+	err = Conforms(d, doc)
+	if err == nil {
+		t.Fatal("deep undeclared element accepted")
+	}
+	if !strings.Contains(err.Error(), wantPath+"/procedure") {
+		t.Errorf("error does not locate the undeclared element:\n  want path under %s/procedure\n  got %v", wantPath, err)
+	}
+
+	// A text node with children is malformed wherever it hides; the path
+	// names the text node itself.
+	doc, deepest = deepReport(depth)
+	txt := deepest.Child("trId").Children[0]
+	txt.AppendChild(xmltree.NewText("nested"))
+	err = Conforms(d, doc)
+	if err == nil {
+		t.Fatal("text node with children accepted")
+	}
+	if !strings.Contains(err.Error(), wantPath+"/trId/#text") {
+		t.Errorf("error does not locate the malformed text node:\n  want path %s/trId/#text\n  got %v", wantPath, err)
+	}
+}
+
+// mixedGeneral is a general DTD with true mixed content: text and b
+// elements interleave freely under note.
+const mixedGeneral = `
+	<!ELEMENT note (#PCDATA | b)*>
+	<!ELEMENT b (#PCDATA)>
+`
+
+// TestConformsErrorPathMixedContent: violations inside mixed content are
+// reported at the offending child, with interleaved text accepted around
+// them.
+func TestConformsErrorPathMixedContent(t *testing.T) {
+	g := MustParseGeneral(mixedGeneral)
+	checker := NewGeneralChecker(g)
+
+	note := xmltree.NewElement("note")
+	note.AppendText("see ")
+	note.AppendElement("b").AppendText("dosage")
+	note.AppendText(" before use")
+	if err := checker.Check(note); err != nil {
+		t.Fatalf("mixed-content document rejected: %v", err)
+	}
+
+	// An undeclared element between text runs fails note's content model:
+	// the error names the mixed parent and shows the offending label.
+	note.AppendText(" and ")
+	note.AppendElement("q").AppendText("?")
+	err := checker.Check(note)
+	if err == nil {
+		t.Fatal("undeclared element in mixed content accepted")
+	}
+	if !strings.Contains(err.Error(), "children of /note do not match") || !strings.Contains(err.Error(), "q") {
+		t.Errorf("error does not locate the mixed-content mismatch: %v", err)
+	}
+
+	// Element content inside a PCDATA-only child of the mixed region.
+	note = xmltree.NewElement("note")
+	note.AppendText("x")
+	b := note.AppendElement("b")
+	b.AppendElement("b").AppendText("nested")
+	err = checker.Check(note)
+	if err == nil {
+		t.Fatal("element inside PCDATA-only b accepted")
+	}
+	if !strings.Contains(err.Error(), "/note/b") {
+		t.Errorf("error does not locate the offending b: %v", err)
+	}
+}
+
+// TestEraseEntitiesMixedContent: simplifying mixed content introduces
+// text-carrying entities; erasing them must restore the interleaved
+// text/element sequence in document order, conforming to the general
+// DTD, without mutating the input.
+func TestEraseEntitiesMixedContent(t *testing.T) {
+	g := MustParseGeneral(mixedGeneral)
+	d, err := Simplify(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := d.Production("note")
+	if p.Kind != ProdStar {
+		t.Fatalf("note production = %v, want star", p)
+	}
+	inner, _ := d.Production(p.Children[0])
+	if inner.Kind != ProdChoice || len(inner.Children) != 2 {
+		t.Fatalf("star item production = %v, want 2-way choice", inner)
+	}
+	// Identify the entity branch carrying text vs the b branch.
+	textEnt := inner.Children[0]
+	if textEnt == "b" {
+		textEnt = inner.Children[1]
+	}
+	if tp, _ := d.Production(textEnt); tp.Kind != ProdText {
+		t.Fatalf("entity %q production = %v, want text", textEnt, tp)
+	}
+
+	// note -> choice*, each choice wraps either wrapped text or a b.
+	doc := xmltree.NewElement("note")
+	wrap := func(build func(c *xmltree.Node)) {
+		c := doc.AppendElement(p.Children[0])
+		build(c)
+	}
+	wrap(func(c *xmltree.Node) { c.AppendElement(textEnt).AppendText("see ") })
+	wrap(func(c *xmltree.Node) { c.AppendElement("b").AppendText("dosage") })
+	wrap(func(c *xmltree.Node) { c.AppendElement(textEnt).AppendText(" before use") })
+	if err := Conforms(d, doc); err != nil {
+		t.Fatalf("constructed document does not conform to simplified DTD: %v", err)
+	}
+
+	erased := EraseEntities(d, doc)
+	if err := NewGeneralChecker(g).Check(erased); err != nil {
+		t.Errorf("erased document does not conform to general DTD: %v\n%s", err, erased)
+	}
+	var kinds []string
+	for _, c := range erased.Children {
+		if c.IsText() {
+			kinds = append(kinds, "text:"+c.Text)
+		} else {
+			kinds = append(kinds, "elem:"+c.Label)
+		}
+	}
+	want := []string{"text:see ", "elem:b", "text: before use"}
+	if strings.Join(kinds, "|") != strings.Join(want, "|") {
+		t.Errorf("erased children = %v, want %v", kinds, want)
+	}
+	if len(doc.Children) != 3 || doc.Children[0].Label != p.Children[0] {
+		t.Error("EraseEntities mutated its input")
+	}
+}

@@ -115,6 +115,13 @@ sources
   DB3:billing(trId, price:int)
   DB4:treatment(trId, tname)
   DB4:procedure(trId1, trId2)
+  # Relational constraints of §5: billing is keyed by treatment id, and
+  # every treatment id a patient can acquire — from a visit or from a
+  # procedure expansion — is billed. These premises let the certifier
+  # prove both XML constraints below statically.
+  key DB3:billing(trId)
+  fkey DB1:visitInfo(trId) -> DB3:billing(trId)
+  fkey DB4:procedure(trId2) -> DB3:billing(trId)
 end
 
 constraints

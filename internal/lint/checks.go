@@ -7,6 +7,7 @@ import (
 
 	"github.com/aigrepro/aig/internal/aig"
 	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/propagate"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/sqlmini"
 	"github.com/aigrepro/aig/internal/srcpos"
@@ -34,6 +35,7 @@ func (c *checker) run() {
 	c.checkDeadBranches()
 	c.checkCopyChains()
 	c.checkUnusedMembers()
+	c.checkCertification()
 }
 
 // checkValidation runs the §3.1 validator and classifies each of its
@@ -269,6 +271,52 @@ func sortedChildren(m map[string]*aig.InhRule) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// checkCertification runs the §5 constraint-propagation analysis:
+// constraints the certifier cannot prove stay on runtime verification
+// (AIG012), provably violated inclusions are hard errors (AIG014), and
+// declared source keys or foreign keys no proof depends on are flagged
+// as advisory clutter (AIG013).
+func (c *checker) checkCertification() {
+	if len(c.aig.Constraints) == 0 && len(c.aig.SourceKeys) == 0 && len(c.aig.SourceFKs) == 0 {
+		return
+	}
+	// Broken constraints were already reported (AIG008); the certifier
+	// would only re-report them as Unknown noise.
+	for _, con := range c.aig.Constraints {
+		if con.ValidateAgainst(c.aig.DTD) != nil {
+			return
+		}
+	}
+	cert := propagate.Certify(c.aig)
+	for _, r := range cert.Results {
+		switch r.Verdict {
+		case propagate.Violated:
+			c.report(r.Constraint.Pos, Error, CodeViolated,
+				"constraint %s is provably violated: %s", r.Constraint, r.Reason)
+		case propagate.Unknown:
+			d := c.report(r.Constraint.Pos, Warning, CodeUncertified,
+				"constraint %s is not statically guaranteed: %s", r.Constraint, r.Reason)
+			d.Hint = "runtime verification stays on for this constraint; declare the source keys/foreign keys its proof needs, or restructure the generating rules"
+		}
+	}
+	unused := make(map[string]bool, len(cert.UnusedSources))
+	for _, u := range cert.UnusedSources {
+		unused[u] = true
+	}
+	for _, k := range c.aig.SourceKeys {
+		if unused["key "+k.String()] {
+			c.report(k.Pos, Info, CodeUnusedSource,
+				"source key %s is not used by any certification proof", k)
+		}
+	}
+	for _, fk := range c.aig.SourceFKs {
+		if unused["fkey "+fk.String()] {
+			c.report(fk.Pos, Info, CodeUnusedSource,
+				"source foreign key %s is not used by any certification proof", fk)
+		}
+	}
 }
 
 // memberUse keys one attribute member for the usage scan.

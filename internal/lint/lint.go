@@ -19,6 +19,9 @@
 //	AIG009  copy rule that copy elimination (§4) cannot collapse
 //	AIG010  attribute member declared but never referenced
 //	AIG011  spec declares no sources section
+//	AIG012  constraint not statically guaranteed (§5 certification)
+//	AIG013  source constraint unused by any certification proof
+//	AIG014  inclusion constraint provably violated
 package lint
 
 import (
@@ -44,6 +47,9 @@ const (
 	CodeCopyChain      = "AIG009"
 	CodeUnusedMember   = "AIG010"
 	CodeNoSources      = "AIG011"
+	CodeUncertified    = "AIG012"
+	CodeUnusedSource   = "AIG013"
+	CodeViolated       = "AIG014"
 )
 
 // Severity ranks a diagnostic. Errors make aiglint exit non-zero;

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+)
+
+// TestCertifiedSpecHasNoCertDiagnostics: the hospital spec certifies
+// fully, so none of AIG012/013/014 fire and the declarations are all
+// counted as used.
+func TestCertifiedSpecHasNoCertDiagnostics(t *testing.T) {
+	for _, d := range lintText(t, hospital.SpecText) {
+		switch d.Code {
+		case CodeUncertified, CodeUnusedSource, CodeViolated:
+			t.Errorf("unexpected certification diagnostic: %s", d)
+		}
+	}
+}
+
+// TestUncertifiedConstraintsWarn: with the key/fkey declarations
+// stripped, both constraints get AIG012 warnings anchored at their
+// declarations.
+func TestUncertifiedConstraintsWarn(t *testing.T) {
+	spec := hospital.SpecText
+	for _, line := range []string{
+		"key DB3:billing(trId)",
+		"fkey DB1:visitInfo(trId) -> DB3:billing(trId)",
+		"fkey DB4:procedure(trId2) -> DB3:billing(trId)",
+	} {
+		spec = strings.Replace(spec, "  "+line+"\n", "", 1)
+	}
+	var got []Diagnostic
+	for _, d := range lintText(t, spec) {
+		if d.Code == CodeUncertified {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d AIG012 diagnostics, want 2: %v", len(got), got)
+	}
+	for _, d := range got {
+		if d.Severity != Warning {
+			t.Errorf("%s: severity %s, want warning", d, d.Severity)
+		}
+		if d.Line == 0 {
+			t.Errorf("%s: no source anchor", d)
+		}
+		if !strings.Contains(d.Message, "not statically guaranteed") {
+			t.Errorf("%s: message does not say why", d)
+		}
+	}
+}
+
+// TestUnusedSourceConstraintIsInfo: a declaration no proof needs gets an
+// advisory AIG013.
+func TestUnusedSourceConstraintIsInfo(t *testing.T) {
+	spec := strings.Replace(hospital.SpecText,
+		"  key DB3:billing(trId)\n",
+		"  key DB3:billing(trId)\n  key DB2:cover(policy, trId)\n", 1)
+	var got []Diagnostic
+	for _, d := range lintText(t, spec) {
+		if d.Code == CodeUnusedSource {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d AIG013 diagnostics, want 1: %v", len(got), got)
+	}
+	if got[0].Severity != Info || !strings.Contains(got[0].Message, "DB2:cover") {
+		t.Errorf("unexpected AIG013 diagnostic: %s", got[0])
+	}
+}
+
+// TestViolatedInclusionIsError: an inclusion whose target can never be
+// derived under the context, while the source provably occurs, is an
+// AIG014 error.
+func TestViolatedInclusionIsError(t *testing.T) {
+	spec := strings.Replace(hospital.SpecText,
+		"patient(treatment.trId [= item.trId)",
+		"treatments(treatment.trId [= item.trId)", 1)
+	var got []Diagnostic
+	for _, d := range lintText(t, spec) {
+		if d.Code == CodeViolated {
+			got = append(got, d)
+		}
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d AIG014 diagnostics, want 1", len(got))
+	}
+	if got[0].Severity != Error || !strings.Contains(got[0].Message, "provably violated") {
+		t.Errorf("unexpected AIG014 diagnostic: %s", got[0])
+	}
+}
+
+// TestBrokenConstraintSkipsCertification: when a constraint fails DTD
+// validation (AIG008), the certifier stays quiet rather than piling an
+// AIG012 on top.
+func TestBrokenConstraintSkipsCertification(t *testing.T) {
+	spec := strings.Replace(hospital.SpecText,
+		"patient(item.trId -> item)",
+		"patient(item.zzz -> item)", 1)
+	for _, d := range lintText(t, spec) {
+		switch d.Code {
+		case CodeUncertified, CodeUnusedSource, CodeViolated:
+			t.Errorf("certification diagnostic on invalid constraint: %s", d)
+		}
+	}
+}

@@ -1,0 +1,733 @@
+package propagate
+
+import (
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/static"
+	"github.com/aigrepro/aig/internal/xconstraint"
+)
+
+// unknown builds an Unknown result with a reason.
+func unknown(c xconstraint.Constraint, format string, args ...any) Result {
+	return Result{Constraint: c, Verdict: Unknown, Reason: fmt.Sprintf(format, args...)}
+}
+
+// certifyKey decides a key constraint C(A.(l...) -> A): within every C
+// subtree, the A elements' field tuples are pairwise distinct.
+//
+// Proof shape: all A elements of one C subtree must stem from a single
+// execution of one generating rule — the unique derivation path C..A may
+// contain at most one multiplicity-introducing (star) edge, with only
+// single-occurrence edges elsewhere. If that generating rule is a query,
+// the chase must show the field columns functionally determine the
+// output row under the declared source keys; if it iterates a set-typed
+// member, the fields must cover the member's whole tuple (set semantics
+// deduplicate). With no star edge at all, at most one A exists per C and
+// the key holds trivially.
+func (ce *certifier) certifyKey(c xconstraint.Constraint) Result {
+	a := ce.a
+	paths, ok := ce.pathsTo(c.Context, c.Target)
+	if !ok {
+		return unknown(c, "recursive derivation between %s and %s", c.Context, c.Target)
+	}
+	if len(paths) == 0 {
+		return Result{Constraint: c, Verdict: MustHold,
+			Reason: fmt.Sprintf("no %s element can occur under %s", c.Target, c.Context)}
+	}
+	if len(paths) > 1 {
+		return unknown(c, "%s is derivable from %s along %d distinct paths", c.Target, c.Context, len(paths))
+	}
+	path := paths[0]
+	starIdx := -1
+	for i, e := range path {
+		multi := e.kind == dtd.ProdStar || e.occ > 1
+		if !multi {
+			continue
+		}
+		if e.kind != dtd.ProdStar {
+			return unknown(c, "child %s occurs %d times in the production of %s", e.child, e.occ, e.parent)
+		}
+		if starIdx >= 0 {
+			return unknown(c, "two multiplicity-introducing edges on the path (%s* and %s*)",
+				path[starIdx].child, e.child)
+		}
+		starIdx = i
+	}
+	if starIdx < 0 {
+		return Result{Constraint: c, Verdict: MustHold,
+			Reason: fmt.Sprintf("at most one %s element per %s subtree", c.Target, c.Context)}
+	}
+	// Edges above the star must not introduce multiplicity (seq occ 1 or
+	// choice); edges below it are checked by the copy trace.
+	for _, e := range path[:starIdx] {
+		if e.kind != dtd.ProdSeq && e.kind != dtd.ProdChoice {
+			return unknown(c, "edge %s -> %s above the generating rule is not single-occurrence", e.parent, e.child)
+		}
+	}
+	star := path[starIdx]
+	r := a.Rules[star.parent]
+	if r == nil || r.Inh[star.child] == nil {
+		return unknown(c, "no generating rule for %s -> %s*", star.parent, star.child)
+	}
+	ir := r.Inh[star.child]
+
+	// Trace each field back to a member of Inh(star.child).
+	childDecl := a.Inh[star.child]
+	var members []string
+	for _, f := range c.TargetFields {
+		m, ok := ce.fieldOrigin(c.Target, f)
+		if !ok {
+			return unknown(c, "cannot trace the value of field %s.%s to an inherited member", c.Target, f)
+		}
+		m, ok = ce.traceBelow(path, starIdx, m)
+		if !ok {
+			return unknown(c, "field %s.%s does not flow by pure copies from the generating rule", c.Target, f)
+		}
+		members = append(members, m)
+	}
+
+	if !ir.IsQuery() {
+		// Star driven by iterating a collection member: set semantics give
+		// distinct tuples, so the key holds when the fields cover the
+		// member's entire tuple.
+		if len(ir.Copies) != 1 {
+			return unknown(c, "unrecognized star rule for %s", star.child)
+		}
+		src := ir.Copies[0].Src
+		var decl aig.AttrDecl
+		if src.Side == aig.InhSide {
+			decl = a.Inh[src.Elem]
+		} else {
+			decl = a.Syn[src.Elem]
+		}
+		m, ok := decl.Member(src.Member)
+		if !ok || m.Kind != aig.Set {
+			return unknown(c, "star rule for %s iterates %s, which is not a set", star.child, src)
+		}
+		covered := make(map[string]bool, len(members))
+		for _, mm := range members {
+			covered[mm] = true
+		}
+		for _, col := range m.Fields {
+			if !covered[col.Name] {
+				return unknown(c, "iterated set column %s is not covered by the key fields", col.Name)
+			}
+		}
+		return Result{Constraint: c, Verdict: MustHold,
+			Reason: fmt.Sprintf("fields cover the tuple of set %s, whose elements are distinct", src)}
+	}
+
+	if ir.Query == nil || ir.TargetCollection != "" {
+		return unknown(c, "generating rule for %s is not a direct row-binding query", star.child)
+	}
+	q := ir.Query
+	var seeds []sqlmini.ColRef
+	for i, m := range members {
+		col, ok := boundColumn(q, childDecl, m)
+		if !ok {
+			// A member bound by a copy assignment is fixed per execution
+			// and contributes nothing to row distinctness; skip it.
+			if copyBound(ir, m) {
+				continue
+			}
+			return unknown(c, "field %s.%s is not bound by the generating query", c.Target, c.TargetFields[i])
+		}
+		seeds = append(seeds, col)
+	}
+	ok, uses, why := ce.chase(q, seeds)
+	if !ok {
+		return unknown(c, "key fields do not determine the query output: %s", why)
+	}
+	return Result{Constraint: c, Verdict: MustHold, Uses: uses,
+		Reason: fmt.Sprintf("fields determine each output row of the %s -> %s query", star.parent, star.child)}
+}
+
+// copyBound reports whether the rule's copy assignments bind member m.
+func copyBound(ir *aig.InhRule, m string) bool {
+	for _, cp := range ir.Copies {
+		if cp.TargetMember == m {
+			return true
+		}
+	}
+	return false
+}
+
+// certifyInclusion decides an inclusion constraint C(B.lB ⊆ A.lA):
+// within every C subtree, every B field tuple occurs as some A field
+// tuple.
+//
+// Proof shape (the paper's §5 pattern): the target A is produced at a
+// unique star edge below C whose generating query scans a single source
+// table T, either unconditionally or filtered by `col in $V` where $V is
+// a synthesized collection provably gathering every B field value of the
+// subtree; every query that generates B field values selects them from a
+// column with a declared foreign key into T's filter (or output) column,
+// so a matching T row — hence a matching A element — must exist.
+func (ce *certifier) certifyInclusion(c xconstraint.Constraint) Result {
+	a := ce.a
+	if len(c.SourceFields) != 1 {
+		return unknown(c, "composite inclusion constraints are outside the certified fragment")
+	}
+
+	bPaths, bOK := ce.pathsTo(c.Context, c.Source)
+	bReachable := !bOK || len(bPaths) > 0
+	if bOK && len(bPaths) == 0 {
+		return Result{Constraint: c, Verdict: MustHold,
+			Reason: fmt.Sprintf("no %s element can occur under %s", c.Source, c.Context)}
+	}
+
+	// Targets are matched among strict descendants of a context node, so
+	// reachability must go through a child of C's production.
+	cp, _ := a.DTD.Production(c.Context)
+	strictlyReaches := false
+	for _, ch := range cp.Children {
+		if reachesOrIs(a.DTD, ch, c.Target) {
+			strictlyReaches = true
+			break
+		}
+	}
+	if !strictlyReaches {
+		if ce.provablyProducible(c) && bReachable {
+			return Result{Constraint: c, Verdict: Violated,
+				Reason: fmt.Sprintf("%s elements occur under %s on some instance, but no %s can ever be derived there",
+					c.Source, c.Context, c.Target)}
+		}
+		return unknown(c, "no %s is derivable under %s, and the analysis cannot decide whether %s occurs",
+			c.Target, c.Context, c.Source)
+	}
+
+	aPaths, ok := ce.pathsTo(c.Context, c.Target)
+	if !ok {
+		return unknown(c, "recursive derivation between %s and %s", c.Context, c.Target)
+	}
+	if len(aPaths) != 1 {
+		return unknown(c, "%s is derivable from %s along %d paths; need exactly one", c.Target, c.Context, len(aPaths))
+	}
+	path := aPaths[0]
+
+	// The target's fields must always be present when the element is.
+	tp, _ := a.DTD.Production(c.Target)
+	if tp.Kind != dtd.ProdSeq {
+		return unknown(c, "fields of %s are not guaranteed present (production is not a sequence)", c.Target)
+	}
+
+	// Exactly one star edge; everything above it must be a mandatory
+	// (sequence, single-occurrence) edge so the A-generating execution
+	// exists in every C subtree; everything below must be pure copies.
+	starIdx := -1
+	for i, e := range path {
+		if e.kind == dtd.ProdStar {
+			if starIdx >= 0 {
+				return unknown(c, "two star edges on the path to %s", c.Target)
+			}
+			starIdx = i
+			continue
+		}
+		if e.kind != dtd.ProdSeq || e.occ != 1 {
+			return unknown(c, "edge %s -> %s on the path to %s is not a mandatory sequence edge", e.parent, e.child, c.Target)
+		}
+	}
+	if starIdx < 0 {
+		return unknown(c, "no generating star edge on the path to %s", c.Target)
+	}
+	star := path[starIdx]
+	r := a.Rules[star.parent]
+	if r == nil || r.Inh[star.child] == nil || !r.Inh[star.child].IsQuery() {
+		return unknown(c, "no generating query for %s -> %s*", star.parent, star.child)
+	}
+	ir := r.Inh[star.child]
+	if ir.Query == nil || ir.TargetCollection != "" {
+		return unknown(c, "generating rule for %s is not a direct row-binding query", star.child)
+	}
+	q := ir.Query
+	if len(q.From) != 1 || q.From[0].IsParam() {
+		return unknown(c, "generating query for %s scans %d relations; need a single source table", star.child, len(q.From))
+	}
+	t := q.From[0]
+
+	// Locate the output column carrying the A field value.
+	mA, ok := ce.fieldOrigin(c.Target, c.TargetFields[0])
+	if !ok {
+		return unknown(c, "cannot trace the value of field %s.%s", c.Target, c.TargetFields[0])
+	}
+	mA, ok = ce.traceBelow(path, starIdx, mA)
+	if !ok {
+		return unknown(c, "field %s.%s does not flow by pure copies from the generating query", c.Target, c.TargetFields[0])
+	}
+	colA, ok := boundColumn(q, a.Inh[star.child], mA)
+	if !ok {
+		return unknown(c, "field %s.%s is not bound by the generating query", c.Target, c.TargetFields[0])
+	}
+
+	uf, _, cok := queryClasses(q)
+	if !cok {
+		return unknown(c, "unresolvable column in the generating query")
+	}
+
+	var uses []string
+	var fkTargetCols []string // columns of t that a B value provably lands in
+	switch len(q.Where) {
+	case 0:
+		// Unconditioned scan: every T row yields an A element; the output
+		// column's class names the T columns a foreign key may target.
+		for _, pair := range classColumns(q, uf, colA) {
+			if pair[0] == t.BindName() {
+				fkTargetCols = append(fkTargetCols, pair[1])
+			}
+		}
+	case 1:
+		p := q.Where[0]
+		if p.Kind != sqlmini.PredColInParam {
+			return unknown(c, "generating query predicate is not `column in $param`")
+		}
+		alias, aok := qualify(q, p.Left)
+		if !aok || alias != t.BindName() {
+			return unknown(c, "cannot resolve the filtered column of the generating query")
+		}
+		// The output value must equal the filtered column, so the matched
+		// row surfaces the B value itself.
+		sameClass := false
+		for _, pair := range classColumns(q, uf, colA) {
+			if pair[0] == alias && pair[1] == p.Left.Column {
+				sameClass = true
+			}
+		}
+		if !sameClass {
+			return unknown(c, "output column %s is not equal to the filtered column %s", colA, p.Left)
+		}
+		// $V must gather every B field value of the C subtree.
+		gok, why := ce.paramGathersB(path, starIdx, ir, p.Param, c)
+		if !gok {
+			return unknown(c, "%s", why)
+		}
+		fkTargetCols = []string{p.Left.Column}
+	default:
+		return unknown(c, "generating query for %s has %d predicates; need at most one `in $param` filter", star.child, len(q.Where))
+	}
+	if len(fkTargetCols) == 0 {
+		return unknown(c, "no source-table column carries the %s field value", c.Target)
+	}
+
+	// Every rule that generates B field values must select them from a
+	// column with a declared foreign key into one of fkTargetCols.
+	bok, bUses, why := ce.bValuesCovered(c, t.Source, t.Table, fkTargetCols)
+	if !bok {
+		return unknown(c, "%s", why)
+	}
+	uses = append(uses, bUses...)
+	sortUnique(&uses)
+	return Result{Constraint: c, Verdict: MustHold, Uses: uses,
+		Reason: fmt.Sprintf("every %s value reaches %s:%s by foreign key and resurfaces as an %s element",
+			c.Source, t.Source, t.Table, c.Target)}
+}
+
+// paramGathersB proves that the generating query's set parameter gathers
+// every B field value of the C subtree: the parameter traces by pure
+// copies up the A path to a synthesized collection Syn(S).m of a
+// mandatory sibling S; every derivation of B from C passes through the
+// S edge; and Syn(S).m provably collects the field tuples of all B
+// descendants of S (the co-inductive covers check).
+func (ce *certifier) paramGathersB(path []edge, starIdx int, ir *aig.InhRule, param string, c xconstraint.Constraint) (bool, string) {
+	a := ce.a
+	ref, ok := ir.QueryParams[param]
+	if !ok {
+		return false, fmt.Sprintf("parameter $%s has no source", param)
+	}
+	// Walk up from the star parent: each hop must be a pure copy of the
+	// member from the parent's Inh, until the copy source is a sibling's
+	// synthesized attribute.
+	idx := starIdx // path[idx].parent is the element the ref is relative to
+	for {
+		if ref.Side == aig.SynSide {
+			break
+		}
+		holder := path[idx].parent
+		if ref.Elem != holder || ref.Member == "" {
+			return false, fmt.Sprintf("parameter $%s is not a traceable member copy", param)
+		}
+		if idx == 0 {
+			return false, fmt.Sprintf("parameter $%s originates above the context %s", param, c.Context)
+		}
+		idx--
+		e := path[idx]
+		r := a.Rules[e.parent]
+		if r == nil || e.kind != dtd.ProdSeq || e.occ != 1 {
+			return false, fmt.Sprintf("parameter $%s does not flow down a mandatory sequence edge", param)
+		}
+		irUp := r.Inh[e.child]
+		if irUp == nil || irUp.IsQuery() {
+			return false, fmt.Sprintf("parameter $%s is not copied at %s -> %s", param, e.parent, e.child)
+		}
+		found := false
+		for _, cp := range irUp.Copies {
+			if cp.TargetMember == ref.Member {
+				ref = cp.Src
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false, fmt.Sprintf("member %s of Inh(%s) has no copy source", ref.Member, e.child)
+		}
+	}
+	// ref is Syn(S).m; S must be a single-occurrence sequence child of
+	// the element at path[idx].parent.
+	S, m := ref.Elem, ref.Member
+	holder := path[idx].parent
+	hp, _ := a.DTD.Production(holder)
+	if hp.Kind != dtd.ProdSeq {
+		return false, fmt.Sprintf("collection source %s is not a sequence child of %s", S, holder)
+	}
+	occ := 0
+	for _, ch := range hp.Children {
+		if ch == S {
+			occ++
+		}
+	}
+	if occ != 1 {
+		return false, fmt.Sprintf("collection source %s occurs %d times under %s", S, occ, holder)
+	}
+	// Every derivation of B from C must pass through the holder -> S
+	// edge, so the single S subtree contains every B of the C subtree.
+	if !ce.allPathsThrough(c.Context, c.Source, holder, S) {
+		return false, fmt.Sprintf("%s elements can occur outside the %s subtree that feeds $%s", c.Source, S, param)
+	}
+	// And Syn(S).m must provably cover all B field tuples below S.
+	if !ce.covers(S, m, c, map[string]int{}) {
+		return false, fmt.Sprintf("Syn(%s).%s is not proven to collect every %s.%s value", S, m, c.Source, c.SourceFields[0])
+	}
+	return true, ""
+}
+
+// allPathsThrough reports whether every derivation path from `from` to
+// `to` in the production graph traverses the parent -> child edge.
+func (ce *certifier) allPathsThrough(from, to, parent, child string) bool {
+	d := ce.a.DTD
+	seen := map[string]bool{}
+	var visit func(e string) bool // true when `to` is reachable avoiding the edge
+	visit = func(e string) bool {
+		if e == to {
+			return true
+		}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		p, _ := d.Production(e)
+		for _, ch := range p.Children {
+			if e == parent && ch == child {
+				continue
+			}
+			if visit(ch) {
+				return true
+			}
+		}
+		return false
+	}
+	return !visit(from)
+}
+
+// covers is the co-inductive gathering check: Syn(elem).member contains
+// the field tuple of every c.Source descendant-or-self of an elem
+// instance. Cycles in the static dependency graph correspond to strictly
+// deeper subtrees at run time, so assuming the claim while it is on the
+// recursion stack is sound (structural induction on the document).
+// Only failures are memoized: a true result reached under an on-stack
+// assumption that later fails must not be reused, so true results are
+// re-derived on demand (grammars are small; termination is guaranteed by
+// the on-stack marks).
+func (ce *certifier) covers(elem, member string, c xconstraint.Constraint, state map[string]int) bool {
+	key := elem + "." + member
+	switch state[key] {
+	case 1:
+		return true // co-inductive hypothesis
+	case 3:
+		return false
+	}
+	state[key] = 1
+	ok := ce.coversEval(elem, member, c, state)
+	if ok {
+		delete(state, key)
+	} else {
+		state[key] = 3
+	}
+	return ok
+}
+
+func (ce *certifier) coversEval(elem, member string, c xconstraint.Constraint, state map[string]int) bool {
+	a := ce.a
+	p, _ := a.DTD.Production(elem)
+	if p.Kind == dtd.ProdChoice {
+		return false // branch-dependent synthesis is outside the fragment
+	}
+	needSelf := elem == c.Source
+	needChildren := map[string]bool{}
+	occ := map[string]int{}
+	for _, ch := range p.Children {
+		occ[ch]++
+		if reachesOrIs(a.DTD, ch, c.Source) {
+			needChildren[ch] = true
+		}
+	}
+	if !needSelf && len(needChildren) == 0 {
+		return true // vacuous: no B below this element
+	}
+	r := a.Rules[elem]
+	if r == nil || r.Syn == nil {
+		return false
+	}
+	expr, ok := r.Syn.Exprs[member]
+	if !ok {
+		return false
+	}
+	var terms []aig.SynExpr
+	if u, isUnion := expr.(aig.UnionOf); isUnion {
+		terms = u.Terms
+	} else {
+		terms = []aig.SynExpr{expr}
+	}
+	selfCovered := !needSelf
+	covered := map[string]bool{}
+	for _, t := range terms {
+		switch e := t.(type) {
+		case aig.SingletonOf:
+			if needSelf && ce.singletonIsFieldTuple(elem, e, c) {
+				selfCovered = true
+			}
+		case aig.CollectChildren:
+			// collect() unions over every child instance of a star
+			// production.
+			if p.Kind == dtd.ProdStar && needChildren[e.Child] &&
+				ce.covers(e.Child, e.Member, c, state) {
+				covered[e.Child] = true
+			}
+		case aig.CollectionOf:
+			if e.Src.Side == aig.SynSide && needChildren[e.Src.Elem] && occ[e.Src.Elem] == 1 &&
+				ce.covers(e.Src.Elem, e.Src.Member, c, state) {
+				covered[e.Src.Elem] = true
+			}
+		}
+	}
+	if !selfCovered {
+		return false
+	}
+	for ch := range needChildren {
+		if !covered[ch] {
+			return false
+		}
+	}
+	return true
+}
+
+// singletonIsFieldTuple reports whether a singleton expression on elem
+// (the B type itself) evaluates to exactly elem's field tuple: each
+// component reads Syn(f).v of the corresponding field child, where that
+// synthesized member provably equals the child's PCDATA.
+func (ce *certifier) singletonIsFieldTuple(elem string, e aig.SingletonOf, c xconstraint.Constraint) bool {
+	if len(e.Srcs) != len(c.SourceFields) {
+		return false
+	}
+	for i, src := range e.Srcs {
+		f := c.SourceFields[i]
+		if src.Side != aig.SynSide || src.Elem != f || src.Member == "" {
+			return false
+		}
+		// Syn(f).member must mirror the PCDATA: both the text source and
+		// the synthesized member read the same Inh(f) scalar.
+		fr := ce.a.Rules[f]
+		if fr == nil || fr.Syn == nil {
+			return false
+		}
+		sc, ok := fr.Syn.Exprs[src.Member].(aig.ScalarOf)
+		if !ok || fr.TextSrc != sc.Src {
+			return false
+		}
+	}
+	return true
+}
+
+// bValuesCovered checks that every rule generating the B field value
+// binds it from a source column with a declared foreign key into one of
+// the given columns of refSource:refTable. It returns the foreign keys
+// used.
+func (ce *certifier) bValuesCovered(c xconstraint.Constraint, refSource, refTable string, refCols []string) (bool, []string, string) {
+	a := ce.a
+	mB, ok := ce.fieldOrigin(c.Source, c.SourceFields[0])
+	if !ok {
+		return false, nil, fmt.Sprintf("cannot trace the value of field %s.%s", c.Source, c.SourceFields[0])
+	}
+	refCol := map[string]bool{}
+	for _, rc := range refCols {
+		refCol[rc] = true
+	}
+	var uses []string
+	sites := 0
+	for _, elem := range a.DTD.Types() {
+		r := a.Rules[elem]
+		if r == nil {
+			continue
+		}
+		check := func(ir *aig.InhRule) (bool, string) {
+			if ir == nil || ir.Child != c.Source {
+				return true, ""
+			}
+			sites++
+			if !ir.IsQuery() {
+				return false, fmt.Sprintf("rule %s -> %s binds %s by copy; value origin unprovable", elem, c.Source, mB)
+			}
+			if ir.Query == nil {
+				return false, fmt.Sprintf("rule %s -> %s uses a decomposed chain", elem, c.Source)
+			}
+			if copyBound(ir, mB) {
+				return false, fmt.Sprintf("rule %s -> %s binds %s by copy; value origin unprovable", elem, c.Source, mB)
+			}
+			q := ir.Query
+			col, ok := boundColumn(q, a.Inh[c.Source], mB)
+			if !ok {
+				return false, fmt.Sprintf("rule %s -> %s does not bind %s from the query", elem, c.Source, mB)
+			}
+			uf, _, cok := queryClasses(q)
+			if !cok {
+				return false, fmt.Sprintf("unresolvable column in the %s -> %s query", elem, c.Source)
+			}
+			aliasOf := map[string]sqlmini.TableRef{}
+			for _, t := range q.From {
+				aliasOf[t.BindName()] = t
+			}
+			for _, pair := range classColumns(q, uf, col) {
+				t := aliasOf[pair[0]]
+				if t.IsParam() {
+					continue
+				}
+				for _, fk := range a.SourceFKs {
+					if fk.Source == t.Source && fk.Table == t.Table &&
+						len(fk.Cols) == 1 && fk.Cols[0] == pair[1] &&
+						fk.RefSource == refSource && fk.RefTable == refTable &&
+						len(fk.RefCols) == 1 && refCol[fk.RefCols[0]] {
+						uses = append(uses, "fkey "+fk.String())
+						return true, ""
+					}
+				}
+			}
+			return false, fmt.Sprintf("no declared foreign key carries %s values of the %s -> %s query into %s:%s",
+				mB, elem, c.Source, refSource, refTable)
+		}
+		children := make([]string, 0, len(r.Inh))
+		for ch := range r.Inh {
+			children = append(children, ch)
+		}
+		sortStrings(children)
+		for _, ch := range children {
+			if ok, why := check(r.Inh[ch]); !ok {
+				return false, nil, why
+			}
+		}
+		for _, b := range r.Branches {
+			if ok, why := check(b.Inh); !ok {
+				return false, nil, why
+			}
+		}
+	}
+	if sites == 0 {
+		return false, nil, fmt.Sprintf("no rule generates %s elements", c.Source)
+	}
+	return true, uses, ""
+}
+
+// provablyProducible under-approximates "some instance satisfying the
+// source constraints yields a C element containing a B element with all
+// its fields": C reachable from the root, a derivation path from C to B
+// whose star edges have satisfiable queries, and B's production a
+// sequence (fields always present).
+func (ce *certifier) provablyProducible(c xconstraint.Constraint) bool {
+	a := ce.a
+	if ce.an == nil {
+		an, err := static.Analyze(a)
+		if err != nil {
+			return false
+		}
+		ce.an = an
+	}
+	if !ce.an.CanReach[c.Context] {
+		return false
+	}
+	bp, _ := a.DTD.Production(c.Source)
+	if bp.Kind != dtd.ProdSeq {
+		return false
+	}
+	have := map[string]int{}
+	for _, ch := range bp.Children {
+		have[ch]++
+	}
+	for _, f := range c.SourceFields {
+		if have[f] != 1 {
+			return false
+		}
+	}
+	// A derivation path from C, through a child (the checker matches B
+	// among strict descendants), where every star edge has a satisfiable
+	// generating query (so some database populates it).
+	seen := map[string]bool{c.Context: true}
+	var visit func(e string) bool
+	visit = func(e string) bool {
+		if e == c.Source {
+			return true
+		}
+		if seen[e] {
+			return false
+		}
+		seen[e] = true
+		p, _ := a.DTD.Production(e)
+		for _, ch := range p.Children {
+			if p.Kind == dtd.ProdStar {
+				r := a.Rules[e]
+				if r == nil || r.Inh[ch] == nil {
+					continue
+				}
+				if q := r.Inh[ch].Query; q != nil && !static.Satisfiable(q) {
+					continue
+				}
+			}
+			if visit(ch) {
+				return true
+			}
+		}
+		return false
+	}
+	cprod, _ := a.DTD.Production(c.Context)
+	for _, ch := range cprod.Children {
+		if visit(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// sortUnique sorts a string slice and removes duplicates in place.
+func sortUnique(s *[]string) {
+	in := *s
+	if len(in) < 2 {
+		return
+	}
+	seen := map[string]bool{}
+	out := in[:0]
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	*s = out
+	sortStrings(*s)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/hospital"
+)
+
+// uncertifiedSpec is the hospital spec with its source key and foreign
+// key declarations stripped, so no constraint is statically provable.
+var uncertifiedSpec = regexp.MustCompile(`(?m)^\s*(key|fkey) .*\n`).ReplaceAllString(hospital.SpecText, "")
+
+// TestCertifiedViewSkipsVerify: the certified hospital view must not run
+// the verify span even with VerifyOutput on; VerifyAlways restores it;
+// an uncertified view always verifies.
+func TestCertifiedViewSkipsVerify(t *testing.T) {
+	cases := []struct {
+		name       string
+		cfg        Config
+		spec       string
+		wantVerify bool
+	}{
+		{"certified-skips", Config{VerifyOutput: true, TraceRequests: true}, hospital.SpecText, false},
+		{"verify-always", Config{VerifyOutput: true, VerifyAlways: true, TraceRequests: true}, hospital.SpecText, true},
+		{"uncertified-verifies", Config{VerifyOutput: true, TraceRequests: true}, uncertifiedSpec, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ts, _, _ := testServer(t, tc.cfg, nil)
+			if tc.spec != hospital.SpecText {
+				if _, err := s.AddSpec("report", tc.spec); err != nil {
+					t.Fatal(err)
+				}
+			}
+			code, body, _ := get(t, ts.URL+"/views/report?date=d1")
+			if code != http.StatusOK {
+				t.Fatalf("status %d, body %s", code, body)
+			}
+			if !strings.Contains(body, "<report>") {
+				t.Fatalf("unexpected body:\n%s", body)
+			}
+			trace := s.View("report").LastTrace()
+			if trace == nil {
+				t.Fatal("no trace recorded")
+			}
+			hasVerify := strings.Contains(string(trace), `"verify"`)
+			if hasVerify != tc.wantVerify {
+				t.Errorf("verify span present=%v, want %v; trace:\n%s", hasVerify, tc.wantVerify, trace)
+			}
+		})
+	}
+}
+
+// TestCertifiedInViewsAndExplain: certification surfaces in the /views
+// listing and the Explain plan.
+func TestCertifiedInViewsAndExplain(t *testing.T) {
+	s, ts, _, _ := testServer(t, Config{}, nil)
+	v := s.View("report")
+	if !v.Certified() {
+		t.Fatalf("hospital view not certified:\n%s", v.Certification().Summary())
+	}
+
+	code, body, _ := get(t, ts.URL+"/views")
+	if code != http.StatusOK {
+		t.Fatalf("GET /views: %d", code)
+	}
+	var infos []viewInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || !infos[0].Certified {
+		t.Errorf("GET /views = %s, want certified view", body)
+	}
+
+	code, plan, _ := get(t, ts.URL+"/views/report/explain")
+	if code != http.StatusOK {
+		t.Fatalf("GET /views/report/explain: %d", code)
+	}
+	for _, want := range []string{"static certification", "must-hold", "certified: all constraints must hold"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("explain output missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+// TestUncertifiedViewStillServes: dropping the declarations must not
+// break serving — verification stays on and passes at runtime.
+func TestUncertifiedViewStillServes(t *testing.T) {
+	s, ts, _, _ := testServer(t, Config{VerifyOutput: true}, nil)
+	if _, err := s.AddSpec("report", uncertifiedSpec); err != nil {
+		t.Fatal(err)
+	}
+	if s.View("report").Certified() {
+		t.Fatal("view certified without any source constraint declarations")
+	}
+	code, body, _ := get(t, ts.URL+"/views/report?date=d1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d, body %s", code, body)
+	}
+}

@@ -72,8 +72,14 @@ type Config struct {
 	// all views (default mediator.DefaultOptions).
 	Mediator *mediator.Options
 	// VerifyOutput re-checks every materialized document against the
-	// view's DTD and constraints before serving it.
+	// view's DTD and constraints before serving it. Views whose
+	// constraints are all statically certified (internal/propagate) skip
+	// the re-check: the proof makes it redundant.
 	VerifyOutput bool
+	// VerifyAlways keeps runtime verification on even for certified
+	// views — the escape hatch for distrusting the certifier. Only
+	// meaningful with VerifyOutput.
+	VerifyAlways bool
 	// TraceRequests threads a per-request obs.Tracer through the
 	// mediator; each view keeps its latest span tree for
 	// GET /views/{name}/trace.
@@ -650,8 +656,13 @@ func (s *Server) evaluate(ctx context.Context, v *View, params map[string]string
 	}
 	v.estDepth.Store(int32(depth))
 
-	if s.cfg.VerifyOutput {
+	// Certified views skip the re-check: every constraint is statically
+	// proven to hold on every instance satisfying the source constraints,
+	// so the verify span would only re-establish what the certifier
+	// already knows. VerifyAlways forces the check back on.
+	if s.cfg.VerifyOutput && (!v.certified || s.cfg.VerifyAlways) {
 		sp := tr.StartSpan("verify", parent)
+		sp.SetAttr("certified", v.certified)
 		cerr := dtd.Conforms(v.a.DTD, res.Doc)
 		var viol []error
 		if cerr == nil {
@@ -723,10 +734,11 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 
 // viewInfo is the JSON shape of one view in GET /views.
 type viewInfo struct {
-	Name    string      `json:"name"`
-	Params  []ParamDecl `json:"params"`
-	Sources []string    `json:"sources"`
-	Depth   int         `json:"unfold_depth"`
+	Name      string      `json:"name"`
+	Params    []ParamDecl `json:"params"`
+	Sources   []string    `json:"sources"`
+	Depth     int         `json:"unfold_depth"`
+	Certified bool        `json:"certified"`
 }
 
 // handleList answers GET /views.
@@ -738,10 +750,11 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		out = append(out, viewInfo{
-			Name:    v.name,
-			Params:  v.Params(),
-			Sources: v.Sources(),
-			Depth:   int(v.estDepth.Load()),
+			Name:      v.name,
+			Params:    v.Params(),
+			Sources:   v.Sources(),
+			Depth:     int(v.estDepth.Load()),
+			Certified: v.certified,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -160,6 +160,9 @@ func (rt *requestTrace) finish() {
 			if rt.v != nil {
 				view = rt.v.name
 				rt.root.SetAttr("view", view)
+				if rt.v.certified {
+					rt.root.SetAttr("certified", true)
+				}
 			}
 			if rt.method != "" {
 				rt.root.SetAttr("method", rt.method)

@@ -11,6 +11,7 @@ import (
 	"github.com/aigrepro/aig/internal/ivm"
 	"github.com/aigrepro/aig/internal/mediator"
 	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/propagate"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
 	"github.com/aigrepro/aig/internal/specialize"
@@ -45,6 +46,12 @@ type View struct {
 	sources []string
 	params  []ParamDecl
 	plan    string
+
+	// certified reports that every declared constraint was statically
+	// proven (internal/propagate) to hold under the spec's source keys
+	// and foreign keys, letting evaluations skip output re-verification.
+	certified bool
+	cert      *propagate.Certification
 
 	// deps is the view's judgeable table-dependency map, extracted once
 	// from the specialized grammar: the static half of incremental view
@@ -84,6 +91,14 @@ func (v *View) Plan() string { return v.plan }
 // Deps returns the view's judgeable table dependencies.
 func (v *View) Deps() *ivm.Deps { return v.deps }
 
+// Certified reports whether every declared constraint is statically
+// proven to hold, making runtime re-verification redundant.
+func (v *View) Certified() bool { return v.certified }
+
+// Certification returns the static certification computed at prepare
+// time.
+func (v *View) Certification() *propagate.Certification { return v.cert }
+
 // prepareView runs the request-independent half of Fig. 5 once: parse
 // is the caller's job (specs arrive as *aig.AIG), then validate against
 // the live registry, compile the constraints into guards, decompose
@@ -108,15 +123,21 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 		return nil, fmt.Errorf("view %s: extracting table dependencies: %w", name, err)
 	}
 
+	// Static certification runs on the grammar as written (the chase and
+	// the gathering proofs read the pre-specialization rule shapes).
+	cert := propagate.Certify(a)
+
 	v := &View{
-		name:     name,
-		a:        a,
-		sa:       sa,
-		med:      mediator.New(reg, opts),
-		sources:  querySources(sa),
-		params:   rootParams(a),
-		deps:     deps,
-		maxDepth: maxUnfold,
+		name:      name,
+		a:         a,
+		sa:        sa,
+		med:       mediator.New(reg, opts),
+		sources:   querySources(sa),
+		params:    rootParams(a),
+		deps:      deps,
+		maxDepth:  maxUnfold,
+		cert:      cert,
+		certified: cert.Certified && len(a.Constraints) > 0,
 	}
 	v.estDepth.Store(int32(unfold))
 
@@ -127,6 +148,9 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 	plan, err := v.med.Explain(unf)
 	if err != nil {
 		return nil, fmt.Errorf("view %s: planning: %w", name, err)
+	}
+	if len(a.Constraints) > 0 {
+		plan += "\n-- static certification --\n" + cert.Summary()
 	}
 	v.plan = plan
 	return v, nil

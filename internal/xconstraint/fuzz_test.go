@@ -1,0 +1,79 @@
+package xconstraint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzConstraintParse throws arbitrary text at the constraint parser.
+// Invariants: Parse never panics; a successfully parsed constraint is
+// structurally sane (kind set, context and fields non-empty, inclusion
+// arity matched) and round-trips through its String rendering to an
+// equal constraint.
+func FuzzConstraintParse(f *testing.F) {
+	f.Add("patient(item.trId -> item)")
+	f.Add("patient(treatment.trId [= item.trId)")
+	f.Add("report(patient.(SSN,pname) -> patient)")
+	f.Add("c(a.(x, y) ⊆ b.(u, v))")
+	f.Add("c(a.x subset b.y)")
+	f.Add("c(a.x->a)")
+	f.Add("(.->)")
+	f.Add("c(a. -> a)")
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, input string) {
+		c, err := Parse(input)
+		if err != nil {
+			return
+		}
+		switch c.Kind {
+		case Key:
+			if c.Context == "" || c.Target == "" || len(c.TargetFields) == 0 {
+				t.Fatalf("parsed key with empty parts: %+v\ninput: %q", c, input)
+			}
+		case Inclusion:
+			if c.Context == "" || c.Source == "" || c.Target == "" {
+				t.Fatalf("parsed inclusion with empty parts: %+v\ninput: %q", c, input)
+			}
+			if len(c.SourceFields) != len(c.TargetFields) || len(c.SourceFields) == 0 {
+				t.Fatalf("parsed inclusion with mismatched fields: %+v\ninput: %q", c, input)
+			}
+		default:
+			t.Fatalf("parsed constraint with kind %v\ninput: %q", c.Kind, input)
+		}
+		for _, field := range append(append([]string{}, c.SourceFields...), c.TargetFields...) {
+			if strings.TrimSpace(field) == "" {
+				t.Fatalf("parsed constraint with blank field: %+v\ninput: %q", c, input)
+			}
+		}
+		// Round-trip: the canonical rendering must parse back to the same
+		// constraint (String normalizes whitespace and separator spelling).
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("rendering does not re-parse: %v\nconstraint: %+v\ninput: %q", err, c, input)
+		}
+		if back.String() != c.String() {
+			t.Fatalf("round-trip changed the constraint:\n  first:  %s\n  second: %s\ninput: %q", c, back, input)
+		}
+	})
+}
+
+// FuzzConstraintParseAll exercises the multi-line entry point: it must
+// never panic, and on success every constraint carries a valid position
+// inside the input.
+func FuzzConstraintParseAll(f *testing.F) {
+	f.Add("patient(item.trId -> item)\npatient(treatment.trId [= item.trId)")
+	f.Add("-- comment\n# comment\n\nc(a.x -> a)")
+	f.Add("c(a.x -> a)\nnot a constraint")
+	f.Fuzz(func(t *testing.T, input string) {
+		cs, err := ParseAll(input)
+		if err != nil {
+			return
+		}
+		lines := strings.Count(input, "\n") + 1
+		for _, c := range cs {
+			if !c.Pos.IsValid() || c.Pos.Line > lines {
+				t.Fatalf("constraint %s has position %v outside %d-line input %q", c, c.Pos, lines, input)
+			}
+		}
+	})
+}

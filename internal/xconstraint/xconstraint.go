@@ -91,6 +91,9 @@ func Parse(input string) (Constraint, error) {
 	if ctx == "" {
 		return Constraint{}, fmt.Errorf("xconstraint: missing context type in %q", input)
 	}
+	if !cleanName(ctx) {
+		return Constraint{}, fmt.Errorf("xconstraint: bad context type %q in %q", ctx, input)
+	}
 	body := strings.TrimSpace(s[open+1 : len(s)-1])
 
 	var sep string
@@ -131,11 +134,22 @@ func Parse(input string) (Constraint, error) {
 		Source: lType, SourceFields: lFields, Target: rType, TargetFields: rFields}, nil
 }
 
+// cleanName reports whether s can serve as a type or field name:
+// non-empty, no structural punctuation or whitespace, and none of the
+// separator tokens — a name containing "->", "⊆" or "[=" would make the
+// String rendering re-parse differently than it was written.
+func cleanName(s string) bool {
+	if s == "" || strings.ContainsAny(s, ".,()") || strings.ContainsAny(s, " \t\r\n") {
+		return false
+	}
+	return !strings.Contains(s, "->") && !strings.Contains(s, "⊆") && !strings.Contains(s, "[=")
+}
+
 // cutFields parses "Type.field" or "Type.(f1, f2, ...)".
 func cutFields(s string) (typ string, fields []string, ok bool) {
 	typ, rest, found := strings.Cut(s, ".")
 	typ, rest = strings.TrimSpace(typ), strings.TrimSpace(rest)
-	if !found || typ == "" || rest == "" {
+	if !found || !cleanName(typ) || rest == "" {
 		return "", nil, false
 	}
 	if strings.HasPrefix(rest, "(") {
@@ -144,7 +158,7 @@ func cutFields(s string) (typ string, fields []string, ok bool) {
 		}
 		for _, f := range strings.Split(rest[1:len(rest)-1], ",") {
 			f = strings.TrimSpace(f)
-			if f == "" || strings.ContainsAny(f, ".()") {
+			if !cleanName(f) {
 				return "", nil, false
 			}
 			fields = append(fields, f)
@@ -154,7 +168,7 @@ func cutFields(s string) (typ string, fields []string, ok bool) {
 		}
 		return typ, fields, true
 	}
-	if strings.ContainsAny(rest, ".()") {
+	if !cleanName(rest) {
 		return "", nil, false
 	}
 	return typ, []string{rest}, true

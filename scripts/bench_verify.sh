@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Benchmark what static certification buys on the serving path: boot the
+# demo daemon and drive the same cache-off request mix with aigload
+# (every request pays a full evaluation, so the per-request verify pass
+# is the only difference between the phases) —
+#
+#   always:    aigd -verify=always — each evaluated document is
+#              re-checked against the DTD and both XML constraints,
+#              even though the view is statically certified;
+#   certified: aigd -verify — the certifier proved every declared
+#              constraint (must-hold), so the verify pass is skipped.
+#
+# The verify pass is a few percent of an evaluation, so the phases
+# alternate for AIG_VERIFY_TRIALS rounds (daemon restarted each time)
+# and each phase is scored by its best trial — the standard low-noise
+# throughput estimator. The combined report lands in BENCH_verify.json;
+# the script fails unless the demo view actually reports
+# certified:true and certified-skip throughput is at least
+# AIG_VERIFY_MIN_SPEEDUP (default 1.0) times verify-always.
+set -euo pipefail
+
+ADDR="${AIGD_ADDR:-127.0.0.1:18094}"
+REQUESTS="${AIG_VERIFY_REQUESTS:-2000}"
+WORKERS="${AIG_VERIFY_WORKERS:-8}"
+TRIALS="${AIG_VERIFY_TRIALS:-3}"
+MIN_SPEEDUP="${AIG_VERIFY_MIN_SPEEDUP:-1.0}"
+OUT="${AIG_VERIFY_JSON:-BENCH_verify.json}"
+
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigload" ./cmd/aigload
+
+start_daemon() { # verify-flag
+    "$tmpdir/aigd" -demo -addr "$ADDR" "$1" >"$tmpdir/aigd.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 50); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "aigd did not become healthy; log:" >&2
+    cat "$tmpdir/aigd.log" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid"
+    daemon_pid=""
+}
+
+run_phase() { # phase-label verify-flag trial
+    echo "== $1 (trial $3) =="
+    start_daemon "$2"
+    "$tmpdir/aigload" -url "http://$ADDR" -view report -param date=d1,d2,d3 \
+        -c "$WORKERS" -n "$REQUESTS" -no-store -json "$tmpdir/$1.$3.json"
+    stop_daemon
+}
+
+field() { # json-file field-name
+    awk -F': *' -v k="\"$2\"" '$1 ~ k {gsub(/,$/, "", $2); print $2; exit}' "$1"
+}
+
+# The comparison is only meaningful if plain -verify has something to
+# skip: the demo view must certify.
+start_daemon -verify
+if ! curl -fsS "http://$ADDR/views" | grep -q '"certified": *true'; then
+    echo "bench_verify: demo view does not report certified:true" >&2
+    exit 1
+fi
+stop_daemon
+
+for t in $(seq "$TRIALS"); do
+    run_phase always -verify=always "$t"
+    run_phase certified -verify "$t"
+done
+
+best() { # phase-label -> prints best rps and remembers the trial file
+    local label="$1" best_rps=0 rps file
+    for t in $(seq "$TRIALS"); do
+        file="$tmpdir/$label.$t.json"
+        rps="$(field "$file" throughput_rps)"
+        if awk -v a="$rps" -v b="$best_rps" 'BEGIN { exit !(a > b) }'; then
+            best_rps="$rps"
+            cp "$file" "$tmpdir/$label.best.json"
+        fi
+    done
+    echo "$best_rps"
+}
+
+always_rps="$(best always)"
+cert_rps="$(best certified)"
+speedup="$(awk -v c="$cert_rps" -v a="$always_rps" 'BEGIN { printf "%.3f", c/a }')"
+
+trials_json() { # phase-label -> JSON array of per-trial rps
+    local label="$1" sep="" out="["
+    for t in $(seq "$TRIALS"); do
+        out="$out$sep$(field "$tmpdir/$label.$t.json" throughput_rps)"
+        sep=", "
+    done
+    echo "$out]"
+}
+
+{
+    printf '{\n  "min_speedup": %s,\n  "speedup": %s,\n  "trials": %s,\n' \
+        "$MIN_SPEEDUP" "$speedup" "$TRIALS"
+    printf '  "always_trials_rps": %s,\n' "$(trials_json always)"
+    printf '  "certified_trials_rps": %s,\n' "$(trials_json certified)"
+    printf '  "verify_always": '
+    cat "$tmpdir/always.best.json"
+    printf ',\n  "certified_skip": '
+    cat "$tmpdir/certified.best.json"
+    printf '\n}\n'
+} >"$OUT"
+
+echo "bench_verify: verify-always ${always_rps} rps, certified-skip ${cert_rps} rps, speedup ${speedup}x -> $OUT"
+
+if ! awk -v s="$speedup" -v min="$MIN_SPEEDUP" 'BEGIN { exit !(s >= min) }'; then
+    echo "bench_verify: speedup ${speedup}x below required ${MIN_SPEEDUP}x" >&2
+    exit 1
+fi
+echo "bench_verify: OK"
