@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak soak-ivm soak-certify serve loadtest smoke-serve smoke-trace bench-ivm bench-verify ci bench clean
+.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak soak-ivm soak-certify soak-recover serve loadtest smoke-serve smoke-trace smoke-restart bench-ivm bench-verify bench-wal ci bench clean
 
 all: build
 
@@ -69,6 +69,15 @@ soak-ivm:
 soak-certify:
 	$(GO) run -race ./cmd/aigdiff -certify -n 300 -mutations 25 -shrink
 
+# soak-recover is the crash-recovery torture sweep: seeded mutation
+# sequences journaled with snapshots at random points, then the WAL
+# truncated at every byte offset of its tail record; each crash image is
+# recovered and must match the pre-crash oracle exactly — tuples, table
+# versions AND change logs. Race-built because the acceptance bar is a
+# race-enabled sweep; divergences shrink to {seed, config, ops, offset}.
+soak-recover:
+	$(GO) run -race ./cmd/aigdiff -recover -n 200 -mutations 20 -snapevery 4 -shrink
+
 # serve boots the XML-view daemon on the built-in hospital catalog.
 serve:
 	$(GO) run ./cmd/aigd -demo -addr :8080
@@ -91,6 +100,14 @@ smoke-serve:
 smoke-trace:
 	./scripts/smoke_trace.sh
 
+# smoke-restart kills and restarts the whole deployment (a durable TCP
+# aigsource plus aigd with -state-dir/-cache-dir): a warm restart must
+# serve the first request from the restored cache without re-evaluating,
+# and a mutation applied while everything was down must drop the stale
+# entry and show up in the fresh document.
+smoke-restart:
+	./scripts/smoke_restart.sh
+
 # bench-ivm measures warm-cache serving under a mutating workload
 # (cache-off baseline vs refresher-maintained cache) and refreshes the
 # committed BENCH_ivm.json; fails below a 5x speedup.
@@ -105,9 +122,16 @@ bench-ivm:
 bench-verify:
 	./scripts/bench_verify.sh
 
+# bench-wal measures what durability costs: per-insert microbenchmarks
+# (bare vs journaled vs fsync-always) and the BENCH_ivm write path with
+# durable sources, which must stay within 10% of in-memory throughput
+# with -fsync never. Refreshes the committed BENCH_wal.json.
+bench-wal:
+	./scripts/bench_wal.sh
+
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm soak-certify smoke-serve smoke-trace bench-ivm bench-verify
+ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm soak-certify soak-recover smoke-serve smoke-trace smoke-restart bench-ivm bench-verify bench-wal
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

@@ -118,6 +118,9 @@ func run() error {
 	maxQueue := flag.Int("max-queue", 64, "maximum requests waiting for an evaluation slot")
 	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "longest a request may wait for a slot")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache capacity (0 disables caching)")
+	cacheDir := flag.String("cache-dir", "", "persist the result cache here across restarts (saved on drain, re-validated on startup)")
+	stateDir := flag.String("state-dir", "", "durable local-source state directory, one subdirectory per DB (WAL + snapshots)")
+	fsyncMode := flag.String("fsync", "never", "durable-state WAL flushing policy: never or always")
 	refreshInterval := flag.Duration("refresh-interval", 0, "background cache refresh interval (0 disables the refresher)")
 	allowMutate := flag.Bool("allow-mutate", false, "serve POST /mutate for row-level writes against local sources")
 	unfold := flag.Int("unfold", 4, "initial recursion unfolding depth")
@@ -146,7 +149,11 @@ func run() error {
 		return fmt.Errorf("pass either -demo or at least one -view NAME=SPECFILE")
 	}
 
-	reg, err := buildRegistry(*dataDir, sources, *srcTimeout, *demo)
+	fsync, err := relstore.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return err
+	}
+	reg, persisters, err := buildRegistry(*dataDir, *stateDir, fsync, sources, *srcTimeout, *demo)
 	if err != nil {
 		return err
 	}
@@ -160,6 +167,7 @@ func run() error {
 		MaxQueue:        *maxQueue,
 		QueueTimeout:    *queueTimeout,
 		CacheEntries:    *cacheEntries,
+		CacheDir:        *cacheDir,
 		Unfold:          *unfold,
 		MaxUnfold:       *maxUnfold,
 		VerifyOutput:    verify.on,
@@ -200,6 +208,19 @@ func run() error {
 		slog.Info("prepared view", "view", name, "params", fmt.Sprint(v.Params()), "sources", fmt.Sprint(v.Sources()), "certified", v.Certified())
 	}
 
+	// With every view registered, a persisted cache can be re-validated:
+	// entries whose stamps still match the (possibly just-recovered)
+	// sources serve without re-evaluation; provably unaffected ones are
+	// restamped; the rest are dropped — never served stale.
+	if *cacheDir != "" {
+		n, err := srv.LoadCache(*cacheDir)
+		if err != nil {
+			slog.Warn("cache load failed; starting cold", "dir", *cacheDir, "err", err)
+		} else {
+			slog.Info("cache warmed", "dir", *cacheDir, "entries", n)
+		}
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() {
@@ -224,6 +245,13 @@ func run() error {
 	}
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
+	}
+	// Close journals last: a final snapshot per durable source makes the
+	// next start replay-free.
+	for _, p := range persisters {
+		if err := p.Close(); err != nil {
+			slog.Warn("closing source journal", "err", err)
+		}
 	}
 	slog.Info("aigd stopped")
 	return nil
@@ -259,44 +287,84 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 	}
 }
 
-func buildRegistry(dataDir string, sources []string, timeout time.Duration, demo bool) (*source.Registry, error) {
-	if demo {
-		return source.RegistryFromCatalog(hospital.TinyCatalog()), nil
+// buildRegistry assembles the source registry. With stateDir every
+// local source (demo catalog databases and -data CSV directories alike)
+// is opened durably under stateDir/<name>: first start seeds the WAL
+// from the in-memory or CSV content, later starts recover tuples, table
+// versions and change logs from disk — so cache stamps and delta
+// watermarks taken before a restart still validate. The returned
+// persisters must be closed on shutdown.
+func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources []string, timeout time.Duration, demo bool) (*source.Registry, []*relstore.Persister, error) {
+	var persisters []*relstore.Persister
+	addLocal := func(name string, seed func() (*relstore.Database, error), reg *source.Registry) error {
+		if stateDir == "" {
+			db, err := seed()
+			if err != nil {
+				return err
+			}
+			reg.Add(source.NewLocal(db))
+			return nil
+		}
+		db, p, err := source.OpenDurable(name, source.DurableOptions{
+			Dir:   filepath.Join(stateDir, name),
+			Fsync: fsync,
+		}, seed)
+		if err != nil {
+			return err
+		}
+		slog.Info("durable source open", "db", name, "version", db.Version(), "seq", p.Seq())
+		reg.Add(source.NewLocal(db))
+		persisters = append(persisters, p)
+		return nil
 	}
+
 	reg := source.NewRegistry()
 	n := 0
+	if demo {
+		cat := hospital.TinyCatalog()
+		for _, name := range cat.DatabaseNames() {
+			name := name
+			err := addLocal(name, func() (*relstore.Database, error) { return cat.Database(name) }, reg)
+			if err != nil {
+				return nil, nil, err
+			}
+			n++
+		}
+	}
 	if dataDir != "" {
 		entries, err := os.ReadDir(dataDir)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, e := range entries {
 			if !e.IsDir() {
 				continue
 			}
-			db, err := relstore.LoadDir(e.Name(), filepath.Join(dataDir, e.Name()))
+			name := e.Name()
+			err := addLocal(name, func() (*relstore.Database, error) {
+				return relstore.LoadDir(name, filepath.Join(dataDir, name))
+			}, reg)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
-			reg.Add(source.NewLocal(db))
 			n++
 		}
 	}
 	for _, s := range sources {
 		name, addr, ok := strings.Cut(s, "=")
 		if !ok {
-			return nil, fmt.Errorf("-source needs NAME=ADDR, got %q", s)
+			return nil, nil, fmt.Errorf("-source needs NAME=ADDR, got %q", s)
 		}
 		client, err := remote.DialTimeouts(name, addr,
 			remote.Timeouts{Dial: timeout, Read: timeout, Write: timeout})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		reg.Add(client)
 		n++
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("no sources: pass -data or -source")
+		return nil, nil, fmt.Errorf("no sources: pass -data or -source")
 	}
-	return reg, nil
+	return reg, persisters, nil
 }

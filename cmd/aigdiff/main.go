@@ -43,6 +43,20 @@
 // a certifier soundness bug, reported on leg "certify". Mutations that
 // falsify a premise void the affected obligations instead. -shrink
 // minimizes the mutation sequence, as in -ivm mode.
+//
+// With -recover, aigdiff tortures the durable relstore instead: each
+// seed derives a deterministic database plus an operation sequence
+// covering every WAL record kind (row inserts and deletes, positional
+// deletes, sorts, distinct, change-log limit changes, table adds and
+// drops, version bumps, explicit snapshots), journals it on the
+// fault-injectable in-memory filesystem, and then crashes the store at
+// every WAL frame boundary and at every byte offset of the tail record.
+// Each crash image is recovered and compared — rows, versions, and the
+// full ChangesSince behaviour at every watermark — against a
+// fingerprint oracle of the exact surviving WAL prefix. -mutations and
+// -logcap apply as in -ivm mode; -snapevery sets an automatic snapshot
+// cadence in records (0, the default, snapshots only at explicit
+// points); -shrink minimizes the operation sequence.
 package main
 
 import (
@@ -75,6 +89,11 @@ type stats struct {
 	Truncated int `json:"truncated_windows,omitempty"`
 	Skipped   int `json:"skipped,omitempty"`
 
+	// Recovery-mode counters (-recover).
+	Records   int `json:"wal_records,omitempty"`
+	Snapshots int `json:"snapshots,omitempty"`
+	Crashes   int `json:"crashes,omitempty"`
+
 	// Certification-mode counters (-certify).
 	Keys        int `json:"keys,omitempty"`
 	FKs         int `json:"fkeys,omitempty"`
@@ -94,16 +113,24 @@ func main() {
 	shrink := flag.Bool("shrink", false, "minimize a failing instance before reporting it")
 	ivmMode := flag.Bool("ivm", false, "run the incremental view maintenance oracle instead of the evaluation matrix")
 	certifyMode := flag.Bool("certify", false, "run the static-certification soundness oracle instead of the evaluation matrix")
+	recoverMode := flag.Bool("recover", false, "run the crash-recovery torture oracle instead of the evaluation matrix")
 	mutations := flag.Int("mutations", 25, "mutations per instance in -ivm mode")
 	logCap := flag.Int("logcap", 0, "change-log limit in -ivm mode (0 default, <0 disables delta logging)")
+	snapEvery := flag.Int("snapevery", 0, "automatic snapshot cadence in WAL records in -recover mode (0 = explicit snapshots only)")
 	corpus := flag.String("corpus", "", "directory to save shrunk failures as regression files")
 	jsonPath := flag.String("json", "", "write run statistics as JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm | -certify] [-mutations N] [-logcap N] [-corpus dir] [-json file]\n")
+		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm | -certify | -recover] [-mutations N] [-logcap N] [-snapevery N] [-corpus dir] [-json file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 0 || (*ivmMode && *certifyMode) {
+	modes := 0
+	for _, m := range []bool{*ivmMode, *certifyMode, *recoverMode} {
+		if m {
+			modes++
+		}
+	}
+	if flag.NArg() != 0 || modes > 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -125,6 +152,21 @@ func main() {
 			}
 		} else if time.Now().After(deadline) {
 			break
+		}
+		if *recoverMode {
+			rcfg := difftest.RecoverConfig{Mutations: *mutations, SnapshotEvery: *snapEvery, LogCap: *logCap}
+			out, ops := difftest.CheckRecovery(s, rcfg)
+			st.Instances++
+			st.Records += out.Records
+			st.Snapshots += out.Snapshots
+			st.Crashes += out.Crashes
+			if out.Divergence == nil {
+				continue
+			}
+			st.Divergences++
+			exit = 1
+			reportRecover(s, rcfg, ops, out, *shrink, *corpus)
+			continue
 		}
 		inst, err := randaig.Generate(s, cfg)
 		if err != nil {
@@ -196,7 +238,10 @@ func main() {
 		st.InstancesPerSec = float64(st.Instances) / st.Seconds
 		st.EvalsPerSec = float64(st.Evals) / st.Seconds
 	}
-	if *certifyMode {
+	if *recoverMode {
+		fmt.Printf("aigdiff -recover: %d seeds, %d WAL records journaled, %d snapshot rotations, %d crash images recovered and compared in %.2fs, %d divergences\n",
+			st.Instances, st.Records, st.Snapshots, st.Crashes, st.Seconds, st.Divergences)
+	} else if *certifyMode {
 		fmt.Printf("aigdiff -certify: %d instances, %d keys + %d fkeys discovered, verdicts %d must-hold / %d unknown / %d violated; %d mutation steps: %d assertions, %d voided, %d unevaluated in %.2fs, %d divergences\n",
 			st.Instances, st.Keys, st.FKs, st.MustHold, st.Unknown, st.Violated,
 			st.Steps, st.Asserted, st.Voided, st.Unevaluated, st.Seconds, st.Divergences)
@@ -268,6 +313,44 @@ func reportCertify(inst *randaig.Instance, seq []difftest.Mutation, div *difftes
 	reg := difftest.Regression{
 		Seed: inst.Seed, Config: cfg, Mode: "certify",
 		Mutations: seq, Leg: div.Leg, Note: div.Detail,
+	}
+	repro, err := json.Marshal(reg)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)
+	}
+	if corpusDir != "" {
+		path, err := difftest.SaveRegression(corpusDir, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: save regression: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: regression saved to %s\n", path)
+	}
+}
+
+// reportRecover prints one crash-recovery divergence, optionally
+// shrinking the operation sequence and filing the regression. The filed
+// config pins the diverging crash offset so the regression replays a
+// single truncation instead of the whole sweep.
+func reportRecover(seed int64, cfg difftest.RecoverConfig, ops []difftest.RecoverOp, out difftest.RecoverOutcome, shrink bool, corpusDir string) {
+	div := out.Divergence
+	fmt.Fprintf(os.Stderr, "%s\n", div.Error())
+	if shrink {
+		shrunk, sdiv, checks := difftest.ShrinkRecovery(seed, cfg, ops, 0)
+		if sdiv != nil {
+			ops, div = shrunk, sdiv
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: shrunk in %d checks to %d ops:\n", checks, len(ops))
+		for _, op := range ops {
+			fmt.Fprintf(os.Stderr, "  %s\n", op)
+		}
+	}
+	if out.TruncateAt > 0 {
+		cfg.TruncateAt = out.TruncateAt
+	}
+	reg := difftest.Regression{
+		Seed: seed, Mode: "recover",
+		RecoverOps: ops, RecoverCfg: &cfg, Leg: div.Leg, Note: div.Detail,
 	}
 	repro, err := json.Marshal(reg)
 	if err == nil {

@@ -6,6 +6,23 @@
 // loads every CSV of the directory (as written by aiggen) into an
 // in-memory engine and answers schema, statistics, costing and query
 // requests on the wire protocol of the remote package.
+//
+// With -data-dir the source is durable: on first start the CSV data (or
+// an empty database, without -data) seeds a write-ahead log plus
+// periodic snapshots under the directory, and on every later start the
+// database is recovered from them — tuples, table versions and change
+// logs included, so mediator-side delta watermarks survive the restart.
+// -fsync picks the flushing policy ("always" makes every acknowledged
+// mutation crash-durable, "never" leaves flushing to the OS);
+// -snapshot-every sets the automatic snapshot cadence in WAL records.
+// SIGINT/SIGTERM close the journal with a final snapshot, making the
+// next start replay-free.
+//
+// -apply applies one mutation to the durable state and exits without
+// listening — the way to mutate a source while its daemon is down:
+//
+//	aigsource -name DB1 -data-dir state/DB1 -apply 'visitInfo:insert:s9,t1,d1'
+//	aigsource -name DB1 -data-dir state/DB1 -apply 'visitInfo:delete:s9,t1,d1'
 package main
 
 import (
@@ -13,36 +30,140 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/remote"
+	"github.com/aigrepro/aig/internal/source"
 )
 
 func main() {
-	name := flag.String("name", "", "source (database) name, e.g. DB1")
-	data := flag.String("data", "", "directory of CSV tables")
-	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
-	flag.Parse()
-
-	if *name == "" || *data == "" {
-		fmt.Fprintln(os.Stderr, "usage: aigsource -name DB1 -data ./data/DB1 [-listen host:port]")
-		os.Exit(2)
-	}
-	db, err := relstore.LoadDir(*name, *data)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aigsource:", err)
 		os.Exit(1)
 	}
+}
+
+func run() error {
+	name := flag.String("name", "", "source (database) name, e.g. DB1")
+	data := flag.String("data", "", "directory of CSV tables (the seed when -data-dir is fresh)")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	dataDir := flag.String("data-dir", "", "durable state directory (WAL + snapshots); empty runs in-memory only")
+	fsyncMode := flag.String("fsync", "never", "WAL flushing policy: never or always")
+	snapEvery := flag.Int("snapshot-every", 0, "automatic snapshot cadence in WAL records (0 = default)")
+	apply := flag.String("apply", "", "apply one mutation TABLE:OP:V1,V2,... to the durable state and exit (requires -data-dir)")
+	flag.Parse()
+
+	if *name == "" || (*data == "" && *dataDir == "") {
+		fmt.Fprintln(os.Stderr, "usage: aigsource -name DB1 (-data ./data/DB1 | -data-dir state/DB1) [-listen host:port] [-fsync never|always] [-apply TABLE:OP:VALUES]")
+		os.Exit(2)
+	}
+	fsync, err := relstore.ParseFsyncMode(*fsyncMode)
+	if err != nil {
+		return err
+	}
+
+	var db *relstore.Database
+	var p *relstore.Persister
+	if *dataDir != "" {
+		seed := func() (*relstore.Database, error) { return relstore.NewDatabase(*name), nil }
+		if *data != "" {
+			seed = func() (*relstore.Database, error) { return relstore.LoadDir(*name, *data) }
+		}
+		db, p, err = source.OpenDurable(*name,
+			source.DurableOptions{Dir: *dataDir, Fsync: fsync, SnapshotEvery: *snapEvery}, seed)
+		if err != nil {
+			return err
+		}
+	} else {
+		if *apply != "" {
+			return fmt.Errorf("-apply needs -data-dir: a one-shot mutation against in-memory state would be lost")
+		}
+		if db, err = relstore.LoadDir(*name, *data); err != nil {
+			return err
+		}
+	}
+
+	if *apply != "" {
+		if err := applyMutation(db, *apply); err != nil {
+			p.Close()
+			return err
+		}
+		if err := p.Close(); err != nil {
+			return fmt.Errorf("closing journal: %w", err)
+		}
+		fmt.Printf("source %s: applied %s (db version %d)\n", *name, *apply, db.Version())
+		return nil
+	}
+
 	srv := remote.NewServer(db)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if p != nil {
+			p.Close()
+		}
+		return err
 	}
-	fmt.Printf("source %s serving %d tables on %s\n", *name, len(db.TableNames()), addr)
+	fmt.Printf("source %s serving %d tables on %s (durable=%v fsync=%s)\n",
+		*name, len(db.TableNames()), addr, p != nil, fsync)
 
 	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
 	srv.Close()
+	if p != nil {
+		// Final snapshot: the next start recovers without WAL replay.
+		if err := p.Close(); err != nil {
+			return fmt.Errorf("closing journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// applyMutation parses TABLE:OP:V1,V2,... and applies it. OP is insert
+// or delete (delete removes every row matching the values exactly).
+func applyMutation(db *relstore.Database, spec string) error {
+	parts := strings.SplitN(spec, ":", 3)
+	if len(parts) < 2 {
+		return fmt.Errorf("-apply wants TABLE:OP:V1,V2,..., got %q", spec)
+	}
+	table, op := parts[0], parts[1]
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	var row relstore.Tuple
+	if len(parts) == 3 && parts[2] != "" {
+		vals := strings.Split(parts[2], ",")
+		if len(vals) != len(t.Schema()) {
+			return fmt.Errorf("table %s: %d values for %d columns", table, len(vals), len(t.Schema()))
+		}
+		row = make(relstore.Tuple, len(vals))
+		for i, raw := range vals {
+			v, err := relstore.ParseValue(t.Schema()[i].Kind, raw)
+			if err != nil {
+				return fmt.Errorf("table %s column %s: %w", table, t.Schema()[i].Name, err)
+			}
+			row[i] = v
+		}
+	}
+	switch op {
+	case "insert":
+		if row == nil {
+			return fmt.Errorf("insert needs values")
+		}
+		return t.Insert(row)
+	case "delete":
+		if row == nil {
+			return fmt.Errorf("delete needs values")
+		}
+		key := row.Key()
+		if n := t.DeleteWhere(func(r relstore.Tuple) bool { return r.Key() == key }); n == 0 {
+			return fmt.Errorf("delete %s: no matching row", spec)
+		}
+		return nil
+	default:
+		return fmt.Errorf("op %q (want insert or delete)", op)
+	}
 }

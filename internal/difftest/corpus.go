@@ -32,6 +32,11 @@ type Regression struct {
 	Mutations []Mutation `json:"mutations,omitempty"`
 	// LogCap is the change-log limit CheckIVM ran with (Mode "ivm").
 	LogCap int `json:"log_cap,omitempty"`
+	// RecoverOps and RecoverCfg are the shrunken operation sequence and
+	// torture configuration for Mode "recover" (ReplayRecovery). RecoverCfg
+	// pins the diverging crash offset in TruncateAt when one is known.
+	RecoverOps []RecoverOp    `json:"recover_ops,omitempty"`
+	RecoverCfg *RecoverConfig `json:"recover_cfg,omitempty"`
 }
 
 // Instance regenerates the shrunken instance from the recorded seed,

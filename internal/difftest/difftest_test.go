@@ -160,6 +160,18 @@ func TestRegressions(t *testing.T) {
 	}
 	for name, reg := range corpus {
 		t.Run(name, func(t *testing.T) {
+			if reg.Mode == "recover" {
+				// Recovery regressions carry no randaig instance: replay the
+				// recorded op sequence under the recorded torture config.
+				cfg := RecoverConfig{}
+				if reg.RecoverCfg != nil {
+					cfg = *reg.RecoverCfg
+				}
+				if div := ReplayRecovery(reg.Seed, cfg, reg.RecoverOps).Divergence; div != nil {
+					t.Fatalf("regression resurfaced (note: %s):\n%s", reg.Note, div.Error())
+				}
+				return
+			}
 			inst, err := reg.Instance()
 			if err != nil {
 				t.Fatalf("regenerate: %v", err)

@@ -25,6 +25,12 @@ type Database struct {
 
 	mu     sync.RWMutex
 	tables map[string]*Table
+
+	// persist, when set, journals catalog-level changes (AddTable,
+	// DropTable, BumpVersion); registered tables journal their own
+	// mutations through their individual pointers. Atomic so the
+	// unpersisted fast path is a nil check without the database lock.
+	persist atomic.Pointer[Persister]
 }
 
 // NewDatabase creates an empty database with the given name.
@@ -43,7 +49,37 @@ func (db *Database) Version() uint64 { return db.version.Load() }
 // callers that mutate table contents through means the database cannot
 // observe. It advances by two to preserve the even-means-quiescent
 // parity convention (such mutations cannot be bracketed anyway).
-func (db *Database) BumpVersion() { db.version.Add(2) }
+func (db *Database) BumpVersion() {
+	if p := db.persist.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		if p.append(&walRecord{Kind: recBump, DBDelta: 2}) != nil {
+			return
+		}
+	}
+	db.version.Add(2)
+}
+
+// attach wires the persister into the database and every registered
+// table. Called with the gate held, on a quiescent database.
+func (db *Database) attach(p *Persister) {
+	db.mu.Lock()
+	for _, t := range db.tables {
+		t.p.Store(p)
+	}
+	db.mu.Unlock()
+	db.persist.Store(p)
+}
+
+// detach reverts the database to plain in-memory operation.
+func (db *Database) detach(p *Persister) {
+	db.persist.CompareAndSwap(p, nil)
+	db.mu.Lock()
+	for _, t := range db.tables {
+		t.p.CompareAndSwap(p, nil)
+	}
+	db.mu.Unlock()
+}
 
 // beginMutation and endMutation bracket a registered table's mutation:
 // odd while data may be in flux, even again once the mutation is fully
@@ -63,11 +99,24 @@ func (db *Database) Quiesced() bool { return db.version.Load()%2 == 0 }
 // version sequence observed under one table name stays monotonic and
 // replacement shows up as a truncated delta window (full refresh).
 func (db *Database) AddTable(t *Table) {
+	if p := db.persist.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		// The incoming table's full state is journaled (not its build
+		// history): replay reconstructs it wholesale, then re-runs the
+		// registration below so replacement semantics match.
+		st := t.captureState()
+		if p.append(&walRecord{Kind: recAddTable, DBDelta: 2, Table: t.Name(), State: &st}) != nil {
+			return
+		}
+		t.p.Store(p)
+	}
 	db.mu.Lock()
 	prev := db.tables[t.Name()]
 	db.tables[t.Name()] = t
 	db.mu.Unlock()
 	if prev != nil && prev != t {
+		prev.p.Store(nil) // orphaned handles must not journal
 		t.resetLogPast(prev.Version())
 	}
 	t.hookMutations(db.beginMutation, db.endMutation)
@@ -83,11 +132,22 @@ func (db *Database) CreateTable(name string, schema Schema) *Table {
 
 // DropTable removes the named table if present.
 func (db *Database) DropTable(name string) {
+	if p := db.persist.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		if !db.HasTable(name) {
+			return
+		}
+		if p.append(&walRecord{Kind: recDropTable, DBDelta: 2, Table: name}) != nil {
+			return
+		}
+	}
 	db.mu.Lock()
-	_, present := db.tables[name]
+	prev, present := db.tables[name]
 	delete(db.tables, name)
 	db.mu.Unlock()
 	if present {
+		prev.p.Store(nil) // orphaned handles must not journal
 		db.version.Add(2)
 	}
 }

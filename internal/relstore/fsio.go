@@ -1,0 +1,104 @@
+package relstore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the filesystem surface the durability layer writes through. The
+// production implementation is DirFS (a directory on the operating-system
+// filesystem); tests substitute the fault-injecting in-memory filesystem
+// in internal/relstore/iofault. The interface is deliberately tiny: the
+// write-ahead log only ever appends, snapshots only ever go through a
+// whole-file write plus rename, and recovery only ever reads whole files.
+type FS interface {
+	// OpenAppend opens (creating if absent) a file for appending and
+	// returns its current size.
+	OpenAppend(name string) (File, int64, error)
+	// Create opens a file for writing, truncating any previous content.
+	Create(name string) (File, error)
+	// ReadFile returns the file's full content. A missing file yields an
+	// error satisfying errors.Is(err, os.ErrNotExist).
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file. Missing files are not an error.
+	Remove(name string) error
+	// SyncDir makes prior renames and creations durable.
+	SyncDir() error
+}
+
+// File is an open file of an FS.
+type File interface {
+	io.Writer
+	// Sync makes the file's content durable.
+	Sync() error
+	// Truncate cuts the file to size bytes; later writes append past the
+	// cut.
+	Truncate(size int64) error
+	Close() error
+}
+
+// DirFS is the production FS: files inside one directory of the
+// operating-system filesystem. The directory is created on first write.
+type DirFS string
+
+func (d DirFS) path(name string) string { return filepath.Join(string(d), name) }
+
+func (d DirFS) mkdir() error { return os.MkdirAll(string(d), 0o755) }
+
+// OpenAppend implements FS.
+func (d DirFS) OpenAppend(name string) (File, int64, error) {
+	if err := d.mkdir(); err != nil {
+		return nil, 0, err
+	}
+	f, err := os.OpenFile(d.path(name), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, err
+	}
+	return f, st.Size(), nil
+}
+
+// Create implements FS.
+func (d DirFS) Create(name string) (File, error) {
+	if err := d.mkdir(); err != nil {
+		return nil, err
+	}
+	return os.Create(d.path(name))
+}
+
+// ReadFile implements FS.
+func (d DirFS) ReadFile(name string) ([]byte, error) {
+	return os.ReadFile(d.path(name))
+}
+
+// Rename implements FS.
+func (d DirFS) Rename(oldname, newname string) error {
+	return os.Rename(d.path(oldname), d.path(newname))
+}
+
+// Remove implements FS.
+func (d DirFS) Remove(name string) error {
+	err := os.Remove(d.path(name))
+	if err != nil && os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// SyncDir implements FS by fsyncing the directory itself, making renames
+// durable on filesystems that require it.
+func (d DirFS) SyncDir() error {
+	f, err := os.Open(string(d))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}

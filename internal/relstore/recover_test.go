@@ -1,0 +1,211 @@
+package relstore_test
+
+// Crash-recovery torture tests, in an external test package so they can
+// use the fault-injecting filesystem (which imports relstore). The bulk
+// seeded sweep lives in difftest.CheckRecovery / `aigdiff -recover`;
+// these tests pin the individual fault-injection invariants:
+//
+//   - a failed WAL append aborts the mutation (no half-applied state,
+//     no half-applied ChangeSet), and failure is sticky;
+//   - recovery from any crash image lands on an exact prefix of the
+//     mutation history, multi-row operations applied whole or not at all;
+//   - a failed snapshot leaves the previous snapshot intact and
+//     recoverable.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/relstore/iofault"
+)
+
+// fp renders the recovery-relevant state of a database through the
+// exported API: rows in order, versions, and every ChangesSince window.
+func fp(db *relstore.Database) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "db %s v%d\n", db.Name(), db.Version())
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "table %s %s v%d\n", name, t.Schema(), t.Version())
+		for _, row := range t.Rows() {
+			fmt.Fprintf(&b, "  row %s\n", row)
+		}
+		for since := uint64(0); since <= t.Version()+1; since++ {
+			cs := t.ChangesSince(since)
+			fmt.Fprintf(&b, "  since %d: now=%d trunc=%v cause=%s", since, cs.Now, cs.Truncated, cs.Cause)
+			for _, ch := range cs.Changes {
+				fmt.Fprintf(&b, " [v%d %s %s]", ch.Ver, ch.Op, ch.Row)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func newFaultDB(t *testing.T) (*relstore.Database, *relstore.Persister, *iofault.FS) {
+	t.Helper()
+	fs := iofault.New()
+	db := relstore.NewDatabase("DB1")
+	tab := db.CreateTable("t", relstore.MustSchema("k:string", "n:int"))
+	for i := 0; i < 4; i++ {
+		tab.MustInsert(relstore.Tuple{relstore.String(fmt.Sprintf("k%d", i)), relstore.Int(int64(i))})
+	}
+	p, err := db.Persist(relstore.PersistOptions{FS: fs, Fsync: relstore.FsyncAlways})
+	if err != nil {
+		t.Fatalf("Persist: %v", err)
+	}
+	return db, p, fs
+}
+
+func recoverImage(t *testing.T, fs *iofault.FS) *relstore.Database {
+	t.Helper()
+	db, _, err := relstore.Recover("DB1", relstore.PersistOptions{FS: fs, Fsync: relstore.FsyncAlways})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return db
+}
+
+func TestShortWriteAbortsInsertAndIsSticky(t *testing.T) {
+	db, _, fs := newFaultDB(t)
+	tab, _ := db.Table("t")
+	before := fp(db)
+
+	fs.InjectShortWrite(1)
+	if err := tab.Insert(relstore.Tuple{relstore.String("x"), relstore.Int(9)}); err == nil {
+		t.Fatal("insert succeeded through a short write")
+	}
+	if got := fp(db); got != before {
+		t.Errorf("aborted insert changed in-memory state:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	// Sticky: the journal is torn, so the database stops taking writes.
+	if err := tab.Insert(relstore.Tuple{relstore.String("y"), relstore.Int(10)}); err == nil {
+		t.Fatal("insert succeeded after a sticky journal failure")
+	}
+	// The torn tail recovers to exactly the pre-fault state.
+	if got := fp(recoverImage(t, fs.Image())); got != before {
+		t.Errorf("recovery after torn append diverges:\nwant:\n%s\ngot:\n%s", before, got)
+	}
+}
+
+func TestShortWriteNeverHalfAppliesDeleteWhere(t *testing.T) {
+	db, _, fs := newFaultDB(t)
+	tab, _ := db.Table("t")
+	before := fp(db)
+
+	fs.InjectShortWrite(1)
+	if n := tab.DeleteWhere(func(r relstore.Tuple) bool { return true }); n != 0 {
+		t.Fatalf("DeleteWhere reported %d rows through a failed append", n)
+	}
+	if got := fp(db); got != before {
+		t.Errorf("failed DeleteWhere changed state:\nbefore:\n%s\nafter:\n%s", before, got)
+	}
+	rdb := recoverImage(t, fs.Image())
+	rt, _ := rdb.Table("t")
+	// Whole-or-nothing: either all four rows survive with no delete
+	// deltas, or none do — never a partial application.
+	if rt.Len() != 4 {
+		t.Errorf("recovered %d rows, want 4 (delete must not half-apply)", rt.Len())
+	}
+	if cs := rt.ChangesSince(rt.Version()); cs.Truncated || len(cs.Changes) != 0 {
+		t.Errorf("recovered log has trailing deltas: %+v", cs)
+	}
+}
+
+func TestFailedSnapshotLeavesPreviousIntact(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		arm  func(fs *iofault.FS)
+	}{
+		// The snapshot's tmp-file fsync fails mid-protocol.
+		{"fsync", func(fs *iofault.FS) { fs.InjectSyncError(1) }},
+		// The rename that publishes the snapshot is torn.
+		{"rename", func(fs *iofault.FS) { fs.InjectRenameError(1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			db, p, fs := newFaultDB(t)
+			tab, _ := db.Table("t")
+			tab.MustInsert(relstore.Tuple{relstore.String("x"), relstore.Int(9)})
+			want := fp(db)
+			prevSnap := fs.Bytes(relstore.SnapshotFile)
+
+			tc.arm(fs)
+			if err := p.Snapshot(); err == nil {
+				t.Fatal("snapshot succeeded through an injected fault")
+			}
+			if got := fs.Bytes(relstore.SnapshotFile); string(got) != string(prevSnap) {
+				t.Error("failed snapshot replaced the previous snapshot file")
+			}
+			// The store must still recover — previous snapshot + WAL tail.
+			if got := fp(recoverImage(t, fs.Image())); got != want {
+				t.Errorf("recovery after failed snapshot diverges:\nwant:\n%s\ngot:\n%s", want, got)
+			}
+		})
+	}
+}
+
+func TestJournalingContinuesAfterFailedSnapshot(t *testing.T) {
+	db, p, fs := newFaultDB(t)
+	tab, _ := db.Table("t")
+
+	fs.InjectRenameError(1)
+	if err := p.Snapshot(); err == nil {
+		t.Fatal("snapshot succeeded through an injected fault")
+	}
+	// The WAL was not rotated, so appends still extend the valid prefix.
+	tab.MustInsert(relstore.Tuple{relstore.String("x"), relstore.Int(9)})
+	want := fp(db)
+	if got := fp(recoverImage(t, fs.Image())); got != want {
+		t.Errorf("post-failed-snapshot writes lost:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+}
+
+func TestCrashImageAtEveryWALPrefixIsConsistent(t *testing.T) {
+	fs := iofault.New()
+	db := relstore.NewDatabase("DB1")
+	tab := db.CreateTable("t", relstore.MustSchema("k:string", "n:int"))
+	if _, err := db.Persist(relstore.PersistOptions{FS: fs, Fsync: relstore.FsyncAlways}); err != nil {
+		t.Fatal(err)
+	}
+	// One mutation per step; fingerprints indexed by WAL record count.
+	fps := []string{fp(db)}
+	tab.MustInsert(relstore.Tuple{relstore.String("a"), relstore.Int(1)})
+	fps = append(fps, fp(db))
+	tab.MustInsert(relstore.Tuple{relstore.String("b"), relstore.Int(2)})
+	fps = append(fps, fp(db))
+	tab.DeleteWhere(func(r relstore.Tuple) bool { return true })
+	fps = append(fps, fp(db))
+
+	wal := fs.Bytes(relstore.WALFile)
+	startSeq, ends, err := relstore.InspectWAL(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if startSeq != 1 || len(ends) != 4 {
+		t.Fatalf("unexpected wal shape: startSeq=%d ends=%v", startSeq, ends)
+	}
+	for off := int64(0); off <= int64(len(wal)); off++ {
+		img := fs.Image()
+		img.Truncate(relstore.WALFile, off)
+		rdb, _, err := relstore.Recover("DB1", relstore.PersistOptions{FS: img, Fsync: relstore.FsyncAlways})
+		if err != nil {
+			t.Fatalf("truncate@%d: %v", off, err)
+		}
+		// Count the record frames wholly inside the cut.
+		records := 0
+		for i, end := range ends {
+			if i > 0 && end <= off {
+				records++
+			}
+		}
+		if got := fp(rdb); got != fps[records] {
+			t.Fatalf("truncate@%d (%d records): recovered state diverges:\nwant:\n%s\ngot:\n%s",
+				off, records, fps[records], got)
+		}
+	}
+}

@@ -44,6 +44,12 @@ type Table struct {
 	// caches use to recognize consistent snapshots.
 	onBegin  []func()
 	onMutate []func()
+
+	// p, when set, is the durability layer of the owning database: each
+	// mutation then takes the persister's gate before the table mutex,
+	// journals a WAL record, and only applies if the append succeeds.
+	// Read atomically so the unpersisted fast path costs one nil check.
+	p atomic.Pointer[Persister]
 }
 
 type hashIndex struct {
@@ -100,18 +106,29 @@ func (t *Table) Version() uint64 { return t.version.Load() }
 // every ChangesSince window is reported truncated, forcing full
 // refreshes.
 func (t *Table) SetChangeLogLimit(n int) {
+	if p := t.p.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		// Journaled because the limit shapes future log state: replaying
+		// the same mutations under a different limit would recover a
+		// different ChangesSince answer.
+		if p.append(&walRecord{Kind: recLogLimit, Table: t.name, Limit: n}) != nil {
+			return
+		}
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if n < 0 {
 		t.log.disabled = true
 		t.log.limit = 0
-		t.log.resetLocked(t.version.Load())
+		t.log.resetLocked(t.version.Load(), TruncateReset)
 		return
 	}
 	t.log.disabled = false
 	t.log.limit = n
 	for n > 0 && len(t.log.entries) > n {
 		t.log.minVer = t.log.entries[0].Ver
+		t.log.cause = TruncateRolled
 		t.log.entries = t.log.entries[1:]
 	}
 }
@@ -134,7 +151,7 @@ func (t *Table) resetLogPast(prev uint64) {
 	if cur := t.version.Load(); cur <= prev {
 		t.version.Store(prev + 1)
 	}
-	t.log.resetLocked(t.version.Load())
+	t.log.resetLocked(t.version.Load(), TruncateReset)
 }
 
 // hookMutations registers a (begin, end) callback pair bracketing every
@@ -168,6 +185,14 @@ func (t *Table) mutated() {
 func (t *Table) Insert(row Tuple) error {
 	if err := t.schema.Validate(row); err != nil {
 		return fmt.Errorf("table %q: %v", t.name, err)
+	}
+	if p := t.p.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		if err := p.append(&walRecord{Kind: recInsert, DBDelta: 2, Table: t.name,
+			Ver: t.version.Load() + 1, Row: rowToWal(row)}); err != nil {
+			return err
+		}
 	}
 	t.mu.Lock()
 	t.beginMutateLocked()
@@ -227,6 +252,20 @@ func (t *Table) InsertValues(vals ...any) error {
 
 // DeleteAt removes the i-th row and returns it.
 func (t *Table) DeleteAt(i int) (Tuple, error) {
+	if p := t.p.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		// Validate against the published snapshot — the gate excludes
+		// writers, so it equals the buffer — before journaling, so an
+		// out-of-range index never reaches the log.
+		if n := len(t.rowsSnap()); i < 0 || i >= n {
+			return nil, fmt.Errorf("table %q: delete index %d out of range [0,%d)", t.name, i, n)
+		}
+		if err := p.append(&walRecord{Kind: recDeleteAt, DBDelta: 2, Table: t.name,
+			Ver: t.version.Load() + 1, Index: i}); err != nil {
+			return nil, err
+		}
+	}
 	t.mu.Lock()
 	if i < 0 || i >= len(t.buf) {
 		n := len(t.buf)
@@ -254,6 +293,27 @@ func (t *Table) DeleteAt(i int) (Tuple, error) {
 // DeleteWhere removes every row the predicate matches, returning the
 // count. All removals are logged under a single new table version.
 func (t *Table) DeleteWhere(match func(Tuple) bool) int {
+	if p := t.p.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		// Predicates cannot be journaled; the matched positions can. The
+		// gate excludes writers, so the published snapshot the predicate
+		// runs over is the state the positions will apply to.
+		var idx []int
+		for i, row := range t.rowsSnap() {
+			if match(row) {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			return 0
+		}
+		if err := p.append(&walRecord{Kind: recDeleteRows, DBDelta: 2, Table: t.name,
+			Ver: t.version.Load() + 1, Indices: idx}); err != nil {
+			return 0
+		}
+		return t.deleteIndices(idx)
+	}
 	t.mu.Lock()
 	var removed []Tuple
 	next := make([]Tuple, 0, len(t.buf))
@@ -267,6 +327,36 @@ func (t *Table) DeleteWhere(match func(Tuple) bool) int {
 	if len(removed) == 0 {
 		t.mu.Unlock()
 		return 0
+	}
+	t.beginMutateLocked()
+	t.buf = next
+	t.publishLocked()
+	t.indexes = nil
+	ver := t.version.Add(1)
+	for _, row := range removed {
+		t.log.appendLocked(Change{Ver: ver, Op: ChangeDelete, Row: row})
+	}
+	t.mu.Unlock()
+	metricDeletes.Add(int64(len(removed)))
+	t.mutated()
+	return len(removed)
+}
+
+// deleteIndices removes the rows at the given ascending positions,
+// logging every removal under one new version — the journaled (and
+// replayed) core of DeleteWhere.
+func (t *Table) deleteIndices(idx []int) int {
+	t.mu.Lock()
+	removed := make([]Tuple, 0, len(idx))
+	next := make([]Tuple, 0, len(t.buf)-len(idx))
+	j := 0
+	for i, row := range t.buf {
+		if j < len(idx) && idx[j] == i {
+			removed = append(removed, row)
+			j++
+		} else {
+			next = append(next, row)
+		}
 	}
 	t.beginMutateLocked()
 	t.buf = next
@@ -362,6 +452,15 @@ func (t *Table) Clone() *Table {
 // expressible as row deltas, so Sort resets the change log: pending
 // ChangesSince windows come back truncated.
 func (t *Table) Sort(cols []int) {
+	if p := t.p.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		// Replay re-executes the (stable, hence deterministic) sort.
+		if p.append(&walRecord{Kind: recSort, DBDelta: 2, Table: t.name,
+			Ver: t.version.Load() + 1, Cols: cols, HasCols: cols != nil}) != nil {
+			return
+		}
+	}
 	t.mu.Lock()
 	t.beginMutateLocked()
 	next := make([]Tuple, len(t.buf))
@@ -382,7 +481,7 @@ func (t *Table) Sort(cols []int) {
 	t.publishLocked()
 	t.indexes = nil
 	ver := t.version.Add(1)
-	t.log.resetLocked(ver)
+	t.log.resetLocked(ver, TruncateReset)
 	t.mu.Unlock()
 	t.mutated()
 }
@@ -390,6 +489,15 @@ func (t *Table) Sort(cols []int) {
 // Distinct removes duplicate rows, keeping first occurrences. Dropped
 // duplicates are logged as deletes (order of survivors is unchanged).
 func (t *Table) Distinct() {
+	if p := t.p.Load(); p != nil {
+		p.gate.Lock()
+		defer p.gate.Unlock()
+		// Replay re-executes: keeping first occurrences is deterministic.
+		if p.append(&walRecord{Kind: recDistinct, DBDelta: 2, Table: t.name,
+			Ver: t.version.Load() + 1}) != nil {
+			return
+		}
+	}
 	t.mu.Lock()
 	t.beginMutateLocked()
 	seen := make(map[string]struct{}, len(t.buf))

@@ -21,6 +21,11 @@ func FuzzChangeSetWire(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, table string, since, now uint64, truncated bool, data []byte) {
 		cs := relstore.ChangeSet{Table: table, Since: since, Now: now, Truncated: truncated}
+		if truncated {
+			// The cause rides along only when the set is truncated; cycle it
+			// from the inputs so all three causes cross the wire.
+			cs.Cause = relstore.TruncateCause(1 + (since+now)%3)
+		}
 		ver := since
 		for len(data) > 0 {
 			n := int(data[0] % 5) // row width 0..4

@@ -164,18 +164,20 @@ type wireChange struct {
 }
 
 // wireChangeSet is the gob-encodable form of a relstore.ChangeSet: the
-// answer to a reqChanges request. Truncated survives the trip so remote
-// consumers fall back to a full refresh exactly like local ones.
+// answer to a reqChanges request. Truncated and its cause survive the
+// trip so remote consumers fall back to a full refresh — and metric the
+// reason — exactly like local ones.
 type wireChangeSet struct {
 	Table     string
 	Since     uint64
 	Now       uint64
 	Truncated bool
+	Cause     uint8
 	Changes   []wireChange
 }
 
 func changeSetToWire(cs relstore.ChangeSet) wireChangeSet {
-	w := wireChangeSet{Table: cs.Table, Since: cs.Since, Now: cs.Now, Truncated: cs.Truncated}
+	w := wireChangeSet{Table: cs.Table, Since: cs.Since, Now: cs.Now, Truncated: cs.Truncated, Cause: uint8(cs.Cause)}
 	for _, ch := range cs.Changes {
 		wc := wireChange{Ver: ch.Ver, Op: uint8(ch.Op)}
 		wc.Row = make([]wireValue, len(ch.Row))
@@ -188,7 +190,7 @@ func changeSetToWire(cs relstore.ChangeSet) wireChangeSet {
 }
 
 func changeSetFromWire(w wireChangeSet) relstore.ChangeSet {
-	cs := relstore.ChangeSet{Table: w.Table, Since: w.Since, Now: w.Now, Truncated: w.Truncated}
+	cs := relstore.ChangeSet{Table: w.Table, Since: w.Since, Now: w.Now, Truncated: w.Truncated, Cause: relstore.TruncateCause(w.Cause)}
 	for _, wc := range w.Changes {
 		ch := relstore.Change{Ver: wc.Ver, Op: relstore.ChangeOp(wc.Op)}
 		for _, wv := range wc.Row {

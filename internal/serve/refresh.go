@@ -1,11 +1,13 @@
 package serve
 
 import (
+	"errors"
 	"sync"
 	"time"
 
 	"github.com/aigrepro/aig/internal/ivm"
 	"github.com/aigrepro/aig/internal/obs"
+	"github.com/aigrepro/aig/internal/relstore"
 )
 
 // refresher is the background half of incremental view maintenance:
@@ -86,25 +88,25 @@ type viewState struct {
 // a quiescent window. Under sustained writes faster than two version
 // round trips no snapshot is consistent; the view's entries simply wait
 // for a later cycle.
-func (r *refresher) snapshotView(v *View) viewState {
+func (s *Server) snapshotView(v *View) viewState {
 	st := viewState{v: v}
 	for attempt := 0; attempt < 3; attempt++ {
-		s1, settled, err := r.s.stamp(v)
+		s1, settled, err := s.stamp(v)
 		if err != nil {
-			r.s.m.refreshErrors.Inc()
+			s.m.refreshErrors.Inc()
 			return st
 		}
 		if !settled {
 			continue
 		}
-		tv, err := r.s.tableVersions(v)
+		tv, err := s.tableVersions(v)
 		if err != nil {
-			r.s.m.refreshErrors.Inc()
+			s.m.refreshErrors.Inc()
 			return st
 		}
-		s2, _, err := r.s.stamp(v)
+		s2, _, err := s.stamp(v)
 		if err != nil {
-			r.s.m.refreshErrors.Inc()
+			s.m.refreshErrors.Inc()
 			return st
 		}
 		if s1 == s2 {
@@ -130,7 +132,7 @@ func (r *refresher) cycle() {
 		st, ok := states[it.entry.view]
 		if !ok {
 			if v := s.View(it.entry.view); v != nil {
-				st = r.snapshotView(v)
+				st = s.snapshotView(v)
 			}
 			states[it.entry.view] = st
 		}
@@ -183,7 +185,7 @@ func (r *refresher) refreshOne(it lruItem, st viewState) {
 
 	tr, parent := obs.SpanFromContext(ctx)
 	judgeSpan := tr.StartSpan("ivm.judge", parent)
-	unaffected := r.judgeUnaffected(e, st)
+	unaffected := s.judgeUnaffected(e, st)
 	judgeSpan.SetAttr("unaffected", unaffected).End()
 
 	if unaffected {
@@ -221,7 +223,7 @@ func (r *refresher) refreshOne(it lruItem, st viewState) {
 // entry's parameter binding. Any gap in the proof — unparseable
 // parameters, a truncated change log, a table appearing or vanishing, a
 // delta the judge cannot exclude — falls back to full re-evaluation.
-func (r *refresher) judgeUnaffected(e *cacheEntry, st viewState) bool {
+func (s *Server) judgeUnaffected(e *cacheEntry, st viewState) bool {
 	deps := st.v.deps
 	if deps == nil {
 		return false
@@ -248,12 +250,30 @@ func (r *refresher) judgeUnaffected(e *cacheEntry, st viewState) bool {
 			if !deps.DependsOn(sourceName, table) {
 				continue
 			}
-			src, gerr := r.s.reg.Get(sourceName)
+			src, gerr := s.reg.Get(sourceName)
 			if gerr != nil {
 				return false
 			}
 			cs, cerr := src.ChangesSince(table, ov)
 			if cerr != nil {
+				return false
+			}
+			if terr := cs.TruncationError(); terr != nil {
+				// The window is gone; metric why before falling back. A
+				// rolled or reset log is normal churn, a restart means a
+				// source lost its watermark continuity (it runs without
+				// durable state, or recovered from an older snapshot).
+				var lt *relstore.ErrLogTruncated
+				if errors.As(terr, &lt) {
+					switch lt.Cause {
+					case relstore.TruncateReset:
+						s.m.refreshTruncReset.Inc()
+					case relstore.TruncateRestart:
+						s.m.refreshTruncRestart.Inc()
+					default:
+						s.m.refreshTruncRolled.Inc()
+					}
+				}
 				return false
 			}
 			// The log may already extend past the snapshot (writes keep

@@ -116,6 +116,12 @@ type Config struct {
 	// AllowMutate exposes POST /mutate, a demo/benchmark endpoint that
 	// applies row-level writes to local sources. Off by default.
 	AllowMutate bool
+	// CacheDir, when set, persists the result cache across restarts: the
+	// cache is dumped there on a clean Drain, and LoadCache (called after
+	// view registration) restores entries whose data-version stamps still
+	// hold — or can be proven current by delta judgement — so a restarted
+	// daemon serves warm hits instead of re-evaluating.
+	CacheDir string
 	// Metrics is the registry the server's instruments live in
 	// (default obs.Default).
 	Metrics *obs.Registry
@@ -189,6 +195,20 @@ type serveMetrics struct {
 	refreshErrors *obs.Counter
 	mutations     *obs.Counter
 
+	// Truncated delta windows during refresh judgement, by cause: a
+	// rolled or reset log means the refresher fell behind the write rate,
+	// a restart means a source came back without its durable state.
+	refreshTruncRolled  *obs.Counter
+	refreshTruncReset   *obs.Counter
+	refreshTruncRestart *obs.Counter
+
+	// Cache persistence (Config.CacheDir): entries dumped on drain and
+	// their fates on the next load.
+	cacheSaved       *obs.Counter
+	cacheRestored    *obs.Counter
+	cacheRevalidated *obs.Counter
+	cacheDropped     *obs.Counter
+
 	inflightEvals *obs.Gauge
 	queueDepth    *obs.Gauge
 	cacheEntries  *obs.Gauge
@@ -203,30 +223,37 @@ type serveMetrics struct {
 
 func newServeMetrics(r *obs.Registry) serveMetrics {
 	return serveMetrics{
-		requests:        r.NewCounter("aig_serve_requests_total", "view requests received"),
-		errors:          r.NewCounter("aig_serve_errors_total", "view requests failed with an internal error"),
-		hits:            r.NewCounter("aig_serve_cache_hits_total", "view requests answered from the result cache"),
-		misses:          r.NewCounter("aig_serve_cache_misses_total", "view requests not answered from the result cache"),
-		coalesced:       r.NewCounter("aig_serve_coalesced_requests_total", "view requests that shared another request's in-flight evaluation"),
-		evaluations:     r.NewCounter("aig_serve_evaluations_total", "mediator evaluations executed"),
-		rejectedFull:    r.NewCounter("aig_serve_rejected_queue_full_total", "view requests rejected because the admission queue was full (429)"),
-		rejectedTimeout: r.NewCounter("aig_serve_rejected_queue_timeout_total", "view requests rejected after waiting too long for an evaluation slot (503)"),
-		evictions:       r.NewCounter("aig_serve_cache_evictions_total", "result-cache entries evicted by capacity"),
-		staleSkips:      r.NewCounter("aig_serve_cache_stale_skips_total", "evaluation results not cached because the data-version stamp moved mid-evaluation"),
-		refreshCycles:   r.NewCounter("aig_serve_refresh_cycles_total", "background refresh cycles run"),
-		refreshDelta:    r.NewCounter("aig_serve_refresh_delta_total", "cache entries kept warm by delta judgement (restamped without re-evaluation)"),
-		refreshFull:     r.NewCounter("aig_serve_refresh_full_total", "cache entries refreshed by full re-evaluation"),
-		refreshErrors:   r.NewCounter("aig_serve_refresh_errors_total", "background refresh attempts that failed"),
-		mutations:       r.NewCounter("aig_serve_mutations_total", "row mutations applied through POST /mutate"),
-		inflightEvals:   r.NewGauge("aig_serve_inflight_evaluations", "evaluations currently holding an admission slot"),
-		queueDepth:      r.NewGauge("aig_serve_queue_depth", "requests waiting for an evaluation slot"),
-		cacheEntries:    r.NewGauge("aig_serve_cache_entries", "entries in the result cache"),
-		refreshDirty:    r.NewGauge("aig_serve_refresh_dirty_queue", "cached entries observed stale at the start of the latest refresh cycle"),
-		requestSec:      r.NewHistogram("aig_serve_request_seconds", "view request latency", obs.DurationBuckets),
-		queueWaitSec:    r.NewHistogram("aig_serve_queue_wait_seconds", "time spent waiting for an evaluation slot", obs.DurationBuckets),
-		evalSec:         r.NewHistogram("aig_serve_evaluate_seconds", "mediator evaluation wall time", obs.DurationBuckets),
-		refreshSec:      r.NewHistogram("aig_serve_refresh_seconds", "per-entry background refresh wall time", obs.DurationBuckets),
-		refreshLagSec:   r.NewHistogram("aig_serve_refresh_lag_seconds", "time from first observing an entry stale to serving it warm again", obs.DurationBuckets),
+		requests:            r.NewCounter("aig_serve_requests_total", "view requests received"),
+		errors:              r.NewCounter("aig_serve_errors_total", "view requests failed with an internal error"),
+		hits:                r.NewCounter("aig_serve_cache_hits_total", "view requests answered from the result cache"),
+		misses:              r.NewCounter("aig_serve_cache_misses_total", "view requests not answered from the result cache"),
+		coalesced:           r.NewCounter("aig_serve_coalesced_requests_total", "view requests that shared another request's in-flight evaluation"),
+		evaluations:         r.NewCounter("aig_serve_evaluations_total", "mediator evaluations executed"),
+		rejectedFull:        r.NewCounter("aig_serve_rejected_queue_full_total", "view requests rejected because the admission queue was full (429)"),
+		rejectedTimeout:     r.NewCounter("aig_serve_rejected_queue_timeout_total", "view requests rejected after waiting too long for an evaluation slot (503)"),
+		evictions:           r.NewCounter("aig_serve_cache_evictions_total", "result-cache entries evicted by capacity"),
+		staleSkips:          r.NewCounter("aig_serve_cache_stale_skips_total", "evaluation results not cached because the data-version stamp moved mid-evaluation"),
+		refreshCycles:       r.NewCounter("aig_serve_refresh_cycles_total", "background refresh cycles run"),
+		refreshDelta:        r.NewCounter("aig_serve_refresh_delta_total", "cache entries kept warm by delta judgement (restamped without re-evaluation)"),
+		refreshFull:         r.NewCounter("aig_serve_refresh_full_total", "cache entries refreshed by full re-evaluation"),
+		refreshErrors:       r.NewCounter("aig_serve_refresh_errors_total", "background refresh attempts that failed"),
+		mutations:           r.NewCounter("aig_serve_mutations_total", "row mutations applied through POST /mutate"),
+		refreshTruncRolled:  r.NewCounter("aig_serve_refresh_truncated_rolled_total", "refresh judgements lost to a rolled change log (refresher behind the write rate)"),
+		refreshTruncReset:   r.NewCounter("aig_serve_refresh_truncated_reset_total", "refresh judgements lost to a reset change log (table sorted or replaced)"),
+		refreshTruncRestart: r.NewCounter("aig_serve_refresh_truncated_restart_total", "refresh judgements lost to a source restart (watermark from a previous incarnation)"),
+		cacheSaved:          r.NewCounter("aig_serve_cache_persist_saved_total", "cache entries written to the persistent dump on drain"),
+		cacheRestored:       r.NewCounter("aig_serve_cache_persist_restored_total", "persisted cache entries installed with their stamp still exact"),
+		cacheRevalidated:    r.NewCounter("aig_serve_cache_persist_revalidated_total", "persisted cache entries installed after delta judgement proved them current"),
+		cacheDropped:        r.NewCounter("aig_serve_cache_persist_dropped_total", "persisted cache entries dropped at load (stale, unprovable, or unknown view)"),
+		inflightEvals:       r.NewGauge("aig_serve_inflight_evaluations", "evaluations currently holding an admission slot"),
+		queueDepth:          r.NewGauge("aig_serve_queue_depth", "requests waiting for an evaluation slot"),
+		cacheEntries:        r.NewGauge("aig_serve_cache_entries", "entries in the result cache"),
+		refreshDirty:        r.NewGauge("aig_serve_refresh_dirty_queue", "cached entries observed stale at the start of the latest refresh cycle"),
+		requestSec:          r.NewHistogram("aig_serve_request_seconds", "view request latency", obs.DurationBuckets),
+		queueWaitSec:        r.NewHistogram("aig_serve_queue_wait_seconds", "time spent waiting for an evaluation slot", obs.DurationBuckets),
+		evalSec:             r.NewHistogram("aig_serve_evaluate_seconds", "mediator evaluation wall time", obs.DurationBuckets),
+		refreshSec:          r.NewHistogram("aig_serve_refresh_seconds", "per-entry background refresh wall time", obs.DurationBuckets),
+		refreshLagSec:       r.NewHistogram("aig_serve_refresh_lag_seconds", "time from first observing an entry stale to serving it warm again", obs.DurationBuckets),
 	}
 }
 
@@ -378,6 +405,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	defer ticker.Stop()
 	for {
 		if s.inflight.Load() == 0 {
+			if s.cfg.CacheDir != "" {
+				if err := s.SaveCache(s.cfg.CacheDir); err != nil {
+					s.logger.Error("cache save failed", "dir", s.cfg.CacheDir, "err", err)
+				}
+			}
 			return nil
 		}
 		select {

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# Benchmark what durability costs, twice over:
+#
+#  1. Microbenchmarks: ns per insert against a bare table, a journaled
+#     table without flushing (the -fsync never default), and a journaled
+#     table fsyncing every record.
+#  2. The serving write path: the BENCH_ivm warm workload (cached reads
+#     with a 50/s mutator) against aigd -demo with and without durable
+#     source state. With -fsync never the durable daemon must stay
+#     within AIG_WAL_TOLERANCE (default 0.90, i.e. <=10% overhead) of
+#     the in-memory daemon's throughput, best rep of AIG_WAL_REPS each.
+#
+# The combined report lands in BENCH_wal.json. Used by `make bench-wal`.
+set -euo pipefail
+
+ADDR="${AIGD_ADDR:-127.0.0.1:18096}"
+REQUESTS="${AIG_WAL_REQUESTS:-8000}"
+WORKERS="${AIG_WAL_WORKERS:-8}"
+MUTATE_RATE="${AIG_WAL_MUTATE_RATE:-50}"
+TOLERANCE="${AIG_WAL_TOLERANCE:-0.90}"
+REPS="${AIG_WAL_REPS:-3}"
+OUT="${AIG_WAL_JSON:-BENCH_wal.json}"
+
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigload" ./cmd/aigload
+
+echo "== microbenchmarks (insert cost: bare / WAL no-fsync / WAL fsync-always)"
+go test -run '^$' -bench 'BenchmarkInsert' -benchtime "${AIG_WAL_BENCHTIME:-1s}" \
+    ./internal/relstore/ | tee "$tmpdir/micro.txt"
+ns() { awk -v b="$1" '$1 ~ b { print $3; exit }' "$tmpdir/micro.txt" | grep . || echo 0; }
+ns_bare="$(ns BenchmarkInsertNoWAL)"
+ns_wal="$(ns BenchmarkInsertWALNoFsync)"
+ns_fsync="$(ns BenchmarkInsertWALFsyncAll)"
+
+start_daemon() { # extra flags...
+    "$tmpdir/aigd" -demo -addr "$ADDR" -allow-mutate -refresh-interval 2ms "$@" \
+        >"$tmpdir/aigd.log" 2>&1 &
+    daemon_pid=$!
+    for _ in $(seq 50); do
+        if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "aigd did not become healthy; log:" >&2
+    cat "$tmpdir/aigd.log" >&2
+    exit 1
+}
+
+stop_daemon() {
+    kill -TERM "$daemon_pid"
+    wait "$daemon_pid"
+    daemon_pid=""
+}
+
+phase() { # label json-prefix daemon-flags...
+    local label="$1" prefix="$2"
+    shift 2
+    echo "== $label"
+    start_daemon "$@"
+    # Warmup fills the cache; the measured reps ride the warm path while
+    # the mutator exercises the (possibly journaled) write path.
+    "$tmpdir/aigload" -url "http://$ADDR" -view report -param date=d1,d2,d3 \
+        -c "$WORKERS" -n 1000 -check >/dev/null
+    for i in $(seq "$REPS"); do
+        "$tmpdir/aigload" -url "http://$ADDR" -view report -param date=d1,d2,d3 \
+            -c "$WORKERS" -n "$REQUESTS" \
+            -mutate DB1:visitInfo=s9,t9,d9 -mutate-rate "$MUTATE_RATE" \
+            -json "$prefix$i.json" >/dev/null
+    done
+    # (scrape into a variable first: awk exiting at the first match would
+    # SIGPIPE curl mid-body under pipefail)
+    local metrics
+    metrics="$(curl -fsS "http://$ADDR/metrics" || true)"
+    awk '$1 == "aig_relstore_wal_appends_total" { print $2; exit }' \
+        <<<"$metrics" >"$prefix.appends"
+    stop_daemon
+}
+
+phase "write path, in-memory sources" "$tmpdir/mem"
+phase "write path, durable sources (-fsync never)" "$tmpdir/wal" \
+    -state-dir "$tmpdir/state" -fsync never
+
+best() { # json-prefix -> best throughput_rps
+    local prefix="$1" i v bestv=0
+    for i in $(seq "$REPS"); do
+        v="$(awk -F': *' '$1 ~ /"throughput_rps"/ {gsub(/,$/, "", $2); print $2; exit}' "$prefix$i.json")"
+        bestv="$(awk -v a="$bestv" -v b="$v" 'BEGIN { print (b > a) ? b : a }')"
+    done
+    echo "$bestv"
+}
+mem_rps="$(best "$tmpdir/mem")"
+wal_rps="$(best "$tmpdir/wal")"
+ratio="$(awk -v w="$wal_rps" -v m="$mem_rps" 'BEGIN { printf "%.3f", w/m }')"
+
+# WAL activity must actually have happened in the durable phase: the
+# mutator's writes journal records, visible as the appends counter.
+appends="$(cat "$tmpdir/wal.appends" 2>/dev/null | grep . || echo 0)"
+if [ "${appends%%.*}" -le 0 ]; then
+    echo "bench_wal: durable phase journaled nothing (aig_relstore_wal_appends_total=$appends)" >&2
+    exit 1
+fi
+
+cat >"$OUT" <<EOF
+{
+  "insert_ns": {
+    "bare": $ns_bare,
+    "wal_no_fsync": $ns_wal,
+    "wal_fsync_always": $ns_fsync
+  },
+  "write_path": {
+    "requests": $REQUESTS,
+    "mutate_rate": $MUTATE_RATE,
+    "in_memory_rps": $mem_rps,
+    "durable_rps": $wal_rps,
+    "wal_appends": ${appends%%.*},
+    "ratio": $ratio,
+    "min_ratio": $TOLERANCE
+  }
+}
+EOF
+
+echo "bench_wal: insert ${ns_bare}ns bare / ${ns_wal}ns wal / ${ns_fsync}ns fsync-always;" \
+    "write path ${mem_rps} rps in-memory vs ${wal_rps} rps durable (ratio ${ratio}) -> $OUT"
+awk -v r="$ratio" -v min="$TOLERANCE" 'BEGIN { exit !(r >= min) }' || {
+    echo "bench_wal: durable write path ratio ${ratio} below ${TOLERANCE}" >&2
+    exit 1
+}
+echo "bench_wal: OK"
