@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak soak-ivm soak-certify soak-recover serve loadtest smoke-serve smoke-trace smoke-restart bench-ivm bench-verify bench-wal ci bench clean
+.PHONY: all build test race race-serve vet fmt lint fmt-check staticcheck fuzz-smoke soak soak-ivm soak-certify soak-recover serve loadtest smoke-serve smoke-trace smoke-restart smoke-cluster bench-ivm bench-verify bench-wal bench-cluster ci bench clean
 
 all: build
 
@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/aigspec
 	$(GO) test -run '^$$' -fuzz FuzzParseGeneral -fuzztime 10s ./internal/dtd
 	$(GO) test -run '^$$' -fuzz FuzzChangeSetWire -fuzztime 10s ./internal/remote
+	$(GO) test -run '^$$' -fuzz FuzzSubscribeWire -fuzztime 10s ./internal/remote
 	$(GO) test -run '^$$' -fuzz FuzzConstraintParse$$ -fuzztime 10s ./internal/xconstraint
 
 # soak runs the differential harness for a wall-clock budget, shrinking
@@ -108,6 +109,14 @@ smoke-trace:
 smoke-restart:
 	./scripts/smoke_restart.sh
 
+# smoke-cluster runs the fleet end to end, race-built: aigrouter over
+# two delta-subscribed aigd replicas mirroring one aigsource. Killing a
+# replica mid-load must cost zero client errors, and the restarted
+# replica must catch up over the subscription stream (an offline origin
+# mutation appears in its served document) and serve warm again.
+smoke-cluster:
+	./scripts/smoke_cluster.sh
+
 # bench-ivm measures warm-cache serving under a mutating workload
 # (cache-off baseline vs refresher-maintained cache) and refreshes the
 # committed BENCH_ivm.json; fails below a 5x speedup.
@@ -129,9 +138,17 @@ bench-verify:
 bench-wal:
 	./scripts/bench_wal.sh
 
+# bench-cluster measures horizontal scaling through aigrouter: the same
+# warm workload (plus a 50 writes/s origin mutation stream) against one
+# replica vs four, each replica capped at a simulated service-time
+# floor so the ratio is meaningful on any host. Refreshes the committed
+# BENCH_cluster.json; fails below a 3x fleet speedup.
+bench-cluster:
+	./scripts/bench_cluster.sh
+
 # ci is what .github/workflows/ci.yml runs (plus staticcheck, which CI
 # fetches pinned).
-ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm soak-certify soak-recover smoke-serve smoke-trace smoke-restart bench-ivm bench-verify bench-wal
+ci: vet build race lint fmt-check fuzz-smoke soak soak-ivm soak-certify soak-recover smoke-serve smoke-trace smoke-restart smoke-cluster bench-ivm bench-verify bench-wal bench-cluster
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$'

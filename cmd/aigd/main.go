@@ -8,6 +8,18 @@
 //	aigd -addr :8080 -view report=report.aig -source DB1=host1:7001 -source DB2=host2:7001
 //	aigd -demo        # built-in hospital view over the in-memory catalog
 //
+// With -subscribe each -source is consumed as a delta subscription
+// instead of per-request RPCs: the daemon keeps a local mirror of the
+// source's tables, the source engine pushes row deltas as they happen
+// (snapshot catch-up when the mirror is cold or fell past the change
+// log's horizon), and queries run against the mirror at local-memory
+// speed. Mirror applies kick the background refresher immediately, so
+// cached views go warm again one refresh cycle after a remote write —
+// push-based invalidation instead of interval polling. /healthz then
+// reports 503 until every mirror has completed its initial sync (and
+// again if its feed goes stale), so a fleet router routes around
+// replicas that are still catching up.
+//
 // Endpoints:
 //
 //	GET  /views                       list prepared views
@@ -16,7 +28,7 @@
 //	GET  /views/{name}/explain        the prepared plan, no evaluation
 //	GET  /views/{name}/trace          span tree of the last traced evaluation
 //	GET  /metrics                     Prometheus text format
-//	GET  /healthz                     200 while serving, 503 while draining
+//	GET  /healthz                     200 while ready (views prepared, sources healthy), 503 otherwise
 //	POST /mutate                      row-level writes (-allow-mutate only)
 //	GET  /debug/traces                flight-recorder trace summaries (-trace only)
 //	GET  /debug/traces/{id}           one kept trace's full span tree (-trace only)
@@ -52,6 +64,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -126,6 +139,9 @@ func run() error {
 	unfold := flag.Int("unfold", 4, "initial recursion unfolding depth")
 	maxUnfold := flag.Int("maxunfold", 64, "maximum unfolding depth")
 	srcTimeout := flag.Duration("source-timeout", 0, "connect/read/write timeout for remote sources (0 disables)")
+	subscribe := flag.Bool("subscribe", false, "mirror remote sources by delta subscription instead of per-request RPCs")
+	syncTimeout := flag.Duration("sync-timeout", 30*time.Second, "longest to wait for mirrors' initial sync before serving (with -subscribe)")
+	simWork := flag.Duration("sim-work", 0, "simulated per-request service-time floor held under the admission semaphore (capacity benchmarking; 0 disables)")
 	var verify verifyMode
 	flag.Var(&verify, "verify", "check evaluated documents against the DTD and constraints: off, on (skips statically certified views) or always")
 	traceReqs := flag.Bool("trace-requests", false, "record a span tree per evaluation, served at /views/{name}/trace")
@@ -153,10 +169,24 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	reg, persisters, err := buildRegistry(*dataDir, *stateDir, fsync, sources, *srcTimeout, *demo)
+	// The refresher (and so the server) does not exist yet when mirrors
+	// start applying deltas; route their kicks through an indirection
+	// installed right after the server is built.
+	var kickFn atomic.Value // func()
+	onApply := func() {
+		if f, ok := kickFn.Load().(func()); ok {
+			f()
+		}
+	}
+	reg, persisters, mirrors, err := buildRegistry(*dataDir, *stateDir, fsync, sources, *srcTimeout, *demo, *subscribe, onApply)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		for _, m := range mirrors {
+			m.Close()
+		}
+	}()
 
 	// In serve.Config zero means "default"; the flag's 0 means "off".
 	if *cacheEntries == 0 {
@@ -175,6 +205,7 @@ func run() error {
 		TraceRequests:   *traceReqs,
 		RefreshInterval: *refreshInterval,
 		AllowMutate:     *allowMutate,
+		SimWork:         *simWork,
 
 		FlightRecorder:     *trace,
 		TraceCapacity:      *traceCapacity,
@@ -184,6 +215,21 @@ func run() error {
 		Logger:             logger,
 	}
 	srv := serve.NewServer(reg, cfg)
+	kickFn.Store(func() { srv.KickRefresh() })
+
+	// View preparation reads schemas and statistics from the sources;
+	// a mirror can answer those only after its initial sync.
+	if len(mirrors) > 0 {
+		wctx, cancel := context.WithTimeout(context.Background(), *syncTimeout)
+		for _, m := range mirrors {
+			if err := m.WaitReady(wctx); err != nil {
+				cancel()
+				return fmt.Errorf("waiting for mirror sync: %w", err)
+			}
+		}
+		cancel()
+		slog.Info("mirrors synced", "count", len(mirrors))
+	}
 
 	if *demo {
 		v, err := srv.AddSpec("report", hospital.SpecText)
@@ -294,8 +340,13 @@ func buildLogger(format, level string) (*slog.Logger, error) {
 // versions and change logs from disk — so cache stamps and delta
 // watermarks taken before a restart still validate. The returned
 // persisters must be closed on shutdown.
-func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources []string, timeout time.Duration, demo bool) (*source.Registry, []*relstore.Persister, error) {
+// With subscribe, remote sources are consumed as delta-subscription
+// mirrors (returned so the caller can wait for their initial sync and
+// close them on shutdown); onApply fires after every batch of mirror
+// deltas lands.
+func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources []string, timeout time.Duration, demo, subscribe bool, onApply func()) (*source.Registry, []*relstore.Persister, []*remote.Mirror, error) {
 	var persisters []*relstore.Persister
+	var mirrors []*remote.Mirror
 	addLocal := func(name string, seed func() (*relstore.Database, error), reg *source.Registry) error {
 		if stateDir == "" {
 			db, err := seed()
@@ -326,7 +377,7 @@ func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources [
 			name := name
 			err := addLocal(name, func() (*relstore.Database, error) { return cat.Database(name) }, reg)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			n++
 		}
@@ -334,7 +385,7 @@ func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources [
 	if dataDir != "" {
 		entries, err := os.ReadDir(dataDir)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		for _, e := range entries {
 			if !e.IsDir() {
@@ -345,7 +396,7 @@ func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources [
 				return relstore.LoadDir(name, filepath.Join(dataDir, name))
 			}, reg)
 			if err != nil {
-				return nil, nil, err
+				return nil, nil, nil, err
 			}
 			n++
 		}
@@ -353,18 +404,36 @@ func buildRegistry(dataDir, stateDir string, fsync relstore.FsyncMode, sources [
 	for _, s := range sources {
 		name, addr, ok := strings.Cut(s, "=")
 		if !ok {
-			return nil, nil, fmt.Errorf("-source needs NAME=ADDR, got %q", s)
+			return nil, nil, nil, fmt.Errorf("-source needs NAME=ADDR, got %q", s)
+		}
+		if subscribe {
+			// The subscription's read deadline bounds the gap between pushed
+			// frames; it must exceed the origin's heartbeat cadence (1s) or
+			// an idle stream looks dead and reconnects forever.
+			readTO := timeout
+			if readTO > 0 && readTO < 3*time.Second {
+				readTO = 3 * time.Second
+			}
+			m := remote.OpenMirror(name, addr, remote.MirrorOptions{
+				Timeouts: remote.Timeouts{Dial: timeout, Read: readTO, Write: timeout},
+				OnApply:  onApply,
+				Logger:   slog.Default(),
+			})
+			mirrors = append(mirrors, m)
+			reg.Add(m.Source())
+			n++
+			continue
 		}
 		client, err := remote.DialTimeouts(name, addr,
 			remote.Timeouts{Dial: timeout, Read: timeout, Write: timeout})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		reg.Add(client)
 		n++
 	}
 	if n == 0 {
-		return nil, nil, fmt.Errorf("no sources: pass -data or -source")
+		return nil, nil, nil, fmt.Errorf("no sources: pass -data or -source")
 	}
-	return reg, persisters, nil
+	return reg, persisters, mirrors, nil
 }

@@ -1,8 +1,18 @@
-// Command aigload drives a running aigd with a closed loop of
-// concurrent clients and reports throughput, latency percentiles and
-// the daemon's cache behaviour:
+// Command aigload drives a running aigd (or a fleet of them) with a
+// closed loop of concurrent clients and reports throughput, latency
+// percentiles and the daemon's cache behaviour:
 //
 //	aigload -url http://localhost:8080 -view report -param date=d1,d2 -c 8 -n 2000 -json BENCH_serve.json
+//
+// -url is repeatable (and accepts comma-separated lists): with several
+// targets the workers rotate requests across them round-robin and the
+// report carries per-target request counts and latency percentiles
+// alongside the aggregate — the way to compare replicas behind a
+// router against the router itself, or to drive N daemons directly.
+// /metrics is scraped from every -metrics-url (default: every target)
+// and the counters summed, so fleet-wide cache behaviour adds up even
+// when the load went through a router that only exposes its own
+// metrics.
 //
 // Each of the -c workers issues requests back to back until -n total
 // requests complete (or -duration elapses, whichever comes first).
@@ -13,8 +23,10 @@
 // attribute requests to cache hits, coalesced flights and evaluations.
 //
 // With -mutate SOURCE:TABLE=V1,V2,... a background writer alternates
-// inserting and deleting that row through the daemon's POST /mutate
-// endpoint (aigd -allow-mutate) at -mutate-rate writes per second,
+// inserting and deleting that row through POST /mutate at -mutate-rate
+// writes per second — against the first target by default, or against
+// -mutate-url (an origin aigsource -http sidecar, say, while replicas
+// follow by subscription),
 // measuring serving behaviour under a continuously changing source; the
 // report then also carries the daemon's refresh counters and the
 // refresh-lag percentiles estimated from the /metrics histogram. With
@@ -70,6 +82,10 @@ type report struct {
 	P95Ms       float64 `json:"p95_ms"`
 	P99Ms       float64 `json:"p99_ms"`
 
+	// Targets carries per-target traffic splits and latency percentiles
+	// when more than one -url was given.
+	Targets []targetReport `json:"targets,omitempty"`
+
 	CacheHits     int64            `json:"cache_hits"`
 	CacheMisses   int64            `json:"cache_misses"`
 	Coalesced     int64            `json:"coalesced"`
@@ -103,8 +119,32 @@ func main() {
 	}
 }
 
+// targetReport is one -url target's slice of the run.
+type targetReport struct {
+	URL        string  `json:"url"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Throughput float64 `json:"throughput_rps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// targetStats accumulates one target's samples during the run.
+type targetStats struct {
+	url       string
+	requests  atomic.Int64
+	errors    atomic.Int64
+	mu        sync.Mutex
+	latencies []float64 // milliseconds, successful requests only
+}
+
 func run() error {
-	base := flag.String("url", "http://localhost:8080", "aigd base URL")
+	var urlFlags repeated
+	flag.Var(&urlFlags, "url", "aigd base URL (repeatable or comma-separated; workers rotate round-robin; default http://localhost:8080)")
+	var metricsFlags repeated
+	flag.Var(&metricsFlags, "metrics-url", "base URL to scrape /metrics from (repeatable; counters are summed; default: every -url)")
+	mutateURL := flag.String("mutate-url", "", "base URL for the background writer's POST /mutate (default: the first -url)")
 	view := flag.String("view", "report", "view to request")
 	var paramFlags repeated
 	flag.Var(&paramFlags, "param", "view parameter as NAME=V1,V2,... (repeatable; workers rotate the combinations)")
@@ -124,6 +164,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	var bases []string
+	for _, f := range urlFlags {
+		for _, u := range strings.Split(f, ",") {
+			if u = strings.TrimSpace(strings.TrimRight(u, "/")); u != "" {
+				bases = append(bases, u)
+			}
+		}
+	}
+	if len(bases) == 0 {
+		bases = []string{"http://localhost:8080"}
+	}
+	targets := make([]*targetStats, len(bases))
+	for i, u := range bases {
+		targets[i] = &targetStats{url: u}
+	}
+	metricsURLs := []string(metricsFlags)
+	if len(metricsURLs) == 0 {
+		metricsURLs = bases
+	}
+	mutBase := *mutateURL
+	if mutBase == "" {
+		mutBase = bases[0]
+	}
+	mutBase = strings.TrimRight(mutBase, "/")
 
 	var (
 		done      atomic.Int64 // completed requests (any status)
@@ -170,7 +235,7 @@ func run() error {
 					return
 				case <-tick.C:
 				}
-				u := *base + "/mutate?" + url.Values{
+				u := mutBase + "/mutate?" + url.Values{
 					"source": {src}, "table": {table}, "op": {op}, "values": {row},
 				}.Encode()
 				resp, err := client.Post(u, "", nil)
@@ -207,13 +272,16 @@ func run() error {
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				u := *base + "/views/" + url.PathEscape(*view)
+				tgt := targets[(ticket-1)%int64(len(targets))]
+				tgt.requests.Add(1)
+				u := tgt.url + "/views/" + url.PathEscape(*view)
 				if q := combos.query(ticket - 1); q != "" {
 					u += "?" + q
 				}
 				req, err := http.NewRequest(http.MethodGet, u, nil)
 				if err != nil {
 					errsN.Add(1)
+					tgt.errors.Add(1)
 					done.Add(1)
 					continue
 				}
@@ -229,6 +297,7 @@ func run() error {
 				done.Add(1)
 				if err != nil {
 					errsN.Add(1)
+					tgt.errors.Add(1)
 					continue
 				}
 				n, _ := io.Copy(io.Discard, resp.Body)
@@ -242,11 +311,15 @@ func run() error {
 					latMu.Lock()
 					latencies = append(latencies, lat)
 					latMu.Unlock()
+					tgt.mu.Lock()
+					tgt.latencies = append(tgt.latencies, lat)
+					tgt.mu.Unlock()
 				case resp.StatusCode == http.StatusTooManyRequests ||
 					resp.StatusCode == http.StatusServiceUnavailable:
 					rejected.Add(1)
 				default:
 					errsN.Add(1)
+					tgt.errors.Add(1)
 				}
 			}
 		}()
@@ -274,9 +347,29 @@ func run() error {
 	rep.P95Ms = percentile(latencies, 0.95)
 	rep.P99Ms = percentile(latencies, 0.99)
 
+	if len(targets) > 1 {
+		for _, tgt := range targets {
+			tgt.mu.Lock()
+			sort.Float64s(tgt.latencies)
+			tr := targetReport{
+				URL:      tgt.url,
+				Requests: tgt.requests.Load(),
+				Errors:   tgt.errors.Load(),
+				P50Ms:    percentile(tgt.latencies, 0.50),
+				P95Ms:    percentile(tgt.latencies, 0.95),
+				P99Ms:    percentile(tgt.latencies, 0.99),
+			}
+			tgt.mu.Unlock()
+			if elapsed > 0 {
+				tr.Throughput = float64(tr.Requests) / elapsed.Seconds()
+			}
+			rep.Targets = append(rep.Targets, tr)
+		}
+	}
+
 	rep.Mutations = mutOK.Load()
 	rep.MutationErrors = mutErr.Load()
-	if counters, hists, err := scrapeMetrics(client, *base); err != nil {
+	if counters, hists, err := scrapeAllMetrics(client, metricsURLs); err != nil {
 		fmt.Fprintln(os.Stderr, "aigload: scraping /metrics:", err)
 	} else {
 		rep.CacheHits = counters["aig_serve_cache_hits_total"]
@@ -304,15 +397,19 @@ func run() error {
 		rep.DurationSec, rep.Throughput, rep.P50Ms, rep.P95Ms, rep.P99Ms)
 	fmt.Printf("cache: hits=%d misses=%d (ratio %.3f) coalesced=%d evaluations=%d\n",
 		rep.CacheHits, rep.CacheMisses, rep.CacheHitRatio, rep.Coalesced, rep.Evaluations)
+	for _, tr := range rep.Targets {
+		fmt.Printf("target %s: requests=%d errors=%d throughput=%.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			tr.URL, tr.Requests, tr.Errors, tr.Throughput, tr.P50Ms, tr.P95Ms, tr.P99Ms)
+	}
 	if *slowest > 0 {
-		traces, err := slowestTraces(client, *base, *view, *slowest)
+		traces, err := slowestTraces(client, bases[0], *view, *slowest)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "aigload: fetching /debug/traces:", err)
 		} else if len(traces) == 0 {
 			fmt.Println("slowest traces: none kept (tail sampling dropped the run, or no traffic was traced)")
 		} else {
 			rep.SlowestTraces = traces
-			fmt.Printf("slowest kept traces (inspect with GET %s/debug/traces/{id}):\n", *base)
+			fmt.Printf("slowest kept traces (inspect with GET %s/debug/traces/{id}):\n", bases[0])
 			for _, t := range traces {
 				fmt.Printf("  %8.2fms  %s  cache=%s status=%d kept=%s\n", t.DurationMs, t.ID, t.Cache, t.Status, t.Kept)
 			}
@@ -482,6 +579,43 @@ func (h *histogram) quantile(p float64) float64 {
 		}
 	}
 	return h.les[len(h.les)-1]
+}
+
+// scrapeAllMetrics scrapes every base URL and sums the counters and
+// histogram buckets, so a fleet of replicas reports one set of totals.
+// Bucket series merge positionally — all replicas run the same build,
+// so their histograms share bucket bounds. An unreachable target is
+// skipped with a note rather than failing the run: in a fault-injection
+// test a replica may legitimately be dead at report time, and the
+// totals from the survivors are still what we want.
+func scrapeAllMetrics(client *http.Client, bases []string) (map[string]int64, map[string]*histogram, error) {
+	counters := make(map[string]int64)
+	hists := make(map[string]*histogram)
+	scraped := 0
+	for _, base := range bases {
+		c, h, err := scrapeMetrics(client, base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigload: skipping unreachable metrics target %s: %v\n", base, err)
+			continue
+		}
+		scraped++
+		for k, v := range c {
+			counters[k] += v
+		}
+		for k, hv := range h {
+			if have := hists[k]; have == nil {
+				hists[k] = hv
+			} else if len(have.cums) == len(hv.cums) {
+				for i := range have.cums {
+					have.cums[i] += hv.cums[i]
+				}
+			}
+		}
+	}
+	if scraped == 0 {
+		return nil, nil, fmt.Errorf("no metrics target reachable (%d tried)", len(bases))
+	}
+	return counters, hists, nil
 }
 
 // scrapeMetrics fetches /metrics and parses the aig_serve_* counters

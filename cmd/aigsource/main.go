@@ -23,16 +23,25 @@
 //
 //	aigsource -name DB1 -data-dir state/DB1 -apply 'visitInfo:insert:s9,t1,d1'
 //	aigsource -name DB1 -data-dir state/DB1 -apply 'visitInfo:delete:s9,t1,d1'
+//
+// -http ADDR adds an HTTP sidecar listener for operating the source
+// while it serves: POST /mutate?table=T&op=insert|delete&values=V1,V2
+// applies a row-level write (the same query shape aigd's /mutate takes,
+// so load generators can drive writes at the origin while replicas
+// mirror them), GET /healthz answers readiness, and GET /metrics serves
+// the engine's counters in Prometheus text format.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 
+	"github.com/aigrepro/aig/internal/obs"
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/remote"
 	"github.com/aigrepro/aig/internal/source"
@@ -53,6 +62,7 @@ func run() error {
 	fsyncMode := flag.String("fsync", "never", "WAL flushing policy: never or always")
 	snapEvery := flag.Int("snapshot-every", 0, "automatic snapshot cadence in WAL records (0 = default)")
 	apply := flag.String("apply", "", "apply one mutation TABLE:OP:V1,V2,... to the durable state and exit (requires -data-dir)")
+	httpAddr := flag.String("http", "", "HTTP sidecar listener (POST /mutate, GET /healthz, GET /metrics); empty disables")
 	flag.Parse()
 
 	if *name == "" || (*data == "" && *dataDir == "") {
@@ -108,9 +118,23 @@ func run() error {
 	fmt.Printf("source %s serving %d tables on %s (durable=%v fsync=%s)\n",
 		*name, len(db.TableNames()), addr, p != nil, fsync)
 
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: sidecarMux(*name, db)}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "aigsource: http sidecar:", err)
+			}
+		}()
+		fmt.Printf("source %s http sidecar on %s\n", *name, *httpAddr)
+	}
+
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
 	srv.Close()
 	if p != nil {
 		// Final snapshot: the next start recovers without WAL replay.
@@ -119,6 +143,39 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// sidecarMux is the HTTP operating surface of a running source: write
+// endpoint, readiness and metrics. The write path accepts the same
+// query parameters as aigd's POST /mutate (source is optional here and
+// must match when given), so one load generator drives either.
+func sidecarMux(name string, db *relstore.Database) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("POST /mutate", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if src := q.Get("source"); src != "" && src != name {
+			http.Error(w, fmt.Sprintf("this source is %s, not %s", name, src), http.StatusBadRequest)
+			return
+		}
+		table, op, values := q.Get("table"), q.Get("op"), q.Get("values")
+		if table == "" || op == "" {
+			http.Error(w, "need table and op query parameters", http.StatusBadRequest)
+			return
+		}
+		if err := applyMutation(db, table+":"+op+":"+values); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "ok (db version %d)\n", db.Version())
+	})
+	return mux
 }
 
 // applyMutation parses TABLE:OP:V1,V2,... and applies it. OP is insert

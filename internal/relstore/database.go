@@ -31,6 +31,10 @@ type Database struct {
 	// mutations through their individual pointers. Atomic so the
 	// unpersisted fast path is a nil check without the database lock.
 	persist atomic.Pointer[Persister]
+
+	// sig wakes ChangeSignal waiters (delta-subscription fan-out) after
+	// every data-version advance.
+	sig changeSignal
 }
 
 // NewDatabase creates an empty database with the given name.
@@ -58,6 +62,7 @@ func (db *Database) BumpVersion() {
 		}
 	}
 	db.version.Add(2)
+	db.notifyChanged()
 }
 
 // attach wires the persister into the database and every registered
@@ -85,7 +90,10 @@ func (db *Database) detach(p *Persister) {
 // odd while data may be in flux, even again once the mutation is fully
 // visible.
 func (db *Database) beginMutation() { db.version.Add(1) }
-func (db *Database) endMutation()   { db.version.Add(1) }
+func (db *Database) endMutation() {
+	db.version.Add(1)
+	db.notifyChanged()
+}
 
 // Quiesced reports whether no registered-table mutation is in flight
 // at the moment of the call (the version is even).
@@ -121,6 +129,7 @@ func (db *Database) AddTable(t *Table) {
 	}
 	t.hookMutations(db.beginMutation, db.endMutation)
 	db.version.Add(2)
+	db.notifyChanged()
 }
 
 // CreateTable creates, registers and returns an empty table.
@@ -149,6 +158,7 @@ func (db *Database) DropTable(name string) {
 	if present {
 		prev.p.Store(nil) // orphaned handles must not journal
 		db.version.Add(2)
+		db.notifyChanged()
 	}
 }
 

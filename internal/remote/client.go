@@ -162,6 +162,13 @@ func (c *Client) dropConn() {
 // Name implements source.Source.
 func (c *Client) Name() string { return c.name }
 
+// Healthy implements the optional source.Health interface with a ping
+// round-trip, bounded by the client's configured timeouts.
+func (c *Client) Healthy() error {
+	var resp response
+	return c.roundTrip(&request{Kind: reqPing}, &resp)
+}
+
 // TableSchema implements source.Source.
 func (c *Client) TableSchema(table string) (relstore.Schema, error) {
 	var resp response

@@ -64,3 +64,69 @@ func FuzzChangeSetWire(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSubscribeWire checks the subscription push frames the same way:
+// a byte-driven interpreter assembles arbitrary subMessages (snapshot
+// chunks with odd schemas and values, delta batches, heartbeat version
+// maps, unknown kinds) and gob round-trips must be the identity. The
+// frames are what keeps replicas consistent, so a lossy encoding here
+// is silent data corruption across the whole fleet.
+func FuzzSubscribeWire(f *testing.F) {
+	f.Add(uint8(0), "visit", uint64(7), true, []byte{1, 2, 3, 4, 5})
+	f.Add(uint8(3), "", uint64(0), false, []byte{})
+	f.Add(uint8(6), "t", uint64(1<<40), true, []byte{255, 0, 128, 9, 11, 200, 1, 7})
+
+	f.Fuzz(func(t *testing.T, kind uint8, table string, version uint64, consistent bool, data []byte) {
+		msg := subMessage{
+			Proto:      protoVersion,
+			Kind:       subKind(kind),
+			Cause:      kind % 4,
+			Table:      table,
+			Version:    version,
+			DBVersion:  version * 2,
+			Consistent: consistent,
+		}
+		// Interpret the tail as schema columns, snapshot rows, version
+		// map entries and one delta set, so every field shape is explored.
+		for i, b := range data {
+			switch b % 4 {
+			case 0:
+				msg.Schema = append(msg.Schema, string(rune('a'+b%26))+":string")
+			case 1:
+				// gob decodes zero-length slices as nil, so only non-empty
+				// rows are representable on the wire; build them that way.
+				var row []wireValue
+				for j := 0; j < int(b%3)+1; j++ {
+					row = append(row, wireValue{Kind: b % 3, I: int64(b) - 128, S: string(rune(b))})
+				}
+				msg.Rows = append(msg.Rows, row)
+			case 2:
+				if msg.Versions == nil {
+					msg.Versions = make(map[string]uint64)
+				}
+				msg.Versions[string(rune('k'+b%5))] = uint64(b) * version
+			default:
+				msg.Sets = append(msg.Sets, wireChangeSet{
+					Table:     table,
+					Since:     uint64(i),
+					Now:       uint64(i) + uint64(b),
+					Truncated: b%2 == 0,
+					Cause:     b % 4,
+					Changes:   []wireChange{{Ver: uint64(b), Op: b % 2, Row: []wireValue{{Kind: b % 3, I: int64(b)}}}},
+				})
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		var got subMessage
+		if err := gob.NewDecoder(&buf).Decode(&got); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, msg)
+		}
+	})
+}

@@ -28,7 +28,9 @@ import (
 //
 //	1: initial protocol (query, costing, versions, change sets)
 //	2: adds request.TraceID and response.Spans for distributed tracing
-const protoVersion = 2
+//	3: adds reqSubscribe long-lived delta streams (request.FromVersions,
+//	   subMessage push frames with catch-up snapshots)
+const protoVersion = 3
 
 // reqKind discriminates request types.
 type reqKind uint8
@@ -44,6 +46,7 @@ const (
 	reqVersion
 	reqTableVersions
 	reqChanges
+	reqSubscribe
 )
 
 // String names the request kind for span names and log lines.
@@ -67,6 +70,8 @@ func (k reqKind) String() string {
 		return "table_versions"
 	case reqChanges:
 		return "changes"
+	case reqSubscribe:
+		return "subscribe"
 	default:
 		return fmt.Sprintf("kind%d", uint8(k))
 	}
@@ -269,6 +274,10 @@ type request struct {
 	// TraceID, when non-empty, asks the server to trace the handling of
 	// this request and ship the spans back on the response.
 	TraceID string
+
+	// FromVersions (reqSubscribe only) carries the subscriber's current
+	// per-table watermarks; empty means "no state, send everything".
+	FromVersions map[string]uint64
 
 	SQL          string
 	Params       map[string]wireTable

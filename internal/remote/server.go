@@ -7,6 +7,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"time"
 
 	"github.com/aigrepro/aig/internal/relstore"
 	"github.com/aigrepro/aig/internal/source"
@@ -15,6 +16,10 @@ import (
 // Server serves one relstore database over TCP.
 type Server struct {
 	local *source.Local
+
+	// HeartbeatEvery is the idle push cadence of delta-subscription
+	// streams (zero means the 1s default). Set before Listen.
+	HeartbeatEvery time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -76,6 +81,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				slog.Warn("remote: decoding request failed", "peer", conn.RemoteAddr().String(), "err", err)
 			}
+			return
+		}
+		if req.Kind == reqSubscribe {
+			// The connection becomes a one-way push stream; the
+			// subscription loop owns it until the peer (or Close) ends it.
+			s.serveSubscription(enc, &req)
 			return
 		}
 		resp := handle(s.local, &req)

@@ -33,6 +33,7 @@ type refresher struct {
 
 	stop chan struct{}
 	done chan struct{}
+	kick chan struct{}
 	once sync.Once
 
 	// dirtyAt tracks, per logical entry (cache-key prefix), when the
@@ -47,6 +48,7 @@ func newRefresher(s *Server, interval time.Duration) *refresher {
 		interval: interval,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+		kick:     make(chan struct{}, 1),
 		dirtyAt:  make(map[string]time.Time),
 	}
 }
@@ -68,6 +70,10 @@ func (r *refresher) loop() {
 		case <-r.stop:
 			return
 		case <-ticker.C:
+		case <-r.kick:
+			// Push-based invalidation: a subscription delta landed, run a
+			// cycle now instead of waiting out the tick. The ticker stays as
+			// the fallback for sources without push.
 		}
 		if r.s.draining.Load() {
 			return

@@ -116,6 +116,14 @@ type Config struct {
 	// AllowMutate exposes POST /mutate, a demo/benchmark endpoint that
 	// applies row-level writes to local sources. Off by default.
 	AllowMutate bool
+	// SimWork, when positive, spends that much simulated service time per
+	// view request while holding an admission slot, before the cache is
+	// even consulted. It exists for capacity benchmarking on machines with
+	// fewer cores than the modeled fleet: with a fixed per-request floor,
+	// throughput is bounded by MaxConcurrent/SimWork per replica rather
+	// than by raw CPU, so horizontal scaling is measurable on one box.
+	// Off (0) in production.
+	SimWork time.Duration
 	// CacheDir, when set, persists the result cache across restarts: the
 	// cache is dumped there on a clean Drain, and LoadCache (called after
 	// view registration) restores entries whose data-version stamps still
@@ -336,6 +344,22 @@ func NewServer(reg *source.Registry, cfg Config) *Server {
 	return s
 }
 
+// KickRefresh nudges the background refresher to run a cycle now
+// instead of waiting for its next tick. Mirrored sources call it from
+// their delta-apply hook, turning the refresher from poll-based to
+// push-based invalidation: cached entries go warm again one cycle
+// after the write lands, not one RefreshInterval after. Coalescing is
+// inherent (a buffered signal of one); no-op without a refresher.
+func (s *Server) KickRefresh() {
+	if s.refresher == nil {
+		return
+	}
+	select {
+	case s.refresher.kick <- struct{}{}:
+	default:
+	}
+}
+
 // Close stops the background refresher (if any). Idempotent; safe on a
 // server that never started one.
 func (s *Server) Close() {
@@ -530,6 +554,11 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rt.params = canonicalParams(params)
+	if err := s.simWork(ctx); err != nil {
+		rt.fail(err)
+		s.writeError(rw, err)
+		return
+	}
 	stamp, _, err := s.stamp(v)
 	if err != nil {
 		s.m.errors.Inc()
@@ -584,6 +613,29 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.setCache(state)
 	s.writeEntry(rw, e, state)
+}
+
+// simWork spends the configured simulated service time under the
+// admission semaphore, so capacity benchmarks see the same 429/503
+// admission behavior as real evaluations. No-op unless Config.SimWork
+// is set.
+func (s *Server) simWork(ctx context.Context) error {
+	d := s.cfg.SimWork
+	if d <= 0 {
+		return nil
+	}
+	waited, err := s.adm.acquire(ctx)
+	s.m.queueWaitSec.Observe(waited.Seconds())
+	if err != nil {
+		return err
+	}
+	defer func() {
+		s.adm.release()
+		s.m.inflightEvals.Set(float64(s.adm.inUse()))
+	}()
+	s.m.inflightEvals.Set(float64(s.adm.inUse()))
+	time.Sleep(d)
+	return nil
 }
 
 // noStoreRequest reports whether the client asked to bypass the result
@@ -833,12 +885,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleHealth answers GET /healthz: 200 while serving, 503 while
-// draining (so load balancers stop routing before shutdown).
+// handleHealth answers GET /healthz: 200 only when the replica can
+// actually serve — views are prepared, every source that reports health
+// is healthy, and the server is not draining. Anything else is 503 so
+// load balancers (the cluster router) route around this replica. A
+// draining replica additionally sends Retry-After: the condition is
+// terminal for this process but the fleet endpoint recovers as soon as
+// a replacement registers.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", "5")
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
+	}
+	s.mu.RLock()
+	nviews := len(s.views)
+	s.mu.RUnlock()
+	if nviews == 0 {
+		http.Error(w, "no views prepared", http.StatusServiceUnavailable)
+		return
+	}
+	for _, name := range s.reg.Names() {
+		src, err := s.reg.Get(name)
+		if err != nil {
+			http.Error(w, "source "+name+": "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		h, ok := src.(source.Health)
+		if !ok {
+			continue
+		}
+		if herr := h.Healthy(); herr != nil {
+			http.Error(w, "source "+name+": "+herr.Error(), http.StatusServiceUnavailable)
+			return
+		}
 	}
 	fmt.Fprintln(w, "ok")
 }

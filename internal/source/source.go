@@ -76,6 +76,16 @@ type Source interface {
 	Exec(ctx context.Context, name string, q *sqlmini.Query, params sqlmini.Params, opts sqlmini.PlanOptions) (*relstore.Table, time.Duration, error)
 }
 
+// Health is optionally implemented by sources whose availability can
+// degrade at runtime (remote engines, replication mirrors). Healthy
+// returns nil when the source can serve, and an explanatory error when
+// it cannot — readiness endpoints aggregate it so load balancers drain
+// traffic away from a replica whose sources are gone. Sources that do
+// not implement it are assumed healthy.
+type Health interface {
+	Healthy() error
+}
+
 // Local is an in-process source backed by a relstore database.
 type Local struct {
 	db  *relstore.Database

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Benchmark horizontal scaling through the cluster tier: the same warm
+# read workload (with a 50 writes/s mutation stream at the origin) is
+# driven through aigrouter twice — fronting one aigd replica, then
+# fronting four — and the fleet must deliver at least
+# AIG_CLUSTER_MIN_SCALE (default 3) times the single-replica throughput.
+#
+# The host this runs on may have a single CPU, where four replicas buy
+# no real parallel compute. Each replica therefore runs with
+# -sim-work 40ms -max-concurrent 4: every request holds an admission
+# slot for a simulated 40ms service-time floor (cache hits included),
+# which caps one replica at ~100 req/s regardless of CPU count. That
+# makes the thing under test — the router spreading keyspace shards
+# over independent admission capacity — measurable and honest:
+# BENCH_cluster.json records the simulated floor so nobody mistakes
+# the absolute numbers for evaluation speed.
+#
+# All replicas mirror one origin aigsource over the delta subscription
+# stream while its HTTP sidecar takes the writes, so the mutation load
+# exercises push-based invalidation on every replica at once.
+set -euo pipefail
+
+ROUTER1_ADDR="${AIG_CLUSTER_BENCH_ROUTER1:-127.0.0.1:18110}"
+ROUTER4_ADDR="${AIG_CLUSTER_BENCH_ROUTER4:-127.0.0.1:18111}"
+REP_BASE_PORT="${AIG_CLUSTER_BENCH_REP_PORT:-18112}" # replicas take 4 consecutive ports
+SRC_ADDR="${AIG_CLUSTER_BENCH_SRC:-127.0.0.1:18117}"
+SRC_HTTP="${AIG_CLUSTER_BENCH_SRC_HTTP:-127.0.0.1:18118}"
+DURATION="${AIG_CLUSTER_BENCH_DURATION:-10s}"
+WORKERS="${AIG_CLUSTER_BENCH_WORKERS:-40}"
+MUTATE_RATE="${AIG_CLUSTER_BENCH_MUTATE_RATE:-50}"
+SIM_WORK="${AIG_CLUSTER_BENCH_SIM_WORK:-40ms}"
+SLOTS="${AIG_CLUSTER_BENCH_SLOTS:-4}"
+MIN_SCALE="${AIG_CLUSTER_MIN_SCALE:-3}"
+OUT="${AIG_CLUSTER_JSON:-BENCH_cluster.json}"
+
+tmpdir="$(mktemp -d)"
+pids=()
+cleanup() { for p in "${pids[@]}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$tmpdir"; }
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigrouter" ./cmd/aigrouter
+go build -o "$tmpdir/aigsource" ./cmd/aigsource
+go build -o "$tmpdir/aigload" ./cmd/aigload
+go build -o "$tmpdir/aiggen" ./cmd/aiggen
+
+"$tmpdir/aiggen" -size tiny -seed 42 -out "$tmpdir/data" >/dev/null
+mv "$tmpdir/data/DB1" "$tmpdir/DB1"
+
+wait_healthy() { # URL
+    for _ in $(seq 100); do
+        if curl -fsS "$1/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    echo "bench_cluster: $1 did not become healthy" >&2
+    cat "$tmpdir"/*.log >&2 || true
+    exit 1
+}
+
+echo "== start origin + 4 subscribed replicas + 2 routers"
+"$tmpdir/aigsource" -name DB1 -data "$tmpdir/DB1" -listen "$SRC_ADDR" \
+    -http "$SRC_HTTP" >"$tmpdir/aigsource.log" 2>&1 &
+pids+=($!)
+sleep 0.3
+
+rep_urls=()
+for i in 0 1 2 3; do
+    addr="127.0.0.1:$((REP_BASE_PORT + i))"
+    rep_urls+=("http://$addr")
+    "$tmpdir/aigd" -addr "$addr" -view report=examples/hospital/report.aig \
+        -data "$tmpdir/data" -source "DB1=$SRC_ADDR" -subscribe \
+        -refresh-interval 200ms -sim-work "$SIM_WORK" -max-concurrent "$SLOTS" \
+        >"$tmpdir/rep$i.log" 2>&1 &
+    pids+=($!)
+done
+for u in "${rep_urls[@]}"; do wait_healthy "$u"; done
+
+"$tmpdir/aigrouter" -addr "$ROUTER1_ADDR" -replica "${rep_urls[0]}" \
+    -health-interval 200ms >"$tmpdir/router1.log" 2>&1 &
+pids+=($!)
+"$tmpdir/aigrouter" -addr "$ROUTER4_ADDR" \
+    -replica "$(IFS=,; echo "${rep_urls[*]}")" \
+    -health-interval 200ms >"$tmpdir/router4.log" 2>&1 &
+pids+=($!)
+wait_healthy "http://$ROUTER1_ADDR"
+wait_healthy "http://$ROUTER4_ADDR"
+
+DATES="date=d001,d002,d003,d004,d005,d006,d007,d008,d009,d010"
+
+# Warm every replica's cache shard before the writes start. Under the
+# mutation stream a loaded replica cannot cache a fresh evaluation (the
+# stamp recheck sees the write that landed while the request queued, a
+# stale-skip every time), but entries cached in the quiet window stay
+# warm forever after: each applied delta kicks the refresher, the delta
+# judge proves the probe row (visitInfo on the never-served date d999)
+# affects no served view, and the entries are restamped instead of
+# evicted.
+echo "== warm-up (no writes)"
+"$tmpdir/aigload" -url "http://$ROUTER1_ADDR" -view report -param "$DATES" \
+    -c 8 -n 100 >/dev/null
+"$tmpdir/aigload" -url "http://$ROUTER4_ADDR" -view report -param "$DATES" \
+    -c 8 -n 400 >/dev/null
+
+load() { # label router-url json-file metrics-args...
+    local label="$1" router="$2" out="$3"
+    shift 3
+    echo "== $label ($DURATION, $WORKERS workers, ${MUTATE_RATE} writes/s)"
+    "$tmpdir/aigload" -url "http://$router" "$@" \
+        -view report -param "$DATES" \
+        -c "$WORKERS" -n 100000000 -duration "$DURATION" \
+        -mutate DB1:visitInfo=s999998,t999999,d999 \
+        -mutate-rate "$MUTATE_RATE" -mutate-url "http://$SRC_HTTP" \
+        -check -json "$out"
+}
+
+load "single replica" "$ROUTER1_ADDR" "$tmpdir/single.json" \
+    -metrics-url "${rep_urls[0]}"
+metrics_args=()
+for u in "${rep_urls[@]}"; do metrics_args+=(-metrics-url "$u"); done
+load "four replicas" "$ROUTER4_ADDR" "$tmpdir/fleet.json" "${metrics_args[@]}"
+
+field() { # json-file field-name
+    awk -F': *' -v k="\"$2\"" '$1 ~ k {gsub(/,$/, "", $2); print $2; exit}' "$1"
+}
+
+t1="$(field "$tmpdir/single.json" throughput_rps)"
+t4="$(field "$tmpdir/fleet.json" throughput_rps)"
+scale="$(awk -v a="$t4" -v b="$t1" 'BEGIN { printf "%.2f", a/b }')"
+
+{
+    printf '{\n  "min_scale": %s,\n  "scale": %s,\n' "$MIN_SCALE" "$scale"
+    printf '  "replica_sim_work": "%s",\n  "replica_slots": %s,\n' "$SIM_WORK" "$SLOTS"
+    printf '  "note": "each replica admission-caps at slots/sim_work req/s by construction; scale measures router spreading, not evaluation speed",\n'
+    printf '  "single": '
+    cat "$tmpdir/single.json"
+    printf ',\n  "fleet": '
+    cat "$tmpdir/fleet.json"
+    printf '\n}\n'
+} >"$OUT"
+
+echo "bench_cluster: 1 replica ${t1} rps, 4 replicas ${t4} rps, scale ${scale}x -> $OUT"
+awk -v s="$scale" -v min="$MIN_SCALE" 'BEGIN { exit !(s >= min) }' || {
+    echo "bench_cluster: scale ${scale}x below required ${MIN_SCALE}x" >&2
+    exit 1
+}
+echo "bench_cluster: OK"
