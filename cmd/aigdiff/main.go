@@ -8,8 +8,8 @@
 // Usage:
 //
 //	aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink]
-//	        [-ivm | -certify] [-mutations N] [-logcap N]
-//	        [-corpus dir] [-json file]
+//	        [-ivm | -certify | -fragment] [-mutations N] [-paths N]
+//	        [-logcap N] [-corpus dir] [-json file]
 //
 // Seeds run consecutively from -seed. With -duration, aigdiff runs until
 // the wall clock expires instead of a fixed count. On a divergence,
@@ -43,6 +43,16 @@
 // a certifier soundness bug, reported on leg "certify". Mutations that
 // falsify a premise void the affected obligations instead. -shrink
 // minimizes the mutation sequence, as in -ivm mode.
+//
+// With -fragment, each instance is pushed through the fragment serving
+// oracle: -paths random path expressions are derived from the instance's
+// DTD, and after every mutation of a -mutations sequence the partial
+// evaluator's fragment for each path is compared byte-for-byte against
+// the post-hoc oracle (full constraint-free render, then xpath.Select),
+// and every Unaffected verdict from the path-filtered dependency judge
+// is checked against the actual fragment bytes. -shrink minimizes the
+// mutation sequence, holding the path set fixed; regressions record the
+// {seed, config, paths, mutations} quadruple.
 //
 // With -recover, aigdiff tortures the durable relstore instead: each
 // seed derives a deterministic database plus an operation sequence
@@ -89,6 +99,10 @@ type stats struct {
 	Truncated int `json:"truncated_windows,omitempty"`
 	Skipped   int `json:"skipped,omitempty"`
 
+	// Fragment-mode counters (-fragment).
+	Paths  int `json:"paths,omitempty"`
+	Checks int `json:"path_comparisons,omitempty"`
+
 	// Recovery-mode counters (-recover).
 	Records   int `json:"wal_records,omitempty"`
 	Snapshots int `json:"snapshots,omitempty"`
@@ -113,19 +127,21 @@ func main() {
 	shrink := flag.Bool("shrink", false, "minimize a failing instance before reporting it")
 	ivmMode := flag.Bool("ivm", false, "run the incremental view maintenance oracle instead of the evaluation matrix")
 	certifyMode := flag.Bool("certify", false, "run the static-certification soundness oracle instead of the evaluation matrix")
+	fragmentMode := flag.Bool("fragment", false, "run the fragment serving oracle (partial evaluation vs post-hoc path filter) instead of the evaluation matrix")
 	recoverMode := flag.Bool("recover", false, "run the crash-recovery torture oracle instead of the evaluation matrix")
 	mutations := flag.Int("mutations", 25, "mutations per instance in -ivm mode")
+	nPaths := flag.Int("paths", 3, "path expressions per instance in -fragment mode")
 	logCap := flag.Int("logcap", 0, "change-log limit in -ivm mode (0 default, <0 disables delta logging)")
 	snapEvery := flag.Int("snapevery", 0, "automatic snapshot cadence in WAL records in -recover mode (0 = explicit snapshots only)")
 	corpus := flag.String("corpus", "", "directory to save shrunk failures as regression files")
 	jsonPath := flag.String("json", "", "write run statistics as JSON to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm | -certify | -recover] [-mutations N] [-logcap N] [-snapevery N] [-corpus dir] [-json file]\n")
+		fmt.Fprintf(os.Stderr, "usage: aigdiff [-seed N] [-n N | -duration D] [-remote] [-shrink] [-ivm | -certify | -fragment | -recover] [-mutations N] [-paths N] [-logcap N] [-snapevery N] [-corpus dir] [-json file]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	modes := 0
-	for _, m := range []bool{*ivmMode, *certifyMode, *recoverMode} {
+	for _, m := range []bool{*ivmMode, *certifyMode, *fragmentMode, *recoverMode} {
 		if m {
 			modes++
 		}
@@ -199,6 +215,32 @@ func main() {
 			reportIVM(inst, seq, iopts, out.Divergence, *shrink, *corpus, cfg)
 			continue
 		}
+		if *fragmentMode {
+			paths := difftest.GenerateFragmentPaths(inst, s, *nPaths)
+			if len(paths) == 0 {
+				st.Skipped++
+				continue
+			}
+			st.Paths += len(paths)
+			seq := difftest.GenerateMutations(inst, s, *mutations)
+			out := difftest.CheckFragment(inst, paths, seq, difftest.FragmentOptions{})
+			// Every check evaluates the oracle and the partial evaluator once.
+			st.Evals += 2 * out.Checks
+			st.Steps += out.Steps
+			st.Checks += out.Checks
+			st.Restamps += out.Restamps
+			st.Fulls += out.Fulls
+			if out.Skipped {
+				st.Skipped++
+			}
+			if out.Divergence == nil {
+				continue
+			}
+			st.Divergences++
+			exit = 1
+			reportFragment(inst, paths, seq, out.Divergence, *shrink, *corpus, cfg)
+			continue
+		}
 		if *certifyMode {
 			seq := difftest.GenerateMutations(inst, s, *mutations)
 			out := difftest.CheckCertify(inst, seq, difftest.CertifyOptions{})
@@ -245,6 +287,9 @@ func main() {
 		fmt.Printf("aigdiff -certify: %d instances, %d keys + %d fkeys discovered, verdicts %d must-hold / %d unknown / %d violated; %d mutation steps: %d assertions, %d voided, %d unevaluated in %.2fs, %d divergences\n",
 			st.Instances, st.Keys, st.FKs, st.MustHold, st.Unknown, st.Violated,
 			st.Steps, st.Asserted, st.Voided, st.Unevaluated, st.Seconds, st.Divergences)
+	} else if *fragmentMode {
+		fmt.Printf("aigdiff -fragment: %d instances (%d skipped), %d paths, %d mutation steps, %d fragment comparisons: %d restamps, %d rebuilds in %.2fs, %d divergences\n",
+			st.Instances, st.Skipped, st.Paths, st.Steps, st.Checks, st.Restamps, st.Fulls, st.Seconds, st.Divergences)
 	} else if *ivmMode {
 		fmt.Printf("aigdiff -ivm: %d instances (%d skipped), %d mutation steps: %d restamps, %d full refreshes, %d truncated windows in %.2fs, %d divergences\n",
 			st.Instances, st.Skipped, st.Steps, st.Restamps, st.Fulls, st.Truncated, st.Seconds, st.Divergences)
@@ -351,6 +396,39 @@ func reportRecover(seed int64, cfg difftest.RecoverConfig, ops []difftest.Recove
 	reg := difftest.Regression{
 		Seed: seed, Mode: "recover",
 		RecoverOps: ops, RecoverCfg: &cfg, Leg: div.Leg, Note: div.Detail,
+	}
+	repro, err := json.Marshal(reg)
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "aigdiff: repro: %s\n", repro)
+	}
+	if corpusDir != "" {
+		path, err := difftest.SaveRegression(corpusDir, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aigdiff: save regression: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: regression saved to %s\n", path)
+	}
+}
+
+// reportFragment prints one fragment-mode divergence, optionally
+// shrinking the mutation sequence (the path set is held fixed) and
+// filing the regression.
+func reportFragment(inst *randaig.Instance, paths []string, seq []difftest.Mutation, div *difftest.Divergence, shrink bool, corpusDir string, cfg randaig.Config) {
+	fmt.Fprintf(os.Stderr, "%s\n", div.Error())
+	if shrink {
+		shrunk, sdiv, checks := difftest.ShrinkFragment(inst, paths, seq, difftest.FragmentOptions{}, 0)
+		if sdiv != nil {
+			seq, div = shrunk, sdiv
+		}
+		fmt.Fprintf(os.Stderr, "aigdiff: shrunk in %d checks to %d mutations over %d paths:\n", checks, len(seq), len(paths))
+		for _, m := range seq {
+			fmt.Fprintf(os.Stderr, "  %s\n", m)
+		}
+	}
+	reg := difftest.Regression{
+		Seed: inst.Seed, Config: cfg, Mode: "fragment",
+		Paths: paths, Mutations: seq, Leg: div.Leg, Note: div.Detail,
 	}
 	repro, err := json.Marshal(reg)
 	if err == nil {

@@ -33,6 +33,14 @@
 // -no-store every request carries Cache-Control: no-store, bypassing
 // the result cache — the cache-off baseline for the same workload.
 //
+// Repeatable -path flags add fragment request shapes (GET
+// /views/{name}?path=...) to the rotation alongside the full document
+// (drop the full-document shape with -fragment-only). The report then
+// carries per-shape latency percentiles, client-measured first-byte
+// latency, and bytes/request — what bench_fragment.sh reads to compare
+// fragment and full-document cost — plus the daemon-side TTFB
+// quantiles scraped from aig_serve_ttfb_seconds.
+//
 // With -check the exit status enforces a healthy run: zero failed
 // requests and at least one cache hit.
 //
@@ -85,6 +93,17 @@ type report struct {
 	// Targets carries per-target traffic splits and latency percentiles
 	// when more than one -url was given.
 	Targets []targetReport `json:"targets,omitempty"`
+
+	// Paths carries per-request-shape stats when -path was given: the
+	// full-document shape plus one row per fragment path, each with its
+	// own latency, client-measured first-byte latency, and bytes/request
+	// — the honest fragment-vs-full comparison bench_fragment.sh reads.
+	Paths []pathReport `json:"paths,omitempty"`
+
+	// Server-side TTFB quantiles scraped from aig_serve_ttfb_seconds.
+	TTFBP50Ms float64 `json:"ttfb_p50_ms,omitempty"`
+	TTFBP95Ms float64 `json:"ttfb_p95_ms,omitempty"`
+	TTFBP99Ms float64 `json:"ttfb_p99_ms,omitempty"`
 
 	CacheHits     int64            `json:"cache_hits"`
 	CacheMisses   int64            `json:"cache_misses"`
@@ -139,6 +158,32 @@ type targetStats struct {
 	latencies []float64 // milliseconds, successful requests only
 }
 
+// pathReport is one request shape's slice of the run: the full document
+// (path "") or one fragment path.
+type pathReport struct {
+	Path            string  `json:"path"` // "" = full document
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	BytesPerRequest float64 `json:"bytes_per_request"`
+	P50Ms           float64 `json:"p50_ms"`
+	P95Ms           float64 `json:"p95_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	TTFBP50Ms       float64 `json:"ttfb_p50_ms"`
+	TTFBP95Ms       float64 `json:"ttfb_p95_ms"`
+	TTFBP99Ms       float64 `json:"ttfb_p99_ms"`
+}
+
+// pathStats accumulates one request shape's samples during the run.
+type pathStats struct {
+	path      string
+	requests  atomic.Int64
+	errors    atomic.Int64
+	bytes     atomic.Int64
+	mu        sync.Mutex
+	latencies []float64 // milliseconds, successful requests only
+	ttfbs     []float64 // milliseconds to the first body byte
+}
+
 func run() error {
 	var urlFlags repeated
 	flag.Var(&urlFlags, "url", "aigd base URL (repeatable or comma-separated; workers rotate round-robin; default http://localhost:8080)")
@@ -148,6 +193,9 @@ func run() error {
 	view := flag.String("view", "report", "view to request")
 	var paramFlags repeated
 	flag.Var(&paramFlags, "param", "view parameter as NAME=V1,V2,... (repeatable; workers rotate the combinations)")
+	var pathFlags repeated
+	flag.Var(&pathFlags, "path", "fragment path to request (repeatable; workers rotate full-document and fragment shapes)")
+	fragOnly := flag.Bool("fragment-only", false, "with -path, drop the full-document shape from the rotation")
 	concurrency := flag.Int("c", 8, "concurrent workers")
 	total := flag.Int64("n", 1000, "total requests")
 	duration := flag.Duration("duration", 0, "stop after this long even if -n is not reached (0: no limit)")
@@ -163,6 +211,19 @@ func run() error {
 	combos, err := paramCombos(paramFlags)
 	if err != nil {
 		return err
+	}
+
+	// Request shapes: the full document plus one per -path. Workers
+	// rotate tickets across shapes, so fragment and full-document cost
+	// are measured in the same run against the same daemon state.
+	var shapes []*pathStats
+	if !*fragOnly {
+		shapes = append(shapes, &pathStats{path: ""})
+	} else if len(pathFlags) == 0 {
+		return fmt.Errorf("-fragment-only needs at least one -path")
+	}
+	for _, p := range pathFlags {
+		shapes = append(shapes, &pathStats{path: p})
 	}
 
 	var bases []string
@@ -274,14 +335,24 @@ func run() error {
 				}
 				tgt := targets[(ticket-1)%int64(len(targets))]
 				tgt.requests.Add(1)
+				shape := shapes[(ticket-1)%int64(len(shapes))]
+				shape.requests.Add(1)
 				u := tgt.url + "/views/" + url.PathEscape(*view)
 				if q := combos.query(ticket - 1); q != "" {
 					u += "?" + q
+				}
+				if shape.path != "" {
+					sep := "?"
+					if strings.Contains(u, "?") {
+						sep = "&"
+					}
+					u += sep + "path=" + url.QueryEscape(shape.path)
 				}
 				req, err := http.NewRequest(http.MethodGet, u, nil)
 				if err != nil {
 					errsN.Add(1)
 					tgt.errors.Add(1)
+					shape.errors.Add(1)
 					done.Add(1)
 					continue
 				}
@@ -293,16 +364,24 @@ func run() error {
 				}
 				t0 := time.Now()
 				resp, err := client.Do(req)
-				lat := time.Since(t0).Seconds() * 1000
 				done.Add(1)
 				if err != nil {
 					errsN.Add(1)
 					tgt.errors.Add(1)
+					shape.errors.Add(1)
 					continue
 				}
-				n, _ := io.Copy(io.Discard, resp.Body)
+				// The first body byte bounds the client-observed TTFB
+				// (headers have already arrived when Do returns; streamed
+				// fragment responses flush elements before the body ends).
+				br := bufio.NewReader(resp.Body)
+				_, _ = br.Peek(1)
+				ttfb := time.Since(t0).Seconds() * 1000
+				n, _ := io.Copy(io.Discard, br)
 				resp.Body.Close()
+				lat := time.Since(t0).Seconds() * 1000
 				bytesIn.Add(n)
+				shape.bytes.Add(n)
 				statusMu.Lock()
 				statuses[strconv.Itoa(resp.StatusCode)]++
 				statusMu.Unlock()
@@ -314,12 +393,17 @@ func run() error {
 					tgt.mu.Lock()
 					tgt.latencies = append(tgt.latencies, lat)
 					tgt.mu.Unlock()
+					shape.mu.Lock()
+					shape.latencies = append(shape.latencies, lat)
+					shape.ttfbs = append(shape.ttfbs, ttfb)
+					shape.mu.Unlock()
 				case resp.StatusCode == http.StatusTooManyRequests ||
 					resp.StatusCode == http.StatusServiceUnavailable:
 					rejected.Add(1)
 				default:
 					errsN.Add(1)
 					tgt.errors.Add(1)
+					shape.errors.Add(1)
 				}
 			}
 		}()
@@ -367,6 +451,30 @@ func run() error {
 		}
 	}
 
+	if len(pathFlags) > 0 {
+		for _, sh := range shapes {
+			sh.mu.Lock()
+			sort.Float64s(sh.latencies)
+			sort.Float64s(sh.ttfbs)
+			pr := pathReport{
+				Path:      sh.path,
+				Requests:  sh.requests.Load(),
+				Errors:    sh.errors.Load(),
+				P50Ms:     percentile(sh.latencies, 0.50),
+				P95Ms:     percentile(sh.latencies, 0.95),
+				P99Ms:     percentile(sh.latencies, 0.99),
+				TTFBP50Ms: percentile(sh.ttfbs, 0.50),
+				TTFBP95Ms: percentile(sh.ttfbs, 0.95),
+				TTFBP99Ms: percentile(sh.ttfbs, 0.99),
+			}
+			sh.mu.Unlock()
+			if ok := pr.Requests - pr.Errors; ok > 0 {
+				pr.BytesPerRequest = float64(sh.bytes.Load()) / float64(ok)
+			}
+			rep.Paths = append(rep.Paths, pr)
+		}
+	}
+
 	rep.Mutations = mutOK.Load()
 	rep.MutationErrors = mutErr.Load()
 	if counters, hists, err := scrapeAllMetrics(client, metricsURLs); err != nil {
@@ -389,6 +497,11 @@ func run() error {
 			rep.RefreshLagP95 = lag.quantile(0.95) * 1000
 			rep.RefreshLagP99 = lag.quantile(0.99) * 1000
 		}
+		if ttfb := hists["aig_serve_ttfb_seconds"]; ttfb != nil {
+			rep.TTFBP50Ms = ttfb.quantile(0.50) * 1000
+			rep.TTFBP95Ms = ttfb.quantile(0.95) * 1000
+			rep.TTFBP99Ms = ttfb.quantile(0.99) * 1000
+		}
 	}
 
 	fmt.Printf("view=%s c=%d requests=%d errors=%d rejected=%d\n",
@@ -400,6 +513,18 @@ func run() error {
 	for _, tr := range rep.Targets {
 		fmt.Printf("target %s: requests=%d errors=%d throughput=%.1f req/s p50=%.2fms p95=%.2fms p99=%.2fms\n",
 			tr.URL, tr.Requests, tr.Errors, tr.Throughput, tr.P50Ms, tr.P95Ms, tr.P99Ms)
+	}
+	if rep.TTFBP50Ms > 0 || rep.TTFBP95Ms > 0 {
+		fmt.Printf("server ttfb: p50=%.2fms p95=%.2fms p99=%.2fms\n",
+			rep.TTFBP50Ms, rep.TTFBP95Ms, rep.TTFBP99Ms)
+	}
+	for _, pr := range rep.Paths {
+		label := pr.Path
+		if label == "" {
+			label = "(full document)"
+		}
+		fmt.Printf("shape %s: requests=%d errors=%d bytes/req=%.0f p50=%.2fms ttfb p50=%.2fms p95=%.2fms\n",
+			label, pr.Requests, pr.Errors, pr.BytesPerRequest, pr.P50Ms, pr.TTFBP50Ms, pr.TTFBP95Ms)
 	}
 	if *slowest > 0 {
 		traces, err := slowestTraces(client, bases[0], *view, *slowest)

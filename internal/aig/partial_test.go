@@ -1,0 +1,95 @@
+package aig_test
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/hospital"
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// collectCursor drives EvalPartial from the aig side without the xpath
+// package: descend everywhere, collect instances of one element type.
+type collectCursor struct {
+	target string
+}
+
+func (c collectCursor) NeedChild(string) bool { return true }
+
+func (c collectCursor) Child(elem string, inh *aig.AttrValue) aig.FragDecision {
+	if elem == c.target {
+		return aig.FragDecision{Action: aig.FragCollect}
+	}
+	return aig.FragDecision{
+		Action: aig.FragDescend,
+		Cursor: c,
+		Verify: func(n *xmltree.Node) []*xmltree.Node { return n.Descendants(c.target) },
+	}
+}
+
+// skipCursor refuses everything at the document level.
+type skipCursor struct{}
+
+func (skipCursor) NeedChild(string) bool { return false }
+func (skipCursor) Child(string, *aig.AttrValue) aig.FragDecision {
+	return aig.FragDecision{Action: aig.FragSkip}
+}
+
+func TestEvalPartialCollectRoot(t *testing.T) {
+	a := hospital.Sigma0(false)
+	env := hospital.EnvFor(hospital.TinyCatalog())
+	want, err := a.Eval(env, hospital.RootInh(a, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*xmltree.Node
+	err = a.EvalPartial(hospital.EnvFor(hospital.TinyCatalog()), hospital.RootInh(a, "d1"),
+		collectCursor{target: "report"},
+		func(n *xmltree.Node) error { got = append(got, n); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Equal(want) {
+		t.Fatalf("collecting the root produced %d node(s), not the full document", len(got))
+	}
+}
+
+func TestEvalPartialCollectPatients(t *testing.T) {
+	a := hospital.Sigma0(false)
+	env := hospital.EnvFor(hospital.TinyCatalog())
+	doc, err := a.Eval(env, hospital.RootInh(a, "d1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := doc.Descendants("patient")
+	var got []*xmltree.Node
+	err = a.EvalPartial(hospital.EnvFor(hospital.TinyCatalog()), hospital.RootInh(a, "d1"),
+		collectCursor{target: "patient"},
+		func(n *xmltree.Node) error { got = append(got, n); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d patients emitted, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("patient %d differs:\n%s\nvs\n%s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvalPartialSkipRunsNothing(t *testing.T) {
+	a := hospital.Sigma0(false)
+	env := hospital.EnvFor(hospital.TinyCatalog())
+	env.Counters = &aig.Counters{}
+	err := a.EvalPartial(env, hospital.RootInh(a, "d1"), skipCursor{},
+		func(*xmltree.Node) error { t.Fatal("emit called"); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Counters.QueriesRun != 0 || env.Counters.NodesCreated != 0 {
+		t.Errorf("skip-all still ran %d queries / created %d nodes",
+			env.Counters.QueriesRun, env.Counters.NodesCreated)
+	}
+}

@@ -23,13 +23,15 @@ type Regression struct {
 	// Note is a human explanation (what was wrong, when it was fixed).
 	Note string `json:"note,omitempty"`
 	// Mode selects the oracle to replay the regression under: "" means
-	// Check (the evaluation-path matrix), "ivm" means CheckIVM and
-	// "certify" means CheckCertify, each over the recorded mutation
-	// sequence.
+	// Check (the evaluation-path matrix), "ivm" means CheckIVM, "certify"
+	// means CheckCertify and "fragment" means CheckFragment, each over
+	// the recorded mutation sequence.
 	Mode string `json:"mode,omitempty"`
-	// Mutations is the shrunken mutation sequence for Mode "ivm" and
-	// "certify".
+	// Mutations is the shrunken mutation sequence for Mode "ivm",
+	// "certify" and "fragment".
 	Mutations []Mutation `json:"mutations,omitempty"`
+	// Paths is the fragment path set for Mode "fragment".
+	Paths []string `json:"paths,omitempty"`
 	// LogCap is the change-log limit CheckIVM ran with (Mode "ivm").
 	LogCap int `json:"log_cap,omitempty"`
 	// RecoverOps and RecoverCfg are the shrunken operation sequence and

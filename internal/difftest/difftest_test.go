@@ -177,9 +177,14 @@ func TestRegressions(t *testing.T) {
 				t.Fatalf("regenerate: %v", err)
 			}
 			var div *Divergence
-			if reg.Mode == "ivm" {
+			switch reg.Mode {
+			case "ivm":
 				div = CheckIVM(inst, reg.Mutations, IVMOptions{LogCap: reg.LogCap}).Divergence
-			} else {
+			case "certify":
+				div = CheckCertify(inst, reg.Mutations, CertifyOptions{}).Divergence
+			case "fragment":
+				div = CheckFragment(inst, reg.Paths, reg.Mutations, FragmentOptions{}).Divergence
+			default:
 				div = Check(inst, Options{}).Divergence
 			}
 			if div != nil {

@@ -1,0 +1,353 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/ivm"
+	"github.com/aigrepro/aig/internal/randaig"
+	"github.com/aigrepro/aig/internal/relstore"
+	"github.com/aigrepro/aig/internal/specialize"
+	"github.com/aigrepro/aig/internal/sqlmini"
+	"github.com/aigrepro/aig/internal/xmltree"
+	"github.com/aigrepro/aig/internal/xpath"
+)
+
+// GenerateFragmentPaths derives a deterministic set of syntactically
+// valid path expressions from the instance's DTD: random walks down the
+// production graph rendered as child/descendant steps, sprinkled with
+// wildcards, positional predicates, and child-text equality tests whose
+// values mix plausible instance data with misses. Duplicates are
+// dropped, so the result may be shorter than n.
+func GenerateFragmentPaths(inst *randaig.Instance, seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	a := inst.AIG
+
+	// Text values seen in the catalog seed the equality predicates, so
+	// some of them actually select something.
+	var values []string
+	forEachTable(inst.Catalog, func(_ string, t *relstore.Table) {
+		for i := 0; i < t.Len() && len(values) < 64; i++ {
+			row := t.Row(i)
+			if len(row) > 0 {
+				values = append(values, row[rng.Intn(len(row))].Text())
+			}
+		}
+	})
+	values = append(values, "", "z1", "nope")
+
+	textChildren := func(t string) []string {
+		prod, ok := a.DTD.Production(t)
+		if !ok {
+			return nil
+		}
+		var out []string
+		for _, c := range prod.Children {
+			if cp, ok := a.DTD.Production(c); ok && cp.Kind == dtd.ProdText {
+				out = append(out, a.Label(c))
+			}
+		}
+		return out
+	}
+
+	step := func(t string) string {
+		var sb strings.Builder
+		if rng.Intn(10) < 3 {
+			sb.WriteString("//")
+		} else {
+			sb.WriteString("/")
+		}
+		if rng.Intn(10) == 0 {
+			sb.WriteString("*")
+		} else {
+			sb.WriteString(a.Label(t))
+		}
+		if tc := textChildren(t); len(tc) > 0 && rng.Intn(10) < 3 {
+			fmt.Fprintf(&sb, "[%s='%s']", tc[rng.Intn(len(tc))],
+				strings.ReplaceAll(values[rng.Intn(len(values))], "'", ""))
+		}
+		if rng.Intn(10) < 2 {
+			fmt.Fprintf(&sb, "[%d]", 1+rng.Intn(3))
+		}
+		return sb.String()
+	}
+
+	seen := make(map[string]bool)
+	var out []string
+	for attempts := 0; len(out) < n && attempts < n*20; attempts++ {
+		t := a.DTD.Root
+		var sb strings.Builder
+		depth := 1 + rng.Intn(4)
+		for d := 0; d < depth; d++ {
+			// Deep walks usually skip the root and dive somewhere below it.
+			if d > 0 || rng.Intn(10) < 7 {
+				sb.WriteString(step(t))
+			}
+			prod, ok := a.DTD.Production(t)
+			if !ok || len(prod.Children) == 0 {
+				break
+			}
+			t = prod.Children[rng.Intn(len(prod.Children))]
+		}
+		p := sb.String()
+		if p == "" || seen[p] {
+			continue
+		}
+		if _, err := xpath.Parse(p); err != nil {
+			continue
+		}
+		seen[p] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// FragmentOutcome summarizes one fragment oracle run.
+type FragmentOutcome struct {
+	// Divergence is nil when the partial evaluator matched the post-hoc
+	// oracle at every step for every path.
+	Divergence *Divergence
+	// Steps counts applied mutations, Checks individual path comparisons,
+	// Restamps how many (path, step) pairs the filtered-deps judge proved
+	// irrelevant (cached fragment kept and byte-verified), Fulls the rest.
+	Steps, Checks, Restamps, Fulls int
+	// Skipped reports the instance was unusable (its constraint-free
+	// evaluation fails even before mutations).
+	Skipped bool
+}
+
+// FragmentOptions tunes one fragment oracle run.
+type FragmentOptions struct {
+	// Fault, when set, corrupts the partial evaluator's emitted fragment
+	// before comparison — a test hook simulating an unsound partial
+	// evaluation that the oracle must catch.
+	Fault func(path, fragment string) string
+}
+
+// fragState is one path's compiled plan plus the incremental-maintenance
+// bookkeeping the oracle replays alongside the byte comparison.
+type fragState struct {
+	expr     string
+	path     *xpath.Path
+	compiled *xpath.Compiled
+	deps     *ivm.Deps
+	params   map[string]relstore.Value
+	// cached is the fragment at the last step the path was (re)built;
+	// baseline the table versions it was built at.
+	cached   string
+	baseline map[tableKey]uint64
+}
+
+// CheckFragment is the fragment serving differential oracle. For each
+// generated path it asserts, after every mutation, that the partial
+// evaluator's emitted fragment byte-equals the post-hoc oracle (full
+// constraint-free render, then xpath.Select over the tree), and — the
+// refresher's soundness property — that whenever the path-filtered
+// dependency judge rules a step's deltas irrelevant, the previously
+// cached fragment bytes are in fact unchanged. Mutations run against a
+// catalog clone, so the instance can be reused (shrinking, replay).
+//
+// Steps where the full evaluation itself fails are skipped for the byte
+// comparison: partial evaluation legitimately avoids errors raised in
+// subtrees it never enters, so only a partial-evaluation failure while
+// the oracle succeeds is a divergence.
+func CheckFragment(inst *randaig.Instance, paths []string, muts []Mutation, opts FragmentOptions) FragmentOutcome {
+	mkDiv := func(detail, want, got string) *Divergence {
+		return &Divergence{Seed: inst.Seed, Leg: "fragment", Detail: detail, Want: want, Got: got}
+	}
+	inst = &randaig.Instance{
+		Seed: inst.Seed, Cfg: inst.Cfg, AIG: inst.AIG,
+		Catalog: cloneCatalog(inst.Catalog), RootInh: inst.RootInh,
+		Recursive: inst.Recursive, UnfoldDepth: inst.UnfoldDepth,
+	}
+
+	// The fragment grammar: constraint-free (partial evaluation must be
+	// guard-free), decomposed and unfolded like the serving layer's.
+	plain := inst.AIG.Clone()
+	plain.Constraints = nil
+	dec, err := specialize.DecomposeQueries(plain, inst.Schemas(), inst.Stats(), sqlmini.PlanOptions{})
+	if err != nil {
+		return FragmentOutcome{Divergence: mkDiv("query decomposition failed: "+err.Error(), "", "")}
+	}
+	decU, err := specialize.Unfold(dec, inst.UnfoldDepth)
+	if err != nil {
+		return FragmentOutcome{Divergence: mkDiv("unfold failed: "+err.Error(), "", "")}
+	}
+
+	var states []*fragState
+	for _, expr := range paths {
+		p, err := xpath.Parse(expr)
+		if err != nil {
+			return FragmentOutcome{Divergence: mkDiv(fmt.Sprintf("path %q does not parse: %v", expr, err), "", "")}
+		}
+		c, err := xpath.Compile(decU, p)
+		if err != nil {
+			return FragmentOutcome{Divergence: mkDiv(fmt.Sprintf("path %q does not compile: %v", expr, err), "", "")}
+		}
+		deps, err := ivm.ExtractFiltered(decU, inst.Schemas(), c.LiveScans(decU))
+		if err != nil {
+			return FragmentOutcome{Divergence: mkDiv(fmt.Sprintf("path %q: dependency extraction failed: %v", expr, err), "", "")}
+		}
+		params, err := deps.ParamsFromInh(inst.RootInh)
+		if err != nil {
+			return FragmentOutcome{Divergence: mkDiv("root parameter binding failed: "+err.Error(), "", "")}
+		}
+		states = append(states, &fragState{expr: expr, path: p, compiled: c, deps: deps, params: params})
+	}
+
+	renderNodes := func(nodes []*xmltree.Node) (string, error) {
+		var sb strings.Builder
+		for _, n := range nodes {
+			if err := n.WriteIndented(&sb); err != nil {
+				return "", err
+			}
+		}
+		return sb.String(), nil
+	}
+	partialFragment := func(fs *fragState) (string, error) {
+		var sb strings.Builder
+		err := decU.EvalPartial(inst.Env(), inst.RootInh, fs.compiled.NewCursor(), func(n *xmltree.Node) error {
+			return n.WriteIndented(&sb)
+		})
+		return sb.String(), err
+	}
+
+	var out FragmentOutcome
+
+	// checkAll compares every path at the current catalog state; step -1
+	// is the pre-mutation baseline.
+	checkAll := func(step int, stepDesc string) *Divergence {
+		doc, err := decU.Eval(inst.Env(), inst.RootInh)
+		if err != nil {
+			if step < 0 {
+				out.Skipped = true
+			}
+			return nil // no oracle to compare against at this state
+		}
+		now := snapshotVersions(inst.Catalog)
+		for _, fs := range states {
+			out.Checks++
+			want, rerr := renderNodes(xpath.Select(doc, fs.path))
+			if rerr != nil {
+				return mkDiv(fmt.Sprintf("%s: path %q: rendering oracle fragment: %v", stepDesc, fs.expr, rerr), "", "")
+			}
+			got, perr := partialFragment(fs)
+			if perr != nil {
+				return mkDiv(fmt.Sprintf("%s: path %q: partial evaluation failed while the oracle succeeded: %v", stepDesc, fs.expr, perr), want, "")
+			}
+			if opts.Fault != nil {
+				got = opts.Fault(fs.expr, got)
+			}
+			if got != want {
+				return mkDiv(fmt.Sprintf("%s: path %q: partial fragment differs from post-hoc oracle", stepDesc, fs.expr), want, got)
+			}
+
+			// The refresher's judgement, replayed: an Unaffected verdict
+			// from the path-filtered deps must imply unchanged bytes.
+			if fs.baseline != nil {
+				unaffected := true
+				for key, cur := range now {
+					old, ok := fs.baseline[key]
+					if !ok || cur == old {
+						if !ok && fs.deps.DependsOn(key.source, key.table) {
+							unaffected = false
+						}
+						continue
+					}
+					if !fs.deps.DependsOn(key.source, key.table) {
+						continue
+					}
+					cs, cerr := changesSince(inst.Catalog, key.source, key.table, old)
+					if cerr != nil || cs.Truncated ||
+						fs.deps.Judge(key.source, key.table, cs, fs.params) != ivm.Unaffected {
+						unaffected = false
+					}
+				}
+				if unaffected {
+					out.Restamps++
+					if fs.cached != want {
+						return mkDiv(fmt.Sprintf("%s: path %q: filtered deps judged the deltas irrelevant but the fragment changed", stepDesc, fs.expr),
+							want, fs.cached)
+					}
+				} else {
+					out.Fulls++
+				}
+			}
+			fs.cached, fs.baseline = want, now
+		}
+		return nil
+	}
+
+	if d := checkAll(-1, "baseline"); d != nil {
+		out.Divergence = d
+		return out
+	}
+	if out.Skipped {
+		return out
+	}
+	for i, m := range muts {
+		changed, err := m.apply(inst.Catalog)
+		if err != nil {
+			out.Divergence = mkDiv(fmt.Sprintf("step %d: applying %s: %v", i, m, err), "", "")
+			return out
+		}
+		if !changed {
+			continue
+		}
+		out.Steps++
+		if d := checkAll(i, fmt.Sprintf("step %d (%s)", i, m)); d != nil {
+			out.Divergence = d
+			return out
+		}
+	}
+	return out
+}
+
+// ShrinkFragment minimizes a diverging fragment run ddmin-style over the
+// mutation sequence, holding the path set fixed. budget <= 0 means
+// DefaultShrinkBudget checks.
+func ShrinkFragment(inst *randaig.Instance, paths []string, muts []Mutation, opts FragmentOptions, budget int) ([]Mutation, *Divergence, int) {
+	if budget <= 0 {
+		budget = DefaultShrinkBudget
+	}
+	checks := 0
+	reproduces := func(candidate []Mutation) (*Divergence, bool) {
+		if checks >= budget {
+			return nil, false
+		}
+		checks++
+		out := CheckFragment(inst, paths, candidate, opts)
+		return out.Divergence, out.Divergence != nil
+	}
+
+	cur := muts
+	var last *Divergence
+	if d, ok := reproduces(cur); ok {
+		last = d
+	} else {
+		return cur, nil, checks
+	}
+	for size := len(cur) / 2; size >= 1; {
+		removedAny := false
+		for start := 0; start+size <= len(cur); {
+			candidate := append(append([]Mutation(nil), cur[:start]...), cur[start+size:]...)
+			if d, ok := reproduces(candidate); ok {
+				cur, last = candidate, d
+				removedAny = true
+				continue
+			}
+			start += size
+		}
+		if !removedAny {
+			size /= 2
+		} else if size > len(cur)/2 {
+			size = len(cur) / 2
+		}
+		if checks >= budget {
+			break
+		}
+	}
+	return cur, last, checks
+}

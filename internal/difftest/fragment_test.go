@@ -1,0 +1,201 @@
+package difftest
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/randaig"
+	"github.com/aigrepro/aig/internal/xpath"
+)
+
+// fragSeeds is the deterministic seed range the fragment oracle sweeps.
+const fragSeeds = 40
+
+// TestFragmentOracle sweeps generated instances through the fragment
+// oracle: for every generated path, after every mutation, the partial
+// evaluator's fragment must byte-equal the post-hoc oracle, and the
+// filtered-deps judge must never rule a fragment-changing delta
+// irrelevant. The sweep must exercise both maintenance verdicts.
+func TestFragmentOracle(t *testing.T) {
+	n := fragSeeds
+	muts := 15
+	if testing.Short() {
+		n, muts = 10, 8
+	}
+	var steps, checks, restamps, fulls, skipped, pathless int
+	cfg := randaig.DefaultConfig()
+	for seed := int64(0); seed < int64(n); seed++ {
+		inst, err := randaig.Generate(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		paths := GenerateFragmentPaths(inst, seed, 3)
+		if len(paths) == 0 {
+			pathless++
+			continue
+		}
+		seq := GenerateMutations(inst, seed, muts)
+		out := CheckFragment(inst, paths, seq, FragmentOptions{})
+		if out.Divergence != nil {
+			t.Fatalf("seed %d (paths %q) diverged:\n%s", seed, paths, out.Divergence.Error())
+		}
+		if out.Skipped {
+			skipped++
+			continue
+		}
+		steps += out.Steps
+		checks += out.Checks
+		restamps += out.Restamps
+		fulls += out.Fulls
+	}
+	if checks == 0 {
+		t.Fatal("no path comparison ran across the whole sweep")
+	}
+	if steps == 0 {
+		t.Fatal("no mutation applied across the whole sweep")
+	}
+	if restamps == 0 {
+		t.Error("no delta was ever proven irrelevant for a fragment — restamp path untested")
+	}
+	if fulls == 0 {
+		t.Error("no delta ever invalidated a fragment — rebuild path untested")
+	}
+	t.Logf("%d instances (%d skipped, %d without paths), %d steps, %d comparisons: %d restamps, %d rebuilds",
+		n, skipped, pathless, steps, checks, restamps, fulls)
+}
+
+// TestGenerateFragmentPathsDeterministicAndValid requires the path
+// generator to be deterministic per seed and every emitted expression to
+// round-trip through the parser.
+func TestGenerateFragmentPathsDeterministicAndValid(t *testing.T) {
+	inst, err := randaig.Generate(5, randaig.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := GenerateFragmentPaths(inst, 5, 8)
+	second := GenerateFragmentPaths(inst, 5, 8)
+	if len(first) == 0 {
+		t.Fatal("generator produced no paths")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("generator not deterministic: %d vs %d paths", len(first), len(second))
+	}
+	for i, expr := range first {
+		if expr != second[i] {
+			t.Fatalf("path %d differs across runs: %q vs %q", i, expr, second[i])
+		}
+		p, err := xpath.Parse(expr)
+		if err != nil {
+			t.Fatalf("generated path %q does not parse: %v", expr, err)
+		}
+		if rt, err := xpath.Parse(p.String()); err != nil || rt.String() != p.String() {
+			t.Fatalf("canonical form of %q does not round-trip: %q (%v)", expr, p.String(), err)
+		}
+	}
+}
+
+// TestFragmentFaultInjection corrupts the partial evaluator's output and
+// proves the oracle reports it, ShrinkFragment minimizes the mutation
+// sequence while preserving the divergence, and the persisted regression
+// replays under the fault but is clean without it.
+func TestFragmentFaultInjection(t *testing.T) {
+	opts := FragmentOptions{Fault: func(_, got string) string {
+		if got == "" {
+			return got
+		}
+		return got + "<corrupt/>"
+	}}
+	cfg := randaig.DefaultConfig()
+
+	var inst *randaig.Instance
+	var paths []string
+	var seq []Mutation
+	var out FragmentOutcome
+	for seed := int64(0); seed < 30; seed++ {
+		cand, err := randaig.Generate(seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: generate: %v", seed, err)
+		}
+		ps := GenerateFragmentPaths(cand, seed, 4)
+		if len(ps) == 0 {
+			continue
+		}
+		s := GenerateMutations(cand, seed, 12)
+		o := CheckFragment(cand, ps, s, opts)
+		if o.Divergence != nil {
+			inst, paths, seq, out = cand, ps, s, o
+			break
+		}
+	}
+	if inst == nil {
+		t.Fatal("no seed in range produced a matching fragment under the corrupted evaluator")
+	}
+	if out.Divergence.Leg != "fragment" {
+		t.Fatalf("divergence on leg %q, want fragment", out.Divergence.Leg)
+	}
+
+	shrunk, div, checks := ShrinkFragment(inst, paths, seq, opts, 150)
+	if div == nil {
+		t.Fatal("shrink lost the divergence")
+	}
+	if checks == 0 {
+		t.Fatal("shrink performed no checks")
+	}
+	if len(shrunk) > len(seq) {
+		t.Errorf("shrink grew the sequence: %d > %d", len(shrunk), len(seq))
+	}
+	t.Logf("shrunk %d -> %d mutations in %d checks", len(seq), len(shrunk), checks)
+
+	// Persist and replay the {seed, config, paths, mutations} quadruple.
+	dir := t.TempDir()
+	reg := Regression{
+		Seed: inst.Seed, Config: cfg, Mode: "fragment",
+		Paths: paths, Mutations: shrunk, Leg: "fragment", Note: "injected corrupt partial evaluator",
+	}
+	if _, err := SaveRegression(dir, reg); err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := LoadCorpus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, loaded := range corpus {
+		replayed, err := loaded.Instance()
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		again := CheckFragment(replayed, loaded.Paths, loaded.Mutations, opts)
+		if again.Divergence == nil {
+			t.Fatal("replayed regression does not reproduce under the fault")
+		}
+		// Without the fault the same run must be clean: the mismatch came
+		// from the injected corruption, not the shrink.
+		clean := CheckFragment(replayed, loaded.Paths, loaded.Mutations, FragmentOptions{})
+		if clean.Divergence != nil {
+			t.Fatalf("shrunk sequence diverges without the fault:\n%s", clean.Divergence.Error())
+		}
+	}
+}
+
+// TestFragmentDeterministicReplay re-runs the same {instance, paths,
+// mutations} triple and requires identical outcomes — CheckFragment must
+// not leak state into the instance it was handed.
+func TestFragmentDeterministicReplay(t *testing.T) {
+	inst, err := randaig.Generate(7, randaig.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := GenerateFragmentPaths(inst, 7, 3)
+	if len(paths) == 0 {
+		t.Skip("seed 7 produced no paths")
+	}
+	seq := GenerateMutations(inst, 7, 10)
+	first := CheckFragment(inst, paths, seq, FragmentOptions{})
+	second := CheckFragment(inst, paths, seq, FragmentOptions{})
+	if first.Divergence != nil || second.Divergence != nil {
+		t.Fatalf("unexpected divergence: %+v / %+v", first.Divergence, second.Divergence)
+	}
+	if first.Steps != second.Steps || first.Checks != second.Checks ||
+		first.Restamps != second.Restamps || first.Fulls != second.Fulls {
+		t.Fatalf("outcomes differ across replays: %+v vs %+v", first, second)
+	}
+}

@@ -176,6 +176,17 @@ func rootCopyMap(a *aig.AIG) map[string]map[string]string {
 // or through an unbroken chain of copy rules) to a root Inh member —
 // the view's request parameters.
 func Extract(a *aig.AIG, schemas SchemaSource) (*Deps, error) {
+	return ExtractFiltered(a, schemas, nil)
+}
+
+// ExtractFiltered is Extract restricted to the scans keep admits, keyed
+// by (rule element, child) the way specialize.TableScans reports them.
+// It exists for fragment serving: a cached fragment depends only on the
+// scans its path can reach (xpath.Compiled.LiveScans), so deltas against
+// the rest of the view's tables restamp the fragment instead of
+// rebuilding it. keep must be an over-approximation of the scans any
+// concrete evaluation of the fragment runs; nil keeps everything.
+func ExtractFiltered(a *aig.AIG, schemas SchemaSource, keep func(elem, child string) bool) (*Deps, error) {
 	root := a.DTD.Root
 	traced := rootCopyMap(a)
 	d := &Deps{
@@ -184,6 +195,9 @@ func Extract(a *aig.AIG, schemas SchemaSource) (*Deps, error) {
 		scans:      make(map[string]map[string][]scan),
 	}
 	for _, ts := range specialize.TableScans(a) {
+		if keep != nil && !keep(ts.Elem, ts.Child) {
+			continue
+		}
 		schema, err := schemas.TableSchema(ts.Source, ts.Table)
 		if err != nil {
 			return nil, fmt.Errorf("ivm: resolving %s:%s: %w", ts.Source, ts.Table, err)

@@ -30,6 +30,13 @@ type cacheEntry struct {
 	// tableVers records the per-table versions at the stamp, the
 	// baseline ChangesSince windows are judged from.
 	tableVers map[string]map[string]uint64
+
+	// path marks a fragment entry: the canonical path expression whose
+	// matches the body holds ("" for full documents). The refresher
+	// judges fragment entries against the path-filtered dependency map.
+	path string
+	// matches is the number of elements the path selected.
+	matches int
 }
 
 // restamped returns a copy of the entry carrying a newer stamp: the

@@ -44,6 +44,10 @@ type persistedEntry struct {
 	Body      []byte
 	Depth     int
 	EvalSec   float64
+	// Path and Matches carry fragment provenance ("" / 0 for full
+	// documents); gob decodes their absence in older dumps as zero.
+	Path    string
+	Matches int
 	// CreatedUnixNano preserves the entry's age across the restart.
 	CreatedUnixNano int64
 }
@@ -73,6 +77,8 @@ func (s *Server) SaveCache(dir string) error {
 			Body:            e.body,
 			Depth:           e.depth,
 			EvalSec:         e.evalSec,
+			Path:            e.path,
+			Matches:         e.matches,
 			CreatedUnixNano: e.created.UnixNano(),
 		})
 	}
@@ -127,6 +133,8 @@ func (s *Server) LoadCache(dir string) (int, error) {
 			keyPrefix: pe.KeyPrefix,
 			stamp:     pe.Stamp,
 			tableVers: pe.TableVers,
+			path:      pe.Path,
+			matches:   pe.Matches,
 		}
 		st, seen := states[pe.View]
 		if !seen {
@@ -139,12 +147,21 @@ func (s *Server) LoadCache(dir string) (int, error) {
 			s.m.cacheDropped.Inc()
 			continue
 		}
+		deps := st.v.deps
+		if e.path != "" {
+			fp, perr := st.v.fragmentPlan(e.path, s.reg)
+			if perr != nil {
+				s.m.cacheDropped.Inc()
+				continue
+			}
+			deps = st.v.fragDeps(fp)
+		}
 		switch {
 		case e.stamp == st.stamp:
 			s.cache.Add(e.keyPrefix+"\x00"+e.stamp, e)
 			s.m.cacheRestored.Inc()
 			installed++
-		case s.judgeUnaffected(e, st):
+		case s.judgeUnaffected(e, st, deps):
 			// Data moved while the daemon was down, but every delta is
 			// provably irrelevant for this binding: carry the body over
 			// under the live stamp.

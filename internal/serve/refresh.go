@@ -189,9 +189,28 @@ func (r *refresher) refreshOne(it lruItem, st viewState) {
 	rt.params = canonicalParams(e.params)
 	defer rt.finish()
 
+	// Fragment entries are judged against the dependency map filtered to
+	// the scans their path can reach: a delta landing outside that set
+	// restamps the fragment even when it would rebuild the full document.
+	deps := st.v.deps
+	var fp *fragPlan
+	if e.path != "" {
+		var perr error
+		fp, perr = st.v.fragmentPlan(e.path, s.reg)
+		if perr != nil {
+			// A cached fragment whose path no longer compiles (the view was
+			// replaced): drop it rather than refresh it forever.
+			s.cache.Remove(it.key)
+			s.m.refreshErrors.Inc()
+			rt.fail(perr)
+			return
+		}
+		deps = st.v.fragDeps(fp)
+	}
+
 	tr, parent := obs.SpanFromContext(ctx)
 	judgeSpan := tr.StartSpan("ivm.judge", parent)
-	unaffected := s.judgeUnaffected(e, st)
+	unaffected := s.judgeUnaffected(e, st, deps)
 	judgeSpan.SetAttr("unaffected", unaffected).End()
 
 	if unaffected {
@@ -206,7 +225,12 @@ func (r *refresher) refreshOne(it lruItem, st viewState) {
 		// stamp holds through the evaluation. The stale entry is removed
 		// either way — its key can never be hit again (stamps are
 		// monotone), so keeping it would only crowd the LRU.
-		_, err, _ := s.missFlight(ctx, st.v, e.params, e.keyPrefix, st.stamp, false)
+		var err error
+		if fp != nil {
+			_, err, _ = s.fragmentFlight(ctx, st.v, e.params, fp, e.keyPrefix, st.stamp, false, nil)
+		} else {
+			_, err, _ = s.missFlight(ctx, st.v, e.params, e.keyPrefix, st.stamp, false)
+		}
 		s.cache.Remove(it.key)
 		s.m.cacheEntries.Set(float64(s.cache.Len()))
 		rt.setCache("rebuild")
@@ -229,8 +253,9 @@ func (r *refresher) refreshOne(it lruItem, st viewState) {
 // entry's parameter binding. Any gap in the proof — unparseable
 // parameters, a truncated change log, a table appearing or vanishing, a
 // delta the judge cannot exclude — falls back to full re-evaluation.
-func (s *Server) judgeUnaffected(e *cacheEntry, st viewState) bool {
-	deps := st.v.deps
+// deps is the dependency map to judge against: the view's full map for
+// document entries, the path-filtered map for fragment entries.
+func (s *Server) judgeUnaffected(e *cacheEntry, st viewState, deps *ivm.Deps) bool {
 	if deps == nil {
 		return false
 	}

@@ -196,6 +196,7 @@ type serveMetrics struct {
 	rejectedTimeout *obs.Counter
 	evictions       *obs.Counter
 
+	fragments     *obs.Counter
 	staleSkips    *obs.Counter
 	refreshCycles *obs.Counter
 	refreshDelta  *obs.Counter
@@ -223,6 +224,7 @@ type serveMetrics struct {
 	refreshDirty  *obs.Gauge
 
 	requestSec    *obs.Histogram
+	ttfbSec       *obs.Histogram
 	queueWaitSec  *obs.Histogram
 	evalSec       *obs.Histogram
 	refreshSec    *obs.Histogram
@@ -240,6 +242,7 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		rejectedFull:        r.NewCounter("aig_serve_rejected_queue_full_total", "view requests rejected because the admission queue was full (429)"),
 		rejectedTimeout:     r.NewCounter("aig_serve_rejected_queue_timeout_total", "view requests rejected after waiting too long for an evaluation slot (503)"),
 		evictions:           r.NewCounter("aig_serve_cache_evictions_total", "result-cache entries evicted by capacity"),
+		fragments:           r.NewCounter("aig_serve_fragment_requests_total", "view requests answered as path-selected fragments"),
 		staleSkips:          r.NewCounter("aig_serve_cache_stale_skips_total", "evaluation results not cached because the data-version stamp moved mid-evaluation"),
 		refreshCycles:       r.NewCounter("aig_serve_refresh_cycles_total", "background refresh cycles run"),
 		refreshDelta:        r.NewCounter("aig_serve_refresh_delta_total", "cache entries kept warm by delta judgement (restamped without re-evaluation)"),
@@ -258,6 +261,7 @@ func newServeMetrics(r *obs.Registry) serveMetrics {
 		cacheEntries:        r.NewGauge("aig_serve_cache_entries", "entries in the result cache"),
 		refreshDirty:        r.NewGauge("aig_serve_refresh_dirty_queue", "cached entries observed stale at the start of the latest refresh cycle"),
 		requestSec:          r.NewHistogram("aig_serve_request_seconds", "view request latency", obs.DurationBuckets),
+		ttfbSec:             r.NewHistogram("aig_serve_ttfb_seconds", "time from request arrival to the first response body byte", obs.DurationBuckets),
 		queueWaitSec:        r.NewHistogram("aig_serve_queue_wait_seconds", "time spent waiting for an evaluation slot", obs.DurationBuckets),
 		evalSec:             r.NewHistogram("aig_serve_evaluate_seconds", "mediator evaluation wall time", obs.DurationBuckets),
 		refreshSec:          r.NewHistogram("aig_serve_refresh_seconds", "per-entry background refresh wall time", obs.DurationBuckets),
@@ -323,6 +327,8 @@ func NewServer(reg *source.Registry, cfg Config) *Server {
 	mux.HandleFunc("GET /views", s.handleList)
 	mux.HandleFunc("GET /views/{name}", s.handleView)
 	mux.HandleFunc("POST /views/{name}", s.handleView)
+	// Singular alias, the fragment-serving spelling: GET /view/{name}?path=...
+	mux.HandleFunc("GET /view/{name}", s.handleView)
 	mux.HandleFunc("GET /views/{name}/explain", s.handleExplain)
 	mux.HandleFunc("GET /views/{name}/trace", s.handleTrace)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -487,13 +493,15 @@ func (s *Server) tableVersions(v *View) (map[string]map[string]uint64, error) {
 
 // requestParams extracts view parameters from the query string, a POST
 // form body, or a JSON object body, and validates them against the
-// view's root attribute.
-func requestParams(r *http.Request, v *View) (map[string]string, error) {
+// view's root attribute. "path" is reserved for fragment selection: it
+// is popped out before validation and returned separately, so no view
+// may declare a root parameter of that name through HTTP.
+func requestParams(r *http.Request, v *View) (map[string]string, string, error) {
 	params := make(map[string]string)
 	if r.Method == http.MethodPost && strings.HasPrefix(r.Header.Get("Content-Type"), "application/json") {
 		var body map[string]string
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			return nil, fmt.Errorf("decoding JSON parameters: %w", err)
+			return nil, "", fmt.Errorf("decoding JSON parameters: %w", err)
 		}
 		for k, val := range body {
 			params[k] = val
@@ -506,7 +514,7 @@ func requestParams(r *http.Request, v *View) (map[string]string, error) {
 		}
 	} else {
 		if err := r.ParseForm(); err != nil {
-			return nil, fmt.Errorf("parsing parameters: %w", err)
+			return nil, "", fmt.Errorf("parsing parameters: %w", err)
 		}
 		for k, vals := range r.Form {
 			if len(vals) > 0 {
@@ -514,12 +522,14 @@ func requestParams(r *http.Request, v *View) (map[string]string, error) {
 			}
 		}
 	}
+	path := params["path"]
+	delete(params, "path")
 	// Validate names and values now, so bad requests are 400s that never
 	// reach the cache or the admission queue.
 	if _, err := v.bindParams(params); err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return params, nil
+	return params, path, nil
 }
 
 // handleView answers GET/POST /views/{name}.
@@ -547,7 +557,7 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	rt, ctx, rw := s.beginRequestTrace(w, r, v, start)
 	defer rt.finish()
 
-	params, err := requestParams(r, v)
+	params, path, err := requestParams(r, v)
 	if err != nil {
 		rt.fail(err)
 		http.Error(rw, err.Error(), http.StatusBadRequest)
@@ -557,6 +567,10 @@ func (s *Server) handleView(w http.ResponseWriter, r *http.Request) {
 	if err := s.simWork(ctx); err != nil {
 		rt.fail(err)
 		s.writeError(rw, err)
+		return
+	}
+	if path != "" {
+		s.serveFragment(ctx, rt, rw, r, v, params, path)
 		return
 	}
 	stamp, _, err := s.stamp(v)

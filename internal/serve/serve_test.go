@@ -33,6 +33,13 @@ func (g *gatedSource) Exec(ctx context.Context, name string, q *sqlmini.Query, p
 	return g.Source.Exec(ctx, name, q, params, opts)
 }
 
+// TableData gates the direct-read route the partial evaluator uses, so
+// fragment evaluations block on the same gate as full ones.
+func (g *gatedSource) TableData(table string) (*relstore.Table, error) {
+	<-g.gate
+	return g.Source.(source.TableDataProvider).TableData(table)
+}
+
 // testServer builds a hospital-view server over TinyCatalog with a
 // private metrics registry. gateDB1, when non-nil, gates DB1's Exec.
 func testServer(t *testing.T, cfg Config, gateDB1 chan struct{}) (*Server, *httptest.Server, *relstore.Catalog, *obs.Registry) {

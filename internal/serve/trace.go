@@ -28,10 +28,12 @@ import (
 // request ID for log correlation, and an outbound Traceparent.
 
 // statusRecorder captures the response status for the trace summary and
-// the structured log line.
+// the structured log line, and the first-body-byte time for the TTFB
+// histogram — the latency a streaming fragment client actually feels.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status    int
+	firstByte time.Time
 }
 
 func (w *statusRecorder) WriteHeader(code int) {
@@ -45,7 +47,18 @@ func (w *statusRecorder) Write(b []byte) (int, error) {
 	if w.status == 0 {
 		w.status = http.StatusOK
 	}
+	if w.firstByte.IsZero() && len(b) > 0 {
+		w.firstByte = time.Now()
+	}
 	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so streamed fragment elements
+// leave the process as they are produced, not at handler return.
+func (w *statusRecorder) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 // requestTrace is the lifecycle of one traced request (or background
@@ -198,6 +211,14 @@ func (rt *requestTrace) finish() {
 		} else {
 			s.m.requestSec.Observe(sec)
 			rt.v.reqSec.Observe(sec)
+		}
+		if rt.rw != nil && !rt.rw.firstByte.IsZero() {
+			ttfb := rt.rw.firstByte.Sub(rt.start).Seconds()
+			if kept {
+				s.m.ttfbSec.ObserveExemplar(ttfb, rt.tr.TraceID())
+			} else {
+				s.m.ttfbSec.Observe(ttfb)
+			}
 		}
 	}
 

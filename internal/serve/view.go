@@ -58,6 +58,22 @@ type View struct {
 	// maintenance the background refresher judges deltas against.
 	deps *ivm.Deps
 
+	// fa is the fragment grammar: the validated grammar query-decomposed
+	// but with constraints never compiled to guards — the guard-free form
+	// aig.EvalPartial requires. partialOK reports that fragment requests
+	// may use it directly: with no constraints, or with every constraint
+	// statically certified, the guard-free evaluation renders the same
+	// subtrees a full (guarded) evaluation would. Otherwise fragments fall
+	// back to full render + post-hoc filtering, so a document a guard
+	// would abort never leaks through the fragment path.
+	fa        *aig.AIG
+	partialOK bool
+
+	// fragPlans memoizes per-path fragment compilation (pushdown analysis
+	// and the path-filtered dependency map), keyed by canonical rendering.
+	fragMu    sync.Mutex
+	fragPlans map[string]*fragPlan
+
 	// estDepth is the adaptive warm start for recursion unfolding: the
 	// depth that sufficed last time, so steady-state requests on stable
 	// data evaluate exactly once instead of re-probing upward.
@@ -123,6 +139,14 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 		return nil, fmt.Errorf("view %s: extracting table dependencies: %w", name, err)
 	}
 
+	// The fragment grammar decomposes the validated grammar without the
+	// constraint-compilation step: partial evaluation must be guard-free
+	// (a guard could abort on a subtree the fragment never evaluates).
+	fa, err := specialize.DecomposeQueries(a, reg, reg, opts.PlanOpts)
+	if err != nil {
+		return nil, fmt.Errorf("view %s: decomposing fragment grammar: %w", name, err)
+	}
+
 	// Static certification runs on the grammar as written (the chase and
 	// the gathering proofs read the pre-specialization rule shapes).
 	cert := propagate.Certify(a)
@@ -131,6 +155,7 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 		name:      name,
 		a:         a,
 		sa:        sa,
+		fa:        fa,
 		med:       mediator.New(reg, opts),
 		sources:   querySources(sa),
 		params:    rootParams(a),
@@ -138,7 +163,9 @@ func prepareView(name string, a *aig.AIG, reg *source.Registry, opts mediator.Op
 		maxDepth:  maxUnfold,
 		cert:      cert,
 		certified: cert.Certified && len(a.Constraints) > 0,
+		fragPlans: make(map[string]*fragPlan),
 	}
+	v.partialOK = len(a.Constraints) == 0 || v.certified
 	v.estDepth.Store(int32(unfold))
 
 	unf, err := specialize.Unfold(sa, unfold)

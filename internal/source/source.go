@@ -138,6 +138,10 @@ func (l *Local) ChangesSince(table string, since uint64) (relstore.ChangeSet, er
 	return l.db.ChangesSince(table, since)
 }
 
+// TableData implements TableDataProvider: direct table access for
+// in-process evaluation.
+func (l *Local) TableData(table string) (*relstore.Table, error) { return l.db.Table(table) }
+
 // DB exposes the wrapped database so that serving-side mutation
 // endpoints (and tests) can write through the same instance the source
 // reads.
@@ -311,17 +315,25 @@ func (r *Registry) ColumnDistinct(sourceName, table, column string) (int, error)
 	return s.ColumnDistinct(table, column)
 }
 
+// TableDataProvider is the optional interface of sources that can hand
+// out raw table handles for in-process evaluation (the conceptual
+// evaluator and partial evaluation). Local sources implement it;
+// wrappers can forward it.
+type TableDataProvider interface {
+	TableData(table string) (*relstore.Table, error)
+}
+
 // TableData implements sqlmini.DataProvider for in-process evaluation
-// (the conceptual evaluator). Remote sources do not support direct table
-// reads; only Local sources do.
+// (the conceptual evaluator). Remote sources do not support direct
+// table reads; only sources exposing TableDataProvider do.
 func (r *Registry) TableData(sourceName, table string) (*relstore.Table, error) {
 	s, err := r.Get(sourceName)
 	if err != nil {
 		return nil, err
 	}
-	local, ok := s.(*Local)
+	p, ok := s.(TableDataProvider)
 	if !ok {
 		return nil, fmt.Errorf("source: %q is not a local source; direct table access unavailable", sourceName)
 	}
-	return local.db.Table(table)
+	return p.TableData(table)
 }

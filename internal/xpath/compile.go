@@ -1,0 +1,336 @@
+package xpath
+
+import (
+	"fmt"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+	"github.com/aigrepro/aig/internal/xmltree"
+)
+
+// Compiled is a path analyzed against one grammar: per-element-type
+// label reachability (which subtrees a remaining step can still match
+// into — the partial-evaluation pruning rule) and predicate pushdown
+// (which [child='X'] tests are decidable from an instance's inherited
+// attribute alone, before its subtree exists). Compile once per
+// (grammar, path); NewCursor per evaluation.
+type Compiled struct {
+	path *Path
+	// labels: element type -> emitted label.
+	labels map[string]string
+	// childLabels: element type -> labels its production children can
+	// carry (for a choice, any branch).
+	childLabels map[string]map[string]bool
+	// reach: element type -> labels of every type derivable as a strict
+	// descendant (fixpoint over the production graph, so recursion is
+	// handled).
+	reach map[string]map[string]bool
+	// push: (element type, child label) -> inherited-attribute member
+	// whose text the uniquely determined child of that label renders.
+	push map[pushKey]string
+}
+
+type pushKey struct {
+	elem  string
+	child string
+}
+
+// Compile analyzes a parsed path against a grammar. The grammar is the
+// view's fragment grammar (validated and query-decomposed, compiled
+// without constraints); Compile itself never evaluates anything.
+func Compile(a *aig.AIG, p *Path) (*Compiled, error) {
+	if p == nil || len(p.Steps) == 0 {
+		return nil, fmt.Errorf("xpath: empty path")
+	}
+	c := &Compiled{
+		path:        p,
+		labels:      make(map[string]string),
+		childLabels: make(map[string]map[string]bool),
+		reach:       make(map[string]map[string]bool),
+		push:        make(map[pushKey]string),
+	}
+	types := a.DTD.Types()
+	for _, t := range types {
+		c.labels[t] = a.Label(t)
+		kids := make(map[string]bool)
+		if prod, ok := a.DTD.Production(t); ok {
+			for _, k := range prod.Children {
+				kids[a.Label(k)] = true
+			}
+		}
+		c.childLabels[t] = kids
+		c.reach[t] = make(map[string]bool)
+	}
+	// Strict-descendant label reachability, to fixpoint (recursive DTDs
+	// make the production graph cyclic; the label sets grow
+	// monotonically and are bounded, so this terminates).
+	for changed := true; changed; {
+		changed = false
+		for _, t := range types {
+			prod, ok := a.DTD.Production(t)
+			if !ok {
+				continue
+			}
+			for _, k := range prod.Children {
+				if !c.reach[t][c.labels[k]] {
+					c.reach[t][c.labels[k]] = true
+					changed = true
+				}
+				for l := range c.reach[k] {
+					if !c.reach[t][l] {
+						c.reach[t][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	c.analyzePushdown(a, types)
+	return c, nil
+}
+
+// analyzePushdown finds the (type, child label) pairs whose [label='X']
+// predicate is decidable from the candidate's inherited attribute: the
+// type is a sequence with exactly one child of that label, the child is
+// a text production whose text comes from one member of its inherited
+// attribute, and that member is filled by a pure copy from a scalar of
+// the candidate's inherited attribute. Everything else falls back to
+// FragVerify at evaluation time.
+func (c *Compiled) analyzePushdown(a *aig.AIG, types []string) {
+	for _, t := range types {
+		prod, ok := a.DTD.Production(t)
+		if !ok || prod.Kind != dtd.ProdSeq {
+			continue
+		}
+		byLabel := make(map[string][]string)
+		for _, k := range prod.Children {
+			byLabel[c.labels[k]] = append(byLabel[c.labels[k]], k)
+		}
+		for label, kids := range byLabel {
+			if len(kids) != 1 {
+				continue // several children could carry the label: not unique
+			}
+			child := kids[0]
+			member, ok := textMember(a, child)
+			if !ok {
+				continue
+			}
+			r := a.Rules[t]
+			if r == nil {
+				continue
+			}
+			ir := r.Inh[child]
+			if ir == nil || ir.IsQuery() {
+				continue
+			}
+			// Last copy into the member wins (evalInhSingle applies
+			// copies in order, overwriting).
+			field := ""
+			for _, cp := range ir.Copies {
+				if cp.TargetMember != member {
+					continue
+				}
+				if cp.Src.Side == aig.InhSide && cp.Src.Elem == t && cp.Src.Member != "" {
+					if m, ok := a.Inh[t].Member(cp.Src.Member); ok && m.Kind == aig.Scalar {
+						field = cp.Src.Member
+						continue
+					}
+				}
+				field = "" // copied from something we cannot read statically
+			}
+			if field != "" {
+				c.push[pushKey{elem: t, child: label}] = field
+			}
+		}
+	}
+}
+
+// textMember returns the inherited-attribute member whose text a text
+// production renders: the rule's explicit text source, or the single
+// scalar member default.
+func textMember(a *aig.AIG, elem string) (string, bool) {
+	prod, ok := a.DTD.Production(elem)
+	if !ok || prod.Kind != dtd.ProdText {
+		return "", false
+	}
+	if r := a.Rules[elem]; r != nil && r.TextSrc != (aig.SourceRef{}) {
+		src := r.TextSrc
+		if src.Side == aig.InhSide && src.Elem == elem && src.Member != "" {
+			return src.Member, true
+		}
+		return "", false
+	}
+	scalars := a.Inh[elem].ScalarSchema().Names()
+	if len(scalars) == 1 {
+		return scalars[0], true
+	}
+	return "", false
+}
+
+// live reports whether state s can still produce a match at or below
+// the children of an instance of type t: a child-axis state must name a
+// possible child label, a descendant-axis state any label derivable in
+// t's subtree. This label-level check is conservative (it ignores the
+// steps after s), so pruning on it is sound.
+func (c *Compiled) live(s int, t string) bool {
+	st := &c.path.Steps[s]
+	if st.Name == "*" {
+		return true
+	}
+	if st.Axis == Descendant {
+		return c.reach[t][st.Name]
+	}
+	return c.childLabels[t][st.Name]
+}
+
+func (c *Compiled) label(elem string) string {
+	if l, ok := c.labels[elem]; ok {
+		return l
+	}
+	return elem
+}
+
+// NewCursor starts a document-level cursor for one evaluation: its
+// single child is the root element, judged against the first step.
+// Cursors are cheap per-request state; the Compiled they share is
+// immutable and safe for concurrent cursors.
+func (c *Compiled) NewCursor() aig.FragCursor {
+	return &cursor{c: c, states: []int{0}, ctr: newCounters()}
+}
+
+// cursor is the walk over one parent's children: the active states and
+// their positional counters. The aig evaluator calls Child once per
+// instance in document order, so the counters advance exactly as the
+// oracle's would over the rendered document.
+type cursor struct {
+	c      *Compiled
+	states []int
+	ctr    counters
+}
+
+func (cu *cursor) NeedChild(childType string) bool {
+	label := cu.c.label(childType)
+	for _, s := range cu.states {
+		st := &cu.c.path.Steps[s]
+		if nameMatches(st.Name, label) {
+			return true
+		}
+		if st.Axis == Descendant && cu.c.live(s, childType) {
+			return true
+		}
+	}
+	return false
+}
+
+type predResult int
+
+const (
+	predPass predResult = iota
+	predFail
+	predUnknown
+)
+
+func (cu *cursor) Child(childType string, inh *aig.AttrValue) aig.FragDecision {
+	steps := cu.c.path.Steps
+	label := cu.c.label(childType)
+	var next []int
+	matched := false
+	unknown := false
+	delta := make(map[counterKey]int)
+	for _, s := range cu.states {
+		st := &steps[s]
+		if st.Axis == Descendant && cu.c.live(s, childType) {
+			next = appendState(next, s)
+		}
+		if !nameMatches(st.Name, label) {
+			continue
+		}
+		switch cu.evalPredsStatic(st, s, childType, inh, delta) {
+		case predUnknown:
+			unknown = true
+		case predFail:
+		case predPass:
+			if s == len(steps)-1 {
+				matched = true
+			} else if cu.c.live(s+1, childType) {
+				next = appendState(next, s+1)
+			}
+		}
+	}
+	if unknown {
+		// Tentative counter bumps are discarded: the verify closure
+		// resolves every predicate exactly on the rendered subtree and
+		// advances the shared counters itself, so decidable siblings
+		// after this one keep counting correctly.
+		states := cu.states
+		ctr := cu.ctr
+		return aig.FragDecision{
+			Action: aig.FragVerify,
+			Verify: func(n *xmltree.Node) []*xmltree.Node {
+				m, nx := matchOne(steps, n, states, ctr)
+				if m {
+					return []*xmltree.Node{n}
+				}
+				var out []*xmltree.Node
+				if len(nx) > 0 {
+					walkChildren(steps, n.Children, nx, newCounters(), &out)
+				}
+				return out
+			},
+		}
+	}
+	for k, d := range delta {
+		cu.ctr[k] += d
+	}
+	if matched {
+		// Outermost-only: a match swallows its subtree whole.
+		return aig.FragDecision{Action: aig.FragCollect}
+	}
+	if len(next) == 0 {
+		return aig.FragDecision{Action: aig.FragSkip}
+	}
+	nextStates := next
+	return aig.FragDecision{
+		Action: aig.FragDescend,
+		Cursor: &cursor{c: cu.c, states: nextStates, ctr: newCounters()},
+		Verify: func(n *xmltree.Node) []*xmltree.Node {
+			var out []*xmltree.Node
+			walkChildren(steps, n.Children, nextStates, newCounters(), &out)
+			return out
+		},
+	}
+}
+
+// evalPredsStatic mirrors evalPreds over static knowledge: pushdownable
+// [child='X'] tests read the candidate's inherited attribute, [N] tests
+// read the walk counters. Counter bumps go to delta (committed by the
+// caller only when every state stayed decidable); a predicate that is
+// reached but not decidable poisons the whole instance to FragVerify.
+func (cu *cursor) evalPredsStatic(st *Step, state int, childType string, inh *aig.AttrValue, delta map[counterKey]int) predResult {
+	for i, pred := range st.Preds {
+		switch p := pred.(type) {
+		case ChildEq:
+			if !cu.c.childLabels[childType][p.Child] {
+				return predFail // no production child carries the label
+			}
+			field, ok := cu.c.push[pushKey{elem: childType, child: p.Child}]
+			if !ok {
+				return predUnknown
+			}
+			v, err := inh.Scalar(field)
+			if err != nil {
+				return predUnknown
+			}
+			if v.Text() != p.Value {
+				return predFail
+			}
+		case Index:
+			k := counterKey{state: state, pred: i}
+			delta[k]++
+			if cu.ctr[k]+delta[k] != p.N {
+				return predFail
+			}
+		}
+	}
+	return predPass
+}

@@ -1,0 +1,45 @@
+package xpath_test
+
+import (
+	"testing"
+
+	"github.com/aigrepro/aig/internal/xpath"
+)
+
+// FuzzPathParse checks the parser never panics and that parsing is
+// idempotent through the canonical rendering: any accepted input
+// re-parses from its String() form to the same rendering.
+func FuzzPathParse(f *testing.F) {
+	seeds := []string{
+		"/report/patient",
+		"//patient[SSN='s000123']",
+		"/a//b[2]",
+		`/*[3]/b[x="it's"]`,
+		"//*",
+		"/a[b='say \"hi\"'][1]//c",
+		"/a_1/b-2/c.3[z='']",
+		"patient",
+		"/a[0]",
+		"/a[b='x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := xpath.Parse(input)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		formatted := p.String()
+		p2, err := xpath.Parse(formatted)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", formatted, input, err)
+		}
+		if got := p2.String(); got != formatted {
+			t.Fatalf("round trip unstable: %q -> %q -> %q", input, formatted, got)
+		}
+		if len(p.Steps) == 0 {
+			t.Fatalf("accepted %q with zero steps", input)
+		}
+	})
+}

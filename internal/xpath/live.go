@@ -1,0 +1,226 @@
+package xpath
+
+import (
+	"sort"
+	"strconv"
+
+	"github.com/aigrepro/aig/internal/aig"
+	"github.com/aigrepro/aig/internal/dtd"
+)
+
+// LiveScans computes which semantic-rule queries a fragment request for
+// this path can possibly run, as a (rule element, child) filter over
+// specialize.TableScans — the refresher passes it to ivm.ExtractFiltered
+// so cached fragments are judged dirty only by deltas that touch their
+// reachable scans. The analysis abstracts the cursor over the same
+// (element type × state set) pairs partial evaluation walks, with every
+// runtime-decided predicate taken both ways; the result is therefore a
+// superset of the scans any concrete evaluation runs, which is what
+// makes restamping on an Unaffected verdict sound.
+func (c *Compiled) LiveScans(a *aig.AIG) func(elem, child string) bool {
+	lv := &liveness{
+		c:    c,
+		a:    a,
+		seen: make(map[string]bool),
+		live: make(map[pushKey]bool),
+		full: make(map[string]bool),
+	}
+	lv.process(a.DTD.Root, []int{0})
+	return func(elem, child string) bool {
+		return lv.full[elem] || lv.live[pushKey{elem: elem, child: child}]
+	}
+}
+
+type liveness struct {
+	c    *Compiled
+	a    *aig.AIG
+	seen map[string]bool
+	// live marks single scans: (rule element, child) pairs whose query
+	// partial evaluation may run. A choice condition is (elem, "").
+	live map[pushKey]bool
+	// full marks element types whose whole subtree may be evaluated
+	// (collected, verified, or forced by a sibling's Syn dependency) —
+	// every scan at or below them is live.
+	full map[string]bool
+}
+
+// judge abstracts cursor.Child for an instance of type t under the
+// parent-walk states: whether the instance may end up fully evaluated
+// (collect, or verify because a predicate is not pushdownable), and the
+// state set for the walk over its children. Positional predicates and
+// pushdownable equality tests are taken both ways.
+func (lv *liveness) judge(t string, states []int) (hot bool, next []int) {
+	steps := lv.c.path.Steps
+	label := lv.c.label(t)
+	for _, s := range states {
+		st := &steps[s]
+		if st.Axis == Descendant && lv.c.live(s, t) {
+			next = appendState(next, s)
+		}
+		if !nameMatches(st.Name, label) {
+			continue
+		}
+		fail := false
+		for _, pred := range st.Preds {
+			if p, ok := pred.(ChildEq); ok {
+				if !lv.c.childLabels[t][p.Child] {
+					fail = true // statically impossible, on every instance
+					break
+				}
+				if _, pushable := lv.c.push[pushKey{elem: t, child: p.Child}]; !pushable {
+					hot = true // FragVerify evaluates the whole subtree
+				}
+			}
+		}
+		if fail {
+			continue
+		}
+		if s == len(steps)-1 {
+			hot = true // FragCollect evaluates the whole subtree
+		} else if lv.c.live(s+1, t) {
+			next = appendState(next, s+1)
+		}
+	}
+	return hot, next
+}
+
+// needChild abstracts cursor.NeedChild: the cursor's runtime state set
+// is always a subset of the abstract one, so a static false is a true
+// "this child's queries never run".
+func (lv *liveness) needChild(t string, states []int) bool {
+	for _, s := range states {
+		st := &lv.c.path.Steps[s]
+		if nameMatches(st.Name, lv.c.label(t)) {
+			return true
+		}
+		if st.Axis == Descendant && lv.c.live(s, t) {
+			return true
+		}
+	}
+	return false
+}
+
+func (lv *liveness) process(t string, states []int) {
+	key := stateKey(t, states)
+	if lv.seen[key] {
+		return
+	}
+	lv.seen[key] = true
+
+	hot, next := lv.judge(t, states)
+	if hot {
+		lv.markFull(t)
+	}
+	if len(next) == 0 || lv.full[t] {
+		return // nothing (more) can run below this instance
+	}
+	prod, ok := lv.a.DTD.Production(t)
+	if !ok {
+		return
+	}
+	r := lv.a.Rules[t]
+	switch prod.Kind {
+	case dtd.ProdText, dtd.ProdEmpty:
+		return
+	case dtd.ProdStar:
+		child := prod.Children[0]
+		if lv.needChild(child, next) {
+			lv.live[pushKey{elem: t, child: child}] = true
+			lv.process(child, next)
+		}
+	case dtd.ProdSeq:
+		occurs := make(map[string]bool)
+		for _, c := range prod.Children {
+			occurs[c] = true
+		}
+		need := make(map[string]bool)
+		for c := range occurs {
+			if lv.needChild(c, next) {
+				need[c] = true
+			}
+		}
+		// Sibling Syn dependencies force full evaluation, exactly as
+		// partialSeq closes them.
+		full := make(map[string]bool)
+		for changed := true; changed; {
+			changed = false
+			for c := range occurs {
+				if !need[c] && !full[c] {
+					continue
+				}
+				if r == nil {
+					continue
+				}
+				for _, dep := range synRefsOf(r.Inh[c]) {
+					if occurs[dep] && !full[dep] {
+						full[dep] = true
+						changed = true
+					}
+				}
+			}
+		}
+		for c := range occurs {
+			if need[c] || full[c] {
+				lv.live[pushKey{elem: t, child: c}] = true
+			}
+			if full[c] {
+				lv.markFull(c)
+			} else if need[c] {
+				lv.process(c, next)
+			}
+		}
+	case dtd.ProdChoice:
+		// The condition query always runs on a descended instance.
+		lv.live[pushKey{elem: t, child: ""}] = true
+		for _, c := range prod.Children {
+			if lv.needChild(c, next) {
+				lv.live[pushKey{elem: t, child: c}] = true
+				lv.process(c, next)
+			}
+		}
+	}
+}
+
+// markFull marks a type and every type derivable below it as fully
+// evaluated: all their scans are live.
+func (lv *liveness) markFull(t string) {
+	if lv.full[t] {
+		return
+	}
+	lv.full[t] = true
+	if prod, ok := lv.a.DTD.Production(t); ok {
+		for _, c := range prod.Children {
+			lv.markFull(c)
+		}
+	}
+}
+
+// synRefsOf mirrors aig's internal synRefs for liveness: the element
+// types whose synthesized attribute an Inh rule reads.
+func synRefsOf(ir *aig.InhRule) []string {
+	if ir == nil {
+		return nil
+	}
+	var out []string
+	for _, cp := range ir.Copies {
+		if cp.Src.Side == aig.SynSide {
+			out = append(out, cp.Src.Elem)
+		}
+	}
+	for _, src := range ir.QueryParams {
+		if src.Side == aig.SynSide {
+			out = append(out, src.Elem)
+		}
+	}
+	return out
+}
+
+func stateKey(t string, states []int) string {
+	ss := append([]int(nil), states...)
+	sort.Ints(ss)
+	key := t
+	for _, s := range ss {
+		key += "|" + strconv.Itoa(s)
+	}
+	return key
+}

@@ -1,0 +1,177 @@
+package xpath
+
+import (
+	"strconv"
+
+	"github.com/aigrepro/aig/internal/srcpos"
+)
+
+// Parse parses a path expression. Errors carry the 1-based column of
+// the offending byte (paths are single-line, so the line is always 1)
+// via srcpos, the same convention as the aigspec and constraint
+// parsers.
+func Parse(input string) (*Path, error) {
+	p := &parser{input: input}
+	path, err := p.path()
+	if err != nil {
+		return nil, err
+	}
+	return path, nil
+}
+
+type parser struct {
+	input string
+	off   int
+}
+
+func (p *parser) pos() srcpos.Pos { return srcpos.At(1, p.off+1) }
+
+func (p *parser) errf(format string, args ...any) error {
+	return srcpos.Errorf(p.pos(), format, args...)
+}
+
+func (p *parser) eof() bool { return p.off >= len(p.input) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.input[p.off]
+}
+
+func (p *parser) eat(c byte) bool {
+	if p.peek() == c {
+		p.off++
+		return true
+	}
+	return false
+}
+
+func (p *parser) path() (*Path, error) {
+	if p.eof() {
+		return nil, p.errf("empty path")
+	}
+	var path Path
+	for !p.eof() {
+		step, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+	}
+	return &path, nil
+}
+
+func (p *parser) step() (Step, error) {
+	var s Step
+	if !p.eat('/') {
+		return s, p.errf("want '/' or '//' to start a step, got %q", rest(p.input[p.off:]))
+	}
+	if p.eat('/') {
+		s.Axis = Descendant
+	}
+	name, err := p.name()
+	if err != nil {
+		return s, err
+	}
+	s.Name = name
+	for p.peek() == '[' {
+		pred, err := p.pred()
+		if err != nil {
+			return s, err
+		}
+		s.Preds = append(s.Preds, pred)
+	}
+	return s, nil
+}
+
+// name parses an element name test: "*" or an XML-style name (letters,
+// digits, '_', '-', '.' after a letter or '_').
+func (p *parser) name() (string, error) {
+	if p.eat('*') {
+		return "*", nil
+	}
+	start := p.off
+	if !isNameStart(p.peek()) {
+		return "", p.errf("want an element name or '*'")
+	}
+	p.off++
+	for isNameByte(p.peek()) {
+		p.off++
+	}
+	return p.input[start:p.off], nil
+}
+
+func (p *parser) pred() (Pred, error) {
+	open := p.pos()
+	p.off++ // '['
+	if c := p.peek(); c >= '0' && c <= '9' {
+		start := p.off
+		for c := p.peek(); c >= '0' && c <= '9'; c = p.peek() {
+			p.off++
+		}
+		n, err := strconv.Atoi(p.input[start:p.off])
+		if err != nil || n < 1 {
+			return nil, srcpos.Errorf(srcpos.At(1, start+1), "position must be a positive integer, got %q", p.input[start:p.off])
+		}
+		if !p.eat(']') {
+			return nil, p.errf("want ']' to close the predicate opened at column %d", open.Col)
+		}
+		return Index{N: n}, nil
+	}
+	child, err := p.name()
+	if err != nil {
+		return nil, err
+	}
+	if child == "*" {
+		return nil, p.errf("predicate child name cannot be '*'")
+	}
+	if !p.eat('=') {
+		return nil, p.errf("want '=' after predicate child name %q", child)
+	}
+	value, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eat(']') {
+		return nil, p.errf("want ']' to close the predicate opened at column %d", open.Col)
+	}
+	return ChildEq{Child: child, Value: value}, nil
+}
+
+// literal parses a quoted string. There is no escaping (as in XPath
+// 1.0): a single-quoted literal cannot contain a single quote, a
+// double-quoted one cannot contain a double quote.
+func (p *parser) literal() (string, error) {
+	q := p.peek()
+	if q != '\'' && q != '"' {
+		return "", p.errf("want a quoted string")
+	}
+	p.off++
+	start := p.off
+	for !p.eof() && p.input[p.off] != q {
+		p.off++
+	}
+	if p.eof() {
+		return "", srcpos.Errorf(srcpos.At(1, start), "unterminated string literal")
+	}
+	v := p.input[start:p.off]
+	p.off++ // closing quote
+	return v, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isNameByte(c byte) bool {
+	return isNameStart(c) || c == '-' || c == '.' || (c >= '0' && c <= '9')
+}
+
+// rest truncates a suffix of the input for error messages.
+func rest(s string) string {
+	if len(s) > 12 {
+		return s[:12] + "…"
+	}
+	return s
+}

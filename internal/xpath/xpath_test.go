@@ -1,0 +1,180 @@
+package xpath_test
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/aigrepro/aig/internal/srcpos"
+	"github.com/aigrepro/aig/internal/xmltree"
+	"github.com/aigrepro/aig/internal/xpath"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string // canonical rendering; "" means same as in
+	}{
+		{in: "/report"},
+		{in: "/report/patient"},
+		{in: "//patient"},
+		{in: "/report//treatment"},
+		{in: "//patient[SSN='s000123']"},
+		{in: "/report/patient[2]"},
+		{in: "//a[2][b='x']"},
+		{in: "/a//b[2]"},
+		{in: "//*"},
+		{in: "/*[3]"},
+		{in: "/a[b=\"it's\"]"},
+		{in: `/a[b="x"]`, want: "/a[b='x']"},
+		{in: "/a[b='say \"hi\"']"},
+		{in: "/a_1/b-2/c.3"},
+	}
+	for _, c := range cases {
+		p, err := xpath.Parse(c.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.in, err)
+			continue
+		}
+		want := c.want
+		if want == "" {
+			want = c.in
+		}
+		if got := p.String(); got != want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.in, got, want)
+		}
+		// Canonical renderings re-parse to themselves.
+		p2, err := xpath.Parse(p.String())
+		if err != nil {
+			t.Errorf("re-Parse(%q): %v", p.String(), err)
+			continue
+		}
+		if p2.String() != p.String() {
+			t.Errorf("round trip of %q: %q != %q", c.in, p2.String(), p.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		in   string
+		col  int
+		want string // substring of the message
+	}{
+		{"", 1, "empty path"},
+		{"patient", 1, "want '/'"},
+		{"/", 2, "element name"},
+		{"/a/", 4, "element name"},
+		{"/a[0]", 4, "positive integer"},
+		{"/a[2", 5, "want ']'"},
+		{"/a[b", 5, "want '='"},
+		{"/a[b=x]", 6, "quoted string"},
+		{"/a[b='x", 6, "unterminated"},
+		{"/a[*='x']", 5, "cannot be '*'"},
+		{"/a[]", 4, "element name"},
+		{"/a]", 3, "want '/'"},
+	}
+	for _, c := range cases {
+		_, err := xpath.Parse(c.in)
+		if err == nil {
+			t.Errorf("Parse(%q): no error, want %q", c.in, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) = %q, want substring %q", c.in, err, c.want)
+		}
+		if pos := srcpos.PosOf(err); pos.Col != c.col {
+			t.Errorf("Parse(%q) error at col %d, want %d (%v)", c.in, pos.Col, c.col, err)
+		}
+	}
+}
+
+func mustParse(t *testing.T, expr string) *xpath.Path {
+	t.Helper()
+	p, err := xpath.Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	return p
+}
+
+func mustDoc(t *testing.T, s string) *xmltree.Node {
+	t.Helper()
+	n, err := xmltree.ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return n
+}
+
+// values renders each match's string value, comma-joined — enough to
+// identify matches in the small hand-built documents.
+func values(ns []*xmltree.Node) string {
+	parts := make([]string, len(ns))
+	for i, n := range ns {
+		parts[i] = n.StringValue()
+	}
+	return strings.Join(parts, ",")
+}
+
+func TestSelect(t *testing.T) {
+	doc := mustDoc(t, `<r>
+  <a><n>x</n></a>
+  <a><n>y</n><a><n>x</n></a></a>
+  <b><a><n>x</n></a></b>
+</r>`)
+	cases := []struct {
+		expr string
+		want string
+	}{
+		{"/r/a", "x,yx"},
+		// Outermost-only: the a nested inside the second a is swallowed
+		// by its parent's match, but the one under b is found.
+		{"//a", "x,yx,x"},
+		{"//a[n='x']", "x,x,x"},
+		{"//a[n='y']", "yx"},
+		{"/r/a[1]", "x"},
+		{"/r/a[2]", "yx"},
+		{"/r/a[3]", ""},
+		{"/r/*", "x,yx,x"},
+		{"/r/*[3]", "x"},
+		{"//n", "x,y,x,x"},
+		{"/r/b/a/n", "x"},
+		{"/r//n[1]", "x,y,x,x"}, // [1] counts per parent walk
+		{"/x", ""},
+		{"//a[z='q']", ""},
+		{"/r[a='x']/b", "x"},
+	}
+	for _, c := range cases {
+		got := values(xpath.Select(doc, mustParse(t, c.expr)))
+		if got != c.want {
+			t.Errorf("Select(%s) = %q, want %q", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSelectPositionalScoping(t *testing.T) {
+	doc := mustDoc(t, `<r><g><a>1</a><a>2</a></g><g><a>3</a><a>4</a></g></r>`)
+	// Proximity position restarts per parent: //a[2] is the second a of
+	// each g, not the second a in the document.
+	if got := values(xpath.Select(doc, mustParse(t, "//a[2]"))); got != "2,4" {
+		t.Errorf("//a[2] = %q, want \"2,4\"", got)
+	}
+	// Position counts only siblings that passed the preceding predicates.
+	doc2 := mustDoc(t, `<r><a><k>v</k>1</a><a>2</a><a><k>v</k>3</a></r>`)
+	if got := values(xpath.Select(doc2, mustParse(t, "/r/a[k='v'][2]"))); got != "v3" {
+		t.Errorf("/r/a[k='v'][2] = %q, want \"v3\"", got)
+	}
+	if got := values(xpath.Select(doc2, mustParse(t, "/r/a[2][k='v']"))); got != "" {
+		t.Errorf("/r/a[2][k='v'] = %q, want \"\"", got)
+	}
+}
+
+func TestSelectRootMatch(t *testing.T) {
+	doc := mustDoc(t, `<r><r>nested</r></r>`)
+	// The descendant axis from the document node reaches the root
+	// element itself; outermost-only then swallows the nested r.
+	got := xpath.Select(doc, mustParse(t, "//r"))
+	if len(got) != 1 || got[0] != doc {
+		t.Fatalf("//r = %v, want the root element", values(got))
+	}
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Benchmark what fragment serving buys: boot aigd on a generated
+# Table 1 small-scale hospital catalog (a ~26 MB document that takes
+# seconds to evaluate) and compare a small fragment against the full
+# document with aigload —
+#
+#   cold:  one mixed no-store phase, workers alternating full-document
+#          and fragment requests, so both shapes pay a fresh evaluation
+#          under identical load. The fragment must cut client-measured
+#          first-byte latency by AIG_FRAG_MIN_TTFB_SPEEDUP (default 5x;
+#          the partial evaluator binds only the scans the path can
+#          reach and streams its first match while the full document
+#          would still be being built) and response bytes by
+#          AIG_FRAG_MIN_BYTES_RATIO (default 10x). Kept to a handful of
+#          requests — every full-document one is a full evaluation.
+#   warm:  full-document throughput measured (after a prewarm, so the
+#          one-off evaluation cost stays out of both phases) before and
+#          after a fragment-only warm phase; serving fragments must not
+#          regress the full-document path by more than
+#          AIG_FRAG_MAX_REGRESS (default 5%).
+#
+# The combined report lands in BENCH_fragment.json. Used by
+# `make bench-fragment` and CI.
+set -euo pipefail
+
+ADDR="${AIGD_ADDR:-127.0.0.1:18109}"
+SIZE="${AIG_FRAG_SIZE:-small}"
+DATE="${AIG_FRAG_DATE:-d001}"
+COLD_REQUESTS="${AIG_FRAG_COLD_REQUESTS:-4}"
+COLD_WORKERS="${AIG_FRAG_COLD_WORKERS:-2}"
+WARM_REQUESTS="${AIG_FRAG_WARM_REQUESTS:-200}"
+WORKERS="${AIG_FRAG_WORKERS:-4}"
+FRAG_PATH="${AIG_FRAG_PATH:-//patient[1]/SSN}"
+MIN_TTFB_SPEEDUP="${AIG_FRAG_MIN_TTFB_SPEEDUP:-5}"
+MIN_BYTES_RATIO="${AIG_FRAG_MIN_BYTES_RATIO:-10}"
+MAX_REGRESS="${AIG_FRAG_MAX_REGRESS:-0.05}"
+OUT="${AIG_FRAG_JSON:-BENCH_fragment.json}"
+
+tmpdir="$(mktemp -d)"
+daemon_pid=""
+trap '[ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+
+go build -o "$tmpdir/aigd" ./cmd/aigd
+go build -o "$tmpdir/aigload" ./cmd/aigload
+
+"$tmpdir/aigd" -demo -demo-size "$SIZE" -addr "$ADDR" >"$tmpdir/aigd.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null || {
+    echo "aigd did not become healthy; log:" >&2
+    cat "$tmpdir/aigd.log" >&2
+    exit 1
+}
+
+load() { # json-file workers extra-args...
+    local out="$1" c="$2"
+    shift 2
+    "$tmpdir/aigload" -url "http://$ADDR" -view report -param "date=$DATE" \
+        -c "$c" -json "$out" "$@"
+}
+
+# field file key [occurrence]: the Nth (default first) value of a key in
+# MarshalIndent output. In mixed-shape reports the paths array lists the
+# full-document shape ("") first, then each -path shape in flag order.
+field() {
+    awk -F': *' -v k="\"$2\"" -v n="${3:-1}" \
+        '$1 ~ k { c++; if (c == n) { gsub(/,$/, "", $2); print $2; exit } }' "$1"
+}
+
+echo "== cold: mixed full-document + fragment, no-store ($SIZE catalog)"
+load "$tmpdir/cold.json" "$COLD_WORKERS" -n "$COLD_REQUESTS" -no-store -path "$FRAG_PATH"
+
+full_ttfb="$(field "$tmpdir/cold.json" ttfb_p50_ms 1)"
+frag_ttfb="$(field "$tmpdir/cold.json" ttfb_p50_ms 2)"
+full_bytes="$(field "$tmpdir/cold.json" bytes_per_request 1)"
+frag_bytes="$(field "$tmpdir/cold.json" bytes_per_request 2)"
+
+echo "== warm: full-document baseline, then fragment-only, then full-document again"
+curl -fsS -o /dev/null "http://$ADDR/views/report?date=$DATE" # prewarm the cache entry
+load "$tmpdir/warm_before.json" "$WORKERS" -n "$WARM_REQUESTS"
+load "$tmpdir/warm_frag.json" "$WORKERS" -n "$WARM_REQUESTS" -path "$FRAG_PATH" -fragment-only
+load "$tmpdir/warm_after.json" "$WORKERS" -n "$WARM_REQUESTS"
+
+before_rps="$(field "$tmpdir/warm_before.json" throughput_rps)"
+after_rps="$(field "$tmpdir/warm_after.json" throughput_rps)"
+frag_rps="$(field "$tmpdir/warm_frag.json" throughput_rps)"
+
+ttfb_speedup="$(awk -v f="$full_ttfb" -v g="$frag_ttfb" 'BEGIN { printf "%.2f", (g > 0) ? f/g : 0 }')"
+bytes_ratio="$(awk -v f="$full_bytes" -v g="$frag_bytes" 'BEGIN { printf "%.2f", (g > 0) ? f/g : 0 }')"
+regress="$(awk -v b="$before_rps" -v a="$after_rps" 'BEGIN { printf "%.4f", (b > 0) ? (b-a)/b : 1 }')"
+
+{
+    printf '{\n'
+    printf '  "size": "%s",\n  "fragment_path": "%s",\n' "$SIZE" "$FRAG_PATH"
+    printf '  "min_ttfb_speedup": %s,\n  "ttfb_speedup": %s,\n' "$MIN_TTFB_SPEEDUP" "$ttfb_speedup"
+    printf '  "min_bytes_ratio": %s,\n  "bytes_ratio": %s,\n' "$MIN_BYTES_RATIO" "$bytes_ratio"
+    printf '  "max_full_regression": %s,\n  "full_regression": %s,\n' "$MAX_REGRESS" "$regress"
+    printf '  "warm_fragment_rps": %s,\n' "$frag_rps"
+    printf '  "cold": '
+    cat "$tmpdir/cold.json"
+    printf ',\n  "warm_full_before": '
+    cat "$tmpdir/warm_before.json"
+    printf ',\n  "warm_fragment": '
+    cat "$tmpdir/warm_frag.json"
+    printf ',\n  "warm_full_after": '
+    cat "$tmpdir/warm_after.json"
+    printf '\n}\n'
+} >"$OUT"
+
+echo "bench_fragment: cold ttfb ${full_ttfb}ms full vs ${frag_ttfb}ms fragment (${ttfb_speedup}x), bytes ${full_bytes} vs ${frag_bytes} (${bytes_ratio}x), warm full ${before_rps} -> ${after_rps} rps (regression ${regress}) -> $OUT"
+
+fail=0
+awk -v s="$ttfb_speedup" -v min="$MIN_TTFB_SPEEDUP" 'BEGIN { exit !(s >= min) }' || {
+    echo "bench_fragment: first-byte speedup ${ttfb_speedup}x below required ${MIN_TTFB_SPEEDUP}x" >&2
+    fail=1
+}
+awk -v r="$bytes_ratio" -v min="$MIN_BYTES_RATIO" 'BEGIN { exit !(r >= min) }' || {
+    echo "bench_fragment: bytes ratio ${bytes_ratio}x below required ${MIN_BYTES_RATIO}x" >&2
+    fail=1
+}
+awk -v r="$regress" -v max="$MAX_REGRESS" 'BEGIN { exit !(r <= max) }' || {
+    echo "bench_fragment: full-document throughput regressed ${regress} (limit ${MAX_REGRESS})" >&2
+    fail=1
+}
+[ "$fail" -eq 0 ] && echo "bench_fragment: OK"
+exit "$fail"
